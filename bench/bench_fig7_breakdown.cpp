@@ -1,0 +1,74 @@
+// Figure 7: phase breakdown and remote accesses.
+//
+// (a) At p = 192: the time spent in region connection / node connection /
+//     other (setup + sampling + redistribution) for each strategy. Node
+//     connection dominates the baseline (~90% in the paper).
+// (b) At p = 768: remote accesses performed during region connection
+//     (region-graph adjacency lookups and roadmap vertex fetches) without
+//     LB vs after repartitioning, plus the region-graph edge cut that
+//     drives them.
+
+#include "figure_common.hpp"
+
+using namespace pmpl;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const bool full = args.get_bool("full");
+  const auto regions = static_cast<std::uint32_t>(
+      args.get_i64("regions", full ? 32768 : 13824));
+  const auto attempts = static_cast<std::size_t>(
+      args.get_i64("attempts", full ? (1 << 19) : (1 << 18)));
+  const auto seed = static_cast<std::uint64_t>(args.get_i64("seed", 1));
+
+  std::printf("=== Figure 7: phase breakdown and remote accesses ===\n");
+  const auto e = env::med_cube();
+  const core::RegionGrid grid =
+      core::RegionGrid::make_auto(e->space().position_bounds(), regions,
+                                  false);
+  const auto w = bench::make_prm_workload(*e, grid, attempts, seed);
+  const auto cluster = runtime::ClusterSpec::hopper();
+
+  std::printf("\n(a) Phase breakdown at p = 192 (simulated seconds)\n");
+  TextTable phases({"strategy", "region connection", "node connection",
+                    "other", "total", "node conn %"});
+  for (const auto s : bench::kPrmStrategies) {
+    core::PrmRunConfig cfg;
+    cfg.procs = 192;
+    cfg.strategy = s;
+    cfg.cluster = cluster;
+    cfg.seed = seed;
+    const auto r = core::simulate_prm_run(w, cfg);
+    const double other = r.phases.setup_s + r.phases.sampling_s +
+                         r.phases.redistribution_s;
+    phases.row()
+        .cell(core::to_string(s))
+        .num(r.phases.region_connection_s, 3)
+        .num(r.phases.node_connection_s, 3)
+        .num(other, 3)
+        .num(r.total_s, 3)
+        .num(100.0 * r.phases.node_connection_s / r.total_s, 1);
+  }
+  phases.print();
+
+  std::printf("\n(b) Remote accesses in region connection at p = 768\n");
+  TextTable remote({"strategy", "region-graph accesses", "roadmap accesses",
+                    "region-graph edge cut"});
+  for (const auto s :
+       {core::Strategy::kNoLB, core::Strategy::kRepartition,
+        core::Strategy::kHybridWS, core::Strategy::kRand8WS}) {
+    core::PrmRunConfig cfg;
+    cfg.procs = 768;
+    cfg.strategy = s;
+    cfg.cluster = cluster;
+    cfg.seed = seed;
+    const auto r = core::simulate_prm_run(w, cfg);
+    remote.row()
+        .cell(core::to_string(s))
+        .num(r.remote_region_graph)
+        .num(r.remote_roadmap)
+        .num(r.edge_cut_after);
+  }
+  remote.print();
+  return 0;
+}

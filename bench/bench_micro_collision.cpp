@@ -1,0 +1,96 @@
+// Microbenchmarks for the collision substrate: the per-operation costs
+// that the work-unit model (runtime/work_units.hpp) abstracts.
+
+#include <benchmark/benchmark.h>
+
+#include "env/builders.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pmpl;
+
+void BM_PointQuery(benchmark::State& state) {
+  const auto e = env::mixed(0.60);
+  Xoshiro256ss rng(1);
+  for (auto _ : state) {
+    const geo::Vec3 p{rng.uniform(0, 100), rng.uniform(0, 100),
+                      rng.uniform(0, 100)};
+    benchmark::DoNotOptimize(e->checker().point_in_collision(p));
+  }
+}
+BENCHMARK(BM_PointQuery);
+
+void BM_RigidBodyQuery(benchmark::State& state) {
+  const auto e = env::mixed(0.60);
+  const auto robot = collision::RigidBody::box({2.5, 2.5, 2.5});
+  Xoshiro256ss rng(2);
+  for (auto _ : state) {
+    const geo::Transform pose{
+        geo::Quat::uniform(rng.uniform(), rng.uniform(), rng.uniform()),
+        {rng.uniform(0, 100), rng.uniform(0, 100), rng.uniform(0, 100)}};
+    benchmark::DoNotOptimize(e->checker().in_collision(robot, pose));
+  }
+}
+BENCHMARK(BM_RigidBodyQuery);
+
+void BM_ValidityCheckMedCube(benchmark::State& state) {
+  const auto e = env::med_cube();
+  Xoshiro256ss rng(3);
+  for (auto _ : state) {
+    const auto c = e->space().sample(rng);
+    benchmark::DoNotOptimize(e->validity().valid(c));
+  }
+}
+BENCHMARK(BM_ValidityCheckMedCube);
+
+void BM_SegmentQuery(benchmark::State& state) {
+  const auto e = env::mixed(0.30);
+  Xoshiro256ss rng(4);
+  for (auto _ : state) {
+    const geo::Segment seg{{rng.uniform(0, 100), rng.uniform(0, 100),
+                            rng.uniform(0, 100)},
+                           {rng.uniform(0, 100), rng.uniform(0, 100),
+                            rng.uniform(0, 100)}};
+    benchmark::DoNotOptimize(e->checker().segment_in_collision(seg));
+  }
+}
+BENCHMARK(BM_SegmentQuery);
+
+void BM_Raycast(benchmark::State& state) {
+  const auto e = env::mixed(0.60);
+  Xoshiro256ss rng(5);
+  for (auto _ : state) {
+    const geo::Vec3 d{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                      rng.uniform(-1, 1)};
+    const geo::Ray ray{{50, 50, 50}, d.normalized()};
+    benchmark::DoNotOptimize(e->checker().raycast(ray));
+  }
+}
+BENCHMARK(BM_Raycast);
+
+void BM_ObbObbSat(benchmark::State& state) {
+  Xoshiro256ss rng(6);
+  const geo::Obb a{{0, 0, 0}, {1, 2, 3},
+                   geo::Quat::uniform(0.3, 0.6, 0.9).to_matrix()};
+  const geo::Obb b{{2.5, 0.5, 1.0}, {2, 1, 1},
+                   geo::Quat::uniform(0.8, 0.2, 0.4).to_matrix()};
+  for (auto _ : state) benchmark::DoNotOptimize(geo::intersects(a, b));
+}
+BENCHMARK(BM_ObbObbSat);
+
+void BM_BvhBuild(benchmark::State& state) {
+  const auto e = env::mixed(0.60);
+  std::vector<collision::ObstacleShape> obs(e->checker().obstacles().begin(),
+                                            e->checker().obstacles().end());
+  for (auto _ : state) {
+    collision::Bvh bvh;
+    bvh.build(obs);
+    benchmark::DoNotOptimize(bvh.node_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(obs.size()));
+}
+BENCHMARK(BM_BvhBuild);
+
+}  // namespace

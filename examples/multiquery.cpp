@@ -1,0 +1,93 @@
+// Multi-query workflow: build once, persist, reload, answer many queries,
+// smooth the answers.
+//
+//   $ multiquery [--attempts N] [--queries Q] [--roadmap FILE]
+//
+// Demonstrates roadmap serialization (planner/roadmap_io.hpp) and shortcut
+// smoothing (planner/smoothing.hpp) on top of the maze environment: the
+// roadmap is saved to disk, reloaded as a fresh object, and used for a
+// batch of random queries whose raw PRM paths are then shortened.
+
+#include <cstdio>
+
+#include "env/builders.hpp"
+#include "planner/prm.hpp"
+#include "planner/query.hpp"
+#include "planner/roadmap_io.hpp"
+#include "planner/smoothing.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace pmpl;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const auto attempts =
+      static_cast<std::size_t>(args.get_i64("attempts", 6000));
+  const auto queries = static_cast<std::size_t>(args.get_i64("queries", 6));
+  const auto seed = static_cast<std::uint64_t>(args.get_i64("seed", 23));
+  const std::string file = args.get("roadmap", "/tmp/pmpl_maze.roadmap");
+
+  const auto e = env::maze_2d();
+  planner::PrmParams params;
+  params.k_neighbors = 10;
+  params.resolution = 0.5;
+  planner::Prm prm(*e, params);
+  prm.build(attempts, seed);
+  std::printf("built maze roadmap: %zu vertices, %zu edges\n",
+              prm.roadmap().num_vertices(), prm.roadmap().num_edges());
+
+  if (!planner::save_roadmap_file(prm.roadmap(), file)) {
+    std::printf("could not write %s\n", file.c_str());
+    return 1;
+  }
+  auto loaded = planner::load_roadmap_file(file);
+  if (!loaded) {
+    std::printf("could not reload %s\n", file.c_str());
+    return 1;
+  }
+  std::printf("saved and reloaded via %s\n", file.c_str());
+
+  // Random free start/goal pairs across the maze.
+  Xoshiro256ss rng(seed + 1);
+  TextTable table({"query", "waypoints", "raw length", "smoothed",
+                   "shortcuts", "status"});
+  std::size_t solved = 0;
+  for (std::size_t q = 0; q < queries; ++q) {
+    cspace::Config start, goal;
+    auto draw_free = [&](cspace::Config& c) {
+      for (int tries = 0; tries < 200; ++tries) {
+        c = e->space().sample(rng);
+        if (e->validity().valid(c)) return true;
+      }
+      return false;
+    };
+    if (!draw_free(start) || !draw_free(goal)) continue;
+
+    auto working = *loaded;  // query appends temporaries; keep master clean
+    const auto path = planner::query_roadmap(*e, working, start, goal,
+                                             params.k_neighbors,
+                                             params.resolution);
+    if (!path) {
+      table.row().num(static_cast<int>(q)).cell("-").cell("-").cell("-")
+          .cell("-").cell("unreachable");
+      continue;
+    }
+    const auto smoothed =
+        planner::shortcut_path(*e, *path, 150, params.resolution, seed + q);
+    ++solved;
+    table.row()
+        .num(static_cast<int>(q))
+        .num(static_cast<std::uint64_t>(path->size()))
+        .num(smoothed.length_before, 1)
+        .num(smoothed.length_after, 1)
+        .num(static_cast<std::uint64_t>(smoothed.shortcuts_applied))
+        .cell(planner::path_valid(*e, smoothed.path, params.resolution)
+                  ? "ok"
+                  : "INVALID");
+  }
+  table.print();
+  std::printf("%zu/%zu queries solved through the reloaded roadmap\n",
+              solved, queries);
+  return solved > 0 ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a probabilistic roadmap for a rigid-body robot in the
+// med-cube environment and answer a motion-planning query.
+//
+//   $ quickstart [--attempts N] [--seed S]
+//
+// This is the smallest end-to-end use of the library: environment builder,
+// sequential PRM, and query extraction.
+
+#include <cstdio>
+
+#include "env/builders.hpp"
+#include "planner/prm.hpp"
+#include "planner/query.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+using namespace pmpl;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const auto attempts =
+      static_cast<std::size_t>(args.get_i64("attempts", 3000));
+  const auto seed = static_cast<std::uint64_t>(args.get_i64("seed", 17));
+
+  // 1. An environment: a 100^3 workspace with a central cube obstacle and
+  //    a box-shaped rigid-body robot (6-DOF SE(3) planning).
+  const auto e = env::med_cube();
+  std::printf("environment: %s (%.0f%% of the workspace blocked)\n",
+              e->name().c_str(), 100.0 * e->blocked_fraction());
+
+  // 2. Build the roadmap.
+  planner::PrmParams params;
+  params.k_neighbors = 8;
+  planner::Prm prm(*e, params);
+  WallTimer timer;
+  prm.build(attempts, seed);
+  std::printf("roadmap: %zu vertices, %zu edges (built in %.2fs)\n",
+              prm.roadmap().num_vertices(), prm.roadmap().num_edges(),
+              timer.elapsed_s());
+  std::printf("planner work: %llu collision queries, %llu local plans\n",
+              static_cast<unsigned long long>(prm.stats().cd.queries),
+              static_cast<unsigned long long>(prm.stats().lp_attempts));
+
+  // 3. Query: from one corner of the workspace to the opposite one — the
+  //    straight line passes through the obstacle, so the path must detour.
+  Xoshiro256ss rng(seed + 1);
+  const auto start = e->space().at_position({8, 8, 8}, rng);
+  const auto goal = e->space().at_position({92, 92, 92}, rng);
+  const auto path = prm.query(start, goal);
+  if (!path) {
+    std::printf("no path found — increase --attempts\n");
+    return 1;
+  }
+  std::printf("path found: %zu waypoints, metric length %.1f\n",
+              path->size(), planner::path_length(*e, *path));
+  for (std::size_t i = 0; i < path->size(); ++i) {
+    const geo::Vec3 p = e->space().position((*path)[i]);
+    std::printf("  waypoint %2zu: (%6.2f, %6.2f, %6.2f)\n", i, p.x, p.y, p.z);
+  }
+  std::printf("path valid: %s\n",
+              planner::path_valid(*e, *path, 1.0) ? "yes" : "NO");
+  return 0;
+}

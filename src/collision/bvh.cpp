@@ -1,0 +1,126 @@
+#include "collision/bvh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace pmpl::collision {
+
+void Bvh::build(std::span<const ObstacleShape> shapes, std::size_t leaf_size) {
+  nodes_.clear();
+  prim_index_.clear();
+  prim_bounds_.clear();
+  if (shapes.empty()) return;
+
+  prim_bounds_.clear();
+  prim_bounds_.reserve(shapes.size());
+  for (const auto& s : shapes) prim_bounds_.push_back(bounds_of(s));
+
+  prim_index_.resize(shapes.size());
+  std::iota(prim_index_.begin(), prim_index_.end(), 0u);
+
+  nodes_.reserve(2 * shapes.size());
+  build_node(std::span<std::uint32_t>(prim_index_), prim_bounds_, leaf_size);
+}
+
+std::uint32_t Bvh::build_node(std::span<std::uint32_t> items,
+                              std::span<const Aabb> prim_bounds,
+                              std::size_t leaf_size) {
+  const auto node_idx = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  Aabb bounds = Aabb::empty();
+  for (std::uint32_t i : items) bounds = bounds.merged(prim_bounds[i]);
+  nodes_[node_idx].bounds = bounds;
+
+  if (items.size() <= leaf_size) {
+    nodes_[node_idx].first =
+        static_cast<std::uint32_t>(items.data() - prim_index_.data());
+    nodes_[node_idx].count = static_cast<std::uint32_t>(items.size());
+    return node_idx;
+  }
+
+  // Split on the longest axis at the median of centroid order.
+  const geo::Vec3 size = bounds.size();
+  std::size_t axis = 0;
+  if (size.y > size.x) axis = 1;
+  if (size.z > size[axis]) axis = 2;
+
+  const std::size_t mid = items.size() / 2;
+  std::nth_element(items.begin(), items.begin() + static_cast<long>(mid),
+                   items.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return prim_bounds[a].center()[axis] <
+                            prim_bounds[b].center()[axis];
+                   });
+
+  build_node(items.subspan(0, mid), prim_bounds, leaf_size);
+  const std::uint32_t right =
+      build_node(items.subspan(mid), prim_bounds, leaf_size);
+  nodes_[node_idx].right = right;
+  return node_idx;
+}
+
+bool Bvh::for_overlaps(const Aabb& query,
+                       const std::function<bool(std::uint32_t)>& fn,
+                       TraversalStats* stats) const {
+  if (nodes_.empty()) return false;
+  // Explicit stack: collision queries are hot and recursion-depth-bounded
+  // traversal with a fixed stack avoids per-call allocation.
+  std::uint32_t stack[64];
+  std::size_t top = 0;
+  stack[top++] = 0;
+  while (top > 0) {
+    const Node& node = nodes_[stack[--top]];
+    if (stats) ++stats->nodes_visited;
+    if (!node.bounds.overlaps(query)) continue;
+    if (node.is_leaf()) {
+      for (std::uint32_t i = 0; i < node.count; ++i) {
+        const std::uint32_t prim = prim_index_[node.first + i];
+        if (!prim_bounds_[prim].overlaps(query)) continue;
+        if (stats) ++stats->leaves_tested;
+        if (fn(prim)) return true;
+      }
+    } else {
+      const auto self =
+          static_cast<std::uint32_t>(&node - nodes_.data());
+      stack[top++] = node.right;
+      stack[top++] = self + 1;
+    }
+  }
+  return false;
+}
+
+std::optional<double> Bvh::raycast(
+    const Ray& ray,
+    const std::function<std::optional<double>(std::uint32_t)>& hit_fn,
+    TraversalStats* stats) const {
+  if (nodes_.empty()) return std::nullopt;
+  double best = std::numeric_limits<double>::infinity();
+  std::uint32_t stack[64];
+  std::size_t top = 0;
+  stack[top++] = 0;
+  while (top > 0) {
+    const Node& node = nodes_[stack[--top]];
+    if (stats) ++stats->nodes_visited;
+    const auto entry = geo::ray_hit(ray, node.bounds);
+    if (!entry || *entry >= best) continue;
+    if (node.is_leaf()) {
+      for (std::uint32_t i = 0; i < node.count; ++i) {
+        if (stats) ++stats->leaves_tested;
+        if (const auto t = hit_fn(prim_index_[node.first + i]);
+            t && *t < best)
+          best = *t;
+      }
+    } else {
+      const auto self =
+          static_cast<std::uint32_t>(&node - nodes_.data());
+      stack[top++] = node.right;
+      stack[top++] = self + 1;
+    }
+  }
+  if (std::isinf(best)) return std::nullopt;
+  return best;
+}
+
+}  // namespace pmpl::collision

@@ -1,0 +1,79 @@
+#pragma once
+/// \file bvh.hpp
+/// Bounding volume hierarchy over obstacle shapes (broad phase).
+///
+/// Built once per environment with median splits on the longest axis.
+/// Queries visit nodes whose bounds overlap the query volume and invoke a
+/// callback per candidate obstacle; the callback returns true to stop early
+/// (first-hit semantics for boolean collision checks).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "collision/shape.hpp"
+
+namespace pmpl::collision {
+
+/// Statistics from a single BVH traversal; accumulated by callers into their
+/// work-unit profiles.
+struct TraversalStats {
+  std::uint32_t nodes_visited = 0;
+  std::uint32_t leaves_tested = 0;
+};
+
+/// Static BVH. Indices returned by queries refer to the *original* shape
+/// ordering passed to `build`.
+class Bvh {
+ public:
+  Bvh() = default;
+
+  /// Build over `shapes` (copies bounds only; shape storage stays with the
+  /// caller — the Environment owns the shapes).
+  void build(std::span<const ObstacleShape> shapes, std::size_t leaf_size = 2);
+
+  bool empty() const noexcept { return nodes_.empty(); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Bounds of the whole tree (empty Aabb if no shapes).
+  Aabb bounds() const noexcept {
+    return nodes_.empty() ? Aabb::empty() : nodes_[0].bounds;
+  }
+
+  /// Visit every shape whose own bounds overlap `query`. `fn(index)`
+  /// returns true to stop the traversal (hit found). Returns whether it
+  /// stopped.
+  bool for_overlaps(const Aabb& query,
+                    const std::function<bool(std::uint32_t)>& fn,
+                    TraversalStats* stats = nullptr) const;
+
+  /// Nearest ray hit over leaf candidates: returns the smallest entry
+  /// distance produced by `hit_fn(index, ray)`, or nullopt.
+  std::optional<double> raycast(
+      const Ray& ray,
+      const std::function<std::optional<double>(std::uint32_t)>& hit_fn,
+      TraversalStats* stats = nullptr) const;
+
+ private:
+  struct Node {
+    Aabb bounds;
+    // Internal: left child is index+1, right child is `right`.
+    // Leaf: right == 0, [first, first+count) index into prim_index_.
+    std::uint32_t right = 0;
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    bool is_leaf() const noexcept { return count > 0; }
+  };
+
+  std::uint32_t build_node(std::span<std::uint32_t> items,
+                           std::span<const Aabb> prim_bounds,
+                           std::size_t leaf_size);
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> prim_index_;
+  std::vector<Aabb> prim_bounds_;  ///< per original-shape bounds (leaf filter)
+};
+
+}  // namespace pmpl::collision

@@ -1,0 +1,86 @@
+#include "collision/checker.hpp"
+
+namespace pmpl::collision {
+
+CollisionChecker::CollisionChecker(std::vector<ObstacleShape> obstacles)
+    : obstacles_(std::move(obstacles)) {
+  bvh_.build(obstacles_);
+}
+
+template <typename Body>
+bool CollisionChecker::body_hits_any(const Body& body, const Aabb& query,
+                                     CollisionStats* stats) const {
+  TraversalStats ts;
+  const bool hit = bvh_.for_overlaps(
+      query,
+      [&](std::uint32_t idx) {
+        if (stats) ++stats->narrow_tests;
+        return hits(body, obstacles_[idx]);
+      },
+      stats ? &ts : nullptr);
+  if (stats) stats->bvh_nodes += ts.nodes_visited;
+  return hit;
+}
+
+bool CollisionChecker::in_collision(const RigidBody& robot,
+                                    const geo::Transform& pose,
+                                    CollisionStats* stats) const {
+  if (stats) ++stats->queries;
+  for (const auto& box : robot.boxes) {
+    const Obb world = pose.apply(box);
+    if (body_hits_any(world, world.bounds(), stats)) return true;
+  }
+  for (const auto& sphere : robot.spheres) {
+    const Sphere world = pose.apply(sphere);
+    if (body_hits_any(world, world.bounds(), stats)) return true;
+  }
+  return false;
+}
+
+bool CollisionChecker::point_in_collision(Vec3 p,
+                                          CollisionStats* stats) const {
+  if (stats) ++stats->queries;
+  TraversalStats ts;
+  const bool hit = bvh_.for_overlaps(
+      Aabb{p, p},
+      [&](std::uint32_t idx) {
+        if (stats) ++stats->narrow_tests;
+        return contains(obstacles_[idx], p);
+      },
+      stats ? &ts : nullptr);
+  if (stats) stats->bvh_nodes += ts.nodes_visited;
+  return hit;
+}
+
+bool CollisionChecker::segment_in_collision(const Segment& seg,
+                                            CollisionStats* stats) const {
+  if (stats) ++stats->queries;
+  const Aabb query{geo::min(seg.a, seg.b), geo::max(seg.a, seg.b)};
+  TraversalStats ts;
+  const bool hit = bvh_.for_overlaps(
+      query,
+      [&](std::uint32_t idx) {
+        if (stats) ++stats->narrow_tests;
+        return hits(seg, obstacles_[idx]);
+      },
+      stats ? &ts : nullptr);
+  if (stats) stats->bvh_nodes += ts.nodes_visited;
+  return hit;
+}
+
+std::optional<double> CollisionChecker::raycast(const Ray& ray,
+                                                CollisionStats* stats) const {
+  if (stats) ++stats->ray_casts;
+  TraversalStats ts;
+  const auto t = bvh_.raycast(
+      ray,
+      [&](std::uint32_t idx) {
+        if (stats) ++stats->narrow_tests;
+        return ray_distance(ray, obstacles_[idx]);
+      },
+      stats ? &ts : nullptr);
+  if (stats) stats->bvh_nodes += ts.nodes_visited;
+  return t;
+}
+
+}  // namespace pmpl::collision

@@ -1,0 +1,76 @@
+#pragma once
+/// \file checker.hpp
+/// Environment-level collision queries (the narrow+broad phase combined).
+///
+/// `CollisionChecker` is immutable after construction and safe to share
+/// across threads; callers pass their own `CollisionStats` so op counting
+/// (which feeds the work-unit model) stays race-free.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "collision/bvh.hpp"
+#include "collision/shape.hpp"
+#include "geometry/transform.hpp"
+
+namespace pmpl::collision {
+
+/// Counters for collision work performed by one caller. These are the raw
+/// inputs to the DES work-unit model (runtime/work_units.hpp).
+struct CollisionStats {
+  std::uint64_t queries = 0;       ///< full robot-vs-environment checks
+  std::uint64_t narrow_tests = 0;  ///< primitive-vs-primitive tests
+  std::uint64_t bvh_nodes = 0;     ///< BVH nodes visited
+  std::uint64_t ray_casts = 0;
+
+  CollisionStats& operator+=(const CollisionStats& o) noexcept {
+    queries += o.queries;
+    narrow_tests += o.narrow_tests;
+    bvh_nodes += o.bvh_nodes;
+    ray_casts += o.ray_casts;
+    return *this;
+  }
+};
+
+/// Broad-phase (BVH) + narrow-phase queries against a fixed obstacle set.
+class CollisionChecker {
+ public:
+  CollisionChecker() = default;
+
+  /// Takes ownership of the obstacle set and builds the BVH.
+  explicit CollisionChecker(std::vector<ObstacleShape> obstacles);
+
+  std::span<const ObstacleShape> obstacles() const noexcept {
+    return obstacles_;
+  }
+
+  std::size_t obstacle_count() const noexcept { return obstacles_.size(); }
+
+  /// Is the world-placed robot in collision with any obstacle?
+  bool in_collision(const RigidBody& robot, const geo::Transform& pose,
+                    CollisionStats* stats = nullptr) const;
+
+  /// Is a bare point inside any obstacle? (point robots, V_free estimation)
+  bool point_in_collision(Vec3 p, CollisionStats* stats = nullptr) const;
+
+  /// Does a segment pass through any obstacle? (swept-point local plans)
+  bool segment_in_collision(const Segment& seg,
+                            CollisionStats* stats = nullptr) const;
+
+  /// Distance along `ray` to the nearest obstacle, or nullopt for a clear
+  /// ray. Used by the k-random-rays RRT work estimator.
+  std::optional<double> raycast(const Ray& ray,
+                                CollisionStats* stats = nullptr) const;
+
+ private:
+  template <typename Body>
+  bool body_hits_any(const Body& body, const Aabb& query,
+                     CollisionStats* stats) const;
+
+  std::vector<ObstacleShape> obstacles_;
+  Bvh bvh_;
+};
+
+}  // namespace pmpl::collision

@@ -1,0 +1,89 @@
+#include "collision/shape.hpp"
+
+namespace pmpl::collision {
+
+namespace {
+
+/// Triangle vs volume tests: approximate by testing the triangle's three
+/// edges as segments plus containment of a vertex. Exact for the convex
+/// volumes we use whenever the triangle is not entirely inside (vertex
+/// containment covers that case).
+template <typename Volume>
+bool tri_hits_volume(const Triangle& t, const Volume& vol) noexcept {
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Segment e{t.v[i], t.v[(i + 1) % 3]};
+    if (geo::intersects(e, vol)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool hits(const Obb& body, const ObstacleShape& obstacle) noexcept {
+  return std::visit(
+      [&](const auto& shape) -> bool {
+        using S = std::decay_t<decltype(shape)>;
+        if constexpr (std::is_same_v<S, Aabb>)
+          return geo::intersects(body, shape);
+        else if constexpr (std::is_same_v<S, Obb>)
+          return geo::intersects(body, shape);
+        else if constexpr (std::is_same_v<S, Sphere>)
+          return geo::intersects(shape, body);
+        else  // Triangle
+          return tri_hits_volume(shape, body) || body.contains(shape.v[0]);
+      },
+      obstacle);
+}
+
+bool hits(const Sphere& body, const ObstacleShape& obstacle) noexcept {
+  return std::visit(
+      [&](const auto& shape) -> bool {
+        using S = std::decay_t<decltype(shape)>;
+        if constexpr (std::is_same_v<S, Aabb>)
+          return geo::intersects(body, shape);
+        else if constexpr (std::is_same_v<S, Obb>)
+          return geo::intersects(body, shape);
+        else if constexpr (std::is_same_v<S, Sphere>)
+          return geo::intersects(body, shape);
+        else  // Triangle
+          return tri_hits_volume(shape, body) || body.contains(shape.v[0]);
+      },
+      obstacle);
+}
+
+bool contains(const ObstacleShape& obstacle, Vec3 p) noexcept {
+  return std::visit(
+      [&](const auto& shape) -> bool {
+        using S = std::decay_t<decltype(shape)>;
+        if constexpr (std::is_same_v<S, Triangle>)
+          return false;  // zero volume
+        else
+          return shape.contains(p);
+      },
+      obstacle);
+}
+
+bool hits(const Segment& seg, const ObstacleShape& obstacle) noexcept {
+  return std::visit(
+      [&](const auto& shape) -> bool {
+        using S = std::decay_t<decltype(shape)>;
+        if constexpr (std::is_same_v<S, Triangle>) {
+          const Vec3 d = seg.dir();
+          const double len = d.norm();
+          if (len <= 0.0) return false;
+          const auto t = geo::ray_hit(Ray{seg.a, d / len}, shape);
+          return t.has_value() && *t <= len;
+        } else {
+          return geo::intersects(seg, shape);
+        }
+      },
+      obstacle);
+}
+
+std::optional<double> ray_distance(const Ray& r,
+                                   const ObstacleShape& obstacle) noexcept {
+  return std::visit(
+      [&](const auto& shape) { return geo::ray_hit(r, shape); }, obstacle);
+}
+
+}  // namespace pmpl::collision

@@ -1,0 +1,112 @@
+#include "core/parallel_build.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "loadbal/partition.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace pmpl::core {
+
+namespace {
+
+/// Region-local construction output, merged after the parallel phase.
+struct RegionOutput {
+  std::vector<cspace::Config> configs;
+  struct LocalEdge {
+    std::uint32_t u, v;  ///< indices into configs
+    double length;
+  };
+  std::vector<LocalEdge> edges;
+  planner::PlannerStats stats;
+};
+
+/// Build one region into region-local storage (thread-confined).
+RegionOutput build_region(const env::Environment& e, const geo::Aabb& box,
+                          std::size_t attempts,
+                          const planner::PrmParams& params,
+                          std::uint64_t seed) {
+  RegionOutput out;
+  Xoshiro256ss rng(seed);
+  out.configs = planner::sample_region(e, box, attempts, rng, out.stats);
+
+  // Region-local roadmap to reuse connect_within, then lift its edges.
+  planner::Roadmap local;
+  std::vector<graph::VertexId> ids;
+  ids.reserve(out.configs.size());
+  for (const auto& c : out.configs) ids.push_back(local.add_vertex({c, 0}));
+  graph::UnionFind cc(local.num_vertices());
+  planner::connect_within(e, local, ids, params, out.stats, &cc);
+  for (graph::VertexId u = 0; u < local.num_vertices(); ++u)
+    for (const auto& he : local.edges_of(u))
+      if (he.to > u) out.edges.push_back({u, he.to, he.prop.length});
+  return out;
+}
+
+}  // namespace
+
+ParallelPrmResult parallel_build_prm(const env::Environment& e,
+                                     const RegionGrid& grid,
+                                     const ParallelPrmConfig& config) {
+  ParallelPrmResult result;
+  const std::size_t nr = grid.size();
+  const std::size_t base = config.total_attempts / nr;
+  const std::size_t extra = config.total_attempts % nr;
+
+  std::vector<RegionOutput> outputs(nr);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(nr);
+  for (std::uint32_t r = 0; r < nr; ++r) {
+    tasks.push_back([&, r] {
+      outputs[r] = build_region(e, grid.sampling_box(r), base + (r < extra),
+                                config.prm, derive_seed(config.seed, r));
+    });
+  }
+
+  const auto initial =
+      loadbal::partition_block(nr, config.workers);
+  WallTimer build_timer;
+  if (config.work_stealing) {
+    result.workers = loadbal::run_work_stealing(tasks, initial,
+                                                config.workers, config.seed);
+  } else {
+    // Static assignment: each worker drains exactly its own block.
+    runtime::ThreadPool pool(config.workers);
+    for (std::uint32_t w = 0; w < config.workers; ++w) {
+      pool.submit([&, w] {
+        for (std::uint32_t r = 0; r < nr; ++r)
+          if (initial[r] == w) tasks[r]();
+      });
+    }
+    pool.wait_idle();
+    result.workers.assign(config.workers, {});
+  }
+  result.build_wall_s = build_timer.elapsed_s();
+
+  // Merge regional roadmaps (serial; bookkeeping only).
+  result.region_vertices.resize(nr);
+  for (std::uint32_t r = 0; r < nr; ++r) {
+    auto& ids = result.region_vertices[r];
+    ids.reserve(outputs[r].configs.size());
+    for (auto& c : outputs[r].configs)
+      ids.push_back(result.roadmap.add_vertex({std::move(c), r}));
+    for (const auto& edge : outputs[r].edges)
+      result.roadmap.add_edge(ids[edge.u], ids[edge.v], {edge.length});
+    result.stats += outputs[r].stats;
+  }
+
+  // Region connection along the grid adjacency.
+  WallTimer connect_timer;
+  for (const auto& [a, b] : grid.adjacency_edges()) {
+    planner::connect_between(e, result.roadmap, result.region_vertices[a],
+                             result.region_vertices[b], config.prm,
+                             result.stats, nullptr,
+                             config.max_boundary_attempts);
+  }
+  result.connect_wall_s = connect_timer.elapsed_s();
+  return result;
+}
+
+}  // namespace pmpl::core

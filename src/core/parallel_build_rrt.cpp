@@ -1,0 +1,110 @@
+#include "core/parallel_build_rrt.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "graph/union_find.hpp"
+#include "loadbal/partition.hpp"
+#include "planner/prm.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace pmpl::core {
+
+namespace {
+
+/// One branch grown into branch-local storage (thread-confined).
+struct BranchOutput {
+  std::vector<cspace::Config> configs;  ///< [0] is the root
+  struct LocalEdge {
+    std::uint32_t u, v;
+    double length;
+  };
+  std::vector<LocalEdge> edges;
+  planner::PlannerStats stats;
+};
+
+BranchOutput grow_branch(const env::Environment& e,
+                         const RadialRegions& regions, std::uint32_t region,
+                         const cspace::Config& root,
+                         const ParallelRrtConfig& config) {
+  BranchOutput out;
+  planner::Roadmap local;
+  planner::RrtParams params = config.rrt;
+  params.max_nodes =
+      std::max<std::size_t>(2, config.total_nodes / regions.size());
+  params.max_iterations = config.iteration_factor * params.max_nodes;
+
+  planner::RrtBranch branch(e, local, root, region, params);
+  Xoshiro256ss rng(derive_seed(config.seed, region));
+  branch.grow(
+      [&](Xoshiro256ss& g) {
+        const geo::Vec3 p =
+            regions.sample_in_cone(region, g, config.cone_overlap);
+        return e.space().at_position(p, g);
+      },
+      rng, out.stats);
+
+  out.configs.reserve(local.num_vertices());
+  for (graph::VertexId v = 0; v < local.num_vertices(); ++v)
+    out.configs.push_back(local.vertex(v).cfg);
+  for (graph::VertexId u = 0; u < local.num_vertices(); ++u)
+    for (const auto& he : local.edges_of(u))
+      if (he.to > u) out.edges.push_back({u, he.to, he.prop.length});
+  return out;
+}
+
+}  // namespace
+
+ParallelRrtResult parallel_build_rrt(const env::Environment& e,
+                                     const RadialRegions& regions,
+                                     const cspace::Config& root,
+                                     const ParallelRrtConfig& config) {
+  ParallelRrtResult result;
+  const std::size_t nr = regions.size();
+  std::vector<BranchOutput> outputs(nr);
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(nr);
+  for (std::uint32_t r = 0; r < nr; ++r)
+    tasks.push_back([&, r] {
+      outputs[r] = grow_branch(e, regions, r, root, config);
+    });
+
+  const auto initial = loadbal::partition_block(nr, config.workers);
+  WallTimer grow_timer;
+  result.workers =
+      loadbal::run_work_stealing(tasks, initial, config.workers, config.seed);
+  result.grow_wall_s = grow_timer.elapsed_s();
+
+  // Merge branches.
+  result.region_vertices.resize(nr);
+  for (std::uint32_t r = 0; r < nr; ++r) {
+    auto& ids = result.region_vertices[r];
+    ids.reserve(outputs[r].configs.size());
+    for (auto& c : outputs[r].configs)
+      ids.push_back(result.tree.add_vertex({std::move(c), r}));
+    for (const auto& edge : outputs[r].edges)
+      result.tree.add_edge(ids[edge.u], ids[edge.v], {edge.length});
+    result.stats += outputs[r].stats;
+  }
+
+  // Connect adjacent branches, pruning cycles via component skipping.
+  WallTimer connect_timer;
+  planner::PrmParams connect_params;
+  connect_params.resolution = config.rrt.resolution;
+  connect_params.skip_same_component = true;
+  graph::UnionFind cc(result.tree.num_vertices());
+  for (graph::VertexId v = 0; v < result.tree.num_vertices(); ++v)
+    for (const auto& he : result.tree.edges_of(v)) cc.unite(v, he.to);
+  for (const auto& [a, b] : regions.adjacency_edges()) {
+    planner::connect_between(e, result.tree, result.region_vertices[a],
+                             result.region_vertices[b], connect_params,
+                             result.stats, &cc,
+                             config.max_boundary_attempts);
+  }
+  result.connect_wall_s = connect_timer.elapsed_s();
+  return result;
+}
+
+}  // namespace pmpl::core

@@ -1,0 +1,45 @@
+#pragma once
+/// \file parallel_build_rrt.hpp
+/// Shared-memory parallel radial-subdivision RRT: Algorithm 2 + Algorithm 3
+/// executed for real on host threads.
+///
+/// Each radial region grows its branch as one task under the work-stealing
+/// executor (per-region RNG streams keep the forest identical to a
+/// sequential build); branches are then merged and connected acyclically.
+
+#include <cstdint>
+
+#include "core/radial_regions.hpp"
+#include "env/environment.hpp"
+#include "loadbal/ws_threaded.hpp"
+#include "planner/rrt.hpp"
+
+namespace pmpl::core {
+
+struct ParallelRrtConfig {
+  std::size_t total_nodes = 1 << 13;
+  planner::RrtParams rrt;
+  std::size_t iteration_factor = 8;
+  std::size_t max_boundary_attempts = 8;
+  double cone_overlap = 1.5;
+  std::uint32_t workers = 4;
+  std::uint64_t seed = 1;
+};
+
+struct ParallelRrtResult {
+  planner::Roadmap tree;  ///< a forest: regional branches + connections
+  std::vector<loadbal::WorkerStats> workers;
+  std::vector<std::vector<graph::VertexId>> region_vertices;
+  double grow_wall_s = 0.0;
+  double connect_wall_s = 0.0;
+  planner::PlannerStats stats;
+};
+
+/// Grow all regional branches of `regions` from `root` with
+/// `config.workers` threads and connect adjacent branches.
+ParallelRrtResult parallel_build_rrt(const env::Environment& e,
+                                     const RadialRegions& regions,
+                                     const cspace::Config& root,
+                                     const ParallelRrtConfig& config);
+
+}  // namespace pmpl::core

@@ -1,0 +1,95 @@
+#pragma once
+/// \file prm_driver.hpp
+/// Uniform-subdivision parallel PRM (Algorithm 1) with load balancing
+/// (Algorithms 3 & 4): workload measurement and schedule replay.
+///
+/// `build_prm_workload` executes the real computation once (deterministic
+/// per-region seeds). `simulate_prm_run` replays the measured costs under a
+/// strategy, processor count and cluster, producing the phase times, load
+/// profiles, CVs and remote-access counts the paper's figures report.
+
+#include "core/profile.hpp"
+#include "core/region_grid.hpp"
+#include "core/strategies.hpp"
+#include "env/environment.hpp"
+#include "loadbal/bulk_sync.hpp"
+#include "loadbal/ws_engine.hpp"
+#include "planner/prm.hpp"
+
+namespace pmpl::core {
+
+/// Workload-construction parameters.
+struct PrmWorkloadConfig {
+  std::size_t total_attempts = 1 << 15;  ///< N sampling attempts overall
+  planner::PrmParams prm;                ///< k, resolution, ...
+  std::size_t max_boundary_attempts = 4; ///< per region-graph edge
+  std::uint64_t seed = 1;
+  /// Work-unit costs (paper_fidelity reproduces the paper's regime).
+  runtime::CostModel costs = runtime::CostModel::paper_fidelity();
+};
+
+/// Execute Algorithm 1's computation over `grid`, measuring every region
+/// and region-edge. The returned workload contains the full roadmap.
+Workload build_prm_workload(const env::Environment& e, const RegionGrid& grid,
+                            const PrmWorkloadConfig& config);
+
+/// Simulated phase breakdown (Fig 7a's bars).
+struct PhaseBreakdown {
+  double setup_s = 0.0;           ///< region graph construction
+  double sampling_s = 0.0;        ///< node generation
+  double redistribution_s = 0.0;  ///< weighting + partition + migration
+  double node_connection_s = 0.0; ///< dominant phase (~90% at baseline)
+  double region_connection_s = 0.0;
+  double total() const noexcept {
+    return setup_s + sampling_s + redistribution_s + node_connection_s +
+           region_connection_s;
+  }
+};
+
+/// Replay parameters.
+struct PrmRunConfig {
+  std::uint32_t procs = 16;
+  runtime::ClusterSpec cluster = runtime::ClusterSpec::hopper();
+  Strategy strategy = Strategy::kNoLB;
+  std::uint64_t seed = 1;
+  /// Partitioner for kRepartition (RCB preserves spatial geometry).
+  enum class Partitioner { kRcb, kSfc, kGreedyLpt } partitioner =
+      Partitioner::kRcb;
+  bool refine_cut = true;  ///< boundary refinement after repartitioning
+  /// Adaptive gating (extension): before migrating, estimate the node-
+  /// connection time saved by the new partition (using the same per-region
+  /// weights the partitioner used) and skip redistribution when the
+  /// estimated saving does not cover its cost. Protects balanced
+  /// workloads (e.g. the free environment) from paying for nothing.
+  bool adaptive = false;
+};
+
+/// Replay outcome: everything the figures plot.
+struct PrmRunResult {
+  PhaseBreakdown phases;
+  double total_s = 0.0;
+
+  loadbal::Assignment assignment;  ///< region owner during node connection
+  std::vector<double> load_profile_s;        ///< per-proc node-connection busy
+  std::vector<std::uint64_t> nodes_per_proc; ///< roadmap nodes (Fig 5c)
+  double cv_nodes_before = 0.0;  ///< CV of roadmap nodes per proc, naive map
+  double cv_nodes_after = 0.0;   ///< ... under the final assignment (Fig 5b)
+
+  std::uint64_t edge_cut_before = 0;
+  std::uint64_t edge_cut_after = 0;
+  bool repartition_skipped = false;  ///< adaptive gate declined to migrate
+  std::uint64_t remote_region_graph = 0;  ///< region-graph remote accesses
+  std::uint64_t remote_roadmap = 0;       ///< roadmap remote accesses (Fig 7b)
+
+  loadbal::WsResult ws;  ///< populated for work-stealing strategies
+};
+
+/// Replay `workload` under `config`.
+PrmRunResult simulate_prm_run(const Workload& workload,
+                              const PrmRunConfig& config);
+
+/// The naive mapping of Algorithm 1: contiguous blocks of the x-major
+/// region ordering, i.e. balanced columns of the region mesh.
+loadbal::Assignment naive_assignment(std::size_t regions, std::uint32_t procs);
+
+}  // namespace pmpl::core

@@ -1,0 +1,108 @@
+#pragma once
+/// \file profile.hpp
+/// Measured per-region and per-region-edge work profiles.
+///
+/// A *workload* is the result of actually executing the parallel planner's
+/// computation once with deterministic per-region seeds: the roadmap/tree
+/// it built plus, for every region and region-graph edge, the operation
+/// counts the planner performed. Replaying a workload under a strategy and
+/// processor count (prm_driver / rrt_driver) never re-runs the planner —
+/// it schedules these measured costs.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geometry/vec.hpp"
+#include "planner/roadmap.hpp"
+#include "planner/stats.hpp"
+#include "runtime/work_units.hpp"
+
+namespace pmpl::core {
+
+/// Convert planner op counts to the runtime's schedulable work counts.
+inline runtime::WorkCounts to_work_counts(const planner::PlannerStats& s) {
+  return {s.cd.queries,  s.cd.narrow_tests, s.cd.bvh_nodes,
+          s.knn_candidates, s.rrt_extends,  s.cd.ray_casts};
+}
+
+/// Measured cost of one region.
+struct RegionProfile {
+  double sampling_s = 0.0;  ///< node generation (PRM) — 0 for RRT
+  double build_s = 0.0;     ///< node connection (PRM) / tree growth (RRT)
+  runtime::WorkCounts sampling_ops;
+  runtime::WorkCounts build_ops;
+  std::uint32_t samples = 0;   ///< roadmap nodes generated in this region
+  std::uint64_t bytes = 0;     ///< migration payload (region + roadmap data)
+  geo::Vec3 centroid;
+
+  double service_s() const noexcept { return sampling_s + build_s; }
+};
+
+/// Measured cost of connecting one pair of adjacent regions.
+struct EdgeProfile {
+  std::uint32_t a = 0, b = 0;     ///< region ids (a < b)
+  double service_s = 0.0;         ///< compute cost of the attempts
+  std::uint32_t vertex_reads = 0; ///< neighbor-side vertices fetched
+  std::uint64_t bytes_touched = 0;///< payload of those fetches
+  std::uint32_t edges_added = 0;  ///< successful inter-region connections
+};
+
+/// A fully measured parallel-planning computation.
+struct Workload {
+  std::vector<RegionProfile> regions;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> region_edges;
+  std::vector<EdgeProfile> edge_profiles;  ///< parallel to region_edges
+  planner::Roadmap roadmap;
+  std::vector<std::vector<graph::VertexId>> region_vertices;
+  geo::Aabb bounds;  ///< centroid bounds (partitioner input)
+
+  double total_sampling_s() const noexcept {
+    double t = 0.0;
+    for (const auto& r : regions) t += r.sampling_s;
+    return t;
+  }
+  double total_build_s() const noexcept {
+    double t = 0.0;
+    for (const auto& r : regions) t += r.build_s;
+    return t;
+  }
+  double total_edge_s() const noexcept {
+    double t = 0.0;
+    for (const auto& e : edge_profiles) t += e.service_s;
+    return t;
+  }
+
+  std::vector<double> build_times() const {
+    std::vector<double> t;
+    t.reserve(regions.size());
+    for (const auto& r : regions) t.push_back(r.build_s);
+    return t;
+  }
+  std::vector<double> service_times() const {
+    std::vector<double> t;
+    t.reserve(regions.size());
+    for (const auto& r : regions) t.push_back(r.service_s());
+    return t;
+  }
+  std::vector<geo::Vec3> centroids() const {
+    std::vector<geo::Vec3> c;
+    c.reserve(regions.size());
+    for (const auto& r : regions) c.push_back(r.centroid);
+    return c;
+  }
+  std::vector<std::uint64_t> region_bytes() const {
+    std::vector<std::uint64_t> b;
+    b.reserve(regions.size());
+    for (const auto& r : regions) b.push_back(r.bytes);
+    return b;
+  }
+  std::vector<std::uint32_t> sample_counts() const {
+    std::vector<std::uint32_t> s;
+    s.reserve(regions.size());
+    for (const auto& r : regions) s.push_back(r.samples);
+    return s;
+  }
+};
+
+}  // namespace pmpl::core

@@ -1,0 +1,134 @@
+#include "core/radial_regions.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "geometry/morton.hpp"
+
+namespace pmpl::core {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+/// Uniform direction on the unit sphere (or circle for two_d).
+geo::Vec3 random_direction(Xoshiro256ss& rng, bool two_d) {
+  if (two_d) {
+    const double a = rng.uniform(0.0, 2.0 * kPi);
+    return {std::cos(a), std::sin(a), 0.0};
+  }
+  const double z = rng.uniform(-1.0, 1.0);
+  const double a = rng.uniform(0.0, 2.0 * kPi);
+  const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+  return {r * std::cos(a), r * std::sin(a), z};
+}
+
+/// Any unit vector orthogonal to `d`.
+geo::Vec3 orthogonal(geo::Vec3 d) {
+  const geo::Vec3 other =
+      std::fabs(d.x) < 0.9 ? geo::Vec3{1, 0, 0} : geo::Vec3{0, 1, 0};
+  return d.cross(other).normalized();
+}
+
+}  // namespace
+
+RadialRegions::RadialRegions(geo::Vec3 root, double radius,
+                             std::uint32_t count, std::uint32_t k_adjacent,
+                             std::uint64_t seed, bool two_d)
+    : root_(root), radius_(radius), two_d_(two_d), k_adjacent_(k_adjacent) {
+  assert(count > 0 && radius > 0.0);
+  Xoshiro256ss rng(seed);
+  dirs_.reserve(count);
+  if (two_d) {
+    // Evenly spaced with a random phase: uniform coverage of the circle,
+    // still seed-dependent.
+    const double phase = rng.uniform(0.0, 2.0 * kPi);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const double a = phase + 2.0 * kPi * i / count;
+      dirs_.push_back({std::cos(a), std::sin(a), 0.0});
+    }
+  } else {
+    for (std::uint32_t i = 0; i < count; ++i)
+      dirs_.push_back(random_direction(rng, false));
+    // Order directions spatially (Morton over the unit cube) so that
+    // consecutive region ids are neighboring cones: the naive block
+    // mapping then assigns contiguous sectors per processor, exactly as
+    // the grid subdivision's x-major ordering does for PRM.
+    std::sort(dirs_.begin(), dirs_.end(), [](geo::Vec3 a, geo::Vec3 b) {
+      const geo::Aabb unit{{-1, -1, -1}, {1, 1, 1}};
+      return geo::morton_key(a, unit) < geo::morton_key(b, unit);
+    });
+  }
+}
+
+double RadialRegions::cone_half_angle(double overlap) const noexcept {
+  const auto n = static_cast<double>(dirs_.size());
+  if (two_d_) return std::min(kPi, overlap * kPi / n);
+  // Solid angle per cone = 4*pi/n = 2*pi*(1-cos(theta)).
+  const double c = 1.0 - 2.0 / n;
+  const double theta = std::acos(std::clamp(c, -1.0, 1.0));
+  return std::min(kPi, overlap * theta);
+}
+
+geo::Vec3 RadialRegions::sample_in_cone(std::uint32_t id, Xoshiro256ss& rng,
+                                        double overlap) const {
+  const geo::Vec3 axis = dirs_[id];
+  const double half = cone_half_angle(overlap);
+  // Radius weighted toward the rim (u^{1/2}): biases growth outward.
+  const double r = radius_ * std::sqrt(rng.uniform());
+
+  if (two_d_) {
+    const double a = rng.uniform(-half, half);
+    const double base = std::atan2(axis.y, axis.x);
+    return root_ + geo::Vec3{std::cos(base + a), std::sin(base + a), 0.0} * r;
+  }
+  // Uniform direction within the spherical cap of half-angle `half`.
+  const double cos_half = std::cos(half);
+  const double z = rng.uniform(cos_half, 1.0);
+  const double phi = rng.uniform(0.0, 2.0 * kPi);
+  const double s = std::sqrt(std::max(0.0, 1.0 - z * z));
+  const geo::Vec3 u = orthogonal(axis);
+  const geo::Vec3 v = axis.cross(u);
+  const geo::Vec3 dir =
+      axis * z + u * (s * std::cos(phi)) + v * (s * std::sin(phi));
+  return root_ + dir * r;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+RadialRegions::adjacency_edges() const {
+  // k nearest by angular distance; O(n^2) is fine for region counts here.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const std::uint32_t n = static_cast<std::uint32_t>(dirs_.size());
+  const std::uint32_t k = std::min(k_adjacent_, n > 0 ? n - 1 : 0);
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) order[j] = j;
+    std::partial_sort(order.begin(), order.begin() + k + 1, order.end(),
+                      [&](std::uint32_t a, std::uint32_t b) {
+                        // Larger dot product = closer direction; the region
+                        // itself (dot = 1) sorts first and is skipped.
+                        return dirs_[i].dot(dirs_[a]) >
+                               dirs_[i].dot(dirs_[b]);
+                      });
+    for (std::uint32_t j = 1; j <= k; ++j) {
+      const std::uint32_t other = order[j];
+      const auto lo = std::min(i, other);
+      const auto hi = std::max(i, other);
+      if (lo != hi) edges.emplace_back(lo, hi);
+    }
+  }
+  // De-duplicate symmetric pairs.
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+std::vector<geo::Vec3> RadialRegions::centroids() const {
+  std::vector<geo::Vec3> out;
+  out.reserve(dirs_.size());
+  for (std::uint32_t i = 0; i < dirs_.size(); ++i)
+    out.push_back(centroid(i));
+  return out;
+}
+
+}  // namespace pmpl::core

@@ -1,0 +1,71 @@
+#pragma once
+/// \file radial_regions.hpp
+/// Uniform radial subdivision for parallel RRT (Algorithm 2, lines 1–9).
+///
+/// Nr points are sampled on the surface of a hypersphere rooted at qroot;
+/// each point defines a conical region around the ray root->point, and the
+/// region graph connects each region to its k nearest neighbors on the
+/// sphere. Subtree growth in a region is biased toward its target ray.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geometry/shapes.hpp"
+#include "util/rng.hpp"
+
+namespace pmpl::core {
+
+/// Immutable radial region set.
+class RadialRegions {
+ public:
+  /// Sample `count` directions on the sphere of `radius` about `root`
+  /// (circle when `two_d`); each region is adjacent to its `k_adjacent`
+  /// nearest sibling directions. Deterministic per seed.
+  RadialRegions(geo::Vec3 root, double radius, std::uint32_t count,
+                std::uint32_t k_adjacent, std::uint64_t seed, bool two_d);
+
+  std::size_t size() const noexcept { return dirs_.size(); }
+  geo::Vec3 root() const noexcept { return root_; }
+  double radius() const noexcept { return radius_; }
+  bool two_d() const noexcept { return two_d_; }
+
+  /// Unit direction of region `id`'s target ray.
+  geo::Vec3 direction(std::uint32_t id) const noexcept { return dirs_[id]; }
+
+  /// Target point on the sphere surface (growth bias target).
+  geo::Vec3 target(std::uint32_t id) const noexcept {
+    return root_ + dirs_[id] * radius_;
+  }
+
+  /// Representative point for partitioners (mid-ray).
+  geo::Vec3 centroid(std::uint32_t id) const noexcept {
+    return root_ + dirs_[id] * (0.5 * radius_);
+  }
+
+  /// Cone half-angle: sized so the Nr cones cover the sphere with the
+  /// requested multiplicative `overlap` (>1 overlaps neighbors).
+  double cone_half_angle(double overlap = 1.5) const noexcept;
+
+  /// Random point inside region `id`'s cone (biased sampling for subtree
+  /// growth): a direction within the cone, at a radius weighted toward
+  /// the surface so branches push outward.
+  geo::Vec3 sample_in_cone(std::uint32_t id, Xoshiro256ss& rng,
+                           double overlap = 1.5) const;
+
+  /// Region-graph edges: each region to its k nearest (each pair once).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> adjacency_edges()
+      const;
+
+  /// All centroids (partitioner input).
+  std::vector<geo::Vec3> centroids() const;
+
+ private:
+  geo::Vec3 root_;
+  double radius_;
+  bool two_d_;
+  std::uint32_t k_adjacent_;
+  std::vector<geo::Vec3> dirs_;
+};
+
+}  // namespace pmpl::core

@@ -1,0 +1,82 @@
+#include "core/region_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pmpl::core {
+
+RegionGrid::RegionGrid(geo::Aabb bounds, std::uint32_t nx, std::uint32_t ny,
+                       std::uint32_t nz, double overlap)
+    : bounds_(bounds), nx_(nx), ny_(ny), nz_(nz), overlap_(overlap) {
+  assert(nx_ > 0 && ny_ > 0 && nz_ > 0);
+  const geo::Vec3 size = bounds_.size();
+  cell_size_ = {size.x / nx_, size.y / ny_, nz_ > 0 ? size.z / nz_ : 0.0};
+}
+
+RegionGrid RegionGrid::make_auto(const geo::Aabb& bounds,
+                                 std::uint32_t target_regions, bool two_d,
+                                 double overlap) {
+  assert(target_regions > 0);
+  if (two_d) {
+    const auto side = static_cast<std::uint32_t>(std::max(
+        1.0, std::round(std::sqrt(static_cast<double>(target_regions)))));
+    return RegionGrid(bounds, side, side, 1, overlap);
+  }
+  const auto side = static_cast<std::uint32_t>(std::max(
+      1.0, std::round(std::cbrt(static_cast<double>(target_regions)))));
+  return RegionGrid(bounds, side, side, side, overlap);
+}
+
+geo::Aabb RegionGrid::cell_box(std::uint32_t id) const noexcept {
+  std::uint32_t ix, iy, iz;
+  coords_of(id, ix, iy, iz);
+  const geo::Vec3 lo{bounds_.lo.x + ix * cell_size_.x,
+                     bounds_.lo.y + iy * cell_size_.y,
+                     bounds_.lo.z + iz * cell_size_.z};
+  return {lo, lo + cell_size_};
+}
+
+geo::Aabb RegionGrid::sampling_box(std::uint32_t id) const noexcept {
+  const geo::Aabb expanded = cell_box(id).expanded(overlap_);
+  return {geo::max(expanded.lo, bounds_.lo), geo::min(expanded.hi, bounds_.hi)};
+}
+
+std::uint32_t RegionGrid::cell_of(geo::Vec3 p) const noexcept {
+  auto clamp_idx = [](double v, double lo, double cell,
+                      std::uint32_t n) -> std::uint32_t {
+    if (cell <= 0.0) return 0;
+    const double t = (v - lo) / cell;
+    if (t <= 0.0) return 0;
+    const auto i = static_cast<std::uint32_t>(t);
+    return i >= n ? n - 1 : i;
+  };
+  const std::uint32_t ix = clamp_idx(p.x, bounds_.lo.x, cell_size_.x, nx_);
+  const std::uint32_t iy = clamp_idx(p.y, bounds_.lo.y, cell_size_.y, ny_);
+  const std::uint32_t iz = clamp_idx(p.z, bounds_.lo.z, cell_size_.z, nz_);
+  return id_of(ix, iy, iz);
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+RegionGrid::adjacency_edges() const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(size() * 3);
+  for (std::uint32_t ix = 0; ix < nx_; ++ix)
+    for (std::uint32_t iy = 0; iy < ny_; ++iy)
+      for (std::uint32_t iz = 0; iz < nz_; ++iz) {
+        const std::uint32_t id = id_of(ix, iy, iz);
+        if (ix + 1 < nx_) edges.emplace_back(id, id_of(ix + 1, iy, iz));
+        if (iy + 1 < ny_) edges.emplace_back(id, id_of(ix, iy + 1, iz));
+        if (iz + 1 < nz_) edges.emplace_back(id, id_of(ix, iy, iz + 1));
+      }
+  return edges;
+}
+
+std::vector<geo::Vec3> RegionGrid::centroids() const {
+  std::vector<geo::Vec3> out;
+  out.reserve(size());
+  for (std::uint32_t id = 0; id < size(); ++id) out.push_back(centroid(id));
+  return out;
+}
+
+}  // namespace pmpl::core

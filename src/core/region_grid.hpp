@@ -1,0 +1,79 @@
+#pragma once
+/// \file region_grid.hpp
+/// Uniform C-space subdivision into a grid of box regions (Algorithm 1,
+/// lines 1–6): the region graph's vertices are grid cells, its edges are
+/// face adjacencies. Cells are ordered x-major (x slowest) so that the
+/// naive block partition of ids reproduces the paper's "1D partitioning of
+/// the region mesh [into] region columns".
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geometry/shapes.hpp"
+
+namespace pmpl::core {
+
+/// Immutable uniform grid over a position bounding box.
+class RegionGrid {
+ public:
+  /// Subdivide `bounds` into nx*ny*nz cells; each cell's sampling box is
+  /// expanded by `overlap` (paper: "some user-defined overlap is allowed
+  /// between regions") and clipped to `bounds`.
+  RegionGrid(geo::Aabb bounds, std::uint32_t nx, std::uint32_t ny,
+             std::uint32_t nz, double overlap = 0.0);
+
+  /// Near-cubic grid with about `target_regions` cells; `two_d` keeps
+  /// nz = 1 (planar environments).
+  static RegionGrid make_auto(const geo::Aabb& bounds,
+                              std::uint32_t target_regions, bool two_d,
+                              double overlap = 0.0);
+
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(nx_) * ny_ * nz_;
+  }
+  std::uint32_t nx() const noexcept { return nx_; }
+  std::uint32_t ny() const noexcept { return ny_; }
+  std::uint32_t nz() const noexcept { return nz_; }
+  const geo::Aabb& bounds() const noexcept { return bounds_; }
+
+  /// Exact (non-overlapping) cell box.
+  geo::Aabb cell_box(std::uint32_t id) const noexcept;
+
+  /// Sampling box: cell expanded by the overlap, clipped to the bounds.
+  geo::Aabb sampling_box(std::uint32_t id) const noexcept;
+
+  geo::Vec3 centroid(std::uint32_t id) const noexcept {
+    return cell_box(id).center();
+  }
+
+  /// Cell containing `p` (clamped to the grid).
+  std::uint32_t cell_of(geo::Vec3 p) const noexcept;
+
+  /// id <-> (ix, iy, iz); x-major ordering: id = ix*ny*nz + iy*nz + iz.
+  std::uint32_t id_of(std::uint32_t ix, std::uint32_t iy,
+                      std::uint32_t iz) const noexcept {
+    return (ix * ny_ + iy) * nz_ + iz;
+  }
+  void coords_of(std::uint32_t id, std::uint32_t& ix, std::uint32_t& iy,
+                 std::uint32_t& iz) const noexcept {
+    iz = id % nz_;
+    iy = (id / nz_) % ny_;
+    ix = id / (ny_ * nz_);
+  }
+
+  /// Region-graph edges: face-adjacent cell pairs (each pair once, a < b).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> adjacency_edges()
+      const;
+
+  /// All centroids (partitioner input).
+  std::vector<geo::Vec3> centroids() const;
+
+ private:
+  geo::Aabb bounds_;
+  std::uint32_t nx_, ny_, nz_;
+  geo::Vec3 cell_size_;
+  double overlap_;
+};
+
+}  // namespace pmpl::core

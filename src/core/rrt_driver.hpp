@@ -1,0 +1,77 @@
+#pragma once
+/// \file rrt_driver.hpp
+/// Uniform-radial-subdivision parallel RRT (Algorithm 2) with load
+/// balancing: workload measurement and schedule replay.
+///
+/// Each radial region grows one subtree biased toward its target ray;
+/// branches of adjacent regions are then connected (cycles pruned). Work
+/// stealing moves whole regions between locations (Algorithm 3); the
+/// repartitioning variant weights regions with the k-random-rays probe —
+/// the estimator the paper shows to be poor (Fig 10b).
+
+#include "core/profile.hpp"
+#include "core/radial_regions.hpp"
+#include "core/strategies.hpp"
+#include "env/environment.hpp"
+#include "loadbal/ws_engine.hpp"
+#include "planner/rrt.hpp"
+
+namespace pmpl::core {
+
+/// Workload-construction parameters.
+struct RrtWorkloadConfig {
+  std::size_t total_nodes = 1 << 13;  ///< N tree nodes overall
+  planner::RrtParams rrt;
+  std::size_t iteration_factor = 8;   ///< max_iters = factor * quota
+  std::size_t max_boundary_attempts = 8;
+  double cone_overlap = 1.5;
+  std::uint64_t seed = 1;
+  /// Work-unit costs (paper_fidelity reproduces the paper's regime).
+  runtime::CostModel costs = runtime::CostModel::paper_fidelity();
+};
+
+/// Execute Algorithm 2's computation: grow every regional branch from the
+/// shared root, then connect adjacent branches (pruning cycles so the
+/// result stays a tree).
+Workload build_rrt_workload(const env::Environment& e,
+                            const RadialRegions& regions,
+                            const cspace::Config& root,
+                            const RrtWorkloadConfig& config);
+
+/// Replay parameters. Strategy kRepartition here means "repartition using
+/// the k-random-rays weight estimate" (there is no cheap exact weight for
+/// RRT — paper §III-B).
+struct RrtRunConfig {
+  std::uint32_t procs = 16;
+  runtime::ClusterSpec cluster = runtime::ClusterSpec::opteron_cluster();
+  Strategy strategy = Strategy::kNoLB;
+  std::uint64_t seed = 1;
+  std::size_t k_rays = 16;  ///< probe rays per region for kRepartition
+  /// Cost of the k-rays probe (must match the workload's model).
+  runtime::CostModel costs = runtime::CostModel::paper_fidelity();
+};
+
+/// Replay outcome.
+struct RrtRunResult {
+  double total_s = 0.0;
+  double redistribution_s = 0.0;  ///< probe + partition + migration
+  double growth_s = 0.0;          ///< branch-growth phase
+  double branch_connection_s = 0.0;
+  loadbal::Assignment assignment;
+  std::vector<double> load_profile_s;
+  double cv_nodes_before = 0.0;
+  double cv_nodes_after = 0.0;
+  loadbal::WsResult ws;
+  /// Pearson correlation between the k-rays weight and true branch cost
+  /// (reported to show why the estimator fails); 0 when not computed.
+  double weight_correlation = 0.0;
+};
+
+/// Replay `workload` under `config`. The environment is needed again only
+/// for the k-rays probe (kRepartition).
+RrtRunResult simulate_rrt_run(const Workload& workload,
+                              const env::Environment& e,
+                              const RadialRegions& regions,
+                              const RrtRunConfig& config);
+
+}  // namespace pmpl::core

@@ -1,0 +1,57 @@
+#pragma once
+/// \file strategies.hpp
+/// The load-balancing strategies compared throughout the evaluation.
+
+#include <string>
+
+#include "loadbal/steal_policy.hpp"
+
+namespace pmpl::core {
+
+/// One bar/curve in the paper's figures.
+enum class Strategy {
+  kNoLB,           ///< uniform subdivision, naive block mapping (baseline)
+  kRepartition,    ///< Algorithm 4: weighted geometric repartitioning
+  kHybridWS,       ///< Algorithm 3 with HYBRID victim selection
+  kRand8WS,        ///< Algorithm 3 with RAND-K (k = 8)
+  kDiffusiveWS,    ///< Algorithm 3 with DIFFUSIVE victim selection
+  kLifelineWS,     ///< extension: X10-style hypercube lifelines
+};
+
+inline std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kNoLB:
+      return "Without LB";
+    case Strategy::kRepartition:
+      return "Repartitioning";
+    case Strategy::kHybridWS:
+      return "Hybrid WS";
+    case Strategy::kRand8WS:
+      return "Rand-8 WS";
+    case Strategy::kDiffusiveWS:
+      return "Diff WS";
+    case Strategy::kLifelineWS:
+      return "Lifeline WS";
+  }
+  return "?";
+}
+
+inline bool is_work_stealing(Strategy s) {
+  return s == Strategy::kHybridWS || s == Strategy::kRand8WS ||
+         s == Strategy::kDiffusiveWS || s == Strategy::kLifelineWS;
+}
+
+inline loadbal::StealPolicyKind steal_policy_of(Strategy s) {
+  switch (s) {
+    case Strategy::kRand8WS:
+      return loadbal::StealPolicyKind::kRandK;
+    case Strategy::kDiffusiveWS:
+      return loadbal::StealPolicyKind::kDiffusive;
+    case Strategy::kLifelineWS:
+      return loadbal::StealPolicyKind::kLifeline;
+    default:
+      return loadbal::StealPolicyKind::kHybrid;
+  }
+}
+
+}  // namespace pmpl::core

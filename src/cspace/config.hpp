@@ -1,0 +1,37 @@
+#pragma once
+/// \file config.hpp
+/// A configuration: the movable object's d independent parameters.
+///
+/// Stored inline (max 16 values) — SE(2) uses 3 values, SE(3) uses 7
+/// (position + unit quaternion), R^n up to 16. Interpretation of the values
+/// belongs to `CSpace`, not to the container.
+
+#include <cstdint>
+#include <ostream>
+
+#include "util/inline_vector.hpp"
+
+namespace pmpl::cspace {
+
+/// Maximum number of stored values per configuration.
+inline constexpr std::size_t kMaxConfigValues = 16;
+
+/// Raw configuration value vector.
+using Config = InlineVector<double, kMaxConfigValues>;
+
+inline std::ostream& operator<<(std::ostream& os, const Config& c) {
+  os << '(';
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i) os << ", ";
+    os << c[i];
+  }
+  return os << ')';
+}
+
+/// Approximate serialized size of a configuration in bytes; used by the
+/// communication model to cost roadmap/region migration.
+inline constexpr std::size_t config_bytes(const Config& c) noexcept {
+  return sizeof(double) * c.size() + sizeof(std::uint32_t);
+}
+
+}  // namespace pmpl::cspace

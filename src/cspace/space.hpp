@@ -1,0 +1,95 @@
+#pragma once
+/// \file space.hpp
+/// Configuration-space descriptors: topology, bounds, sampling, metric,
+/// interpolation.
+///
+/// Three topologies cover the paper's experiments and the examples:
+///  - `Euclidean` — R^n with per-dimension interval bounds (articulated arm);
+///  - `SE2`      — (x, y, theta) planar rigid body;
+///  - `SE3`      — (x, y, z, qw, qx, qy, qz) spatial rigid body, the space
+///                 used in all of the paper's PRM/RRT experiments.
+
+#include <utility>
+#include <vector>
+
+#include "cspace/config.hpp"
+#include "geometry/quat.hpp"
+#include "geometry/shapes.hpp"
+#include "geometry/transform.hpp"
+#include "util/rng.hpp"
+
+namespace pmpl::cspace {
+
+enum class SpaceKind { Euclidean, SE2, SE3 };
+
+/// Immutable C-space descriptor. All sampling takes the caller's RNG so
+/// streams stay owned by regions (determinism; see DESIGN.md §2).
+class CSpace {
+ public:
+  /// R^n with explicit per-dimension bounds.
+  static CSpace euclidean(std::vector<std::pair<double, double>> bounds);
+
+  /// Planar rigid body: position bounded by `pos`, free rotation.
+  /// `rot_weight` scales rotational distance against translation.
+  static CSpace se2(geo::Aabb pos, double rot_weight = 0.5);
+
+  /// Spatial rigid body: position bounded by `pos`, free 3D rotation.
+  static CSpace se3(geo::Aabb pos, double rot_weight = 0.5);
+
+  SpaceKind kind() const noexcept { return kind_; }
+
+  /// Number of stored values per configuration (3 for SE2, 7 for SE3, n
+  /// for R^n).
+  std::size_t value_count() const noexcept { return value_count_; }
+
+  /// Degrees of freedom (3 for SE2, 6 for SE3, n for R^n).
+  std::size_t dof() const noexcept { return dof_; }
+
+  /// Positional bounding box (x, y[, z]); R^n maps its first <=3 dims.
+  const geo::Aabb& position_bounds() const noexcept { return pos_bounds_; }
+
+  double rotation_weight() const noexcept { return rot_weight_; }
+
+  /// Workspace position of a configuration (first <=3 values).
+  geo::Vec3 position(const Config& c) const noexcept;
+
+  /// Rigid transform of a configuration (identity rotation for Euclidean).
+  geo::Transform pose(const Config& c) const noexcept;
+
+  /// Uniform sample over the whole space.
+  Config sample(Xoshiro256ss& rng) const;
+
+  /// Uniform sample with the *position* restricted to `box` (region-based
+  /// subdivision); non-positional dimensions sample their full range.
+  Config sample_in(const geo::Aabb& box, Xoshiro256ss& rng) const;
+
+  /// Configuration at the given workspace position with random remaining
+  /// dimensions (radial RRT region targets).
+  Config at_position(geo::Vec3 p, Xoshiro256ss& rng) const;
+
+  /// Metric distance (positional Euclidean + weighted geodesic rotation).
+  double distance(const Config& a, const Config& b) const noexcept;
+
+  /// Interpolate from `a` toward `b`; t in [0,1]. Rotations slerp.
+  Config interpolate(const Config& a, const Config& b,
+                     double t) const noexcept;
+
+  /// Number of local-planner steps needed between a and b at `resolution`.
+  std::size_t step_count(const Config& a, const Config& b,
+                         double resolution) const noexcept;
+
+  /// Is `c` within bounds (positions inside the box, R^n dims in range)?
+  bool in_bounds(const Config& c) const noexcept;
+
+ private:
+  CSpace() = default;
+
+  SpaceKind kind_ = SpaceKind::SE3;
+  std::size_t value_count_ = 0;
+  std::size_t dof_ = 0;
+  geo::Aabb pos_bounds_;
+  double rot_weight_ = 0.5;
+  std::vector<std::pair<double, double>> euclid_bounds_;
+};
+
+}  // namespace pmpl::cspace

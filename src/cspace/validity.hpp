@@ -1,0 +1,97 @@
+#pragma once
+/// \file validity.hpp
+/// Configuration validity: the bridge from C-space to workspace collision.
+///
+/// `ValidityChecker` is the single abstraction the planners see; concrete
+/// checkers cover the paper's rigid-body robot, a fast point robot (model
+/// environment), and a planar articulated arm (examples).
+
+#include <memory>
+#include <vector>
+
+#include "collision/checker.hpp"
+#include "cspace/config.hpp"
+#include "cspace/space.hpp"
+
+namespace pmpl::cspace {
+
+/// Abstract validity test. Implementations must be thread-safe for
+/// concurrent `valid()` calls (they are shared across planner threads);
+/// per-caller op counts go through the `stats` out-parameter.
+class ValidityChecker {
+ public:
+  virtual ~ValidityChecker() = default;
+
+  /// Is `c` collision-free (and within bounds)?
+  virtual bool valid(const Config& c,
+                     collision::CollisionStats* stats = nullptr) const = 0;
+};
+
+/// Rigid-body robot placed by the configuration's pose.
+class RigidBodyValidity final : public ValidityChecker {
+ public:
+  RigidBodyValidity(const CSpace& space, collision::RigidBody robot,
+                    const collision::CollisionChecker& checker)
+      : space_(&space), robot_(std::move(robot)), checker_(&checker) {}
+
+  bool valid(const Config& c,
+             collision::CollisionStats* stats = nullptr) const override {
+    if (!space_->in_bounds(c)) return false;
+    return !checker_->in_collision(robot_, space_->pose(c), stats);
+  }
+
+  const collision::RigidBody& robot() const noexcept { return robot_; }
+
+ private:
+  const CSpace* space_;
+  collision::RigidBody robot_;
+  const collision::CollisionChecker* checker_;
+};
+
+/// Point robot: the configuration's position must be outside all obstacles.
+/// Matches the paper's analytic model environment where load ∝ V_free.
+class PointValidity final : public ValidityChecker {
+ public:
+  PointValidity(const CSpace& space, const collision::CollisionChecker& checker)
+      : space_(&space), checker_(&checker) {}
+
+  bool valid(const Config& c,
+             collision::CollisionStats* stats = nullptr) const override {
+    if (!space_->in_bounds(c)) return false;
+    return !checker_->point_in_collision(space_->position(c), stats);
+  }
+
+ private:
+  const CSpace* space_;
+  const collision::CollisionChecker* checker_;
+};
+
+/// Planar n-link arm anchored at `base`; configuration values are joint
+/// angles. Each link is a thin OBB checked against the environment.
+class PlanarArmValidity final : public ValidityChecker {
+ public:
+  PlanarArmValidity(const CSpace& space, geo::Vec3 base,
+                    std::vector<double> link_lengths, double link_width,
+                    const collision::CollisionChecker& checker)
+      : space_(&space),
+        base_(base),
+        link_lengths_(std::move(link_lengths)),
+        link_width_(link_width),
+        checker_(&checker) {}
+
+  bool valid(const Config& c,
+             collision::CollisionStats* stats = nullptr) const override;
+
+  /// Joint positions under forward kinematics (size = links + 1, starting
+  /// at the base).
+  std::vector<geo::Vec3> forward_kinematics(const Config& c) const;
+
+ private:
+  const CSpace* space_;
+  geo::Vec3 base_;
+  std::vector<double> link_lengths_;
+  double link_width_;
+  const collision::CollisionChecker* checker_;
+};
+
+}  // namespace pmpl::cspace

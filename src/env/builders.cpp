@@ -1,0 +1,208 @@
+#include "env/builders.hpp"
+
+#include <cmath>
+
+#include "geometry/intersect.hpp"
+#include "util/rng.hpp"
+
+namespace pmpl::env {
+
+namespace {
+
+using collision::ObstacleShape;
+using geo::Aabb;
+using geo::Obb;
+using geo::Vec3;
+
+Aabb workspace3d() { return {{0, 0, 0}, {kExtent, kExtent, kExtent}}; }
+
+collision::RigidBody default_robot() {
+  return collision::RigidBody::box({kRobotHalf, kRobotHalf, kRobotHalf});
+}
+
+std::unique_ptr<Environment> make3d(std::string name,
+                                    std::vector<ObstacleShape> obstacles) {
+  return std::make_unique<Environment>(
+      std::move(name), cspace::CSpace::se3(workspace3d()),
+      std::move(obstacles), default_robot());
+}
+
+/// A 2D obstacle: a box spanning z in [-1, 1] so point queries at z=0 and
+/// planar robots at z=0 interact with it.
+Aabb box2d(double x0, double y0, double x1, double y1) {
+  return {{x0, y0, -1.0}, {x1, y1, 1.0}};
+}
+
+}  // namespace
+
+std::unique_ptr<Environment> free_env() {
+  return make3d("free", {});
+}
+
+namespace {
+
+std::unique_ptr<Environment> cube_env(std::string name,
+                                      double blocked_fraction) {
+  // One cube centered in the workspace whose volume is the requested
+  // fraction of the total (paper: ~24% med-cube, ~6% small-cube).
+  const double side = kExtent * std::cbrt(blocked_fraction);
+  const double lo = 0.5 * (kExtent - side);
+  const double hi = lo + side;
+  std::vector<ObstacleShape> obs;
+  obs.push_back(Aabb{{lo, lo, lo}, {hi, hi, hi}});
+  return make3d(std::move(name), std::move(obs));
+}
+
+}  // namespace
+
+std::unique_ptr<Environment> med_cube() { return cube_env("med-cube", 0.24); }
+
+std::unique_ptr<Environment> small_cube() {
+  return cube_env("small-cube", 0.06);
+}
+
+std::unique_ptr<Environment> mixed(double blocked_fraction) {
+  // Random boxes with placement density increasing along +x: the -x half
+  // stays relatively open while the +x half is heavily cluttered, giving
+  // the spatially skewed load the paper's mixed environments produce.
+  // We add boxes until the accumulated obstacle volume (ignoring overlap,
+  // overlaps stay modest at these densities) reaches the target fraction.
+  // Boxes are large relative to the robot so the C-space inflation does
+  // not seal the environment, and a clearance ball around the workspace
+  // center keeps the radial-RRT root valid.
+  Xoshiro256ss rng(0xC0FFEEULL);
+  std::vector<ObstacleShape> obs;
+  const double total = kExtent * kExtent * kExtent;
+  const Vec3 center{0.5 * kExtent, 0.5 * kExtent, 0.5 * kExtent};
+  constexpr double kRootClearance = 14.0;
+  double placed = 0.0;
+  while (placed < blocked_fraction * total) {
+    // Bias placement toward +x: x ~ max of two uniforms.
+    const double xa = rng.uniform(0.0, kExtent);
+    const double xb = rng.uniform(0.0, kExtent);
+    const double x = xa > xb ? xa : xb;
+    const double y = rng.uniform(0.0, kExtent);
+    const double z = rng.uniform(0.0, kExtent);
+    const Vec3 half{rng.uniform(6.0, 16.0), rng.uniform(6.0, 16.0),
+                    rng.uniform(6.0, 16.0)};
+    Aabb box = Aabb::from_center({x, y, z}, half);
+    // Clip to the workspace so volume accounting stays meaningful.
+    box = box.intersection(workspace3d());
+    if (box.volume() <= 0.0) continue;
+    if (geo::distance2(center, box) < kRootClearance * kRootClearance)
+      continue;
+    placed += box.volume();
+    obs.push_back(box);
+  }
+  const int pct = static_cast<int>(std::lround(blocked_fraction * 100.0));
+  // A compact robot: the RRT experiments need passable clutter.
+  return std::make_unique<Environment>(
+      pct == 60 ? "mixed" : "mixed-" + std::to_string(pct),
+      cspace::CSpace::se3(workspace3d()), std::move(obs),
+      collision::RigidBody::box({2.5, 2.5, 2.5}));
+}
+
+std::unique_ptr<Environment> walls(bool rotated) {
+  // Five walls across x, each with one rectangular passage; passages
+  // alternate between low and high corners so paths must weave.
+  std::vector<ObstacleShape> obs;
+  constexpr int kWalls = 5;
+  const double thick = 2.5;
+  const double gap = 6.0 * kRobotHalf;  // passage side
+  for (int w = 0; w < kWalls; ++w) {
+    const double x =
+        kExtent * (static_cast<double>(w + 1) / (kWalls + 1));
+    const bool low = (w % 2 == 0);
+    const double gy = low ? 0.15 * kExtent : 0.85 * kExtent;
+    const double gz = low ? 0.2 * kExtent : 0.8 * kExtent;
+    // Wall = full slab minus a gap: emit 4 boxes around the hole.
+    const double y0 = gy - 0.5 * gap, y1 = gy + 0.5 * gap;
+    const double z0 = gz - 0.5 * gap, z1 = gz + 0.5 * gap;
+    auto emit = [&](double ylo, double yhi, double zlo, double zhi) {
+      if (yhi <= ylo || zhi <= zlo) return;
+      if (!rotated) {
+        obs.push_back(Aabb{{x - thick, ylo, zlo}, {x + thick, yhi, zhi}});
+      } else {
+        const Vec3 c{x, 0.5 * (ylo + yhi), 0.5 * (zlo + zhi)};
+        const Vec3 half{thick, 0.5 * (yhi - ylo), 0.5 * (zhi - zlo)};
+        obs.push_back(Obb{c, half, geo::Mat3::rot_z(0.25 * 3.14159265358979)});
+      }
+    };
+    emit(0.0, y0, 0.0, kExtent);        // below gap in y
+    emit(y1, kExtent, 0.0, kExtent);    // above gap in y
+    emit(y0, y1, 0.0, z0);              // beside gap in z
+    emit(y0, y1, z1, kExtent);
+  }
+  return make3d(rotated ? "walls-45" : "walls", std::move(obs));
+}
+
+std::unique_ptr<Environment> model_2d(double blocked_fraction) {
+  // Unit square workspace, one centered square obstacle, point robot.
+  const double side = std::sqrt(blocked_fraction);
+  const double lo = 0.5 * (1.0 - side);
+  const double hi = lo + side;
+  std::vector<ObstacleShape> obs;
+  obs.push_back(box2d(lo, lo, hi, hi));
+  auto space = cspace::CSpace::euclidean({{0.0, 1.0}, {0.0, 1.0}});
+  return std::make_unique<Environment>(
+      "model-2d", std::move(space), std::move(obs),
+      collision::RigidBody::sphere(0.0), RobotModel::kPoint);
+}
+
+std::unique_ptr<Environment> imbalanced_2d() {
+  // Obstacles crowd the right half and the lower-left quadrant; the upper
+  // left quadrant (Fig 3's R0) is open and generates most of the roadmap.
+  std::vector<ObstacleShape> obs;
+  obs.push_back(box2d(55, 5, 95, 45));
+  obs.push_back(box2d(55, 55, 95, 95));
+  obs.push_back(box2d(58, 46, 92, 54));
+  obs.push_back(box2d(5, 5, 45, 40));
+  obs.push_back(box2d(10, 42, 40, 48));
+  auto space = cspace::CSpace::se2(
+      Aabb{{0, 0, 0}, {kExtent, kExtent, 0}});
+  return std::make_unique<Environment>(
+      "imbalanced-2d", std::move(space), std::move(obs),
+      collision::RigidBody::box({kRobotHalf, kRobotHalf, 0.5}));
+}
+
+std::unique_ptr<Environment> maze_2d() {
+  // 8x8 cell maze from a fixed wall pattern (1 = wall cell).
+  constexpr int kN = 8;
+  constexpr int kPattern[kN][kN] = {
+      {0, 0, 1, 0, 0, 0, 1, 0}, {1, 0, 1, 0, 1, 0, 1, 0},
+      {0, 0, 0, 0, 1, 0, 0, 0}, {0, 1, 1, 1, 1, 1, 1, 0},
+      {0, 0, 0, 1, 0, 0, 0, 0}, {1, 1, 0, 1, 0, 1, 1, 0},
+      {0, 0, 0, 0, 0, 0, 1, 0}, {0, 1, 1, 1, 1, 0, 1, 0}};
+  const double cell = kExtent / kN;
+  std::vector<ObstacleShape> obs;
+  for (int r = 0; r < kN; ++r)
+    for (int c = 0; c < kN; ++c)
+      if (kPattern[r][c] != 0)
+        obs.push_back(box2d(c * cell, r * cell, (c + 1) * cell,
+                            (r + 1) * cell));
+  auto space = cspace::CSpace::se2(
+      Aabb{{0, 0, 0}, {kExtent, kExtent, 0}});
+  return std::make_unique<Environment>(
+      "maze-2d", std::move(space), std::move(obs),
+      collision::RigidBody::box({1.5, 1.5, 0.5}));
+}
+
+std::unique_ptr<Environment> warehouse() {
+  // Shelf rows along y with aisles between them; a cross aisle at mid-y.
+  // The robot is forklift-sized (half-extent 3) so the 10-unit aisles are
+  // navigable in any orientation.
+  std::vector<ObstacleShape> obs;
+  const double shelf_w = 6.0;
+  const double aisle = 10.0;
+  const double shelf_h = 30.0;
+  for (double x = 12.0; x + shelf_w < kExtent - 6.0; x += shelf_w + aisle) {
+    // Two shelf segments split by the cross aisle.
+    obs.push_back(Aabb{{x, 5.0, 0.0}, {x + shelf_w, 42.0, shelf_h}});
+    obs.push_back(Aabb{{x, 58.0, 0.0}, {x + shelf_w, 95.0, shelf_h}});
+  }
+  return std::make_unique<Environment>(
+      "warehouse", cspace::CSpace::se3(workspace3d()), std::move(obs),
+      collision::RigidBody::box({3.0, 3.0, 3.0}));
+}
+
+}  // namespace pmpl::env

@@ -1,0 +1,69 @@
+#pragma once
+/// \file builders.hpp
+/// Named constructors for every environment in the paper's evaluation plus
+/// the example scenarios.
+///
+/// Paper environments (blocked volume fractions from §IV):
+///  - `free_env()`        — 0% blocked (LB-overhead control, Fig 8c / 10c)
+///  - `med_cube()`        — ~24% blocked single central cube (Figs 5–9)
+///  - `small_cube()`      — ~6% blocked
+///  - `mixed(0.60)`       — 60% blocked clutter (RRT, Fig 10a)
+///  - `mixed(0.30)`       — 30% blocked clutter (RRT, Fig 10b)
+///  - `walls()` / `walls45()` — wall sequences with offset passages (the
+///    alternate captions of Fig 8)
+///  - `model_2d(f)`       — the §IV-B analytic model environment: unit square
+///    with one centered square obstacle of area fraction f, point robot
+///  - `imbalanced_2d()`   — Fig 3's qualitative 4-region imbalance demo
+///
+/// Example scenarios: `maze_2d()`, `warehouse()`.
+///
+/// All environments use a fixed workspace extent `kExtent` and the paper's
+/// rigid-body (box) robot unless stated otherwise. Builders are
+/// deterministic: randomized clutter uses a fixed internal seed.
+
+#include <memory>
+
+#include "env/environment.hpp"
+
+namespace pmpl::env {
+
+/// Workspace edge length shared by the 3D environments.
+inline constexpr double kExtent = 100.0;
+
+/// Half-extent of the default rigid-body box robot. Sized so the C-space
+/// obstacle inflation is significant (a ~10-unit body on a 100-unit
+/// workspace): the blocked *configuration-space* fraction of med-cube is
+/// therefore well above its 24% workspace fraction, which is what produces
+/// the strong regional load imbalance the paper observes.
+inline constexpr double kRobotHalf = 7.0;
+
+std::unique_ptr<Environment> free_env();
+std::unique_ptr<Environment> med_cube();
+std::unique_ptr<Environment> small_cube();
+
+/// Cluttered heterogeneous environment with approximately `blocked_fraction`
+/// of the workspace volume inside obstacles, concentrated toward +x so the
+/// subdivision load is spatially skewed (the paper's "mixed" RRT workloads).
+std::unique_ptr<Environment> mixed(double blocked_fraction);
+
+/// Sequence of walls spanning the workspace with offset rectangular
+/// passages; `rotated` tilts each wall 45 degrees about z (the "Walls-45"
+/// variant named in Fig 8's subplot captions).
+std::unique_ptr<Environment> walls(bool rotated = false);
+
+/// §IV-B model: unit 2D workspace, single centered square obstacle of area
+/// fraction `blocked_fraction`, point robot. Load per region is provably
+/// proportional to region V_free.
+std::unique_ptr<Environment> model_2d(double blocked_fraction = 0.25);
+
+/// Fig 3's qualitative setup: a 2D workspace where obstacles crowd three
+/// of four quadrants, overloading the processor that owns the open one.
+std::unique_ptr<Environment> imbalanced_2d();
+
+/// Example: 2D grid maze for an SE(2) rigid robot.
+std::unique_ptr<Environment> maze_2d();
+
+/// Example: warehouse floor with shelf rows and aisles (SE(3) box robot).
+std::unique_ptr<Environment> warehouse();
+
+}  // namespace pmpl::env

@@ -1,0 +1,161 @@
+#include "env/env_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace pmpl::env {
+
+namespace {
+constexpr const char* kMagic = "pmpl-env";
+constexpr int kVersion = 1;
+
+/// Recover the z-rotation of an OBB whose rotation is rot_z(a); nullopt
+/// for any other orientation.
+std::optional<double> z_rotation_of(const geo::Mat3& m) {
+  // rot_z has r2 == (0,0,1) and the upper-left block a 2D rotation.
+  if (std::fabs(m.r2.x) > 1e-9 || std::fabs(m.r2.y) > 1e-9 ||
+      std::fabs(m.r2.z - 1.0) > 1e-9 || std::fabs(m.r0.z) > 1e-9 ||
+      std::fabs(m.r1.z) > 1e-9)
+    return std::nullopt;
+  return std::atan2(m.r1.x, m.r0.x);
+}
+
+}  // namespace
+
+std::optional<std::unique_ptr<Environment>> load_environment(
+    std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) return std::nullopt;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    if (!(header >> magic >> version) || magic != kMagic ||
+        version != kVersion)
+      return std::nullopt;
+  }
+
+  std::string name = "unnamed";
+  std::optional<cspace::CSpace> space;
+  collision::RigidBody robot = collision::RigidBody::box({1, 1, 1});
+  RobotModel model = RobotModel::kRigidBody;
+  std::vector<collision::ObstacleShape> obstacles;
+
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag[0] == '#') continue;
+    if (tag == "name") {
+      if (!(ls >> name)) return std::nullopt;
+    } else if (tag == "space") {
+      std::string kind;
+      geo::Vec3 lo, hi;
+      if (!(ls >> kind >> lo.x >> lo.y >> lo.z >> hi.x >> hi.y >> hi.z))
+        return std::nullopt;
+      if (kind == "se3")
+        space = cspace::CSpace::se3({lo, hi});
+      else if (kind == "se2")
+        space = cspace::CSpace::se2({lo, hi});
+      else
+        return std::nullopt;
+    } else if (tag == "robot") {
+      std::string kind;
+      if (!(ls >> kind)) return std::nullopt;
+      if (kind == "box") {
+        geo::Vec3 h;
+        if (!(ls >> h.x >> h.y >> h.z)) return std::nullopt;
+        robot = collision::RigidBody::box(h);
+        model = RobotModel::kRigidBody;
+      } else if (kind == "sphere") {
+        double r = 0.0;
+        if (!(ls >> r)) return std::nullopt;
+        robot = collision::RigidBody::sphere(r);
+        model = RobotModel::kRigidBody;
+      } else if (kind == "point") {
+        robot = collision::RigidBody::sphere(0.0);
+        model = RobotModel::kPoint;
+      } else {
+        return std::nullopt;
+      }
+    } else if (tag == "aabb") {
+      geo::Vec3 lo, hi;
+      if (!(ls >> lo.x >> lo.y >> lo.z >> hi.x >> hi.y >> hi.z))
+        return std::nullopt;
+      obstacles.push_back(geo::Aabb{lo, hi});
+    } else if (tag == "obb") {
+      geo::Vec3 c, h;
+      double angle = 0.0;
+      if (!(ls >> c.x >> c.y >> c.z >> h.x >> h.y >> h.z >> angle))
+        return std::nullopt;
+      obstacles.push_back(geo::Obb{c, h, geo::Mat3::rot_z(angle)});
+    } else if (tag == "sphere") {
+      geo::Vec3 c;
+      double r = 0.0;
+      if (!(ls >> c.x >> c.y >> c.z >> r)) return std::nullopt;
+      obstacles.push_back(geo::Sphere{c, r});
+    } else {
+      return std::nullopt;  // unknown record
+    }
+  }
+  if (!space) return std::nullopt;
+  return std::make_unique<Environment>(name, *space, std::move(obstacles),
+                                       std::move(robot), model);
+}
+
+bool save_environment(const Environment& e, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << std::setprecision(17);
+  os << "name " << e.name() << '\n';
+  const auto& b = e.space().position_bounds();
+  const char* kind =
+      e.space().kind() == cspace::SpaceKind::SE2 ? "se2" : "se3";
+  if (e.space().kind() == cspace::SpaceKind::Euclidean) return false;
+  os << "space " << kind << ' ' << b.lo.x << ' ' << b.lo.y << ' ' << b.lo.z
+     << ' ' << b.hi.x << ' ' << b.hi.y << ' ' << b.hi.z << '\n';
+
+  if (e.robot_model() == RobotModel::kPoint) {
+    os << "robot point\n";
+  } else if (!e.robot().boxes.empty()) {
+    const auto& h = e.robot().boxes[0].half;
+    os << "robot box " << h.x << ' ' << h.y << ' ' << h.z << '\n';
+  } else if (!e.robot().spheres.empty()) {
+    os << "robot sphere " << e.robot().spheres[0].radius << '\n';
+  } else {
+    return false;
+  }
+
+  for (const auto& shape : e.checker().obstacles()) {
+    if (const auto* box = std::get_if<geo::Aabb>(&shape)) {
+      os << "aabb " << box->lo.x << ' ' << box->lo.y << ' ' << box->lo.z
+         << ' ' << box->hi.x << ' ' << box->hi.y << ' ' << box->hi.z << '\n';
+    } else if (const auto* obb = std::get_if<geo::Obb>(&shape)) {
+      const auto angle = z_rotation_of(obb->rot);
+      if (!angle) return false;
+      os << "obb " << obb->center.x << ' ' << obb->center.y << ' '
+         << obb->center.z << ' ' << obb->half.x << ' ' << obb->half.y << ' '
+         << obb->half.z << ' ' << *angle << '\n';
+    } else if (const auto* sph = std::get_if<geo::Sphere>(&shape)) {
+      os << "sphere " << sph->center.x << ' ' << sph->center.y << ' '
+         << sph->center.z << ' ' << sph->radius << '\n';
+    } else {
+      return false;  // triangles not representable in v1
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<std::unique_ptr<Environment>> load_environment_file(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return load_environment(is);
+}
+
+bool save_environment_file(const Environment& e, const std::string& path) {
+  std::ofstream os(path);
+  return os && save_environment(e, os);
+}
+
+}  // namespace pmpl::env

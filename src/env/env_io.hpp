@@ -1,0 +1,39 @@
+#pragma once
+/// \file env_io.hpp
+/// Environment persistence: load user-defined scenes from a line-oriented
+/// text format, and save built-in ones for editing.
+///
+/// Format (comments with '#', one record per line):
+///
+///   pmpl-env 1
+///   name <string>
+///   space se3|se2 <lo.x> <lo.y> <lo.z> <hi.x> <hi.y> <hi.z>
+///   robot box <hx> <hy> <hz> | robot sphere <r> | robot point
+///   aabb <lo.x> <lo.y> <lo.z> <hi.x> <hi.y> <hi.z>
+///   obb <c.x> <c.y> <c.z> <h.x> <h.y> <h.z> <z-rotation-rad>
+///   sphere <c.x> <c.y> <c.z> <r>
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "env/environment.hpp"
+
+namespace pmpl::env {
+
+/// Parse an environment; nullopt (with no partial state) on malformed
+/// input.
+std::optional<std::unique_ptr<Environment>> load_environment(
+    std::istream& is);
+
+/// Serialize `e` (space bounds, robot, obstacles). OBB orientations are
+/// saved as z-rotations only (the format's limitation); other orientations
+/// are rejected with a false return.
+bool save_environment(const Environment& e, std::ostream& os);
+
+std::optional<std::unique_ptr<Environment>> load_environment_file(
+    const std::string& path);
+bool save_environment_file(const Environment& e, const std::string& path);
+
+}  // namespace pmpl::env

@@ -1,0 +1,53 @@
+#include "env/environment.hpp"
+
+#include "util/rng.hpp"
+
+namespace pmpl::env {
+
+Environment::Environment(std::string name, cspace::CSpace space,
+                         std::vector<collision::ObstacleShape> obstacles,
+                         collision::RigidBody robot, RobotModel model)
+    : name_(std::move(name)),
+      space_(std::move(space)),
+      checker_(std::move(obstacles)),
+      robot_(std::move(robot)),
+      model_(model) {
+  switch (model_) {
+    case RobotModel::kPoint:
+      validity_ = std::make_unique<cspace::PointValidity>(space_, checker_);
+      break;
+    case RobotModel::kRigidBody:
+      validity_ = std::make_unique<cspace::RigidBodyValidity>(space_, robot_,
+                                                              checker_);
+      break;
+  }
+}
+
+double Environment::blocked_fraction(std::size_t samples,
+                                     std::uint64_t seed) const {
+  Xoshiro256ss rng(seed);
+  const geo::Aabb& b = space_.position_bounds();
+  std::size_t blocked = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const geo::Vec3 p{rng.uniform(b.lo.x, b.hi.x), rng.uniform(b.lo.y, b.hi.y),
+                      rng.uniform(b.lo.z, b.hi.z)};
+    if (checker_.point_in_collision(p)) ++blocked;
+  }
+  return static_cast<double>(blocked) / static_cast<double>(samples);
+}
+
+double Environment::free_fraction_in(const geo::Aabb& box, std::size_t samples,
+                                     std::uint64_t seed) const {
+  Xoshiro256ss rng(seed);
+  std::size_t free = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const geo::Vec3 p{rng.uniform(box.lo.x, box.hi.x),
+                      rng.uniform(box.lo.y, box.hi.y),
+                      box.lo.z == box.hi.z ? box.lo.z
+                                           : rng.uniform(box.lo.z, box.hi.z)};
+    if (!checker_.point_in_collision(p)) ++free;
+  }
+  return static_cast<double>(free) / static_cast<double>(samples);
+}
+
+}  // namespace pmpl::env

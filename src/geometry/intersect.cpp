@@ -1,0 +1,214 @@
+#include "geometry/intersect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmpl::geo {
+
+namespace {
+
+/// Slab test in a frame where the box is axis-aligned at the origin.
+/// Returns [tmin, tmax] clipped to [0, tcap], or nullopt if disjoint.
+std::optional<std::pair<double, double>> slab_interval(Vec3 origin, Vec3 dir,
+                                                       Vec3 half,
+                                                       double tcap) noexcept {
+  double tmin = 0.0;
+  double tmax = tcap;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double o = origin[i];
+    const double d = dir[i];
+    const double h = half[i];
+    if (std::fabs(d) < 1e-300) {
+      if (o < -h || o > h) return std::nullopt;
+      continue;
+    }
+    double t1 = (-h - o) / d;
+    double t2 = (h - o) / d;
+    if (t1 > t2) std::swap(t1, t2);
+    tmin = std::max(tmin, t1);
+    tmax = std::min(tmax, t2);
+    if (tmin > tmax) return std::nullopt;
+  }
+  return std::make_pair(tmin, tmax);
+}
+
+}  // namespace
+
+bool intersects(const Sphere& a, const Sphere& b) noexcept {
+  const double r = a.radius + b.radius;
+  return (a.center - b.center).norm2() <= r * r;
+}
+
+bool intersects(const Sphere& s, const Aabb& b) noexcept {
+  return distance2(s.center, b) <= s.radius * s.radius;
+}
+
+bool intersects(const Aabb& a, const Aabb& b) noexcept {
+  return a.overlaps(b);
+}
+
+bool intersects(const Sphere& s, const Obb& b) noexcept {
+  const Vec3 local = b.to_local(s.center);
+  const Vec3 clamped{std::clamp(local.x, -b.half.x, b.half.x),
+                     std::clamp(local.y, -b.half.y, b.half.y),
+                     std::clamp(local.z, -b.half.z, b.half.z)};
+  return (local - clamped).norm2() <= s.radius * s.radius;
+}
+
+bool intersects(const Obb& a, const Obb& b) noexcept {
+  // SAT following Gottschalk's OBBTree formulation. Work in a's frame.
+  const Mat3 a_rot_t = a.rot.transposed();
+  const Mat3 r = a_rot_t * b.rot;          // b axes in a's frame
+  const Vec3 t = a_rot_t * (b.center - a.center);
+
+  // |r| + epsilon guards near-parallel edge axes.
+  Mat3 absr;
+  constexpr double kEps = 1e-12;
+  absr.r0 = {std::fabs(r.r0.x) + kEps, std::fabs(r.r0.y) + kEps,
+             std::fabs(r.r0.z) + kEps};
+  absr.r1 = {std::fabs(r.r1.x) + kEps, std::fabs(r.r1.y) + kEps,
+             std::fabs(r.r1.z) + kEps};
+  absr.r2 = {std::fabs(r.r2.x) + kEps, std::fabs(r.r2.y) + kEps,
+             std::fabs(r.r2.z) + kEps};
+
+  const Vec3& ea = a.half;
+  const Vec3& eb = b.half;
+  const Vec3 absr_rows[3] = {absr.r0, absr.r1, absr.r2};
+  const Vec3 r_rows[3] = {r.r0, r.r1, r.r2};
+
+  // Axes A0, A1, A2.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double ra = ea[i];
+    const double rb = eb.dot(absr_rows[i]);
+    if (std::fabs(t[i]) > ra + rb) return false;
+  }
+
+  // Axes B0, B1, B2.
+  for (std::size_t j = 0; j < 3; ++j) {
+    const double ra = ea.x * absr_rows[0][j] + ea.y * absr_rows[1][j] +
+                      ea.z * absr_rows[2][j];
+    const double rb = eb[j];
+    const double tproj = t.x * r_rows[0][j] + t.y * r_rows[1][j] +
+                         t.z * r_rows[2][j];
+    if (std::fabs(tproj) > ra + rb) return false;
+  }
+
+  // Cross-product axes A_i x B_j.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t i1 = (i + 1) % 3;
+    const std::size_t i2 = (i + 2) % 3;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const std::size_t j1 = (j + 1) % 3;
+      const std::size_t j2 = (j + 2) % 3;
+      const double ra = ea[i1] * absr_rows[i2][j] + ea[i2] * absr_rows[i1][j];
+      const double rb = eb[j1] * absr_rows[i][j2] + eb[j2] * absr_rows[i][j1];
+      const double tproj = t[i2] * r_rows[i1][j] - t[i1] * r_rows[i2][j];
+      if (std::fabs(tproj) > ra + rb) return false;
+    }
+  }
+  return true;
+}
+
+bool intersects(const Obb& a, const Aabb& b) noexcept {
+  return intersects(a, Obb::from_aabb(b));
+}
+
+bool intersects(const Segment& seg, const Aabb& b) noexcept {
+  const Vec3 d = seg.dir();
+  const double len = d.norm();
+  if (len <= 0.0) return b.contains(seg.a);
+  return slab_interval(seg.a - b.center(), d / len, b.extents(), len)
+      .has_value();
+}
+
+bool intersects(const Segment& seg, const Obb& b) noexcept {
+  const Mat3 rt = b.rot.transposed();
+  const Vec3 la = rt * (seg.a - b.center);
+  const Vec3 lb = rt * (seg.b - b.center);
+  const Vec3 d = lb - la;
+  const double len = d.norm();
+  if (len <= 0.0)
+    return std::fabs(la.x) <= b.half.x && std::fabs(la.y) <= b.half.y &&
+           std::fabs(la.z) <= b.half.z;
+  return slab_interval(la, d / len, b.half, len).has_value();
+}
+
+bool intersects(const Segment& seg, const Sphere& s) noexcept {
+  const Vec3 cp = closest_point(seg, s.center);
+  return (cp - s.center).norm2() <= s.radius * s.radius;
+}
+
+std::optional<double> ray_hit(const Ray& r, const Aabb& b) noexcept {
+  constexpr double kFar = 1e300;
+  const auto iv = slab_interval(r.origin - b.center(), r.dir, b.extents(),
+                                kFar);
+  if (!iv) return std::nullopt;
+  return iv->first;
+}
+
+std::optional<double> ray_hit(const Ray& r, const Obb& b) noexcept {
+  const Mat3 rt = b.rot.transposed();
+  const Vec3 lo = rt * (r.origin - b.center);
+  const Vec3 ld = rt * r.dir;
+  constexpr double kFar = 1e300;
+  const auto iv = slab_interval(lo, ld, b.half, kFar);
+  if (!iv) return std::nullopt;
+  return iv->first;
+}
+
+std::optional<double> ray_hit(const Ray& r, const Sphere& s) noexcept {
+  const Vec3 oc = r.origin - s.center;
+  const double a = r.dir.norm2();
+  const double half_b = oc.dot(r.dir);
+  const double c = oc.norm2() - s.radius * s.radius;
+  const double disc = half_b * half_b - a * c;
+  if (disc < 0.0 || a <= 0.0) return std::nullopt;
+  const double sq = std::sqrt(disc);
+  double t = (-half_b - sq) / a;
+  if (t < 0.0) t = (-half_b + sq) / a;
+  if (t < 0.0) return std::nullopt;
+  return t;
+}
+
+std::optional<double> ray_hit(const Ray& r, const Triangle& tri) noexcept {
+  constexpr double kEps = 1e-12;
+  const Vec3 e1 = tri.v[1] - tri.v[0];
+  const Vec3 e2 = tri.v[2] - tri.v[0];
+  const Vec3 p = r.dir.cross(e2);
+  const double det = e1.dot(p);
+  if (std::fabs(det) < kEps) return std::nullopt;  // parallel
+  const double inv = 1.0 / det;
+  const Vec3 s = r.origin - tri.v[0];
+  const double u = s.dot(p) * inv;
+  if (u < 0.0 || u > 1.0) return std::nullopt;
+  const Vec3 q = s.cross(e1);
+  const double v = r.dir.dot(q) * inv;
+  if (v < 0.0 || u + v > 1.0) return std::nullopt;
+  const double t = e2.dot(q) * inv;
+  if (t < 0.0) return std::nullopt;
+  return t;
+}
+
+double distance2(Vec3 p, const Aabb& b) noexcept {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (p[i] < b.lo[i]) {
+      const double d = b.lo[i] - p[i];
+      d2 += d * d;
+    } else if (p[i] > b.hi[i]) {
+      const double d = p[i] - b.hi[i];
+      d2 += d * d;
+    }
+  }
+  return d2;
+}
+
+Vec3 closest_point(const Segment& seg, Vec3 p) noexcept {
+  const Vec3 d = seg.dir();
+  const double len2 = d.norm2();
+  if (len2 <= 0.0) return seg.a;
+  const double t = std::clamp((p - seg.a).dot(d) / len2, 0.0, 1.0);
+  return seg.at(t);
+}
+
+}  // namespace pmpl::geo

@@ -1,0 +1,59 @@
+#pragma once
+/// \file intersect.hpp
+/// Primitive intersection / distance queries.
+///
+/// Boolean overlap tests are exact up to floating point; ray queries return
+/// the entry parameter t >= 0 (or a miss). These are the leaves of every
+/// collision check the planners perform, so they are kept branch-lean.
+
+#include <optional>
+
+#include "geometry/shapes.hpp"
+
+namespace pmpl::geo {
+
+// --- boolean overlap tests ------------------------------------------------
+
+bool intersects(const Sphere& a, const Sphere& b) noexcept;
+bool intersects(const Sphere& s, const Aabb& b) noexcept;
+bool intersects(const Aabb& a, const Aabb& b) noexcept;
+
+/// Sphere vs oriented box (exact: closest point in the box's local frame).
+bool intersects(const Sphere& s, const Obb& b) noexcept;
+
+/// OBB vs OBB via the separating axis theorem (15 candidate axes).
+bool intersects(const Obb& a, const Obb& b) noexcept;
+
+/// OBB vs AABB (specialized SAT treating the AABB as identity-oriented).
+bool intersects(const Obb& a, const Aabb& b) noexcept;
+
+// --- segment (swept point) queries -----------------------------------------
+
+/// Does the segment pass through the box? (slab test)
+bool intersects(const Segment& seg, const Aabb& b) noexcept;
+
+/// Segment vs oriented box: transform to local frame, then slab test.
+bool intersects(const Segment& seg, const Obb& b) noexcept;
+
+bool intersects(const Segment& seg, const Sphere& s) noexcept;
+
+// --- ray queries ------------------------------------------------------------
+
+/// Entry parameter of ray into AABB, or nullopt on miss. t may be 0 when the
+/// origin is inside.
+std::optional<double> ray_hit(const Ray& r, const Aabb& b) noexcept;
+std::optional<double> ray_hit(const Ray& r, const Obb& b) noexcept;
+std::optional<double> ray_hit(const Ray& r, const Sphere& s) noexcept;
+
+/// Möller–Trumbore ray/triangle intersection.
+std::optional<double> ray_hit(const Ray& r, const Triangle& t) noexcept;
+
+// --- point / distance utilities ---------------------------------------------
+
+/// Squared distance from point to AABB surface or 0 when inside.
+double distance2(Vec3 p, const Aabb& b) noexcept;
+
+/// Closest point on segment to `p`.
+Vec3 closest_point(const Segment& seg, Vec3 p) noexcept;
+
+}  // namespace pmpl::geo

@@ -1,0 +1,47 @@
+#pragma once
+/// \file morton.hpp
+/// Morton (Z-order) codes for the space-filling-curve partitioner.
+///
+/// Regions are mapped to 1D by interleaving quantized centroid coordinates;
+/// a weighted 1D split of the curve then yields geometry-preserving parts.
+
+#include <cstdint>
+
+#include "geometry/shapes.hpp"
+#include "geometry/vec.hpp"
+
+namespace pmpl::geo {
+
+/// Spread the low 21 bits of x so there are two zero bits between each.
+constexpr std::uint64_t morton_spread3(std::uint64_t x) noexcept {
+  x &= 0x1fffffULL;  // 21 bits
+  x = (x | (x << 32)) & 0x1f00000000ffffULL;
+  x = (x | (x << 16)) & 0x1f0000ff0000ffULL;
+  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+/// 63-bit 3D Morton code from 21-bit quantized coordinates.
+constexpr std::uint64_t morton3(std::uint64_t x, std::uint64_t y,
+                                std::uint64_t z) noexcept {
+  return morton_spread3(x) | (morton_spread3(y) << 1) |
+         (morton_spread3(z) << 2);
+}
+
+/// Quantize a point within `bounds` to a 3D Morton key.
+inline std::uint64_t morton_key(Vec3 p, const Aabb& bounds) noexcept {
+  constexpr double kScale = static_cast<double>(1u << 21) - 1.0;
+  const Vec3 size = bounds.size();
+  auto q = [&](double v, double lo, double s) -> std::uint64_t {
+    if (s <= 0.0) return 0;
+    double t = (v - lo) / s;
+    t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+    return static_cast<std::uint64_t>(t * kScale);
+  };
+  return morton3(q(p.x, bounds.lo.x, size.x), q(p.y, bounds.lo.y, size.y),
+                 q(p.z, bounds.lo.z, size.z));
+}
+
+}  // namespace pmpl::geo

@@ -1,0 +1,124 @@
+#pragma once
+/// \file vec.hpp
+/// Small fixed-size vectors (2D/3D) and a 3x3 matrix.
+///
+/// These are plain value types with the handful of operations the collision
+/// and planning code needs; no expression templates, no SIMD — the hot loops
+/// are dominated by branchy intersection logic, not vector arithmetic.
+
+#include <cmath>
+#include <cstddef>
+
+namespace pmpl::geo {
+
+/// 2D double vector (model environment, processor meshes, planar robots).
+struct Vec2 {
+  double x = 0.0, y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const noexcept { return {-x, -y}; }
+  constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  constexpr double cross(Vec2 o) const noexcept { return x * o.y - y * o.x; }
+  constexpr double norm2() const noexcept { return dot(*this); }
+  double norm() const noexcept { return std::sqrt(norm2()); }
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+};
+
+/// 3D double vector. The workhorse of the geometry layer.
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3 operator+(Vec3 o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(Vec3 o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const noexcept {
+    return {x * s, y * s, z * s};
+  }
+  constexpr Vec3 operator/(double s) const noexcept {
+    return {x / s, y / s, z / s};
+  }
+  constexpr Vec3 operator-() const noexcept { return {-x, -y, -z}; }
+  constexpr Vec3& operator+=(Vec3 o) noexcept { return *this = *this + o; }
+  constexpr Vec3& operator-=(Vec3 o) noexcept { return *this = *this - o; }
+  constexpr Vec3& operator*=(double s) noexcept { return *this = *this * s; }
+
+  constexpr double dot(Vec3 o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(Vec3 o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double norm2() const noexcept { return dot(*this); }
+  double norm() const noexcept { return std::sqrt(norm2()); }
+
+  /// Unit vector in this direction; returns +x for the zero vector.
+  Vec3 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{1.0, 0.0, 0.0};
+  }
+
+  constexpr double operator[](std::size_t i) const noexcept {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+  constexpr double& operator[](std::size_t i) noexcept {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  friend constexpr bool operator==(Vec3, Vec3) = default;
+};
+
+constexpr Vec3 operator*(double s, Vec3 v) noexcept { return v * s; }
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+/// Componentwise min/max (AABB construction).
+constexpr Vec3 min(Vec3 a, Vec3 b) noexcept {
+  return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+          a.z < b.z ? a.z : b.z};
+}
+constexpr Vec3 max(Vec3 a, Vec3 b) noexcept {
+  return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y,
+          a.z > b.z ? a.z : b.z};
+}
+
+/// Row-major 3x3 matrix; used for OBB orientations where repeated
+/// vector rotation makes a matrix cheaper than quaternion application.
+struct Mat3 {
+  // Rows.
+  Vec3 r0{1, 0, 0}, r1{0, 1, 0}, r2{0, 0, 1};
+
+  static constexpr Mat3 identity() noexcept { return {}; }
+
+  constexpr Vec3 operator*(Vec3 v) const noexcept {
+    return {r0.dot(v), r1.dot(v), r2.dot(v)};
+  }
+
+  constexpr Mat3 operator*(const Mat3& o) const noexcept {
+    const Mat3 t = o.transposed();
+    return {{r0.dot(t.r0), r0.dot(t.r1), r0.dot(t.r2)},
+            {r1.dot(t.r0), r1.dot(t.r1), r1.dot(t.r2)},
+            {r2.dot(t.r0), r2.dot(t.r1), r2.dot(t.r2)}};
+  }
+
+  constexpr Mat3 transposed() const noexcept {
+    return {{r0.x, r1.x, r2.x}, {r0.y, r1.y, r2.y}, {r0.z, r1.z, r2.z}};
+  }
+
+  /// Column i (basis axis i for a rotation matrix).
+  constexpr Vec3 col(std::size_t i) const noexcept {
+    return {r0[i], r1[i], r2[i]};
+  }
+
+  /// Rotation about +z by `angle` radians (planar robots, walls-45 env).
+  static Mat3 rot_z(double angle) noexcept {
+    const double c = std::cos(angle), s = std::sin(angle);
+    return {{c, -s, 0}, {s, c, 0}, {0, 0, 1}};
+  }
+};
+
+}  // namespace pmpl::geo

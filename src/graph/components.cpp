@@ -1,0 +1,33 @@
+#include "graph/components.hpp"
+
+#include <unordered_map>
+
+#include "graph/union_find.hpp"
+
+namespace pmpl::graph {
+
+std::vector<std::uint32_t> component_labels(
+    std::size_t num_vertices,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> edges) {
+  UnionFind uf(num_vertices);
+  for (const auto& [a, b] : edges) uf.unite(a, b);
+  std::vector<std::uint32_t> labels(num_vertices);
+  for (std::size_t v = 0; v < num_vertices; ++v)
+    labels[v] = uf.find(static_cast<std::uint32_t>(v));
+  return labels;
+}
+
+ComponentSummary summarize_components(std::span<const std::uint32_t> labels) {
+  ComponentSummary s;
+  if (labels.empty()) return s;
+  std::unordered_map<std::uint32_t, std::size_t> sizes;
+  for (std::uint32_t l : labels) ++sizes[l];
+  s.count = sizes.size();
+  for (const auto& [label, size] : sizes)
+    if (size > s.largest) s.largest = size;
+  s.largest_fraction =
+      static_cast<double>(s.largest) / static_cast<double>(labels.size());
+  return s;
+}
+
+}  // namespace pmpl::graph

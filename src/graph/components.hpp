@@ -1,0 +1,31 @@
+#pragma once
+/// \file components.hpp
+/// Connected-component labeling over plain edge lists.
+///
+/// Non-template companion to AdjacencyGraph used for roadmap analyses
+/// (component counts, largest-component fraction) and the Fig 3 node
+/// distribution bench.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace pmpl::graph {
+
+/// Component label per vertex (labels are root ids, not densified).
+std::vector<std::uint32_t> component_labels(
+    std::size_t num_vertices,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> edges);
+
+/// Summary of a labeling.
+struct ComponentSummary {
+  std::size_t count = 0;         ///< number of components
+  std::size_t largest = 0;       ///< size of the largest component
+  double largest_fraction = 0.0; ///< largest / num_vertices
+};
+
+ComponentSummary summarize_components(
+    std::span<const std::uint32_t> labels);
+
+}  // namespace pmpl::graph

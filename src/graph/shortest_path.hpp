@@ -1,0 +1,96 @@
+#pragma once
+/// \file shortest_path.hpp
+/// Dijkstra / A* over an AdjacencyGraph (roadmap query extraction).
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "graph/adjacency_graph.hpp"
+
+namespace pmpl::graph {
+
+/// A found path: vertex sequence (src..dst) and its total cost.
+struct PathResult {
+  std::vector<VertexId> vertices;
+  double cost = 0.0;
+};
+
+/// A* from `src` to `dst`. `edge_cost(prop)` maps an edge payload to a
+/// non-negative weight; `heuristic(v)` must be admissible (pass a constant
+/// 0 for plain Dijkstra).
+template <typename VP, typename EP>
+std::optional<PathResult> astar(
+    const AdjacencyGraph<VP, EP>& g, VertexId src, VertexId dst,
+    const std::function<double(const EP&)>& edge_cost,
+    const std::function<double(VertexId)>& heuristic) {
+  constexpr double kInf = 1e300;
+  const std::size_t n = g.num_vertices();
+  if (src >= n || dst >= n) return std::nullopt;
+
+  std::vector<double> dist(n, kInf);
+  std::vector<VertexId> prev(n, kInvalidVertex);
+  using Entry = std::pair<double, VertexId>;  // (f = g + h, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+
+  dist[src] = 0.0;
+  open.emplace(heuristic(src), src);
+  while (!open.empty()) {
+    const auto [f, u] = open.top();
+    open.pop();
+    if (u == dst) break;
+    if (f - heuristic(u) > dist[u] + 1e-12) continue;  // stale entry
+    for (const auto& e : g.edges_of(u)) {
+      const double w = edge_cost(e.prop);
+      const double nd = dist[u] + w;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        prev[e.to] = u;
+        open.emplace(nd + heuristic(e.to), e.to);
+      }
+    }
+  }
+
+  if (dist[dst] >= kInf) return std::nullopt;
+  PathResult r;
+  r.cost = dist[dst];
+  for (VertexId v = dst; v != kInvalidVertex; v = prev[v])
+    r.vertices.push_back(v);
+  std::reverse(r.vertices.begin(), r.vertices.end());
+  return r;
+}
+
+/// Dijkstra convenience wrapper.
+template <typename VP, typename EP>
+std::optional<PathResult> dijkstra(
+    const AdjacencyGraph<VP, EP>& g, VertexId src, VertexId dst,
+    const std::function<double(const EP&)>& edge_cost) {
+  return astar<VP, EP>(g, src, dst, edge_cost,
+                       [](VertexId) { return 0.0; });
+}
+
+/// Breadth-first path existence test (unweighted reachability).
+template <typename VP, typename EP>
+bool reachable(const AdjacencyGraph<VP, EP>& g, VertexId src, VertexId dst) {
+  if (src >= g.num_vertices() || dst >= g.num_vertices()) return false;
+  if (src == dst) return true;
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::vector<VertexId> queue{src};
+  seen[src] = true;
+  while (!queue.empty()) {
+    const VertexId u = queue.back();
+    queue.pop_back();
+    for (const auto& e : g.edges_of(u)) {
+      if (e.to == dst) return true;
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace pmpl::graph

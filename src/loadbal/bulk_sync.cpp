@@ -1,0 +1,70 @@
+#include "loadbal/bulk_sync.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pmpl::loadbal {
+
+namespace {
+
+/// log2-tree collective latency (barrier / broadcast / allgather startup).
+double collective_latency(std::uint32_t p,
+                          const runtime::ClusterSpec& cluster) {
+  if (p <= 1) return 0.0;
+  return cluster.remote_latency_s *
+         std::ceil(std::log2(static_cast<double>(p)));
+}
+
+}  // namespace
+
+PhaseSchedule static_phase(std::span<const double> service_s,
+                           std::span<const std::uint32_t> assignment,
+                           std::uint32_t p,
+                           const runtime::ClusterSpec& cluster) {
+  assert(service_s.size() == assignment.size());
+  PhaseSchedule out;
+  out.busy_s.assign(p, 0.0);
+  for (std::size_t i = 0; i < service_s.size(); ++i)
+    out.busy_s[assignment[i]] += service_s[i];
+  double max_busy = 0.0;
+  for (double b : out.busy_s) max_busy = std::max(max_busy, b);
+  out.time_s = max_busy + collective_latency(p, cluster);  // closing barrier
+  return out;
+}
+
+double redistribution_time(std::span<const std::uint64_t> bytes,
+                           std::span<const std::uint32_t> before,
+                           std::span<const std::uint32_t> after,
+                           std::uint32_t p,
+                           const runtime::ClusterSpec& cluster) {
+  const std::size_t n = bytes.size();
+  assert(before.size() == n && after.size() == n);
+
+  // 1. Allgather per-region weights, then every location computes the
+  //    partition redundantly: ~c * n log n with a small per-item constant.
+  constexpr double kNsPerItemLogItem = 40.0;
+  const double logn =
+      n > 1 ? std::log2(static_cast<double>(n)) : 1.0;
+  const double compute =
+      kNsPerItemLogItem * 1e-9 * static_cast<double>(n) * logn;
+
+  // 2. Migration: each location serializes its sends and receives.
+  const auto mv = migration_volume(bytes, before, after, p);
+  double worst = 0.0;
+  for (std::uint32_t part = 0; part < p; ++part) {
+    const double io = static_cast<double>(mv.sent[part] + mv.received[part]) /
+                      cluster.bandwidth_bps;
+    worst = std::max(worst, io);
+  }
+  // Message startup: one latency per moved item on the critical location,
+  // approximated by the average moved-items-per-location.
+  const double startups =
+      p > 0 ? cluster.remote_latency_s *
+                  (static_cast<double>(mv.items_moved) / p)
+            : 0.0;
+
+  return 2.0 * collective_latency(p, cluster) + compute + worst + startups;
+}
+
+}  // namespace pmpl::loadbal

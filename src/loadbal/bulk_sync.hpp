@@ -1,0 +1,39 @@
+#pragma once
+/// \file bulk_sync.hpp
+/// Bulk-synchronous phase timing for the repartitioning strategy
+/// (Algorithm 4): static phases complete at the max per-location load;
+/// redistribution pays partition computation plus data migration.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "loadbal/metrics.hpp"
+#include "runtime/topology.hpp"
+
+namespace pmpl::loadbal {
+
+/// Outcome of one bulk-synchronous phase.
+struct PhaseSchedule {
+  double time_s = 0.0;            ///< phase completion (max location)
+  std::vector<double> busy_s;     ///< per-location busy time
+};
+
+/// A static owner-computes phase: every location runs its items
+/// back-to-back; the phase ends at the slowest location (plus a barrier).
+PhaseSchedule static_phase(std::span<const double> service_s,
+                           std::span<const std::uint32_t> assignment,
+                           std::uint32_t p,
+                           const runtime::ClusterSpec& cluster);
+
+/// Time to repartition and migrate: computing the new partition (modeled
+/// as an O(n log n) scan on every location over the gathered weights, after
+/// an allgather of per-region weights) plus the slowest location's
+/// send+receive payload.
+double redistribution_time(std::span<const std::uint64_t> bytes,
+                           std::span<const std::uint32_t> before,
+                           std::span<const std::uint32_t> after,
+                           std::uint32_t p,
+                           const runtime::ClusterSpec& cluster);
+
+}  // namespace pmpl::loadbal

@@ -1,0 +1,60 @@
+#include "loadbal/metrics.hpp"
+
+#include <cassert>
+
+namespace pmpl::loadbal {
+
+std::vector<double> per_part_load(std::span<const double> weights,
+                                  std::span<const std::uint32_t> assignment,
+                                  std::uint32_t parts) {
+  assert(weights.size() == assignment.size());
+  std::vector<double> load(parts, 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    assert(assignment[i] < parts);
+    load[assignment[i]] += weights[i];
+  }
+  return load;
+}
+
+double load_cv(std::span<const double> weights,
+               std::span<const std::uint32_t> assignment,
+               std::uint32_t parts) {
+  const auto load = per_part_load(weights, assignment, parts);
+  return summarize(load).cv();
+}
+
+double makespan(std::span<const double> weights,
+                std::span<const std::uint32_t> assignment,
+                std::uint32_t parts) {
+  const auto load = per_part_load(weights, assignment, parts);
+  return summarize(load).max;
+}
+
+std::uint64_t edge_cut(
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> edges,
+    std::span<const std::uint32_t> assignment) {
+  std::uint64_t cut = 0;
+  for (const auto& [a, b] : edges)
+    if (assignment[a] != assignment[b]) ++cut;
+  return cut;
+}
+
+MigrationVolume migration_volume(std::span<const std::uint64_t> bytes,
+                                 std::span<const std::uint32_t> before,
+                                 std::span<const std::uint32_t> after,
+                                 std::uint32_t parts) {
+  assert(bytes.size() == before.size() && before.size() == after.size());
+  MigrationVolume mv;
+  mv.sent.assign(parts, 0);
+  mv.received.assign(parts, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (before[i] == after[i]) continue;
+    mv.sent[before[i]] += bytes[i];
+    mv.received[after[i]] += bytes[i];
+    mv.total += bytes[i];
+    ++mv.items_moved;
+  }
+  return mv;
+}
+
+}  // namespace pmpl::loadbal

@@ -1,0 +1,57 @@
+#pragma once
+/// \file metrics.hpp
+/// Load-imbalance and partition-quality metrics.
+///
+/// The paper's measures: coefficient of variation of per-processor load
+/// (Figs 4a, 5b), makespan/max-load (Fig 4b), edge cut of the region-graph
+/// partition (drives the remote-access growth of Fig 7b), and migration
+/// volume (the cost side of repartitioning).
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pmpl::loadbal {
+
+/// Item -> part assignment (dense part ids in [0, parts)).
+using Assignment = std::vector<std::uint32_t>;
+
+/// Sum per-part load for `weights` under `assignment`.
+std::vector<double> per_part_load(std::span<const double> weights,
+                                  std::span<const std::uint32_t> assignment,
+                                  std::uint32_t parts);
+
+/// Coefficient of variation (sigma/mu) of per-part loads.
+double load_cv(std::span<const double> weights,
+               std::span<const std::uint32_t> assignment,
+               std::uint32_t parts);
+
+/// Max per-part load (the lower bound on phase completion time).
+double makespan(std::span<const double> weights,
+                std::span<const std::uint32_t> assignment,
+                std::uint32_t parts);
+
+/// Number of edges whose endpoints land in different parts.
+std::uint64_t edge_cut(
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> edges,
+    std::span<const std::uint32_t> assignment);
+
+/// Bytes entering/leaving each part when moving from `before` to `after`
+/// (item i contributes bytes[i] to its old part's sends and new part's
+/// receives when reassigned).
+struct MigrationVolume {
+  std::vector<std::uint64_t> sent;      ///< per part
+  std::vector<std::uint64_t> received;  ///< per part
+  std::uint64_t total = 0;
+  std::size_t items_moved = 0;
+};
+
+MigrationVolume migration_volume(std::span<const std::uint64_t> bytes,
+                                 std::span<const std::uint32_t> before,
+                                 std::span<const std::uint32_t> after,
+                                 std::uint32_t parts);
+
+}  // namespace pmpl::loadbal

@@ -1,0 +1,63 @@
+#pragma once
+/// \file partition.hpp
+/// Region-graph partitioners.
+///
+/// The paper computes "high quality partitions of the problem across
+/// processing elements" that balance an estimated per-region weight while
+/// "preserving the spatial geometry of the subdivision" (§III-B), and uses
+/// "a greedy global partitioning algorithm" for the theoretical best-case
+/// bound (§IV-B, exact balance is NP-complete). Implemented here:
+///
+///  - `partition_block`      — the naive mapping: contiguous equal-count
+///    blocks of the (row-major) region ordering, i.e. the "1D partitioning
+///    of the region mesh" baseline of §IV-B.
+///  - `partition_greedy_lpt` — longest-processing-time greedy onto the
+///    least-loaded part; the best-balance bound, ignores geometry/edge cut.
+///  - `partition_sfc`        — Morton space-filling-curve ordering with a
+///    weighted contiguous split: balanced *and* spatially compact.
+///  - `partition_rcb`        — weighted recursive coordinate bisection of
+///    the region centroids: the geometry-preserving repartitioner used by
+///    the PRM experiments.
+///  - `refine_edge_cut`      — greedy boundary refinement that moves
+///    regions between adjacent parts to shrink edge cut without exceeding
+///    a balance tolerance (a lightweight KL/FM pass).
+
+#include <span>
+
+#include "geometry/shapes.hpp"
+#include "loadbal/metrics.hpp"
+
+namespace pmpl::loadbal {
+
+/// Inputs common to all partitioners. `centroids`/`edges` may be empty for
+/// methods that do not use them (documented per function).
+struct PartitionProblem {
+  std::span<const double> weights;      ///< per-item load estimate
+  std::span<const geo::Vec3> centroids; ///< per-item spatial position
+  std::span<const std::pair<std::uint32_t, std::uint32_t>> edges;
+  geo::Aabb bounds;                     ///< enclosing box of the centroids
+  std::uint32_t parts = 1;
+};
+
+/// Contiguous equal-count blocks by item index (weights/geometry ignored).
+Assignment partition_block(std::size_t items, std::uint32_t parts);
+
+/// Greedy LPT: heaviest item first onto the least-loaded part. Near-optimal
+/// balance; arbitrary geometry. Needs `weights`.
+Assignment partition_greedy_lpt(const PartitionProblem& p);
+
+/// Morton-order the centroids, then split the curve into `parts` contiguous
+/// weighted chunks. Needs `weights`, `centroids`, `bounds`.
+Assignment partition_sfc(const PartitionProblem& p);
+
+/// Weighted recursive coordinate bisection. Needs `weights`, `centroids`.
+Assignment partition_rcb(const PartitionProblem& p);
+
+/// Greedy edge-cut refinement: up to `passes` sweeps moving boundary items
+/// to a neighboring part when that strictly reduces the cut and keeps every
+/// part's load within `balance_tol` (multiplicative) of the mean. Needs
+/// `weights`, `edges`.
+void refine_edge_cut(const PartitionProblem& p, Assignment& assignment,
+                     int passes = 2, double balance_tol = 1.10);
+
+}  // namespace pmpl::loadbal

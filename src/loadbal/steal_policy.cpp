@@ -1,0 +1,61 @@
+#include "loadbal/steal_policy.hpp"
+
+#include <algorithm>
+
+namespace pmpl::loadbal {
+
+std::string to_string(StealPolicyKind k) {
+  switch (k) {
+    case StealPolicyKind::kRandK:
+      return "rand-8";
+    case StealPolicyKind::kDiffusive:
+      return "diffusive";
+    case StealPolicyKind::kHybrid:
+      return "hybrid";
+    case StealPolicyKind::kLifeline:
+      return "lifeline";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> StealPolicy::random_victims(
+    std::uint32_t thief, Xoshiro256ss& rng) const {
+  std::vector<std::uint32_t> out;
+  if (p_ <= 1) return out;
+  const std::uint32_t want = std::min<std::uint32_t>(k_, p_ - 1);
+  out.reserve(want);
+  // Rejection sampling with de-dup; k << p in all experiments.
+  while (out.size() < want) {
+    const auto v = static_cast<std::uint32_t>(rng.uniform_u64(p_));
+    if (v == thief) continue;
+    if (std::find(out.begin(), out.end(), v) != out.end()) continue;
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> StealPolicy::victims(std::uint32_t thief,
+                                                std::uint32_t stage,
+                                                Xoshiro256ss& rng) const {
+  switch (kind_) {
+    case StealPolicyKind::kRandK:
+      return random_victims(thief, rng);
+    case StealPolicyKind::kDiffusive:
+      return mesh_.neighbors(thief);
+    case StealPolicyKind::kHybrid:
+      return stage == 0 ? mesh_.neighbors(thief)
+                        : random_victims(thief, rng);
+    case StealPolicyKind::kLifeline: {
+      // Hypercube lifelines: thief ^ 2^i for each dimension.
+      std::vector<std::uint32_t> out;
+      for (std::uint32_t bit = 1; bit < p_; bit <<= 1) {
+        const std::uint32_t n = thief ^ bit;
+        if (n < p_ && n != thief) out.push_back(n);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace pmpl::loadbal

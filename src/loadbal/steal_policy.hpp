@@ -1,0 +1,62 @@
+#pragma once
+/// \file steal_policy.hpp
+/// Victim-selection policies for work stealing (paper §III-A).
+///
+///  - RAND-K:    request work from k random processors (k = 8 in the
+///               paper's evaluation), re-drawn per attempt.
+///  - DIFFUSIVE: processors sit on a 2D mesh; an underloaded processor
+///               asks its mesh neighbors.
+///  - HYBRID:    DIFFUSIVE first; if no neighbor can service the request,
+///               fall back to random victims.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/topology.hpp"
+#include "util/rng.hpp"
+
+namespace pmpl::loadbal {
+
+enum class StealPolicyKind {
+  kRandK,      ///< k random victims per attempt (paper: k = 8)
+  kDiffusive,  ///< 2D-mesh neighbors
+  kHybrid,     ///< diffusive, then random fallback
+  kLifeline,   ///< hypercube lifelines (X10-style): a denied thief
+               ///< registers with the victim and waits for a pushed grant
+};
+
+std::string to_string(StealPolicyKind k);
+
+/// Stateless victim chooser (randomness comes from the caller's RNG so the
+/// DES stays deterministic per seed).
+class StealPolicy {
+ public:
+  StealPolicy(StealPolicyKind kind, std::uint32_t p, std::uint32_t k = 8)
+      : kind_(kind), p_(p), k_(k), mesh_(p) {}
+
+  StealPolicyKind kind() const noexcept { return kind_; }
+
+  /// Number of escalation stages (1 for RAND-K/DIFFUSIVE, 2 for HYBRID:
+  /// stage 0 = neighbors, stage 1 = random fallback).
+  std::uint32_t stages() const noexcept {
+    return kind_ == StealPolicyKind::kHybrid ? 2u : 1u;
+  }
+
+  /// Victims for `thief` at escalation `stage`. Distinct, never the thief.
+  std::vector<std::uint32_t> victims(std::uint32_t thief, std::uint32_t stage,
+                                     Xoshiro256ss& rng) const;
+
+  const runtime::ProcessMesh& mesh() const noexcept { return mesh_; }
+
+ private:
+  std::vector<std::uint32_t> random_victims(std::uint32_t thief,
+                                            Xoshiro256ss& rng) const;
+
+  StealPolicyKind kind_;
+  std::uint32_t p_;
+  std::uint32_t k_;
+  runtime::ProcessMesh mesh_;
+};
+
+}  // namespace pmpl::loadbal

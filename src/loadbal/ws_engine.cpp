@@ -1,0 +1,354 @@
+#include "loadbal/ws_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+#include "runtime/des.hpp"
+#include "runtime/termination.hpp"
+
+namespace pmpl::loadbal {
+
+namespace {
+
+/// Whole simulation state; one instance per simulate_work_stealing call.
+class WsEngine {
+ public:
+  WsEngine(std::span<const WsItem> items,
+           std::span<const std::uint32_t> initial, std::uint32_t p,
+           const WsConfig& config)
+      : items_(items),
+        p_(p),
+        config_(config),
+        policy_(config.policy, p, config.rand_k),
+        safra_(p),
+        rng_(config.seed),
+        locs_(p) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      assert(initial[i] < p);
+      locs_[initial[i]].queue.push_back(static_cast<std::uint32_t>(i));
+    }
+    result_.busy_s.assign(p, 0.0);
+    result_.local_tasks.assign(p, 0);
+    result_.stolen_tasks.assign(p, 0);
+    result_.final_owner.assign(items.size(), 0);
+    stolen_flag_.assign(items.size(), false);
+  }
+
+  WsResult run() {
+    for (std::uint32_t i = 0; i < p_; ++i) start_next(i);
+    // Token-ring termination works for any p (the p==1 ring is rank 0
+    // alone, detecting on its first idle).
+    sim_.run();
+    // If the calendar drained without detection (shouldn't happen), fall
+    // back to the last event time.
+    if (!terminated_) result_.makespan_s = sim_.now();
+    result_.events = sim_.events_processed();
+    return std::move(result_);
+  }
+
+ private:
+  struct Location {
+    std::deque<std::uint32_t> queue;
+    bool busy = false;
+    std::uint32_t failed_rounds = 0;  ///< consecutive fully-denied rounds
+    std::uint32_t outstanding = 0;    ///< replies still expected
+    std::uint32_t stage = 0;
+    double backoff = 0.0;
+    bool holds_token = false;
+    runtime::SafraTermination::Token token;
+    /// Steal requests that arrived while this location was executing a
+    /// region: single-threaded locations only progress communication
+    /// between tasks (STAPL RMI polls at scheduling points), so they are
+    /// serviced when the current region completes.
+    std::vector<std::uint32_t> pending_requests;
+    /// Lifeline mode: thieves whose steal was denied and who now wait for
+    /// a pushed grant when this location next has surplus work.
+    std::vector<std::uint32_t> lifeline_waiters;
+  };
+
+  bool idle(const Location& loc) const noexcept {
+    return !loc.busy && loc.queue.empty();
+  }
+
+  void start_next(std::uint32_t rank) {
+    if (terminated_) return;
+    Location& loc = locs_[rank];
+    if (loc.queue.empty()) {
+      on_become_idle(rank);
+      return;
+    }
+    const std::uint32_t item = loc.queue.front();
+    loc.queue.pop_front();
+    loc.busy = true;
+    const double service = items_[item].service_s;
+    result_.busy_s[rank] += service;
+    sim_.schedule_in(service, [this, rank, item] {
+      Location& l = locs_[rank];
+      l.busy = false;
+      result_.final_owner[item] = rank;
+      if (stolen_flag_[item])
+        ++result_.stolen_tasks[rank];
+      else
+        ++result_.local_tasks[rank];
+      // Serve steal requests that arrived mid-execution before starting
+      // the next region.
+      if (!l.pending_requests.empty()) {
+        const auto pending = std::move(l.pending_requests);
+        l.pending_requests.clear();
+        for (const std::uint32_t thief : pending) serve_request(rank, thief);
+      }
+      feed_lifelines(rank);
+      start_next(rank);
+    });
+  }
+
+  void on_become_idle(std::uint32_t rank) {
+    if (terminated_) return;
+    Location& loc = locs_[rank];
+    // Forward a held token now that we are idle.
+    if (loc.holds_token) {
+      loc.holds_token = false;
+      process_token(rank, loc.token);
+    }
+    // Rank 0 drives detection rounds whenever it idles with no round
+    // in flight.
+    if (rank == 0 && !round_active_) initiate_round();
+    // Begin stealing unless a request round is already outstanding.
+    loc.stage = 0;
+    loc.backoff = config_.backoff_initial_s;
+    loc.failed_rounds = 0;  // fresh idleness: probe again
+    if (loc.outstanding == 0) issue_requests(rank);
+  }
+
+  void issue_requests(std::uint32_t rank) {
+    if (terminated_) return;
+    Location& loc = locs_[rank];
+    if (!idle(loc)) return;
+    const auto victims = policy_.victims(rank, loc.stage, rng_);
+    if (victims.empty()) {
+      retry_later(rank);
+      return;
+    }
+    loc.outstanding += static_cast<std::uint32_t>(victims.size());
+    for (const std::uint32_t v : victims) {
+      ++result_.steal_requests;
+      sim_.schedule_in(config_.cluster.latency(rank, v),
+                       [this, v, rank] { on_request(v, rank); });
+    }
+  }
+
+  void on_request(std::uint32_t victim, std::uint32_t thief) {
+    if (terminated_) return;
+    Location& loc = locs_[victim];
+    // A busy location cannot progress communication until its current
+    // region completes; park the request.
+    if (loc.busy) {
+      loc.pending_requests.push_back(thief);
+      return;
+    }
+    serve_request(victim, thief);
+  }
+
+  void serve_request(std::uint32_t victim, std::uint32_t thief) {
+    if (terminated_) return;
+    Location& loc = locs_[victim];
+    // Grant when the victim can spare work: up to steal_max_items from the
+    // back of the queue, never more than half (the victim keeps the front
+    // it is about to execute).
+    std::size_t n = std::min<std::size_t>(config_.steal_max_items,
+                                          loc.queue.size() / 2);
+    if (n == 0 && loc.queue.size() == 1 && loc.busy) n = 1;
+    if (n == 0) {
+      ++result_.steal_denies;
+      if (policy_.kind() == StealPolicyKind::kLifeline &&
+          std::find(loc.lifeline_waiters.begin(), loc.lifeline_waiters.end(),
+                    thief) == loc.lifeline_waiters.end())
+        loc.lifeline_waiters.push_back(thief);
+      sim_.schedule_in(config_.cluster.latency(victim, thief),
+                       [this, thief] { on_reply(thief, {}); });
+      return;
+    }
+    std::vector<std::uint32_t> grant;
+    grant.reserve(n);
+    std::uint64_t bytes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      grant.push_back(loc.queue.back());
+      loc.queue.pop_back();
+      bytes += items_[grant.back()].bytes;
+    }
+    ++result_.steal_grants;
+    result_.regions_migrated += grant.size();
+    // Work-bearing message: participates in termination accounting.
+    safra_.on_send(victim);
+    sim_.schedule_in(config_.cluster.transfer_time(victim, thief, bytes),
+                     [this, thief, grant = std::move(grant)] {
+                       safra_.on_receive(thief);
+                       on_reply(thief, grant);
+                     });
+  }
+
+  void on_reply(std::uint32_t thief, const std::vector<std::uint32_t>& grant) {
+    if (terminated_) return;
+    Location& loc = locs_[thief];
+    if (loc.outstanding > 0) --loc.outstanding;
+    if (!grant.empty()) {
+      for (const std::uint32_t item : grant) {
+        stolen_flag_[item] = true;
+        loc.queue.push_back(item);
+      }
+      loc.stage = 0;
+      loc.backoff = config_.backoff_initial_s;
+      loc.failed_rounds = 0;
+      if (!loc.busy) start_next(thief);
+      return;
+    }
+    // Deny: when the whole round came back empty, escalate, back off, or
+    // give up probing (bounded search for work).
+    if (loc.outstanding == 0 && idle(loc)) {
+      if (loc.stage + 1 < policy_.stages()) {
+        ++loc.stage;
+        issue_requests(thief);
+        return;
+      }
+      ++loc.failed_rounds;
+      if (policy_.kind() == StealPolicyKind::kLifeline)
+        return;  // registered on the victims' lifelines; wait for a push
+      if (loc.failed_rounds < config_.give_up_after) retry_later(thief);
+    }
+  }
+
+  /// Lifeline mode: a location with surplus queued work pushes grants to
+  /// registered waiters at its next communication point.
+  void feed_lifelines(std::uint32_t rank) {
+    if (terminated_ || policy_.kind() != StealPolicyKind::kLifeline) return;
+    Location& loc = locs_[rank];
+    while (!loc.lifeline_waiters.empty() && loc.queue.size() >= 2) {
+      const std::uint32_t waiter = loc.lifeline_waiters.back();
+      loc.lifeline_waiters.pop_back();
+      if (!idle(locs_[waiter])) continue;  // found work elsewhere meanwhile
+      const std::size_t n = std::min<std::size_t>(config_.steal_max_items,
+                                                  loc.queue.size() / 2);
+      if (n == 0) break;
+      std::vector<std::uint32_t> grant;
+      grant.reserve(n);
+      std::uint64_t bytes = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        grant.push_back(loc.queue.back());
+        loc.queue.pop_back();
+        bytes += items_[grant.back()].bytes;
+      }
+      ++result_.steal_grants;
+      result_.regions_migrated += grant.size();
+      safra_.on_send(rank);
+      sim_.schedule_in(
+          config_.cluster.transfer_time(rank, waiter, bytes),
+          [this, waiter, grant = std::move(grant)] {
+            safra_.on_receive(waiter);
+            Location& w = locs_[waiter];
+            for (const std::uint32_t item : grant) {
+              stolen_flag_[item] = true;
+              w.queue.push_back(item);
+            }
+            if (!w.busy) start_next(waiter);
+          });
+    }
+  }
+
+  void retry_later(std::uint32_t rank) {
+    Location& loc = locs_[rank];
+    const double delay = loc.backoff;
+    loc.backoff = std::min(loc.backoff * 2.0, config_.backoff_max_s);
+    sim_.schedule_in(delay, [this, rank] {
+      Location& l = locs_[rank];
+      if (terminated_ || !idle(l) || l.outstanding > 0) return;
+      l.stage = 0;
+      issue_requests(rank);
+    });
+  }
+
+  // --- termination detection -------------------------------------------
+
+  void initiate_round() {
+    if (terminated_ || round_active_) return;
+    round_active_ = true;
+    ++result_.token_rounds;
+    send_token(0, safra_.initiate());
+  }
+
+  void send_token(std::uint32_t from,
+                  runtime::SafraTermination::Token token) {
+    const std::uint32_t to = safra_.next_of(from);
+    sim_.schedule_in(config_.cluster.latency(from, to), [this, to, token] {
+      if (terminated_) return;
+      Location& loc = locs_[to];
+      if (idle(loc)) {
+        process_token(to, token);
+      } else {
+        loc.holds_token = true;
+        loc.token = token;
+      }
+    });
+  }
+
+  void process_token(std::uint32_t rank,
+                     runtime::SafraTermination::Token token) {
+    const auto decision = safra_.on_token_at_idle(rank, token);
+    switch (decision.action) {
+      case runtime::SafraTermination::Action::kTerminate: {
+        terminated_ = true;
+        // Completion broadcast down a binomial tree: log2(p) remote hops.
+        const double broadcast =
+            config_.cluster.remote_latency_s *
+            std::ceil(std::log2(static_cast<double>(std::max(2u, p_))));
+        result_.makespan_s = sim_.now() + broadcast;
+        return;
+      }
+      case runtime::SafraTermination::Action::kForward: {
+        if (rank == 0) {
+          // A round just failed; pace the next one so the ring is not
+          // saturated by detection traffic.
+          round_active_ = false;
+          const double pace =
+              std::max(config_.cluster.remote_latency_s * 16.0,
+                       std::min(1e-2, 0.02 * sim_.now()));
+          sim_.schedule_in(pace, [this] {
+            if (!terminated_ && idle(locs_[0])) initiate_round();
+          });
+          return;
+        }
+        send_token(rank, decision.token);
+        return;
+      }
+      case runtime::SafraTermination::Action::kHold:
+        return;
+    }
+  }
+
+  std::span<const WsItem> items_;
+  std::uint32_t p_;
+  WsConfig config_;
+  StealPolicy policy_;
+  runtime::SafraTermination safra_;
+  Xoshiro256ss rng_;
+  runtime::Simulator sim_;
+  std::vector<Location> locs_;
+  std::vector<bool> stolen_flag_;
+  WsResult result_;
+  bool terminated_ = false;
+  bool round_active_ = false;
+};
+
+}  // namespace
+
+WsResult simulate_work_stealing(std::span<const WsItem> items,
+                                std::span<const std::uint32_t> initial,
+                                std::uint32_t p, const WsConfig& config) {
+  assert(p > 0);
+  assert(items.size() == initial.size());
+  WsEngine engine(items, initial, p, config);
+  return engine.run();
+}
+
+}  // namespace pmpl::loadbal

@@ -1,0 +1,87 @@
+#pragma once
+/// \file ws_engine.hpp
+/// Event-driven work-stealing simulation (Algorithm 3 of the paper).
+///
+/// Regions are tasks with measured service times; each location executes
+/// its queue front-to-back, and an idle location issues steal requests per
+/// the victim-selection policy. A victim grants half of its queued regions
+/// from the *back* of its queue (ownership transfer, paper §II-A/III-A);
+/// transfers pay latency plus payload-bytes/bandwidth. The phase ends when
+/// Safra token-ring termination detection confirms global quiescence, so
+/// detection cost is part of the measured schedule.
+///
+/// Only work-bearing messages (grants) participate in termination
+/// accounting: requests and denies cannot activate a process, so they are
+/// tracked as overhead but do not dirty the token. Thieves retry with
+/// exponential backoff until termination, so late imbalance is still
+/// stolen.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "loadbal/metrics.hpp"
+#include "loadbal/steal_policy.hpp"
+#include "runtime/topology.hpp"
+
+namespace pmpl::loadbal {
+
+/// One schedulable task (a region's planning work for one phase).
+struct WsItem {
+  double service_s = 0.0;   ///< measured execution time
+  std::uint64_t bytes = 0;  ///< migration payload (region + its roadmap)
+};
+
+/// Engine configuration.
+struct WsConfig {
+  StealPolicyKind policy = StealPolicyKind::kHybrid;
+  std::uint32_t rand_k = 8;  ///< victims per RAND-K attempt (paper: 8)
+  runtime::ClusterSpec cluster = runtime::ClusterSpec::hopper();
+  std::uint64_t seed = 1;
+  double backoff_initial_s = 5e-6;
+  double backoff_max_s = 1e-2;
+  /// A thief stops probing after this many consecutive fully-denied
+  /// escalation rounds (it still serves requests and the token). Real
+  /// schedulers bound probing to avoid congestion; this is also what makes
+  /// "few processors are able to find work once they have exhausted their
+  /// local regions" (paper §IV-C2) appear at scale.
+  std::uint32_t give_up_after = 3;
+  /// Regions granted per steal, taken from the back of the victim's queue
+  /// (ownership transfer). Capped at half the victim's queue. Small grants
+  /// are what make work stealing "random and non-exact" (paper §IV-C2)
+  /// compared with a global repartition.
+  std::uint32_t steal_max_items = 1;
+};
+
+/// Simulation outcome.
+struct WsResult {
+  double makespan_s = 0.0;  ///< time of confirmed global termination
+  std::vector<double> busy_s;              ///< per location
+  std::vector<std::uint64_t> local_tasks;  ///< executed, originally owned
+  std::vector<std::uint64_t> stolen_tasks; ///< executed, stolen (Fig 9)
+  Assignment final_owner;                  ///< executor of each item
+  std::uint64_t steal_requests = 0;
+  std::uint64_t steal_grants = 0;
+  std::uint64_t steal_denies = 0;
+  std::uint64_t regions_migrated = 0;
+  std::uint64_t token_rounds = 0;
+  std::uint64_t events = 0;
+
+  /// Fraction of executed tasks that were stolen.
+  double stolen_fraction() const noexcept {
+    std::uint64_t s = 0, t = 0;
+    for (std::size_t i = 0; i < stolen_tasks.size(); ++i) {
+      s += stolen_tasks[i];
+      t += stolen_tasks[i] + local_tasks[i];
+    }
+    return t ? static_cast<double>(s) / static_cast<double>(t) : 0.0;
+  }
+};
+
+/// Simulate work stealing of `items` initially distributed by `initial`
+/// (item -> location) across `p` locations. Deterministic per config seed.
+WsResult simulate_work_stealing(std::span<const WsItem> items,
+                                std::span<const std::uint32_t> initial,
+                                std::uint32_t p, const WsConfig& config);
+
+}  // namespace pmpl::loadbal

@@ -1,0 +1,101 @@
+#include "loadbal/ws_threaded.hpp"
+
+#include <cassert>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace pmpl::loadbal {
+
+namespace {
+
+/// A worker's task deque: owner pops from the front, thieves steal from
+/// the back. Mutex-based — region tasks are coarse (milliseconds), so
+/// queue overhead is irrelevant next to task cost.
+class TaskDeque {
+ public:
+  void push(std::uint32_t task) {
+    std::lock_guard lock(mutex_);
+    deque_.push_back(task);
+  }
+
+  bool pop_front(std::uint32_t& task) {
+    std::lock_guard lock(mutex_);
+    if (deque_.empty()) return false;
+    task = deque_.front();
+    deque_.pop_front();
+    return true;
+  }
+
+  /// Steal up to half the queue from the back.
+  std::vector<std::uint32_t> steal_half() {
+    std::lock_guard lock(mutex_);
+    const std::size_t n = deque_.size() / 2;
+    std::vector<std::uint32_t> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(deque_.back());
+      deque_.pop_back();
+    }
+    return out;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::deque<std::uint32_t> deque_;
+};
+
+}  // namespace
+
+std::vector<WorkerStats> run_work_stealing(
+    const std::vector<std::function<void()>>& tasks,
+    const std::vector<std::uint32_t>& initial, std::uint32_t workers,
+    std::uint64_t seed) {
+  assert(tasks.size() == initial.size());
+  assert(workers > 0);
+
+  std::vector<TaskDeque> queues(workers);
+  std::vector<bool> is_local_flag(tasks.size(), true);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    assert(initial[i] < workers);
+    queues[initial[i]].push(static_cast<std::uint32_t>(i));
+  }
+
+  std::vector<WorkerStats> stats(workers);
+  std::atomic<std::uint64_t> remaining{tasks.size()};
+  // Track stolen-ness per (worker, task) locally: a task is "stolen" for
+  // the executing worker iff it was not initially assigned to it.
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      Xoshiro256ss rng(derive_seed(seed, w));
+      WorkerStats& st = stats[w];
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        std::uint32_t task;
+        if (queues[w].pop_front(task)) {
+          tasks[task]();
+          if (initial[task] == w)
+            ++st.executed_local;
+          else
+            ++st.executed_stolen;
+          remaining.fetch_sub(1, std::memory_order_acq_rel);
+          continue;
+        }
+        // Steal from a random victim.
+        if (workers == 1) break;
+        ++st.steal_attempts;
+        const auto victim =
+            static_cast<std::uint32_t>(rng.uniform_u64(workers));
+        if (victim == w) continue;
+        const auto stolen = queues[victim].steal_half();
+        for (std::uint32_t t : stolen) queues[w].push(t);
+        if (stolen.empty()) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return stats;
+}
+
+}  // namespace pmpl::loadbal

@@ -1,0 +1,130 @@
+#include "planner/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmpl::planner {
+
+namespace {
+
+/// Max-heap ordering on distance so the worst of the current k best is at
+/// the front.
+struct ByDistance {
+  bool operator()(const Neighbor& a, const Neighbor& b) const noexcept {
+    return a.distance < b.distance;
+  }
+};
+
+void heap_consider(std::vector<Neighbor>& heap, std::size_t k, Neighbor n) {
+  if (heap.size() < k) {
+    heap.push_back(n);
+    std::push_heap(heap.begin(), heap.end(), ByDistance{});
+  } else if (n.distance < heap.front().distance) {
+    std::pop_heap(heap.begin(), heap.end(), ByDistance{});
+    heap.back() = n;
+    std::push_heap(heap.begin(), heap.end(), ByDistance{});
+  }
+}
+
+}  // namespace
+
+std::vector<Neighbor> BruteForceKnn::nearest(const cspace::Config& q,
+                                             std::size_t k,
+                                             PlannerStats* stats) {
+  if (stats) ++stats->knn_queries;
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (stats) ++stats->knn_candidates;
+    heap_consider(heap, k, {ids_[i], space_->distance(q, configs_[i])});
+  }
+  std::sort_heap(heap.begin(), heap.end(), ByDistance{});
+  return heap;
+}
+
+void KdTreeKnn::insert(graph::VertexId id, const cspace::Config& c) {
+  points_.push_back({space_->position(c), id, c});
+  // Rebuild when the unindexed buffer exceeds half the indexed size (and at
+  // least 32 points), keeping amortized insertion cheap.
+  const std::size_t buffered = points_.size() - tree_size_;
+  if (buffered >= 32 && buffered * 2 >= tree_size_) rebuild();
+}
+
+void KdTreeKnn::rebuild() {
+  nodes_.clear();
+  nodes_.reserve(points_.size());
+  std::vector<std::uint32_t> items(points_.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    items[i] = static_cast<std::uint32_t>(i);
+  root_ = points_.empty()
+              ? kNoNode
+              : build_subtree(items, 0, items.size(), 0);
+  tree_size_ = points_.size();
+}
+
+std::uint32_t KdTreeKnn::build_subtree(std::vector<std::uint32_t>& items,
+                                       std::size_t lo, std::size_t hi,
+                                       int depth) {
+  if (lo >= hi) return kNoNode;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const auto axis = static_cast<std::uint8_t>(depth % 3);
+  std::nth_element(items.begin() + static_cast<long>(lo),
+                   items.begin() + static_cast<long>(mid),
+                   items.begin() + static_cast<long>(hi),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return points_[a].pos[axis] < points_[b].pos[axis];
+                   });
+  const auto idx = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back({items[mid], kNoNode, kNoNode, axis});
+  const std::uint32_t left = build_subtree(items, lo, mid, depth + 1);
+  const std::uint32_t right = build_subtree(items, mid + 1, hi, depth + 1);
+  nodes_[idx].left = left;
+  nodes_[idx].right = right;
+  return idx;
+}
+
+void KdTreeKnn::search(std::uint32_t node, const geo::Vec3& q, std::size_t k,
+                       std::vector<Neighbor>& heap,
+                       const cspace::Config& qcfg,
+                       PlannerStats* stats) const {
+  if (node == kNoNode) return;
+  const Node& n = nodes_[node];
+  const Point& p = points_[n.point];
+  if (stats) ++stats->knn_candidates;
+  heap_consider(heap, k, {p.id, space_->distance(qcfg, p.cfg)});
+
+  const double delta = q[n.axis] - p.pos[n.axis];
+  const std::uint32_t near_child = delta < 0.0 ? n.left : n.right;
+  const std::uint32_t far_child = delta < 0.0 ? n.right : n.left;
+  search(near_child, q, k, heap, qcfg, stats);
+  // The positional split plane bounds positional distance; the full metric
+  // adds a non-negative rotation term, so |delta| remains a valid lower
+  // bound for pruning.
+  if (heap.size() < k || std::fabs(delta) < heap.front().distance)
+    search(far_child, q, k, heap, qcfg, stats);
+}
+
+std::vector<Neighbor> KdTreeKnn::nearest(const cspace::Config& q,
+                                         std::size_t k, PlannerStats* stats) {
+  if (stats) ++stats->knn_queries;
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  const geo::Vec3 qp = space_->position(q);
+  search(root_, qp, k, heap, q, stats);
+  // Points inserted since the last rebuild live in the linear buffer.
+  for (std::size_t i = tree_size_; i < points_.size(); ++i) {
+    if (stats) ++stats->knn_candidates;
+    heap_consider(heap, k, {points_[i].id,
+                            space_->distance(q, points_[i].cfg)});
+  }
+  std::sort_heap(heap.begin(), heap.end(), ByDistance{});
+  return heap;
+}
+
+std::unique_ptr<NeighborFinder> make_neighbor_finder(
+    const cspace::CSpace& space, bool exact) {
+  if (exact) return std::make_unique<BruteForceKnn>(space);
+  return std::make_unique<KdTreeKnn>(space);
+}
+
+}  // namespace pmpl::planner

@@ -1,0 +1,118 @@
+#pragma once
+/// \file knn.hpp
+/// k-nearest-neighbor search over configurations.
+///
+/// Global nearest-neighbor search is the classic bottleneck of parallel
+/// sampling-based planning (paper §I); the subdivision algorithms avoid it
+/// by keeping searches regional. Two finders are provided:
+///
+///  - `BruteForceKnn` — exact under the full C-space metric; O(n) per query.
+///  - `KdTreeKnn`     — kd-tree over workspace *positions* with deferred
+///    rebuilds for incremental insertion. Candidates are ranked by the full
+///    C-space metric; the positional split distance is a valid lower bound
+///    on every metric we define (rotation adds a non-negative term), so
+///    results are exact — the tree only loses pruning power, not accuracy.
+///
+/// Both report visited-candidate counts so k-NN work feeds the load model.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cspace/space.hpp"
+#include "planner/roadmap.hpp"
+#include "planner/stats.hpp"
+
+namespace pmpl::planner {
+
+/// A neighbor candidate: vertex id and metric distance to the query.
+struct Neighbor {
+  graph::VertexId id;
+  double distance;
+};
+
+/// Interface for incremental k-NN over (id, config) pairs.
+class NeighborFinder {
+ public:
+  virtual ~NeighborFinder() = default;
+
+  virtual void insert(graph::VertexId id, const cspace::Config& c) = 0;
+
+  /// The k nearest stored configs to `q` (ascending distance). Fewer than k
+  /// if the structure holds fewer points.
+  virtual std::vector<Neighbor> nearest(const cspace::Config& q,
+                                        std::size_t k,
+                                        PlannerStats* stats = nullptr) = 0;
+
+  virtual std::size_t size() const noexcept = 0;
+};
+
+/// Exact linear scan under the full C-space metric.
+class BruteForceKnn final : public NeighborFinder {
+ public:
+  explicit BruteForceKnn(const cspace::CSpace& space) : space_(&space) {}
+
+  void insert(graph::VertexId id, const cspace::Config& c) override {
+    ids_.push_back(id);
+    configs_.push_back(c);
+  }
+
+  std::vector<Neighbor> nearest(const cspace::Config& q, std::size_t k,
+                                PlannerStats* stats = nullptr) override;
+
+  std::size_t size() const noexcept override { return ids_.size(); }
+
+ private:
+  const cspace::CSpace* space_;
+  std::vector<graph::VertexId> ids_;
+  std::vector<cspace::Config> configs_;
+};
+
+/// kd-tree over positions with an insertion buffer; the tree is rebuilt
+/// when the buffer outgrows a fraction of the tree (amortized O(log n)
+/// insertion without rebalancing machinery).
+class KdTreeKnn final : public NeighborFinder {
+ public:
+  explicit KdTreeKnn(const cspace::CSpace& space) : space_(&space) {}
+
+  void insert(graph::VertexId id, const cspace::Config& c) override;
+
+  std::vector<Neighbor> nearest(const cspace::Config& q, std::size_t k,
+                                PlannerStats* stats = nullptr) override;
+
+  std::size_t size() const noexcept override { return points_.size(); }
+
+ private:
+  struct Node {
+    std::uint32_t point = 0;       ///< index into points_
+    std::uint32_t left = 0;        ///< 0 = none (node 0 is the root; valid)
+    std::uint32_t right = 0;
+    std::uint8_t axis = 0;
+  };
+
+  struct Point {
+    geo::Vec3 pos;
+    graph::VertexId id;
+    cspace::Config cfg;
+  };
+
+  void rebuild();
+  std::uint32_t build_subtree(std::vector<std::uint32_t>& items,
+                              std::size_t lo, std::size_t hi, int depth);
+  void search(std::uint32_t node, const geo::Vec3& q, std::size_t k,
+              std::vector<Neighbor>& heap, const cspace::Config& qcfg,
+              PlannerStats* stats) const;
+
+  const cspace::CSpace* space_;
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = kNoNode;
+  std::size_t tree_size_ = 0;  ///< points included in the built tree
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+};
+
+/// Factory: kd-tree by default, brute force for exactness-sensitive users.
+std::unique_ptr<NeighborFinder> make_neighbor_finder(
+    const cspace::CSpace& space, bool exact = false);
+
+}  // namespace pmpl::planner

@@ -1,0 +1,135 @@
+#include "planner/prm.hpp"
+
+#include <algorithm>
+
+#include "planner/query.hpp"
+
+namespace pmpl::planner {
+
+std::vector<cspace::Config> sample_region(const env::Environment& e,
+                                          const geo::Aabb& box,
+                                          std::size_t attempts,
+                                          Xoshiro256ss& rng,
+                                          PlannerStats& stats) {
+  const UniformSampler sampler(e.space(), e.validity());
+  return sample_region_with(sampler, box, attempts, rng, stats);
+}
+
+std::vector<cspace::Config> sample_region_with(const Sampler& sampler,
+                                               const geo::Aabb& box,
+                                               std::size_t attempts,
+                                               Xoshiro256ss& rng,
+                                               PlannerStats& stats) {
+  std::vector<cspace::Config> valid;
+  valid.reserve(attempts / 2);
+  cspace::Config c;
+  for (std::size_t i = 0; i < attempts; ++i)
+    if (sampler.sample(box, rng, c, stats)) valid.push_back(c);
+  return valid;
+}
+
+void connect_within(const env::Environment& e, Roadmap& g,
+                    std::span<const graph::VertexId> ids,
+                    const PrmParams& params, PlannerStats& stats,
+                    graph::UnionFind* cc) {
+  if (ids.size() < 2) return;
+  const cspace::LocalPlanner lp(e.space(), e.validity(), params.resolution);
+  auto finder = make_neighbor_finder(e.space(), params.exact_knn);
+  for (graph::VertexId id : ids) finder->insert(id, g.vertex(id).cfg);
+
+  for (graph::VertexId id : ids) {
+    // k+1 because the query point itself is in the structure.
+    const auto neighbors =
+        finder->nearest(g.vertex(id).cfg, params.k_neighbors + 1, &stats);
+    for (const Neighbor& n : neighbors) {
+      if (n.id == id) continue;
+      if (g.has_edge(id, n.id)) continue;
+      if (params.skip_same_component && cc != nullptr &&
+          cc->connected(id, n.id))
+        continue;
+      ++stats.lp_attempts;
+      const auto r = lp.plan(g.vertex(id).cfg, g.vertex(n.id).cfg, &stats.cd);
+      stats.lp_steps += r.steps_checked;
+      if (r.success) {
+        ++stats.lp_success;
+        g.add_edge(id, n.id, {r.length});
+        if (cc != nullptr) cc->unite(id, n.id);
+      }
+    }
+  }
+}
+
+std::size_t connect_between(const env::Environment& e, Roadmap& g,
+                            std::span<const graph::VertexId> ids_a,
+                            std::span<const graph::VertexId> ids_b,
+                            const PrmParams& params, PlannerStats& stats,
+                            graph::UnionFind* cc, std::size_t max_attempts) {
+  if (ids_a.empty() || ids_b.empty()) return 0;
+  // Query from the smaller side into the larger side.
+  std::span<const graph::VertexId> from = ids_a;
+  std::span<const graph::VertexId> to = ids_b;
+  if (from.size() > to.size()) std::swap(from, to);
+
+  auto finder = make_neighbor_finder(e.space(), params.exact_knn);
+  for (graph::VertexId id : to) finder->insert(id, g.vertex(id).cfg);
+
+  // Collect candidate pairs (closest first), then attempt the best ones.
+  struct Candidate {
+    double distance;
+    graph::VertexId a, b;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(from.size() * 2);
+  for (graph::VertexId id : from) {
+    const auto neighbors = finder->nearest(g.vertex(id).cfg, 2, &stats);
+    for (const Neighbor& n : neighbors)
+      candidates.push_back({n.distance, id, n.id});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              return x.distance < y.distance;
+            });
+
+  const cspace::LocalPlanner lp(e.space(), e.validity(), params.resolution);
+  std::size_t edges_added = 0;
+  std::size_t attempts = 0;
+  for (const Candidate& c : candidates) {
+    if (attempts >= max_attempts) break;
+    if (g.has_edge(c.a, c.b)) continue;
+    if (params.skip_same_component && cc != nullptr &&
+        cc->connected(c.a, c.b))
+      continue;
+    ++attempts;
+    ++stats.lp_attempts;
+    const auto r = lp.plan(g.vertex(c.a).cfg, g.vertex(c.b).cfg, &stats.cd);
+    stats.lp_steps += r.steps_checked;
+    if (r.success) {
+      ++stats.lp_success;
+      g.add_edge(c.a, c.b, {r.length});
+      if (cc != nullptr) cc->unite(c.a, c.b);
+      ++edges_added;
+    }
+  }
+  return edges_added;
+}
+
+void Prm::build(std::size_t attempts, std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  const auto sampler = make_sampler(params_.sampler, env_->space(),
+                                    env_->validity(), params_.sampler_scale);
+  const auto samples = sample_region_with(
+      *sampler, env_->space().position_bounds(), attempts, rng, stats_);
+  std::vector<graph::VertexId> ids;
+  ids.reserve(samples.size());
+  for (const auto& c : samples) ids.push_back(map_.add_vertex({c, 0}));
+  graph::UnionFind cc(map_.num_vertices());
+  connect_within(*env_, map_, ids, params_, stats_, &cc);
+}
+
+std::optional<std::vector<cspace::Config>> Prm::query(
+    const cspace::Config& start, const cspace::Config& goal) {
+  return query_roadmap(*env_, map_, start, goal, params_.k_neighbors,
+                       params_.resolution, &stats_);
+}
+
+}  // namespace pmpl::planner

@@ -1,0 +1,94 @@
+#include "planner/query.hpp"
+
+#include "cspace/local_planner.hpp"
+#include "graph/shortest_path.hpp"
+#include "planner/knn.hpp"
+
+namespace pmpl::planner {
+
+std::optional<std::vector<cspace::Config>> query_roadmap(
+    const env::Environment& e, Roadmap& g, const cspace::Config& start,
+    const cspace::Config& goal, std::size_t k_neighbors, double resolution,
+    PlannerStats* stats) {
+  PlannerStats local;
+  PlannerStats& st = stats != nullptr ? *stats : local;
+
+  if (!e.validity().valid(start, &st.cd) || !e.validity().valid(goal, &st.cd))
+    return std::nullopt;
+
+  auto finder = make_neighbor_finder(e.space(), /*exact=*/false);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    finder->insert(v, g.vertex(v).cfg);
+
+  const cspace::LocalPlanner lp(e.space(), e.validity(), resolution);
+  const graph::VertexId s = g.add_vertex({start, 0});
+  const graph::VertexId t = g.add_vertex({goal, 0});
+
+  auto attach = [&](graph::VertexId v, const cspace::Config& c) {
+    bool any = false;
+    for (const Neighbor& n : finder->nearest(c, k_neighbors, &st)) {
+      ++st.lp_attempts;
+      const auto r = lp.plan(c, g.vertex(n.id).cfg, &st.cd);
+      st.lp_steps += r.steps_checked;
+      if (r.success) {
+        ++st.lp_success;
+        g.add_edge(v, n.id, {r.length});
+        any = true;
+      }
+    }
+    return any;
+  };
+
+  // Direct start->goal shot first (trivial queries).
+  {
+    ++st.lp_attempts;
+    const auto r = lp.plan(start, goal, &st.cd);
+    st.lp_steps += r.steps_checked;
+    if (r.success) {
+      ++st.lp_success;
+      return std::vector<cspace::Config>{start, goal};
+    }
+  }
+
+  if (!attach(s, start) || !attach(t, goal)) return std::nullopt;
+
+  const auto& space = e.space();
+  const auto path = graph::astar<RoadmapVertex, RoadmapEdge>(
+      g, s, t, [](const RoadmapEdge& edge) { return edge.length; },
+      [&](graph::VertexId v) {
+        return space.distance(g.vertex(v).cfg, goal);
+      });
+  if (!path) return std::nullopt;
+
+  std::vector<cspace::Config> configs;
+  configs.reserve(path->vertices.size());
+  for (graph::VertexId v : path->vertices) configs.push_back(g.vertex(v).cfg);
+  return configs;
+}
+
+double path_length(const env::Environment& e,
+                   const std::vector<cspace::Config>& path) {
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    total += e.space().distance(path[i], path[i + 1]);
+  return total;
+}
+
+bool path_valid(const env::Environment& e,
+                const std::vector<cspace::Config>& path, double resolution,
+                PlannerStats* stats) {
+  if (path.empty()) return false;
+  PlannerStats local;
+  PlannerStats& st = stats != nullptr ? *stats : local;
+  const cspace::LocalPlanner lp(e.space(), e.validity(), resolution);
+  for (const auto& c : path)
+    if (!e.validity().valid(c, &st.cd)) return false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto r = lp.plan(path[i], path[i + 1], &st.cd);
+    st.lp_steps += r.steps_checked;
+    if (!r.success) return false;
+  }
+  return true;
+}
+
+}  // namespace pmpl::planner

@@ -1,0 +1,34 @@
+#pragma once
+/// \file query.hpp
+/// Roadmap query processing: connect start/goal, extract a path.
+
+#include <optional>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "planner/roadmap.hpp"
+#include "planner/stats.hpp"
+
+namespace pmpl::planner {
+
+/// Connect `start` and `goal` to the roadmap via local plans to their k
+/// nearest vertices, then run A* (metric heuristic). On success returns the
+/// configuration path start..goal. The roadmap is restored (temporary
+/// vertices removed) only logically: the two query vertices stay appended —
+/// callers querying repeatedly should copy the map or accept growth.
+std::optional<std::vector<cspace::Config>> query_roadmap(
+    const env::Environment& e, Roadmap& g, const cspace::Config& start,
+    const cspace::Config& goal, std::size_t k_neighbors, double resolution,
+    PlannerStats* stats = nullptr);
+
+/// Total metric length of a configuration path.
+double path_length(const env::Environment& e,
+                   const std::vector<cspace::Config>& path);
+
+/// Validate an entire configuration path at the given resolution (every
+/// segment re-checked); true when collision-free.
+bool path_valid(const env::Environment& e,
+                const std::vector<cspace::Config>& path, double resolution,
+                PlannerStats* stats = nullptr);
+
+}  // namespace pmpl::planner

@@ -1,0 +1,27 @@
+#pragma once
+/// \file roadmap.hpp
+/// Roadmap/tree graph types shared by PRM, RRT and the parallel drivers.
+
+#include "cspace/config.hpp"
+#include "graph/adjacency_graph.hpp"
+
+namespace pmpl::planner {
+
+/// Roadmap vertex: a valid configuration, tagged with the subdivision
+/// region that generated it (drives per-region weights and Fig 3/5c
+/// distribution plots).
+struct RoadmapVertex {
+  cspace::Config cfg;
+  std::uint32_t region = 0;
+};
+
+/// Roadmap edge: a validated local plan of the given metric length.
+struct RoadmapEdge {
+  double length = 0.0;
+};
+
+/// The roadmap G = (V, E) of PRM — also used as the tree container for RRT
+/// (kept acyclic by construction / pruning).
+using Roadmap = graph::AdjacencyGraph<RoadmapVertex, RoadmapEdge>;
+
+}  // namespace pmpl::planner

@@ -1,0 +1,76 @@
+#include "planner/roadmap_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace pmpl::planner {
+
+namespace {
+constexpr const char* kMagic = "pmpl-roadmap";
+constexpr int kVersion = 1;
+}  // namespace
+
+bool save_roadmap(const Roadmap& g, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << std::setprecision(17);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto& vert = g.vertex(v);
+    os << "v " << vert.region << ' ' << vert.cfg.size();
+    for (std::size_t i = 0; i < vert.cfg.size(); ++i) os << ' ' << vert.cfg[i];
+    os << '\n';
+  }
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    for (const auto& he : g.edges_of(v))
+      if (he.to > v)
+        os << "e " << v << ' ' << he.to << ' ' << he.prop.length << '\n';
+  return static_cast<bool>(os);
+}
+
+std::optional<Roadmap> load_roadmap(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic || version != kVersion)
+    return std::nullopt;
+
+  Roadmap g;
+  std::string tag;
+  while (is >> tag) {
+    if (tag == "v") {
+      std::uint32_t region = 0;
+      std::size_t k = 0;
+      if (!(is >> region >> k) || k > cspace::kMaxConfigValues)
+        return std::nullopt;
+      cspace::Config c;
+      for (std::size_t i = 0; i < k; ++i) {
+        double value = 0.0;
+        if (!(is >> value)) return std::nullopt;
+        c.push_back(value);
+      }
+      g.add_vertex({c, region});
+    } else if (tag == "e") {
+      graph::VertexId from = 0, to = 0;
+      double length = 0.0;
+      if (!(is >> from >> to >> length)) return std::nullopt;
+      if (from >= g.num_vertices() || to >= g.num_vertices())
+        return std::nullopt;
+      g.add_edge(from, to, {length});
+    } else {
+      return std::nullopt;  // unknown record
+    }
+  }
+  return g;
+}
+
+bool save_roadmap_file(const Roadmap& g, const std::string& path) {
+  std::ofstream os(path);
+  return os && save_roadmap(g, os);
+}
+
+std::optional<Roadmap> load_roadmap_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return load_roadmap(is);
+}
+
+}  // namespace pmpl::planner

@@ -1,0 +1,30 @@
+#pragma once
+/// \file roadmap_io.hpp
+/// Roadmap persistence: a simple line-oriented text format.
+///
+/// Roadmaps are expensive to build and cheap to store; multi-query
+/// applications build once and reload. Format (one record per line):
+///
+///   pmpl-roadmap 1
+///   v <region> <k> <value_0> ... <value_{k-1}>
+///   e <from> <to> <length>
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "planner/roadmap.hpp"
+
+namespace pmpl::planner {
+
+/// Serialize `g` to `os`. Returns false on stream failure.
+bool save_roadmap(const Roadmap& g, std::ostream& os);
+
+/// Parse a roadmap from `is`; nullopt on malformed input.
+std::optional<Roadmap> load_roadmap(std::istream& is);
+
+/// File convenience wrappers.
+bool save_roadmap_file(const Roadmap& g, const std::string& path);
+std::optional<Roadmap> load_roadmap_file(const std::string& path);
+
+}  // namespace pmpl::planner

@@ -1,0 +1,110 @@
+#include "planner/rrt.hpp"
+
+#include "cspace/local_planner.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace pmpl::planner {
+
+RrtBranch::RrtBranch(const env::Environment& e, Roadmap& tree,
+                     const cspace::Config& root, std::uint32_t region,
+                     const RrtParams& params)
+    : env_(&e),
+      tree_(&tree),
+      params_(params),
+      region_(region),
+      root_id_(tree.add_vertex({root, region})),
+      finder_(make_neighbor_finder(e.space(), params.exact_knn)) {
+  node_ids_.push_back(root_id_);
+  finder_->insert(root_id_, root);
+}
+
+std::optional<graph::VertexId> RrtBranch::extend(const cspace::Config& target,
+                                                 PlannerStats& stats) {
+  ++stats.rrt_extends;
+  const auto nearest = finder_->nearest(target, 1, &stats);
+  if (nearest.empty()) return std::nullopt;
+  const graph::VertexId near_id = nearest.front().id;
+  const cspace::Config& qnear = tree_->vertex(near_id).cfg;
+
+  const auto& space = env_->space();
+  const double d = space.distance(qnear, target);
+  if (d <= 1e-12) return std::nullopt;
+  const double t = d <= params_.step ? 1.0 : params_.step / d;
+  cspace::Config qnew = space.interpolate(qnear, target, t);
+
+  // Validate the new configuration, then the connecting edge.
+  if (!env_->validity().valid(qnew, &stats.cd)) return std::nullopt;
+  const cspace::LocalPlanner lp(space, env_->validity(), params_.resolution);
+  ++stats.lp_attempts;
+  const auto r = lp.plan(qnear, qnew, &stats.cd);
+  stats.lp_steps += r.steps_checked;
+  if (!r.success) return std::nullopt;
+  ++stats.lp_success;
+  ++stats.rrt_extends_success;
+
+  const graph::VertexId id = tree_->add_vertex({qnew, region_});
+  tree_->add_edge(near_id, id, {r.length});
+  node_ids_.push_back(id);
+  finder_->insert(id, tree_->vertex(id).cfg);
+  return id;
+}
+
+void RrtBranch::grow(
+    const std::function<cspace::Config(Xoshiro256ss&)>& sampler,
+    Xoshiro256ss& rng, PlannerStats& stats) {
+  for (std::size_t iter = 0;
+       iter < params_.max_iterations && node_ids_.size() < params_.max_nodes;
+       ++iter) {
+    ++stats.samples_attempted;
+    extend(sampler(rng), stats);
+  }
+}
+
+std::optional<std::vector<cspace::Config>> Rrt::plan(
+    const cspace::Config& start, const cspace::Config& goal,
+    std::uint64_t seed, double goal_bias) {
+  tree_ = Roadmap{};
+  if (!env_->validity().valid(start, &stats_.cd) ||
+      !env_->validity().valid(goal, &stats_.cd))
+    return std::nullopt;
+
+  Xoshiro256ss rng(seed);
+  RrtBranch branch(*env_, tree_, start, 0, params_);
+  const auto& space = env_->space();
+  const cspace::LocalPlanner lp(space, env_->validity(), params_.resolution);
+
+  for (std::size_t iter = 0; iter < params_.max_iterations &&
+                             branch.num_nodes() < params_.max_nodes;
+       ++iter) {
+    ++stats_.samples_attempted;
+    const cspace::Config target =
+        rng.uniform() < goal_bias ? goal : space.sample(rng);
+    const auto added = branch.extend(target, stats_);
+    if (!added) continue;
+
+    // Try to close to the goal whenever we get within one step.
+    const cspace::Config& qnew = tree_.vertex(*added).cfg;
+    if (space.distance(qnew, goal) <= params_.step) {
+      ++stats_.lp_attempts;
+      const auto r = lp.plan(qnew, goal, &stats_.cd);
+      stats_.lp_steps += r.steps_checked;
+      if (r.success) {
+        ++stats_.lp_success;
+        const graph::VertexId goal_id = tree_.add_vertex({goal, 0});
+        tree_.add_edge(*added, goal_id, {r.length});
+        const auto path = graph::dijkstra<RoadmapVertex, RoadmapEdge>(
+            tree_, branch.root(), goal_id,
+            [](const RoadmapEdge& edge) { return edge.length; });
+        if (!path) return std::nullopt;
+        std::vector<cspace::Config> configs;
+        configs.reserve(path->vertices.size());
+        for (graph::VertexId v : path->vertices)
+          configs.push_back(tree_.vertex(v).cfg);
+        return configs;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pmpl::planner

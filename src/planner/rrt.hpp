@@ -1,0 +1,95 @@
+#pragma once
+/// \file rrt.hpp
+/// Sequential Rapidly-exploring Random Tree (LaValle & Kuffner 2001).
+///
+/// `RrtBranch` is the regional building block of Algorithm 2 (uniform
+/// radial subdivision): each region grows one branch, with sampling biased
+/// toward the region's target direction; the parallel driver later connects
+/// branches of adjacent regions (pruning any cycles). The `Rrt` class is
+/// the classic whole-space planner for sequential use and the examples.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "planner/knn.hpp"
+#include "planner/roadmap.hpp"
+#include "planner/stats.hpp"
+#include "util/rng.hpp"
+
+namespace pmpl::planner {
+
+/// RRT tuning knobs.
+struct RrtParams {
+  double step = 5.0;        ///< max extension distance Δq (metric)
+  double resolution = 1.0;  ///< edge validation step (metric)
+  std::size_t max_nodes = 1000;
+  std::size_t max_iterations = 8000;
+  bool exact_knn = false;
+};
+
+/// One RRT tree with incremental nearest-neighbor search.
+/// The tree is stored in an externally-owned Roadmap so regional branches
+/// can later be merged/connected; vertex ids are the Roadmap's.
+class RrtBranch {
+ public:
+  /// Creates the branch rooted at `root` (which must be valid — asserted by
+  /// callers); the root vertex is added to `tree` tagged with `region`.
+  RrtBranch(const env::Environment& e, Roadmap& tree,
+            const cspace::Config& root, std::uint32_t region,
+            const RrtParams& params);
+
+  /// One RRT iteration: steer from the nearest tree node toward `target`
+  /// by at most `step`, validate, and add. Returns the new vertex id on
+  /// success.
+  std::optional<graph::VertexId> extend(const cspace::Config& target,
+                                        PlannerStats& stats);
+
+  /// Grow until `max_nodes` nodes or `max_iterations` iterations, drawing
+  /// growth targets from `sampler`.
+  void grow(const std::function<cspace::Config(Xoshiro256ss&)>& sampler,
+            Xoshiro256ss& rng, PlannerStats& stats);
+
+  std::size_t num_nodes() const noexcept { return node_ids_.size(); }
+  graph::VertexId root() const noexcept { return root_id_; }
+  const std::vector<graph::VertexId>& node_ids() const noexcept {
+    return node_ids_;
+  }
+  std::uint32_t region() const noexcept { return region_; }
+
+ private:
+  const env::Environment* env_;
+  Roadmap* tree_;
+  RrtParams params_;
+  std::uint32_t region_;
+  graph::VertexId root_id_;
+  std::vector<graph::VertexId> node_ids_;
+  std::unique_ptr<NeighborFinder> finder_;
+};
+
+/// Classic sequential RRT: grow from `start`, biased toward `goal`, stop
+/// when the goal connects.
+class Rrt {
+ public:
+  Rrt(const env::Environment& e, RrtParams params = {})
+      : env_(&e), params_(params) {}
+
+  /// Plan start -> goal; `goal_bias` is the probability of using the goal
+  /// as the growth target. Returns the configuration path on success.
+  std::optional<std::vector<cspace::Config>> plan(const cspace::Config& start,
+                                                  const cspace::Config& goal,
+                                                  std::uint64_t seed,
+                                                  double goal_bias = 0.1);
+
+  const Roadmap& tree() const noexcept { return tree_; }
+  const PlannerStats& stats() const noexcept { return stats_; }
+
+ private:
+  const env::Environment* env_;
+  RrtParams params_;
+  Roadmap tree_;
+  PlannerStats stats_;
+};
+
+}  // namespace pmpl::planner

@@ -1,0 +1,71 @@
+#include "planner/samplers.hpp"
+
+#include <cmath>
+
+namespace pmpl::planner {
+
+namespace {
+
+/// A configuration displaced from `c` by an approximately-Gaussian step of
+/// scale `sigma` in every value dimension (positions clamped later by the
+/// validity bounds check).
+cspace::Config displaced(const cspace::CSpace& space, const cspace::Config& c, double sigma,
+                 Xoshiro256ss& rng) {
+  // Displace along the straight line toward a fresh uniform sample: this
+  // respects the space's topology (rotations move on the geodesic).
+  const cspace::Config other = space.sample(rng);
+  const double d = space.distance(c, other);
+  if (d <= 1e-12) return c;
+  const double step = std::fabs(rng.normal()) * sigma;
+  return space.interpolate(c, other, std::min(1.0, step / d));
+}
+
+}  // namespace
+
+bool GaussianSampler::sample(const geo::Aabb& box, Xoshiro256ss& rng,
+                             cspace::Config& out,
+                             PlannerStats& stats) const {
+  ++stats.samples_attempted;
+  const cspace::Config a = space_->sample_in(box, rng);
+  const cspace::Config b = displaced(*space_, a, sigma_, rng);
+  const bool va = validity_->valid(a, &stats.cd);
+  const bool vb = validity_->valid(b, &stats.cd);
+  // Keep the valid one of a surface-straddling pair.
+  if (va == vb) return false;
+  out = va ? a : b;
+  // The kept partner may have drifted outside the region box; regional
+  // ownership allows the overlap band, so accept it as long as it is in
+  // the expanded box the caller sampled from.
+  ++stats.samples_valid;
+  return true;
+}
+
+bool BridgeTestSampler::sample(const geo::Aabb& box, Xoshiro256ss& rng,
+                               cspace::Config& out,
+                               PlannerStats& stats) const {
+  ++stats.samples_attempted;
+  const cspace::Config a = space_->sample_in(box, rng);
+  if (validity_->valid(a, &stats.cd)) return false;  // need an invalid end
+  cspace::Config b = displaced(*space_, a, length_, rng);
+  if (validity_->valid(b, &stats.cd)) return false;
+  out = space_->interpolate(a, b, 0.5);
+  if (!validity_->valid(out, &stats.cd)) return false;
+  ++stats.samples_valid;
+  return true;
+}
+
+std::unique_ptr<Sampler> make_sampler(SamplerKind kind, const cspace::CSpace& space,
+                                      const cspace::ValidityChecker& validity,
+                                      double scale) {
+  switch (kind) {
+    case SamplerKind::kUniform:
+      return std::make_unique<UniformSampler>(space, validity);
+    case SamplerKind::kGaussian:
+      return std::make_unique<GaussianSampler>(space, validity, scale);
+    case SamplerKind::kBridgeTest:
+      return std::make_unique<BridgeTestSampler>(space, validity, scale);
+  }
+  return std::make_unique<UniformSampler>(space, validity);
+}
+
+}  // namespace pmpl::planner

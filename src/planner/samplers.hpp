@@ -1,0 +1,99 @@
+#pragma once
+/// \file samplers.hpp
+/// Sampling strategies beyond plain uniform sampling.
+///
+/// PRM generates nodes "using some sampling strategy" (paper §II-B); the
+/// classic alternatives concentrate samples where they matter:
+///
+///  - `UniformSampler`     — baseline: uniform over the (region) box.
+///  - `GaussianSampler`    — Boor et al.: keep a sample only if a Gaussian
+///    neighbor at distance ~sigma has the opposite validity. Samples
+///    cluster near C-obstacle boundaries.
+///  - `BridgeTestSampler`  — Hsu et al.: keep the midpoint of two invalid
+///    samples when it is valid. Samples cluster inside narrow passages —
+///    the regime the subdivision environments (med-cube, walls) stress.
+///
+/// All draw from the caller's RNG so per-region determinism is preserved.
+
+#include <memory>
+
+#include "cspace/space.hpp"
+#include "cspace/validity.hpp"
+#include "planner/stats.hpp"
+#include "util/rng.hpp"
+
+namespace pmpl::planner {
+
+/// Strategy interface: try to produce one valid configuration with its
+/// position inside `box`. Returns false when the attempt is rejected
+/// (callers count attempts, not successes).
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  virtual bool sample(const geo::Aabb& box, Xoshiro256ss& rng, cspace::Config& out,
+                      PlannerStats& stats) const = 0;
+};
+
+/// Baseline uniform sampling: one validity check per attempt.
+class UniformSampler final : public Sampler {
+ public:
+  UniformSampler(const cspace::CSpace& space, const cspace::ValidityChecker& validity)
+      : space_(&space), validity_(&validity) {}
+
+  bool sample(const geo::Aabb& box, Xoshiro256ss& rng, cspace::Config& out,
+              PlannerStats& stats) const override {
+    ++stats.samples_attempted;
+    out = space_->sample_in(box, rng);
+    if (!validity_->valid(out, &stats.cd)) return false;
+    ++stats.samples_valid;
+    return true;
+  }
+
+ private:
+  const cspace::CSpace* space_;
+  const cspace::ValidityChecker* validity_;
+};
+
+/// Gaussian sampling: accepts configurations near the C-obstacle surface.
+class GaussianSampler final : public Sampler {
+ public:
+  /// `sigma` is the metric standard deviation of the partner offset.
+  GaussianSampler(const cspace::CSpace& space, const cspace::ValidityChecker& validity,
+                  double sigma)
+      : space_(&space), validity_(&validity), sigma_(sigma) {}
+
+  bool sample(const geo::Aabb& box, Xoshiro256ss& rng, cspace::Config& out,
+              PlannerStats& stats) const override;
+
+ private:
+  const cspace::CSpace* space_;
+  const cspace::ValidityChecker* validity_;
+  double sigma_;
+};
+
+/// Bridge-test sampling: accepts valid midpoints of invalid pairs.
+class BridgeTestSampler final : public Sampler {
+ public:
+  /// `bridge_length` is the metric distance between the two endpoints.
+  BridgeTestSampler(const cspace::CSpace& space, const cspace::ValidityChecker& validity,
+                    double bridge_length)
+      : space_(&space), validity_(&validity), length_(bridge_length) {}
+
+  bool sample(const geo::Aabb& box, Xoshiro256ss& rng, cspace::Config& out,
+              PlannerStats& stats) const override;
+
+ private:
+  const cspace::CSpace* space_;
+  const cspace::ValidityChecker* validity_;
+  double length_;
+};
+
+/// Which strategy a planner should use.
+enum class SamplerKind { kUniform, kGaussian, kBridgeTest };
+
+std::unique_ptr<Sampler> make_sampler(SamplerKind kind, const cspace::CSpace& space,
+                                      const cspace::ValidityChecker& validity,
+                                      double scale);
+
+}  // namespace pmpl::planner

@@ -1,0 +1,55 @@
+#include "planner/smoothing.hpp"
+
+#include <algorithm>
+
+#include "cspace/local_planner.hpp"
+#include "planner/query.hpp"
+
+namespace pmpl::planner {
+
+SmoothingResult shortcut_path(const env::Environment& e,
+                              const std::vector<cspace::Config>& path,
+                              std::size_t iterations, double resolution,
+                              std::uint64_t seed, PlannerStats* stats) {
+  SmoothingResult out;
+  out.path = path;
+  out.length_before = path_length(e, path);
+  out.length_after = out.length_before;
+  if (path.size() < 3) return out;
+
+  PlannerStats local;
+  PlannerStats& st = stats != nullptr ? *stats : local;
+  const cspace::LocalPlanner lp(e.space(), e.validity(), resolution);
+  Xoshiro256ss rng(seed);
+
+  for (std::size_t iter = 0; iter < iterations && out.path.size() > 2;
+       ++iter) {
+    // Pick i < j with at least one vertex between them.
+    const std::size_t n = out.path.size();
+    std::size_t i = rng.index(n - 2);
+    std::size_t j = i + 2 + rng.index(n - i - 2);
+    const double old_len = [&] {
+      double l = 0.0;
+      for (std::size_t k = i; k < j; ++k)
+        l += e.space().distance(out.path[k], out.path[k + 1]);
+      return l;
+    }();
+    const double direct = e.space().distance(out.path[i], out.path[j]);
+    if (direct >= old_len - 1e-9) continue;  // no gain possible
+
+    ++st.lp_attempts;
+    const auto r = lp.plan(out.path[i], out.path[j], &st.cd);
+    st.lp_steps += r.steps_checked;
+    if (!r.success) continue;
+    ++st.lp_success;
+
+    out.path.erase(out.path.begin() + static_cast<long>(i) + 1,
+                   out.path.begin() + static_cast<long>(j));
+    out.length_after -= old_len - direct;
+    ++out.shortcuts_applied;
+  }
+  out.length_after = path_length(e, out.path);  // exact recompute
+  return out;
+}
+
+}  // namespace pmpl::planner

@@ -1,0 +1,33 @@
+#pragma once
+/// \file smoothing.hpp
+/// Path post-processing: shortcut smoothing.
+///
+/// PRM/RRT paths zig-zag through roadmap vertices; shortcutting repeatedly
+/// picks two points along the path and replaces the intermediate section
+/// with a straight local plan when that plan is valid and shorter.
+
+#include <vector>
+
+#include "env/environment.hpp"
+#include "planner/stats.hpp"
+#include "util/rng.hpp"
+
+namespace pmpl::planner {
+
+struct SmoothingResult {
+  std::vector<cspace::Config> path;
+  double length_before = 0.0;
+  double length_after = 0.0;
+  std::size_t shortcuts_applied = 0;
+};
+
+/// Randomized shortcutting: `iterations` attempts at replacing a random
+/// subpath with one straight edge (validated at `resolution`). Endpoints
+/// are preserved; the returned path is never longer than the input.
+SmoothingResult shortcut_path(const env::Environment& e,
+                              const std::vector<cspace::Config>& path,
+                              std::size_t iterations, double resolution,
+                              std::uint64_t seed,
+                              PlannerStats* stats = nullptr);
+
+}  // namespace pmpl::planner

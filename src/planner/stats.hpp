@@ -1,0 +1,48 @@
+#pragma once
+/// \file stats.hpp
+/// Operation counters for planner work.
+///
+/// Everything the sequential planners do is counted here; the DES work-unit
+/// model (runtime/work_units.hpp) converts these counts into simulated
+/// execution time, which is what makes "measure once, replay any schedule"
+/// deterministic and machine-independent.
+
+#include <cstdint>
+
+#include "collision/checker.hpp"
+
+namespace pmpl::planner {
+
+/// Counters for one planning computation (one region, one phase).
+struct PlannerStats {
+  collision::CollisionStats cd;  ///< collision-checker op counts
+
+  std::uint64_t samples_attempted = 0;
+  std::uint64_t samples_valid = 0;
+
+  std::uint64_t knn_queries = 0;
+  std::uint64_t knn_candidates = 0;  ///< vertices scanned/visited
+
+  std::uint64_t lp_attempts = 0;  ///< local-plan edge attempts
+  std::uint64_t lp_success = 0;
+  std::uint64_t lp_steps = 0;  ///< interpolated configs validity-checked
+
+  std::uint64_t rrt_extends = 0;
+  std::uint64_t rrt_extends_success = 0;
+
+  PlannerStats& operator+=(const PlannerStats& o) noexcept {
+    cd += o.cd;
+    samples_attempted += o.samples_attempted;
+    samples_valid += o.samples_valid;
+    knn_queries += o.knn_queries;
+    knn_candidates += o.knn_candidates;
+    lp_attempts += o.lp_attempts;
+    lp_success += o.lp_success;
+    lp_steps += o.lp_steps;
+    rrt_extends += o.rrt_extends;
+    rrt_extends_success += o.rrt_extends_success;
+    return *this;
+  }
+};
+
+}  // namespace pmpl::planner

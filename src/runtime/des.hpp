@@ -1,0 +1,75 @@
+#pragma once
+/// \file des.hpp
+/// Discrete-event simulator core.
+///
+/// A minimal event calendar: callbacks scheduled at absolute simulated
+/// times, executed in (time, insertion) order. The work-stealing engine and
+/// the bulk-synchronous phase models run on top of this. Determinism: ties
+/// break by insertion sequence, so a run is a pure function of its inputs.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pmpl::runtime {
+
+/// Event calendar with monotonically advancing simulated time.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time (seconds).
+  double now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (clamped to now — no time travel).
+  void schedule_at(double t, Callback fn) {
+    queue_.push(Event{t < now_ ? now_ : t, seq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` `delay` seconds from now.
+  void schedule_in(double delay, Callback fn) {
+    schedule_at(now_ + (delay < 0.0 ? 0.0 : delay), std::move(fn));
+  }
+
+  /// Run until the calendar is empty (or `max_events` processed as a
+  /// runaway backstop). Returns the number of events processed.
+  std::uint64_t run(std::uint64_t max_events = 500'000'000ULL) {
+    std::uint64_t processed = 0;
+    while (!queue_.empty() && processed < max_events) {
+      // Move the event out before popping so the callback may schedule.
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.time;
+      ++processed;
+      ev.fn();
+    }
+    events_processed_ += processed;
+    return processed;
+  }
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace pmpl::runtime

@@ -1,0 +1,94 @@
+#pragma once
+/// \file termination.hpp
+/// Safra's token-ring distributed termination detection.
+///
+/// The work-stealing phase has no global barrier: a processor that runs out
+/// of regions keeps issuing steal requests, and the phase ends only when
+/// every processor is idle and no messages are in flight. The DES engine
+/// drives this detector exactly as an MPI implementation would: a token
+/// circulates the ring; message sends/receives color processes black.
+///
+/// This class is pure protocol state — the transport (the DES) decides when
+/// the token physically moves and at what latency, so detection *overhead*
+/// is part of the simulated schedule, as in the real system.
+
+#include <cstdint>
+#include <vector>
+
+namespace pmpl::runtime {
+
+/// Protocol logic for Safra's algorithm over ranks 0..p-1 in a ring.
+class SafraTermination {
+ public:
+  /// The circulating token.
+  struct Token {
+    std::int64_t count = 0;  ///< accumulated message balance
+    bool black = false;
+  };
+
+  /// What a rank should do with a just-arrived token.
+  enum class Action {
+    kHold,       ///< rank is busy: keep the token until idle
+    kForward,    ///< pass the (returned) token to the next rank
+    kTerminate,  ///< rank 0 confirmed global termination
+  };
+
+  struct Decision {
+    Action action;
+    Token token;           ///< valid when action == kForward
+    std::uint32_t next;    ///< destination rank when forwarding
+  };
+
+  explicit SafraTermination(std::uint32_t p)
+      : p_(p), counts_(p, 0), black_(p, false) {}
+
+  /// Rank 0 starts a detection round (must be idle). Returns the fresh
+  /// token to forward to rank 1. Never declares termination — only a token
+  /// that completed a full round may (see on_token_at_idle).
+  Token initiate() noexcept {
+    black_[0] = false;
+    // The token starts at zero: rank 0's own balance is folded in only at
+    // the end-of-round check (adding it here would double-count it).
+    return Token{0, false};
+  }
+
+  /// A basic (non-token) message left `rank`.
+  void on_send(std::uint32_t rank) noexcept { ++counts_[rank]; }
+
+  /// A basic message arrived at `rank`; the receiver turns black.
+  void on_receive(std::uint32_t rank) noexcept {
+    --counts_[rank];
+    black_[rank] = true;
+  }
+
+  /// Token arrived at (or was initiated by) `rank`, which is now idle.
+  /// For rank 0 this decides whether the ring is terminated or a new round
+  /// starts. Must only be called when `rank` is idle.
+  Decision on_token_at_idle(std::uint32_t rank, Token token) noexcept {
+    if (rank == 0) {
+      // End of a round: check the termination condition.
+      if (!token.black && !black_[0] && token.count + counts_[0] == 0)
+        return {Action::kTerminate, token, 0};
+      // Start a fresh round (fresh zero token, as in initiate()).
+      black_[0] = false;
+      return {Action::kForward, Token{0, false}, next_of(0)};
+    }
+    token.count += counts_[rank];
+    if (black_[rank]) token.black = true;
+    black_[rank] = false;
+    return {Action::kForward, token, next_of(rank)};
+  }
+
+  std::uint32_t next_of(std::uint32_t rank) const noexcept {
+    return (rank + 1) % p_;
+  }
+
+  std::uint32_t size() const noexcept { return p_; }
+
+ private:
+  std::uint32_t p_;
+  std::vector<std::int64_t> counts_;
+  std::vector<bool> black_;
+};
+
+}  // namespace pmpl::runtime

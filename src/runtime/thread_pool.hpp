@@ -1,0 +1,55 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Shared-memory execution: a fixed thread pool and a parallel_for helper.
+///
+/// This is the "really runs in parallel" counterpart to the DES: examples
+/// and the threaded work-stealing executor (loadbal/ws_threaded.hpp) use it
+/// to build roadmaps with genuine concurrency on the host machine.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pmpl::runtime {
+
+/// Fixed-size pool executing submitted tasks FIFO. `wait_idle()` blocks
+/// until all submitted work has finished.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task. Safe from any thread, including pool workers.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across `pool`, blocking until done. Indices
+/// are chunked to limit task overhead.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk = 0);
+
+}  // namespace pmpl::runtime

@@ -1,0 +1,60 @@
+#pragma once
+/// \file args.hpp
+/// Minimal command-line flag parser for bench harnesses and examples.
+///
+/// Supports `--flag value`, `--flag=value` and boolean `--flag` forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace pmpl {
+
+/// Parses `--key value` / `--key=value` / bare `--key` flags from argv.
+/// Unknown positional arguments are ignored. Lookups fall back to defaults.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (!arg.starts_with("--")) continue;
+      arg.remove_prefix(2);
+      if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+        flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[std::string(arg)] = argv[++i];
+      } else {
+        flags_[std::string(arg)] = "1";
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return flags_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags_.find(key);
+    return it != flags_.end() ? it->second : fallback;
+  }
+
+  std::int64_t get_i64(const std::string& key, std::int64_t fallback) const {
+    const auto it = flags_.find(key);
+    return it != flags_.end() ? std::stoll(it->second) : fallback;
+  }
+
+  double get_f64(const std::string& key, double fallback) const {
+    const auto it = flags_.find(key);
+    return it != flags_.end() ? std::stod(it->second) : fallback;
+  }
+
+  bool get_bool(const std::string& key, bool fallback = false) const {
+    const auto it = flags_.find(key);
+    if (it == flags_.end()) return fallback;
+    return it->second != "0" && it->second != "false";
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace pmpl

@@ -1,0 +1,98 @@
+#pragma once
+/// \file inline_vector.hpp
+/// Fixed-capacity vector with inline storage — no heap allocation.
+///
+/// Configurations (up to 16 DOF values in this library) and other small
+/// hot-path aggregates use `InlineVector` to avoid allocator traffic in the
+/// sampling/connection inner loops.
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+
+namespace pmpl {
+
+/// Contiguous sequence with capacity fixed at compile time.
+/// Only supports trivially-destructible T (all current uses are arithmetic
+/// types), which keeps the implementation a plain std::array + size.
+template <typename T, std::size_t Capacity>
+class InlineVector {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "InlineVector only supports trivially destructible types");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr InlineVector() noexcept = default;
+
+  constexpr InlineVector(std::initializer_list<T> init) {
+    assert(init.size() <= Capacity);
+    for (const T& v : init) push_back(v);
+  }
+
+  constexpr InlineVector(std::size_t count, const T& value) {
+    assert(count <= Capacity);
+    for (std::size_t i = 0; i < count; ++i) push_back(value);
+  }
+
+  static constexpr std::size_t capacity() noexcept { return Capacity; }
+  constexpr std::size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+  constexpr bool full() const noexcept { return size_ == Capacity; }
+
+  constexpr void clear() noexcept { size_ = 0; }
+
+  constexpr void push_back(const T& v) {
+    assert(size_ < Capacity);
+    data_[size_++] = v;
+  }
+
+  constexpr void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  constexpr void resize(std::size_t n, const T& fill = T{}) {
+    assert(n <= Capacity);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+  constexpr T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  constexpr const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  constexpr T& front() { return (*this)[0]; }
+  constexpr const T& front() const { return (*this)[0]; }
+  constexpr T& back() { return (*this)[size_ - 1]; }
+  constexpr const T& back() const { return (*this)[size_ - 1]; }
+
+  constexpr T* data() noexcept { return data_.data(); }
+  constexpr const T* data() const noexcept { return data_.data(); }
+
+  constexpr iterator begin() noexcept { return data(); }
+  constexpr const_iterator begin() const noexcept { return data(); }
+  constexpr iterator end() noexcept { return data() + size_; }
+  constexpr const_iterator end() const noexcept { return data() + size_; }
+
+  friend constexpr bool operator==(const InlineVector& a,
+                                   const InlineVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::array<T, Capacity> data_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace pmpl

@@ -1,0 +1,17 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace pmpl {
+
+double Xoshiro256ss::normal() noexcept {
+  // Marsaglia polar method; discards the second variate for simplicity.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) return u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+}
+
+}  // namespace pmpl

@@ -1,0 +1,102 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic random number generation.
+///
+/// All randomized components of the library draw from `SplitMix64` (seed
+/// scrambling / hashing) and `Xoshiro256ss` (the bulk generator).  Region
+/// computations are seeded by `derive_seed(global_seed, region_id)` so a
+/// region produces an identical sample stream no matter which processor
+/// executes it or in which order — the property that makes measured
+/// per-region work replayable under any schedule (see DESIGN.md §5).
+
+#include <cstdint>
+#include <limits>
+
+namespace pmpl {
+
+/// SplitMix64 step: advances `state` and returns a well-mixed 64-bit value.
+/// Used both as a tiny PRNG and as the mixing function for seed derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derive an independent stream seed from a global seed and a stream id
+/// (e.g. a region id). Collision-resistant in practice for our id ranges.
+constexpr std::uint64_t derive_seed(std::uint64_t global_seed,
+                                    std::uint64_t stream_id) noexcept {
+  std::uint64_t s = global_seed ^ (0x2545f4914f6cdd1dULL * (stream_id + 1));
+  std::uint64_t a = splitmix64(s);
+  std::uint64_t b = splitmix64(s);
+  return a ^ (b << 1);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+/// Satisfies (a subset of) UniformRandomBitGenerator so it can also feed
+/// <random> distributions where needed.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Unbiased via rejection (Lemire-style bound).
+  std::uint64_t uniform_u64(std::uint64_t n) noexcept {
+    if (n <= 1) return 0;
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer index in [0, n) as size_t.
+  std::size_t index(std::size_t n) noexcept {
+    return static_cast<std::size_t>(uniform_u64(n));
+  }
+
+  /// Standard normal via Marsaglia polar method (no <cmath> trig needed).
+  double normal() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace pmpl

@@ -1,0 +1,55 @@
+#pragma once
+/// \file stats.hpp
+/// Scalar summary statistics used throughout the load-balancing analysis.
+///
+/// The paper's central imbalance measure is the coefficient of variation
+/// (CV = sigma / mu) of per-processor load; `Summary` computes it in one pass.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace pmpl {
+
+/// One-pass summary of a sample: n, mean, population stddev, min, max.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+
+  /// Coefficient of variation sigma/mu; 0 for an empty or zero-mean sample.
+  double cv() const noexcept { return mean != 0.0 ? stddev / mean : 0.0; }
+
+  /// max/mean imbalance factor (1.0 = perfectly balanced); 0 if empty.
+  double imbalance() const noexcept { return mean != 0.0 ? max / mean : 0.0; }
+};
+
+/// Compute a `Summary` over `values` (Welford's algorithm).
+inline Summary summarize(std::span<const double> values) noexcept {
+  Summary s;
+  if (values.empty()) return s;
+  s.n = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  double mean = 0.0;
+  double m2 = 0.0;
+  std::size_t k = 0;
+  for (double v : values) {
+    ++k;
+    const double delta = v - mean;
+    mean += delta / static_cast<double>(k);
+    m2 += delta * (v - mean);
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    s.sum += v;
+  }
+  s.mean = mean;
+  s.stddev = std::sqrt(m2 / static_cast<double>(s.n));
+  return s;
+}
+
+}  // namespace pmpl

@@ -1,0 +1,68 @@
+#pragma once
+/// \file table.hpp
+/// Aligned-column text table used by the bench harnesses to print the rows
+/// and series that regenerate each figure of the paper.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pmpl {
+
+/// Collects rows of string cells and prints them with aligned columns.
+/// Numeric helpers format with a fixed precision so figure series line up.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) {
+    rows_.push_back(std::move(header));
+  }
+
+  /// Begin a new row; append cells with `cell()` / `num()`.
+  TextTable& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  TextTable& cell(std::string s) {
+    rows_.back().push_back(std::move(s));
+    return *this;
+  }
+
+  TextTable& num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return cell(os.str());
+  }
+
+  TextTable& num(std::uint64_t v) { return cell(std::to_string(v)); }
+  TextTable& num(int v) { return cell(std::to_string(v)); }
+
+  /// Render with two-space gutters and a rule under the header.
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths;
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (widths.size() <= c) widths.resize(c + 1, 0);
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+           << rows_[r][c];
+      }
+      os << '\n';
+      if (r == 0) {
+        std::size_t total = 0;
+        for (std::size_t w : widths) total += w + 2;
+        os << std::string(total, '-') << '\n';
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmpl

@@ -1,0 +1,331 @@
+// Tests for cspace/: configurations, spaces (sampling, metric,
+// interpolation), validity checkers, local planner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "collision/checker.hpp"
+#include "cspace/config.hpp"
+#include "cspace/local_planner.hpp"
+#include "cspace/space.hpp"
+#include "cspace/validity.hpp"
+#include "util/rng.hpp"
+
+namespace pmpl::cspace {
+namespace {
+
+using collision::CollisionChecker;
+using collision::RigidBody;
+using geo::Aabb;
+using geo::Vec3;
+
+constexpr double kPi = 3.14159265358979323846;
+
+Aabb unit_box100() { return {{0, 0, 0}, {100, 100, 100}}; }
+
+// --- Config -------------------------------------------------------------
+
+TEST(Config, BytesAccountsForValues) {
+  Config c{1.0, 2.0, 3.0};
+  EXPECT_EQ(config_bytes(c), 3 * sizeof(double) + sizeof(std::uint32_t));
+}
+
+TEST(Config, StreamOutput) {
+  Config c{1.5, -2.0};
+  std::ostringstream os;
+  os << c;
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+// --- space construction ---------------------------------------------------
+
+TEST(Space, Se3Shape) {
+  const CSpace s = CSpace::se3(unit_box100());
+  EXPECT_EQ(s.kind(), SpaceKind::SE3);
+  EXPECT_EQ(s.value_count(), 7u);
+  EXPECT_EQ(s.dof(), 6u);
+}
+
+TEST(Space, Se2Shape) {
+  const CSpace s = CSpace::se2(Aabb{{0, 0, 0}, {10, 10, 0}});
+  EXPECT_EQ(s.value_count(), 3u);
+  EXPECT_EQ(s.dof(), 3u);
+}
+
+TEST(Space, EuclideanShape) {
+  const CSpace s = CSpace::euclidean({{0, 1}, {-2, 2}, {0, 5}, {0, 1}});
+  EXPECT_EQ(s.value_count(), 4u);
+  EXPECT_EQ(s.dof(), 4u);
+}
+
+// --- sampling ---------------------------------------------------------
+
+TEST(Space, Se3SamplesInBounds) {
+  const CSpace s = CSpace::se3(unit_box100());
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Config c = s.sample(rng);
+    ASSERT_EQ(c.size(), 7u);
+    EXPECT_TRUE(s.in_bounds(c));
+    // Quaternion part is unit.
+    const double qn = std::sqrt(c[3] * c[3] + c[4] * c[4] + c[5] * c[5] +
+                                c[6] * c[6]);
+    EXPECT_NEAR(qn, 1.0, 1e-9);
+  }
+}
+
+TEST(Space, SampleInRestrictsPosition) {
+  const CSpace s = CSpace::se3(unit_box100());
+  const Aabb box{{10, 20, 30}, {15, 25, 35}};
+  Xoshiro256ss rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const Config c = s.sample_in(box, rng);
+    EXPECT_TRUE(box.contains(s.position(c)));
+  }
+}
+
+TEST(Space, EuclideanSampleRespectsAllDims) {
+  const CSpace s = CSpace::euclidean({{-1, 1}, {0, 2}, {5, 6}, {-3, -2}});
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const Config c = s.sample(rng);
+    EXPECT_TRUE(s.in_bounds(c));
+    EXPECT_GE(c[3], -3.0);
+    EXPECT_LE(c[3], -2.0);
+  }
+}
+
+TEST(Space, SamplingIsSeedDeterministic) {
+  const CSpace s = CSpace::se3(unit_box100());
+  Xoshiro256ss a(77), b(77);
+  for (int i = 0; i < 50; ++i) {
+    const Config ca = s.sample(a);
+    const Config cb = s.sample(b);
+    EXPECT_EQ(ca, cb);
+  }
+}
+
+TEST(Space, AtPositionPinsPosition) {
+  const CSpace s = CSpace::se3(unit_box100());
+  Xoshiro256ss rng(6);
+  const Config c = s.at_position({12, 34, 56}, rng);
+  EXPECT_EQ(s.position(c), (Vec3{12, 34, 56}));
+}
+
+// --- metric axioms (parameterized over space kinds) -----------------------
+
+enum class KindParam { kE3, kSe2, kSe3 };
+
+CSpace make_space(KindParam k) {
+  switch (k) {
+    case KindParam::kE3:
+      return CSpace::euclidean({{0, 100}, {0, 100}, {0, 100}});
+    case KindParam::kSe2:
+      return CSpace::se2(Aabb{{0, 0, 0}, {100, 100, 0}});
+    case KindParam::kSe3:
+      return CSpace::se3({{0, 0, 0}, {100, 100, 100}});
+  }
+  return CSpace::se3({{0, 0, 0}, {100, 100, 100}});
+}
+
+class MetricProperty : public ::testing::TestWithParam<KindParam> {};
+
+TEST_P(MetricProperty, IdentityOfIndiscernibles) {
+  const CSpace s = make_space(GetParam());
+  Xoshiro256ss rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const Config c = s.sample(rng);
+    // acos() near 1 has ~sqrt(eps) noise for identical rotations.
+    EXPECT_NEAR(s.distance(c, c), 0.0, 1e-6);
+  }
+}
+
+TEST_P(MetricProperty, Symmetry) {
+  const CSpace s = make_space(GetParam());
+  Xoshiro256ss rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const Config a = s.sample(rng);
+    const Config b = s.sample(rng);
+    EXPECT_NEAR(s.distance(a, b), s.distance(b, a), 1e-9);
+  }
+}
+
+TEST_P(MetricProperty, TriangleInequality) {
+  const CSpace s = make_space(GetParam());
+  Xoshiro256ss rng(10);
+  for (int i = 0; i < 200; ++i) {
+    const Config a = s.sample(rng);
+    const Config b = s.sample(rng);
+    const Config c = s.sample(rng);
+    EXPECT_LE(s.distance(a, c), s.distance(a, b) + s.distance(b, c) + 1e-9);
+  }
+}
+
+TEST_P(MetricProperty, PositionDistanceLowerBoundsMetric) {
+  // The kd-tree's pruning correctness depends on this.
+  const CSpace s = make_space(GetParam());
+  Xoshiro256ss rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const Config a = s.sample(rng);
+    const Config b = s.sample(rng);
+    const double pos = (s.position(a) - s.position(b)).norm();
+    EXPECT_LE(pos, s.distance(a, b) + 1e-9);
+  }
+}
+
+TEST_P(MetricProperty, InterpolationEndpoints) {
+  const CSpace s = make_space(GetParam());
+  Xoshiro256ss rng(12);
+  for (int i = 0; i < 50; ++i) {
+    const Config a = s.sample(rng);
+    const Config b = s.sample(rng);
+    EXPECT_NEAR(s.distance(s.interpolate(a, b, 0.0), a), 0.0, 1e-6);
+    EXPECT_NEAR(s.distance(s.interpolate(a, b, 1.0), b), 0.0, 1e-6);
+  }
+}
+
+TEST_P(MetricProperty, InterpolationIsMetricProportional) {
+  const CSpace s = make_space(GetParam());
+  Xoshiro256ss rng(13);
+  for (int i = 0; i < 50; ++i) {
+    const Config a = s.sample(rng);
+    const Config b = s.sample(rng);
+    const double d = s.distance(a, b);
+    const Config mid = s.interpolate(a, b, 0.5);
+    EXPECT_NEAR(s.distance(a, mid), 0.5 * d, 1e-6 + 0.01 * d);
+    EXPECT_NEAR(s.distance(mid, b), 0.5 * d, 1e-6 + 0.01 * d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, MetricProperty,
+                         ::testing::Values(KindParam::kE3, KindParam::kSe2,
+                                           KindParam::kSe3));
+
+TEST(Space, Se2AngleWrapsAround) {
+  const CSpace s = CSpace::se2(Aabb{{0, 0, 0}, {10, 10, 0}});
+  const Config a{5, 5, kPi - 0.1};
+  const Config b{5, 5, -kPi + 0.1};
+  // Shortest angular path is 0.2, not 2*pi - 0.2.
+  EXPECT_NEAR(s.distance(a, b), 0.5 * 0.2, 1e-9);
+  const Config mid = s.interpolate(a, b, 0.5);
+  EXPECT_NEAR(std::fabs(mid[2]), kPi, 0.11);
+}
+
+TEST(Space, StepCountScalesWithDistance) {
+  const CSpace s = CSpace::euclidean({{0, 100}, {0, 100}, {0, 100}});
+  const Config a{0, 0, 0};
+  const Config b{10, 0, 0};
+  EXPECT_EQ(s.step_count(a, b, 1.0), 10u);
+  EXPECT_EQ(s.step_count(a, b, 3.0), 4u);
+  EXPECT_EQ(s.step_count(a, a, 1.0), 0u);
+}
+
+TEST(Space, PoseMapsSe2) {
+  const CSpace s = CSpace::se2(Aabb{{0, 0, 0}, {10, 10, 0}});
+  const Config c{3, 4, kPi / 2.0};
+  const geo::Transform t = s.pose(c);
+  const Vec3 p = t.apply(geo::Vec3{1, 0, 0});
+  EXPECT_NEAR(p.x, 3.0, 1e-9);
+  EXPECT_NEAR(p.y, 5.0, 1e-9);
+}
+
+// --- validity ----------------------------------------------------------
+
+TEST(Validity, PointRobot) {
+  const CSpace s = CSpace::euclidean({{0, 10}, {0, 10}});
+  CollisionChecker checker({Aabb{{4, 4, -1}, {6, 6, 1}}});
+  PointValidity validity(s, checker);
+  EXPECT_TRUE(validity.valid(Config{1, 1}));
+  EXPECT_FALSE(validity.valid(Config{5, 5}));
+  EXPECT_FALSE(validity.valid(Config{-1, 5}));  // out of bounds
+}
+
+TEST(Validity, RigidBodySe3) {
+  const CSpace s = CSpace::se3(unit_box100());
+  CollisionChecker checker({Aabb{{40, 40, 40}, {60, 60, 60}}});
+  RigidBodyValidity validity(s, RigidBody::box({2, 2, 2}), checker);
+  Xoshiro256ss rng(14);
+  const Config free_cfg = s.at_position({10, 10, 10}, rng);
+  const Config hit_cfg = s.at_position({50, 50, 50}, rng);
+  EXPECT_TRUE(validity.valid(free_cfg));
+  EXPECT_FALSE(validity.valid(hit_cfg));
+  // Near-surface: the robot's extent matters (41,50,50 is 1 away from the
+  // obstacle face at x=40 but the robot reaches 2+).
+  const Config near_cfg = s.at_position({39, 50, 50}, rng);
+  EXPECT_FALSE(validity.valid(near_cfg));
+}
+
+TEST(Validity, PlanarArmFreeAndBlocked) {
+  // 2-link arm anchored at origin, links of length 5.
+  const CSpace s = CSpace::euclidean({{-kPi, kPi}, {-kPi, kPi}});
+  CollisionChecker clear_checker(std::vector<collision::ObstacleShape>{});
+  PlanarArmValidity arm_free(s, {0, 0, 0}, {5.0, 5.0}, 0.4, clear_checker);
+  EXPECT_TRUE(arm_free.valid(Config{0.3, 0.3}));
+
+  // Wall right of the base blocks a straight-out pose.
+  CollisionChecker wall_checker({Aabb{{6, -5, -5}, {8, 5, 5}}});
+  PlanarArmValidity arm(s, {0, 0, 0}, {5.0, 5.0}, 0.4, wall_checker);
+  EXPECT_FALSE(arm.valid(Config{0.0, 0.0}));      // reaches x=10 through wall
+  EXPECT_TRUE(arm.valid(Config{kPi / 2, 0.0}));   // points up, clear
+}
+
+TEST(Validity, PlanarArmForwardKinematics) {
+  const CSpace s = CSpace::euclidean({{-kPi, kPi}, {-kPi, kPi}});
+  CollisionChecker checker(std::vector<collision::ObstacleShape>{});
+  PlanarArmValidity arm(s, {1, 2, 0}, {3.0, 4.0}, 0.2, checker);
+  const auto joints = arm.forward_kinematics(Config{0.0, kPi / 2.0});
+  ASSERT_EQ(joints.size(), 3u);
+  EXPECT_NEAR(joints[1].x, 4.0, 1e-9);
+  EXPECT_NEAR(joints[1].y, 2.0, 1e-9);
+  EXPECT_NEAR(joints[2].x, 4.0, 1e-9);
+  EXPECT_NEAR(joints[2].y, 6.0, 1e-9);
+}
+
+// --- local planner -------------------------------------------------------
+
+TEST(LocalPlanner, FreePathSucceeds) {
+  const CSpace s = CSpace::euclidean({{0, 100}, {0, 100}, {0, 100}});
+  CollisionChecker checker(std::vector<collision::ObstacleShape>{});
+  PointValidity validity(s, checker);
+  const LocalPlanner lp(s, validity, 1.0);
+  const auto r = lp.plan(Config{0, 0, 0}, Config{30, 0, 0});
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.steps_checked, 29u);  // interior points only
+  EXPECT_NEAR(r.length, 30.0, 1e-12);
+}
+
+TEST(LocalPlanner, BlockedPathFails) {
+  const CSpace s = CSpace::euclidean({{0, 100}, {0, 100}, {0, 100}});
+  CollisionChecker checker({Aabb{{10, -1, -1}, {12, 1, 1}}});
+  PointValidity validity(s, checker);
+  const LocalPlanner lp(s, validity, 0.5);
+  const auto r = lp.plan(Config{0, 0, 0}, Config{30, 0, 0});
+  EXPECT_FALSE(r.success);
+  // Fails early: roughly at the obstacle, not after the full edge.
+  EXPECT_LT(r.steps_checked, 30u);
+}
+
+TEST(LocalPlanner, ResolutionControlsStepCount) {
+  const CSpace s = CSpace::euclidean({{0, 100}, {0, 100}, {0, 100}});
+  CollisionChecker checker(std::vector<collision::ObstacleShape>{});
+  PointValidity validity(s, checker);
+  const LocalPlanner coarse(s, validity, 5.0);
+  const LocalPlanner fine(s, validity, 0.5);
+  const Config a{0, 0, 0}, b{20, 0, 0};
+  EXPECT_LT(coarse.plan(a, b).steps_checked, fine.plan(a, b).steps_checked);
+}
+
+TEST(LocalPlanner, StatsCountValidityChecks) {
+  const CSpace s = CSpace::euclidean({{0, 100}, {0, 100}, {0, 100}});
+  CollisionChecker checker({Aabb{{50, 50, 50}, {51, 51, 51}}});
+  PointValidity validity(s, checker);
+  const LocalPlanner lp(s, validity, 1.0);
+  collision::CollisionStats stats;
+  lp.plan(Config{0, 0, 0}, Config{10, 0, 0}, &stats);
+  EXPECT_EQ(stats.queries, 9u);
+}
+
+}  // namespace
+}  // namespace pmpl::cspace

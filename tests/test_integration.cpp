@@ -1,0 +1,238 @@
+// Integration tests: full pipelines end-to-end across modules — workload
+// measurement + replay across strategies and processor counts, determinism
+// guarantees, and solvable queries in every example environment.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/parallel_build.hpp"
+#include "core/prm_driver.hpp"
+#include "core/rrt_driver.hpp"
+#include "env/builders.hpp"
+#include "model/model_env.hpp"
+#include "planner/prm.hpp"
+#include "planner/query.hpp"
+#include "util/rng.hpp"
+
+namespace pmpl {
+namespace {
+
+using core::PrmRunConfig;
+using core::PrmWorkloadConfig;
+using core::RegionGrid;
+using core::Strategy;
+
+// --- the paper's headline behaviours, end to end ---------------------------
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = env::med_cube().release();
+    grid_ = new RegionGrid(RegionGrid::make_auto(
+        env_->space().position_bounds(), 1000, false));
+    PrmWorkloadConfig cfg;
+    cfg.total_attempts = 16384;
+    cfg.seed = 42;
+    workload_ = new core::Workload(
+        core::build_prm_workload(*env_, *grid_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    delete grid_;
+    delete env_;
+  }
+  static env::Environment* env_;
+  static RegionGrid* grid_;
+  static core::Workload* workload_;
+};
+
+env::Environment* EndToEnd::env_ = nullptr;
+RegionGrid* EndToEnd::grid_ = nullptr;
+core::Workload* EndToEnd::workload_ = nullptr;
+
+TEST_F(EndToEnd, StrategyOrderingUnderImbalance) {
+  // In an imbalanced environment both LB families beat the baseline at
+  // every processor count (paper Figs 5, 6, 8a).
+  for (const std::uint32_t p : {16u, 64u, 192u}) {
+    PrmRunConfig cfg;
+    cfg.procs = p;
+    cfg.strategy = Strategy::kNoLB;
+    const double base = core::simulate_prm_run(*workload_, cfg).total_s;
+    cfg.strategy = Strategy::kRepartition;
+    const double repart = core::simulate_prm_run(*workload_, cfg).total_s;
+    cfg.strategy = Strategy::kHybridWS;
+    const double hybrid = core::simulate_prm_run(*workload_, cfg).total_s;
+    EXPECT_LT(repart, base) << "p=" << p;
+    EXPECT_LT(hybrid, base) << "p=" << p;
+  }
+}
+
+TEST_F(EndToEnd, RebalancingBenefitShrinksWithScale) {
+  // Strong scaling: fewer regions per processor leaves less room to move
+  // load (paper Fig 5b discussion).
+  PrmRunConfig cfg;
+  cfg.strategy = Strategy::kRepartition;
+  cfg.procs = 8;
+  const auto low = core::simulate_prm_run(*workload_, cfg);
+  cfg.procs = 250;  // 4 regions/proc
+  const auto high = core::simulate_prm_run(*workload_, cfg);
+  const double gain_low = low.cv_nodes_before - low.cv_nodes_after;
+  const double gain_high = high.cv_nodes_before - high.cv_nodes_after;
+  EXPECT_GT(gain_low, 0.0);
+  // Relative CV reduction is weaker at scale.
+  EXPECT_GT(gain_low / (low.cv_nodes_before + 1e-12),
+            gain_high / (high.cv_nodes_before + 1e-12));
+}
+
+TEST_F(EndToEnd, HybridBeatsRand8ForPrm) {
+  // Paper §IV-C2: HYBRID outperforms RAND-K for PRM (diffusive locality
+  // helps region connection).
+  PrmRunConfig cfg;
+  cfg.procs = 64;
+  cfg.strategy = Strategy::kHybridWS;
+  const auto hybrid = core::simulate_prm_run(*workload_, cfg);
+  cfg.strategy = Strategy::kRand8WS;
+  const auto rand8 = core::simulate_prm_run(*workload_, cfg);
+  // Ordering claim kept loose: hybrid must not be substantially worse.
+  EXPECT_LT(hybrid.total_s, rand8.total_s * 1.10);
+}
+
+TEST_F(EndToEnd, StealingCollapsesAtScale) {
+  // Fig 9: stolen-task counts drop as regions per processor shrink.
+  PrmRunConfig cfg;
+  cfg.strategy = Strategy::kHybridWS;
+  cfg.procs = 10;
+  const auto low = core::simulate_prm_run(*workload_, cfg);
+  cfg.procs = 320;
+  const auto high = core::simulate_prm_run(*workload_, cfg);
+  // Absolute stolen work per processor collapses (Fig 9b): the pool of
+  // stealable regions per processor shrinks with scale.
+  auto stolen_per_proc = [](const core::PrmRunResult& r) {
+    std::uint64_t total = 0;
+    for (const auto s : r.ws.stolen_tasks) total += s;
+    return static_cast<double>(total) /
+           static_cast<double>(r.ws.stolen_tasks.size());
+  };
+  EXPECT_GT(stolen_per_proc(low), 4.0 * stolen_per_proc(high));
+}
+
+TEST(EndToEndFree, NoOverheadInBalancedEnvironment) {
+  // Fig 8c / 10c: in the free environment every strategy is within a few
+  // percent of the baseline — LB costs nothing when there is no imbalance.
+  const auto e = env::free_env();
+  const RegionGrid grid =
+      RegionGrid::make_auto(e->space().position_bounds(), 512, false);
+  PrmWorkloadConfig wcfg;
+  wcfg.total_attempts = 8192;
+  wcfg.seed = 7;
+  const auto w = core::build_prm_workload(*e, grid, wcfg);
+  PrmRunConfig cfg;
+  cfg.procs = 64;
+  cfg.strategy = Strategy::kNoLB;
+  const double base = core::simulate_prm_run(w, cfg).total_s;
+  for (const Strategy s : {Strategy::kRepartition, Strategy::kHybridWS,
+                           Strategy::kRand8WS}) {
+    cfg.strategy = s;
+    const double t = core::simulate_prm_run(w, cfg).total_s;
+    EXPECT_LT(t, base * 1.10) << core::to_string(s);
+    EXPECT_GT(t, base * 0.80) << core::to_string(s);
+  }
+}
+
+// --- cross-strategy invariant: the planning result never changes -----------
+
+TEST(Determinism, RoadmapIndependentOfScheduleAndProcs) {
+  // The roadmap is a pure function of (env, grid, attempts, seed): replay
+  // configuration must not matter, and two measurements agree exactly.
+  const auto e = env::small_cube();
+  const RegionGrid grid =
+      RegionGrid::make_auto(e->space().position_bounds(), 216, false);
+  PrmWorkloadConfig cfg;
+  cfg.total_attempts = 4096;
+  cfg.seed = 1234;
+  const auto w1 = core::build_prm_workload(*e, grid, cfg);
+  const auto w2 = core::build_prm_workload(*e, grid, cfg);
+  ASSERT_EQ(w1.roadmap.num_vertices(), w2.roadmap.num_vertices());
+  ASSERT_EQ(w1.roadmap.num_edges(), w2.roadmap.num_edges());
+  for (graph::VertexId v = 0; v < w1.roadmap.num_vertices(); ++v)
+    EXPECT_EQ(w1.roadmap.vertex(v).cfg, w2.roadmap.vertex(v).cfg);
+}
+
+TEST(Determinism, DifferentSeedsDifferentRoadmaps) {
+  const auto e = env::small_cube();
+  const RegionGrid grid =
+      RegionGrid::make_auto(e->space().position_bounds(), 64, false);
+  PrmWorkloadConfig a;
+  a.total_attempts = 2048;
+  a.seed = 1;
+  PrmWorkloadConfig b = a;
+  b.seed = 2;
+  const auto wa = core::build_prm_workload(*e, grid, a);
+  const auto wb = core::build_prm_workload(*e, grid, b);
+  EXPECT_NE(wa.roadmap.num_vertices(), wb.roadmap.num_vertices());
+}
+
+// --- queries solved through the parallel-built roadmap ----------------------
+
+TEST(Queries, ParallelRoadmapAnswersQueryInWarehouse) {
+  const auto e = env::warehouse();
+  const RegionGrid grid =
+      RegionGrid::make_auto(e->space().position_bounds(), 125, false);
+  core::ParallelPrmConfig cfg;
+  cfg.total_attempts = 6000;
+  cfg.workers = 4;
+  cfg.prm.k_neighbors = 8;
+  cfg.seed = 9;
+  auto result = core::parallel_build_prm(*e, grid, cfg);
+  Xoshiro256ss rng(10);
+  const auto start = e->space().at_position({5, 5, 50}, rng);
+  const auto goal = e->space().at_position({95, 95, 50}, rng);
+  ASSERT_TRUE(e->validity().valid(start));
+  ASSERT_TRUE(e->validity().valid(goal));
+  const auto path = planner::query_roadmap(*e, result.roadmap, start, goal,
+                                           8, 1.0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(planner::path_valid(*e, *path, 1.0));
+}
+
+TEST(Queries, MazeSolvableWithSequentialPrm) {
+  const auto e = env::maze_2d();
+  planner::PrmParams params;
+  params.k_neighbors = 10;
+  planner::Prm prm(*e, params);
+  prm.build(4000, 11);
+  // Start lower-left open cell, goal upper-right open cell.
+  const cspace::Config start{6.0, 6.0, 0.0};
+  const cspace::Config goal{95.0, 95.0, 0.0};
+  ASSERT_TRUE(e->validity().valid(start));
+  ASSERT_TRUE(e->validity().valid(goal));
+  const auto path = prm.query(start, goal);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(planner::path_valid(*e, *path, 0.5));
+}
+
+// --- model-vs-experiment agreement (Fig 4 in miniature) ---------------------
+
+TEST(ModelValidation, MeasuredSampleCvTracksAnalyticModel) {
+  const auto e = env::model_2d(0.25);
+  constexpr std::uint32_t kSide = 16;
+  const model::ModelEnvironment analytic(0.25, kSide);
+  const RegionGrid grid(e->space().position_bounds(), kSide, kSide, 1);
+  PrmWorkloadConfig cfg;
+  cfg.total_attempts = 1 << 15;
+  cfg.seed = 3;
+  cfg.prm.resolution = 0.05;
+  const auto w = core::build_prm_workload(*e, grid, cfg);
+  for (const std::uint32_t p : {4u, 16u}) {
+    PrmRunConfig rcfg;
+    rcfg.procs = p;
+    rcfg.strategy = Strategy::kNoLB;
+    const auto r = core::simulate_prm_run(w, rcfg);
+    EXPECT_NEAR(r.cv_nodes_before, analytic.cv_naive(p), 0.08)
+        << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace pmpl

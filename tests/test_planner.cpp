@@ -1,0 +1,399 @@
+// Tests for planner/: k-NN structures, sequential PRM, sequential RRT,
+// roadmap queries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "env/builders.hpp"
+#include "graph/tree_utils.hpp"
+#include "planner/knn.hpp"
+#include "planner/prm.hpp"
+#include "planner/query.hpp"
+#include "planner/rrt.hpp"
+#include "util/rng.hpp"
+
+namespace pmpl::planner {
+namespace {
+
+using cspace::Config;
+using cspace::CSpace;
+
+// --- k-NN --------------------------------------------------------------
+
+class KnnProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(KnnProperty, KdTreeMatchesBruteForce) {
+  const auto [n, seed] = GetParam();
+  const CSpace space = CSpace::se3({{0, 0, 0}, {100, 100, 100}});
+  Xoshiro256ss rng(seed);
+  KdTreeKnn tree(space);
+  BruteForceKnn brute(space);
+  for (int i = 0; i < n; ++i) {
+    const Config c = space.sample(rng);
+    tree.insert(static_cast<graph::VertexId>(i), c);
+    brute.insert(static_cast<graph::VertexId>(i), c);
+  }
+  for (int q = 0; q < 25; ++q) {
+    const Config query = space.sample(rng);
+    for (const std::size_t k : {1u, 4u, 8u}) {
+      auto a = tree.nearest(query, k);
+      auto b = brute.nearest(query, k);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9)
+            << "n=" << n << " q=" << q << " k=" << k << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, KnnProperty,
+    ::testing::Combine(::testing::Values(1, 5, 33, 128, 500),
+                       ::testing::Values(1u, 7u, 99u)));
+
+TEST(Knn, EmptyStructureReturnsNothing) {
+  const CSpace space = CSpace::se3({{0, 0, 0}, {10, 10, 10}});
+  KdTreeKnn tree(space);
+  Xoshiro256ss rng(1);
+  EXPECT_TRUE(tree.nearest(space.sample(rng), 3).empty());
+}
+
+TEST(Knn, FewerPointsThanK) {
+  const CSpace space = CSpace::se3({{0, 0, 0}, {10, 10, 10}});
+  KdTreeKnn tree(space);
+  Xoshiro256ss rng(2);
+  tree.insert(0, space.sample(rng));
+  tree.insert(1, space.sample(rng));
+  EXPECT_EQ(tree.nearest(space.sample(rng), 10).size(), 2u);
+}
+
+TEST(Knn, ResultsSortedAscending) {
+  const CSpace space = CSpace::euclidean({{0, 100}, {0, 100}, {0, 100}});
+  KdTreeKnn tree(space);
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 200; ++i)
+    tree.insert(static_cast<graph::VertexId>(i), space.sample(rng));
+  const auto result = tree.nearest(space.sample(rng), 10);
+  EXPECT_TRUE(std::is_sorted(result.begin(), result.end(),
+                             [](const Neighbor& a, const Neighbor& b) {
+                               return a.distance < b.distance;
+                             }));
+}
+
+TEST(Knn, ExactSelfQuery) {
+  const CSpace space = CSpace::euclidean({{0, 100}, {0, 100}, {0, 100}});
+  KdTreeKnn tree(space);
+  Xoshiro256ss rng(4);
+  std::vector<Config> configs;
+  for (int i = 0; i < 64; ++i) {
+    configs.push_back(space.sample(rng));
+    tree.insert(static_cast<graph::VertexId>(i), configs.back());
+  }
+  for (int i = 0; i < 64; ++i) {
+    const auto nn = tree.nearest(configs[i], 1);
+    ASSERT_EQ(nn.size(), 1u);
+    EXPECT_EQ(nn[0].id, static_cast<graph::VertexId>(i));
+    EXPECT_NEAR(nn[0].distance, 0.0, 1e-12);
+  }
+}
+
+TEST(Knn, StatsCountCandidates) {
+  const CSpace space = CSpace::euclidean({{0, 100}, {0, 100}, {0, 100}});
+  BruteForceKnn brute(space);
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 50; ++i)
+    brute.insert(static_cast<graph::VertexId>(i), space.sample(rng));
+  PlannerStats stats;
+  brute.nearest(space.sample(rng), 3, &stats);
+  EXPECT_EQ(stats.knn_queries, 1u);
+  EXPECT_EQ(stats.knn_candidates, 50u);
+}
+
+TEST(Knn, FactorySelectsImplementation) {
+  const CSpace space = CSpace::se3({{0, 0, 0}, {10, 10, 10}});
+  EXPECT_NE(dynamic_cast<KdTreeKnn*>(make_neighbor_finder(space).get()),
+            nullptr);
+  EXPECT_NE(
+      dynamic_cast<BruteForceKnn*>(make_neighbor_finder(space, true).get()),
+      nullptr);
+}
+
+// --- PRM free functions ----------------------------------------------------
+
+TEST(PrmPhases, SampleRegionKeepsValidOnly) {
+  const auto e = env::med_cube();
+  PlannerStats stats;
+  Xoshiro256ss rng(11);
+  // A region straddling the obstacle: some attempts must be rejected.
+  const geo::Aabb box{{10, 40, 40}, {40, 60, 60}};
+  const auto samples = planner::sample_region(*e, box, 300, rng, stats);
+  EXPECT_EQ(stats.samples_attempted, 300u);
+  EXPECT_EQ(stats.samples_valid, samples.size());
+  EXPECT_LT(samples.size(), 300u);
+  EXPECT_GT(samples.size(), 0u);
+  for (const auto& c : samples) {
+    EXPECT_TRUE(box.contains(e->space().position(c)));
+    EXPECT_TRUE(e->validity().valid(c));
+  }
+}
+
+TEST(PrmPhases, SampleRegionDeterministic) {
+  const auto e = env::med_cube();
+  const geo::Aabb box{{0, 0, 0}, {30, 30, 30}};
+  PlannerStats s1, s2;
+  Xoshiro256ss r1(9), r2(9);
+  const auto a = planner::sample_region(*e, box, 100, r1, s1);
+  const auto b = planner::sample_region(*e, box, 100, r2, s2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(PrmPhases, ConnectWithinAddsValidEdges) {
+  const auto e = env::free_env();
+  Roadmap g;
+  PlannerStats stats;
+  Xoshiro256ss rng(12);
+  const geo::Aabb box{{0, 0, 0}, {40, 40, 40}};
+  const auto samples = planner::sample_region(*e, box, 60, rng, stats);
+  std::vector<graph::VertexId> ids;
+  for (const auto& c : samples) ids.push_back(g.add_vertex({c, 0}));
+  graph::UnionFind cc(g.num_vertices());
+  PrmParams params;
+  planner::connect_within(*e, g, ids, params, stats, &cc);
+  EXPECT_GT(g.num_edges(), 0u);
+  EXPECT_GT(stats.lp_success, 0u);
+  // In a free environment every local plan succeeds.
+  EXPECT_EQ(stats.lp_success, stats.lp_attempts);
+  // Component skipping keeps the roadmap a forest.
+  EXPECT_LE(g.num_edges(), g.num_vertices() - 1);
+}
+
+TEST(PrmPhases, ConnectWithinWithoutSkipAddsRedundantEdges) {
+  const auto e = env::free_env();
+  Roadmap g;
+  PlannerStats stats;
+  Xoshiro256ss rng(13);
+  const auto samples = planner::sample_region(
+      *e, geo::Aabb{{0, 0, 0}, {40, 40, 40}}, 60, rng, stats);
+  std::vector<graph::VertexId> ids;
+  for (const auto& c : samples) ids.push_back(g.add_vertex({c, 0}));
+  PrmParams params;
+  params.skip_same_component = false;
+  planner::connect_within(*e, g, ids, params, stats, nullptr);
+  EXPECT_GT(g.num_edges(), g.num_vertices() - 1);
+}
+
+TEST(PrmPhases, ConnectBetweenBridgesRegions) {
+  const auto e = env::free_env();
+  Roadmap g;
+  PlannerStats stats;
+  Xoshiro256ss rng(14);
+  std::vector<graph::VertexId> left, right;
+  for (const auto& c : planner::sample_region(
+           *e, geo::Aabb{{0, 0, 0}, {20, 40, 40}}, 40, rng, stats))
+    left.push_back(g.add_vertex({c, 0}));
+  for (const auto& c : planner::sample_region(
+           *e, geo::Aabb{{20, 0, 0}, {40, 40, 40}}, 40, rng, stats))
+    right.push_back(g.add_vertex({c, 1}));
+  PrmParams params;
+  const auto added = planner::connect_between(*e, g, left, right, params,
+                                              stats, nullptr, 8);
+  EXPECT_GT(added, 0u);
+  EXPECT_EQ(g.num_edges(), added);
+}
+
+TEST(PrmPhases, ConnectBetweenEmptySidesNoOp) {
+  const auto e = env::free_env();
+  Roadmap g;
+  PlannerStats stats;
+  PrmParams params;
+  EXPECT_EQ(planner::connect_between(*e, g, {}, {}, params, stats), 0u);
+}
+
+// --- Prm end to end -----------------------------------------------------
+
+TEST(Prm, BuildsConnectedRoadmapInFreeSpace) {
+  const auto e = env::free_env();
+  Prm prm(*e);
+  prm.build(400, 21);
+  EXPECT_GT(prm.roadmap().num_vertices(), 300u);
+  EXPECT_GT(prm.roadmap().num_edges(), 0u);
+}
+
+TEST(Prm, SolvesQueryAroundObstacle) {
+  const auto e = env::med_cube();
+  PrmParams params;
+  params.k_neighbors = 8;
+  Prm prm(*e, params);
+  prm.build(1500, 22);
+  Xoshiro256ss rng(23);
+  const Config start = e->space().at_position({8, 8, 8}, rng);
+  const Config goal = e->space().at_position({92, 92, 92}, rng);
+  ASSERT_TRUE(e->validity().valid(start));
+  ASSERT_TRUE(e->validity().valid(goal));
+  const auto path = prm.query(start, goal);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_GE(path->size(), 2u);
+  EXPECT_EQ(path->front(), start);
+  EXPECT_EQ(path->back(), goal);
+  EXPECT_TRUE(path_valid(*e, *path, 1.0));
+}
+
+TEST(Prm, QueryFailsForInvalidEndpoints) {
+  const auto e = env::med_cube();
+  Prm prm(*e);
+  prm.build(200, 24);
+  Xoshiro256ss rng(25);
+  const Config inside_obstacle = e->space().at_position({50, 50, 50}, rng);
+  const Config valid_goal = e->space().at_position({5, 5, 5}, rng);
+  EXPECT_FALSE(prm.query(inside_obstacle, valid_goal).has_value());
+}
+
+TEST(Prm, DeterministicAcrossRuns) {
+  const auto e = env::small_cube();
+  Prm a(*e), b(*e);
+  a.build(300, 77);
+  b.build(300, 77);
+  EXPECT_EQ(a.roadmap().num_vertices(), b.roadmap().num_vertices());
+  EXPECT_EQ(a.roadmap().num_edges(), b.roadmap().num_edges());
+}
+
+// --- path helpers -----------------------------------------------------
+
+TEST(Query, PathLengthSumsSegments) {
+  const auto e = env::free_env();
+  const std::vector<Config> path{Config{0, 0, 0, 1, 0, 0, 0},
+                                 Config{10, 0, 0, 1, 0, 0, 0},
+                                 Config{10, 5, 0, 1, 0, 0, 0}};
+  EXPECT_NEAR(path_length(*e, path), 15.0, 1e-9);
+}
+
+TEST(Query, PathValidDetectsCollision) {
+  const auto e = env::med_cube();
+  Xoshiro256ss rng(26);
+  // Straight line through the central cube is invalid.
+  const std::vector<Config> bad{e->space().at_position({5, 50, 50}, rng),
+                                e->space().at_position({95, 50, 50}, rng)};
+  EXPECT_FALSE(path_valid(*e, bad, 1.0));
+  // A short edge in the free corner is valid.
+  const std::vector<Config> good{e->space().at_position({5, 5, 5}, rng),
+                                 e->space().at_position({10, 5, 5}, rng)};
+  EXPECT_TRUE(path_valid(*e, good, 1.0));
+}
+
+// --- RRT ---------------------------------------------------------------
+
+TEST(RrtBranch, GrowsTowardTarget) {
+  const auto e = env::free_env();
+  Roadmap tree;
+  Xoshiro256ss rng(31);
+  const Config root = e->space().at_position({50, 50, 50}, rng);
+  RrtParams params;
+  params.max_nodes = 50;
+  params.max_iterations = 500;
+  RrtBranch branch(*e, tree, root, 3, params);
+  PlannerStats stats;
+  const geo::Vec3 target{90, 50, 50};
+  branch.grow([&](Xoshiro256ss& g) { return e->space().at_position(target, g); },
+              rng, stats);
+  EXPECT_EQ(branch.num_nodes(), 50u);
+  EXPECT_EQ(tree.num_vertices(), 50u);
+  EXPECT_TRUE(graph::is_forest(tree));
+  // Growth must have advanced toward the target.
+  double best = 1e9;
+  for (const auto id : branch.node_ids()) {
+    const double d = (e->space().position(tree.vertex(id).cfg) - target).norm();
+    best = std::min(best, d);
+  }
+  EXPECT_LT(best, 20.0);
+  // Region tag recorded on every vertex.
+  for (const auto id : branch.node_ids())
+    EXPECT_EQ(tree.vertex(id).region, 3u);
+}
+
+TEST(RrtBranch, RespectsStepSize) {
+  const auto e = env::free_env();
+  Roadmap tree;
+  Xoshiro256ss rng(32);
+  const Config root = e->space().at_position({50, 50, 50}, rng);
+  RrtParams params;
+  params.step = 3.0;
+  params.max_nodes = 30;
+  params.max_iterations = 300;
+  RrtBranch branch(*e, tree, root, 0, params);
+  PlannerStats stats;
+  branch.grow([&](Xoshiro256ss& g) { return e->space().sample(g); }, rng,
+              stats);
+  for (graph::VertexId v = 0; v < tree.num_vertices(); ++v)
+    for (const auto& he : tree.edges_of(v))
+      EXPECT_LE(he.prop.length, params.step + 1e-9);
+}
+
+TEST(RrtBranch, BlockedRegionGrowsLess) {
+  const auto e = env::mixed(0.60);
+  RrtParams params;
+  params.max_nodes = 60;
+  params.max_iterations = 240;
+  PlannerStats s_free, s_blocked;
+  Xoshiro256ss rng(33);
+  const Config root = e->space().at_position({50, 50, 50}, rng);
+  // Free direction: -x (the mixed builder skews clutter toward +x).
+  Roadmap t1;
+  RrtBranch free_branch(*e, t1, root, 0, params);
+  Xoshiro256ss r1(34);
+  free_branch.grow(
+      [&](Xoshiro256ss& g) {
+        return e->space().at_position(
+            {g.uniform(2, 40), g.uniform(20, 80), g.uniform(20, 80)}, g);
+      },
+      r1, s_free);
+  Roadmap t2;
+  RrtBranch blocked_branch(*e, t2, root, 0, params);
+  Xoshiro256ss r2(34);
+  blocked_branch.grow(
+      [&](Xoshiro256ss& g) {
+        return e->space().at_position(
+            {g.uniform(60, 98), g.uniform(20, 80), g.uniform(20, 80)}, g);
+      },
+      r2, s_blocked);
+  EXPECT_GE(free_branch.num_nodes(), blocked_branch.num_nodes());
+  // Blocked growth has a lower extension success rate.
+  const double free_rate =
+      static_cast<double>(s_free.rrt_extends_success) /
+      static_cast<double>(s_free.rrt_extends);
+  const double blocked_rate =
+      static_cast<double>(s_blocked.rrt_extends_success) /
+      static_cast<double>(s_blocked.rrt_extends);
+  EXPECT_GT(free_rate, blocked_rate);
+}
+
+TEST(Rrt, PlansThroughFreeSpace) {
+  const auto e = env::free_env();
+  RrtParams params;
+  params.max_nodes = 2000;
+  params.max_iterations = 8000;
+  params.step = 8.0;
+  Rrt rrt(*e, params);
+  Xoshiro256ss rng(35);
+  const Config start = e->space().at_position({10, 10, 10}, rng);
+  const Config goal = e->space().at_position({90, 90, 90}, rng);
+  const auto path = rrt.plan(start, goal, 36, 0.2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->front(), start);
+  EXPECT_EQ(path->back(), goal);
+  EXPECT_TRUE(path_valid(*e, *path, 1.0));
+}
+
+TEST(Rrt, FailsGracefullyWhenGoalInvalid) {
+  const auto e = env::med_cube();
+  Rrt rrt(*e);
+  Xoshiro256ss rng(37);
+  const Config start = e->space().at_position({5, 5, 5}, rng);
+  const Config goal = e->space().at_position({50, 50, 50}, rng);  // inside
+  EXPECT_FALSE(rrt.plan(start, goal, 38).has_value());
+}
+
+}  // namespace
+}  // namespace pmpl::planner

@@ -1,0 +1,311 @@
+// Tests for runtime/: DES core, topology, communication model, Safra
+// termination detection, thread pool, work-unit cost model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "runtime/des.hpp"
+#include "runtime/termination.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/topology.hpp"
+#include "runtime/work_units.hpp"
+
+namespace pmpl::runtime {
+namespace {
+
+// --- DES ----------------------------------------------------------------
+
+TEST(Des, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Des, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Des, CallbacksCanSchedule) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(1.0, recurse);
+  };
+  sim.schedule_at(0.0, recurse);
+  const auto n = sim.run();
+  EXPECT_EQ(n, 5u);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Des, NoTimeTravel) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_at(1.0, [&] { seen = sim.now(); });  // in the past: clamped
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Des, NegativeDelayClamped) {
+  Simulator sim;
+  sim.schedule_in(-3.0, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Des, EventCapStopsRunaway) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule_in(1.0, forever); };
+  sim.schedule_at(0.0, forever);
+  const auto n = sim.run(1000);
+  EXPECT_EQ(n, 1000u);
+}
+
+// --- topology ------------------------------------------------------------
+
+TEST(Topology, NodeMapping) {
+  const ClusterSpec hopper = ClusterSpec::hopper();
+  EXPECT_EQ(hopper.cores_per_node, 24u);
+  EXPECT_EQ(hopper.node_of(0), 0u);
+  EXPECT_EQ(hopper.node_of(23), 0u);
+  EXPECT_EQ(hopper.node_of(24), 1u);
+  EXPECT_TRUE(hopper.same_node(0, 23));
+  EXPECT_FALSE(hopper.same_node(23, 24));
+}
+
+TEST(Topology, LatencyLocalVsRemote) {
+  const ClusterSpec spec = ClusterSpec::opteron_cluster();
+  EXPECT_LT(spec.latency(0, 1), spec.latency(0, 100));
+  EXPECT_DOUBLE_EQ(spec.latency(0, 1), spec.local_latency_s);
+  EXPECT_DOUBLE_EQ(spec.latency(0, 100), spec.remote_latency_s);
+}
+
+TEST(Topology, TransferTimeIncludesBandwidth) {
+  const ClusterSpec spec = ClusterSpec::hopper();
+  const double small = spec.transfer_time(0, 100, 0);
+  const double big = spec.transfer_time(0, 100, 1 << 20);
+  EXPECT_DOUBLE_EQ(small, spec.remote_latency_s);
+  EXPECT_GT(big, small);
+  EXPECT_NEAR(big - small, double(1 << 20) / spec.bandwidth_bps, 1e-12);
+}
+
+TEST(Mesh, NearSquareFactorization) {
+  const ProcessMesh m(12);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.size(), 12u);
+  const ProcessMesh s(16);
+  EXPECT_EQ(s.cols(), 4u);
+  EXPECT_EQ(s.rows(), 4u);
+}
+
+TEST(Mesh, InteriorHasFourNeighbors) {
+  const ProcessMesh m(16);  // 4x4
+  const auto n = m.neighbors(5);  // row 1, col 1
+  EXPECT_EQ(n.size(), 4u);
+}
+
+TEST(Mesh, CornerHasTwoNeighbors) {
+  const ProcessMesh m(16);
+  EXPECT_EQ(m.neighbors(0).size(), 2u);
+  EXPECT_EQ(m.neighbors(15).size(), 2u);
+}
+
+TEST(Mesh, NeighborsAreSymmetric) {
+  const ProcessMesh m(13);  // ragged mesh
+  for (std::uint32_t r = 0; r < m.size(); ++r) {
+    for (const auto n : m.neighbors(r)) {
+      const auto back = m.neighbors(n);
+      EXPECT_NE(std::find(back.begin(), back.end(), r), back.end())
+          << r << " <-> " << n;
+    }
+  }
+}
+
+TEST(Mesh, RaggedMeshExcludesMissingRanks) {
+  const ProcessMesh m(5);  // 3x2ish: ranks 0..4 only
+  for (std::uint32_t r = 0; r < m.size(); ++r)
+    for (const auto n : m.neighbors(r)) EXPECT_LT(n, 5u);
+}
+
+TEST(Mesh, HopsIsManhattan) {
+  const ProcessMesh m(16);  // 4x4
+  EXPECT_EQ(m.hops(0, 0), 0u);
+  EXPECT_EQ(m.hops(0, 3), 3u);
+  EXPECT_EQ(m.hops(0, 15), 6u);
+  EXPECT_EQ(m.hops(5, 6), 1u);
+}
+
+TEST(Mesh, SingleProcessor) {
+  const ProcessMesh m(1);
+  EXPECT_TRUE(m.neighbors(0).empty());
+}
+
+// --- Safra termination ------------------------------------------------------
+
+using Token = SafraTermination::Token;
+using Action = SafraTermination::Action;
+
+/// Run the token around the ring once, starting from initiate(); all ranks
+/// idle. Returns the decision at rank 0.
+SafraTermination::Decision run_round(SafraTermination& safra) {
+  Token token = safra.initiate();
+  std::uint32_t rank = safra.next_of(0);
+  while (rank != 0) {
+    const auto d = safra.on_token_at_idle(rank, token);
+    EXPECT_EQ(d.action, Action::kForward);
+    token = d.token;
+    rank = d.next;
+  }
+  return safra.on_token_at_idle(0, token);
+}
+
+TEST(Safra, QuiescentRingTerminatesFirstRound) {
+  SafraTermination safra(4);
+  EXPECT_EQ(run_round(safra).action, Action::kTerminate);
+}
+
+TEST(Safra, InFlightMessageBlocksTermination) {
+  SafraTermination safra(4);
+  safra.on_send(1);  // message left rank 1, not yet received
+  EXPECT_EQ(run_round(safra).action, Action::kForward);
+  // After delivery: receiver black for one round, then terminate.
+  safra.on_receive(3);
+  EXPECT_EQ(run_round(safra).action, Action::kForward);  // black rank 3
+  EXPECT_EQ(run_round(safra).action, Action::kTerminate);
+}
+
+TEST(Safra, BalancedTrafficNeedsWhiteRound) {
+  SafraTermination safra(3);
+  // 1 -> 2 delivered before any round: counts balanced but 2 is black.
+  safra.on_send(1);
+  safra.on_receive(2);
+  EXPECT_EQ(run_round(safra).action, Action::kForward);
+  EXPECT_EQ(run_round(safra).action, Action::kTerminate);
+}
+
+TEST(Safra, MessageIntoRankZero) {
+  SafraTermination safra(3);
+  // A message delivered to rank 0 *before* any round starts: the system is
+  // already quiescent when rank 0 initiates (initiation whitens rank 0),
+  // so the very first round may detect termination.
+  safra.on_send(2);
+  safra.on_receive(0);
+  EXPECT_EQ(run_round(safra).action, Action::kTerminate);
+}
+
+TEST(Safra, ManyMessagesEventuallyTerminate) {
+  SafraTermination safra(8);
+  for (int i = 0; i < 100; ++i) {
+    safra.on_send(static_cast<std::uint32_t>(i % 8));
+    safra.on_receive(static_cast<std::uint32_t>((i + 3) % 8));
+  }
+  int rounds = 0;
+  while (run_round(safra).action != Action::kTerminate) {
+    ++rounds;
+    ASSERT_LT(rounds, 5);
+  }
+}
+
+// --- thread pool ------------------------------------------------------------
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoOp) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  parallel_for(
+      pool, 64,
+      [&](std::size_t) {
+        const int now = ++concurrent;
+        int p = peak.load();
+        while (now > p && !peak.compare_exchange_weak(p, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        --concurrent;
+      },
+      /*chunk=*/1);
+  EXPECT_GT(peak.load(), 1);
+}
+
+// --- work units --------------------------------------------------------------
+
+TEST(WorkUnits, SecondsAreLinearInCounts) {
+  const CostModel m;
+  WorkCounts w;
+  w.cd_queries = 10;
+  const double base = m.seconds(w);
+  w.cd_queries = 20;
+  EXPECT_NEAR(m.seconds(w), 2.0 * base, 1e-15);
+}
+
+TEST(WorkUnits, ScaleMultipliesUniformly) {
+  CostModel m;
+  WorkCounts w;
+  w.narrow_tests = 100;
+  w.knn_candidates = 50;
+  const double base = m.seconds(w);
+  m.scale = 10.0;
+  EXPECT_NEAR(m.seconds(w), 10.0 * base, 1e-18);
+}
+
+TEST(WorkUnits, PaperFidelityScalesUp) {
+  const CostModel paper = CostModel::paper_fidelity();
+  EXPECT_GT(paper.scale, 1.0);
+}
+
+TEST(WorkUnits, CountsAccumulate) {
+  WorkCounts a, b;
+  a.cd_queries = 3;
+  b.cd_queries = 4;
+  b.rrt_extends = 2;
+  a += b;
+  EXPECT_EQ(a.cd_queries, 7u);
+  EXPECT_EQ(a.rrt_extends, 2u);
+}
+
+}  // namespace
+}  // namespace pmpl::runtime
