@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_rrt_envs.dir/bench_fig10_rrt_envs.cpp.o"
+  "CMakeFiles/bench_fig10_rrt_envs.dir/bench_fig10_rrt_envs.cpp.o.d"
+  "bench_fig10_rrt_envs"
+  "bench_fig10_rrt_envs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_rrt_envs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

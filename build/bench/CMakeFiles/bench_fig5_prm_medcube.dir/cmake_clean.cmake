@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_prm_medcube.dir/bench_fig5_prm_medcube.cpp.o"
+  "CMakeFiles/bench_fig5_prm_medcube.dir/bench_fig5_prm_medcube.cpp.o.d"
+  "bench_fig5_prm_medcube"
+  "bench_fig5_prm_medcube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_prm_medcube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig5_prm_medcube.
+# This may be replaced when dependencies are built.

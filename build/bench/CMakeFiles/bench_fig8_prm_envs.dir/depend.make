@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_prm_envs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_steal_tasks.dir/bench_fig9_steal_tasks.cpp.o"
+  "CMakeFiles/bench_fig9_steal_tasks.dir/bench_fig9_steal_tasks.cpp.o.d"
+  "bench_fig9_steal_tasks"
+  "bench_fig9_steal_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_steal_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

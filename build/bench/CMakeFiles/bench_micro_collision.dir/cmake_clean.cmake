@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_collision.dir/bench_micro_collision.cpp.o"
+  "CMakeFiles/bench_micro_collision.dir/bench_micro_collision.cpp.o.d"
+  "bench_micro_collision"
+  "bench_micro_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiquery.dir/multiquery.cpp.o"
+  "CMakeFiles/multiquery.dir/multiquery.cpp.o.d"
+  "multiquery"
+  "multiquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planar_arm.dir/planar_arm.cpp.o"
+  "CMakeFiles/planar_arm.dir/planar_arm.cpp.o.d"
+  "planar_arm"
+  "planar_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planar_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

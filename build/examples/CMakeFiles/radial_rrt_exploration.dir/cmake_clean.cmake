@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radial_rrt_exploration.dir/radial_rrt_exploration.cpp.o"
+  "CMakeFiles/radial_rrt_exploration.dir/radial_rrt_exploration.cpp.o.d"
+  "radial_rrt_exploration"
+  "radial_rrt_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radial_rrt_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for radial_rrt_exploration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for radial_rrt_exploration.
+# This may be replaced when dependencies are built.

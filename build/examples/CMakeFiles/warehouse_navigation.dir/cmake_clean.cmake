@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_navigation.dir/warehouse_navigation.cpp.o"
+  "CMakeFiles/warehouse_navigation.dir/warehouse_navigation.cpp.o.d"
+  "warehouse_navigation"
+  "warehouse_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

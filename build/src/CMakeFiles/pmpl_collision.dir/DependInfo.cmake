@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collision/bvh.cpp" "src/CMakeFiles/pmpl_collision.dir/collision/bvh.cpp.o" "gcc" "src/CMakeFiles/pmpl_collision.dir/collision/bvh.cpp.o.d"
+  "/root/repo/src/collision/checker.cpp" "src/CMakeFiles/pmpl_collision.dir/collision/checker.cpp.o" "gcc" "src/CMakeFiles/pmpl_collision.dir/collision/checker.cpp.o.d"
+  "/root/repo/src/collision/shape.cpp" "src/CMakeFiles/pmpl_collision.dir/collision/shape.cpp.o" "gcc" "src/CMakeFiles/pmpl_collision.dir/collision/shape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmpl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

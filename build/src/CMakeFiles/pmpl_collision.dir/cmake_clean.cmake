@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmpl_collision.dir/collision/bvh.cpp.o"
+  "CMakeFiles/pmpl_collision.dir/collision/bvh.cpp.o.d"
+  "CMakeFiles/pmpl_collision.dir/collision/checker.cpp.o"
+  "CMakeFiles/pmpl_collision.dir/collision/checker.cpp.o.d"
+  "CMakeFiles/pmpl_collision.dir/collision/shape.cpp.o"
+  "CMakeFiles/pmpl_collision.dir/collision/shape.cpp.o.d"
+  "libpmpl_collision.a"
+  "libpmpl_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmpl_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/parallel_build.cpp" "src/CMakeFiles/pmpl_core.dir/core/parallel_build.cpp.o" "gcc" "src/CMakeFiles/pmpl_core.dir/core/parallel_build.cpp.o.d"
+  "/root/repo/src/core/parallel_build_rrt.cpp" "src/CMakeFiles/pmpl_core.dir/core/parallel_build_rrt.cpp.o" "gcc" "src/CMakeFiles/pmpl_core.dir/core/parallel_build_rrt.cpp.o.d"
+  "/root/repo/src/core/prm_driver.cpp" "src/CMakeFiles/pmpl_core.dir/core/prm_driver.cpp.o" "gcc" "src/CMakeFiles/pmpl_core.dir/core/prm_driver.cpp.o.d"
+  "/root/repo/src/core/radial_regions.cpp" "src/CMakeFiles/pmpl_core.dir/core/radial_regions.cpp.o" "gcc" "src/CMakeFiles/pmpl_core.dir/core/radial_regions.cpp.o.d"
+  "/root/repo/src/core/region_grid.cpp" "src/CMakeFiles/pmpl_core.dir/core/region_grid.cpp.o" "gcc" "src/CMakeFiles/pmpl_core.dir/core/region_grid.cpp.o.d"
+  "/root/repo/src/core/region_weight.cpp" "src/CMakeFiles/pmpl_core.dir/core/region_weight.cpp.o" "gcc" "src/CMakeFiles/pmpl_core.dir/core/region_weight.cpp.o.d"
+  "/root/repo/src/core/rrt_driver.cpp" "src/CMakeFiles/pmpl_core.dir/core/rrt_driver.cpp.o" "gcc" "src/CMakeFiles/pmpl_core.dir/core/rrt_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmpl_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_loadbal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_cspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_collision.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmpl_core.dir/core/parallel_build.cpp.o"
+  "CMakeFiles/pmpl_core.dir/core/parallel_build.cpp.o.d"
+  "CMakeFiles/pmpl_core.dir/core/parallel_build_rrt.cpp.o"
+  "CMakeFiles/pmpl_core.dir/core/parallel_build_rrt.cpp.o.d"
+  "CMakeFiles/pmpl_core.dir/core/prm_driver.cpp.o"
+  "CMakeFiles/pmpl_core.dir/core/prm_driver.cpp.o.d"
+  "CMakeFiles/pmpl_core.dir/core/radial_regions.cpp.o"
+  "CMakeFiles/pmpl_core.dir/core/radial_regions.cpp.o.d"
+  "CMakeFiles/pmpl_core.dir/core/region_grid.cpp.o"
+  "CMakeFiles/pmpl_core.dir/core/region_grid.cpp.o.d"
+  "CMakeFiles/pmpl_core.dir/core/region_weight.cpp.o"
+  "CMakeFiles/pmpl_core.dir/core/region_weight.cpp.o.d"
+  "CMakeFiles/pmpl_core.dir/core/rrt_driver.cpp.o"
+  "CMakeFiles/pmpl_core.dir/core/rrt_driver.cpp.o.d"
+  "libpmpl_core.a"
+  "libpmpl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmpl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

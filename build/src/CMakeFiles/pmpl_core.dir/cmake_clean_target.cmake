@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmpl_core.a"
+)

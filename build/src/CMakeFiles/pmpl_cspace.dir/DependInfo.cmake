@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cspace/space.cpp" "src/CMakeFiles/pmpl_cspace.dir/cspace/space.cpp.o" "gcc" "src/CMakeFiles/pmpl_cspace.dir/cspace/space.cpp.o.d"
+  "/root/repo/src/cspace/validity.cpp" "src/CMakeFiles/pmpl_cspace.dir/cspace/validity.cpp.o" "gcc" "src/CMakeFiles/pmpl_cspace.dir/cspace/validity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmpl_collision.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmpl_cspace.dir/cspace/space.cpp.o"
+  "CMakeFiles/pmpl_cspace.dir/cspace/space.cpp.o.d"
+  "CMakeFiles/pmpl_cspace.dir/cspace/validity.cpp.o"
+  "CMakeFiles/pmpl_cspace.dir/cspace/validity.cpp.o.d"
+  "libpmpl_cspace.a"
+  "libpmpl_cspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmpl_cspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

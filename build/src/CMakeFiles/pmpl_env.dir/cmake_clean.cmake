@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmpl_env.dir/env/builders.cpp.o"
+  "CMakeFiles/pmpl_env.dir/env/builders.cpp.o.d"
+  "CMakeFiles/pmpl_env.dir/env/env_io.cpp.o"
+  "CMakeFiles/pmpl_env.dir/env/env_io.cpp.o.d"
+  "CMakeFiles/pmpl_env.dir/env/environment.cpp.o"
+  "CMakeFiles/pmpl_env.dir/env/environment.cpp.o.d"
+  "libpmpl_env.a"
+  "libpmpl_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmpl_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

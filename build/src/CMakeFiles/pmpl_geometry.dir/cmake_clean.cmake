@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmpl_geometry.dir/geometry/intersect.cpp.o"
+  "CMakeFiles/pmpl_geometry.dir/geometry/intersect.cpp.o.d"
+  "libpmpl_geometry.a"
+  "libpmpl_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmpl_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmpl_graph.dir/graph/components.cpp.o"
+  "CMakeFiles/pmpl_graph.dir/graph/components.cpp.o.d"
+  "libpmpl_graph.a"
+  "libpmpl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmpl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

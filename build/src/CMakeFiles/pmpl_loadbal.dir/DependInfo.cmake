@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loadbal/bulk_sync.cpp" "src/CMakeFiles/pmpl_loadbal.dir/loadbal/bulk_sync.cpp.o" "gcc" "src/CMakeFiles/pmpl_loadbal.dir/loadbal/bulk_sync.cpp.o.d"
+  "/root/repo/src/loadbal/metrics.cpp" "src/CMakeFiles/pmpl_loadbal.dir/loadbal/metrics.cpp.o" "gcc" "src/CMakeFiles/pmpl_loadbal.dir/loadbal/metrics.cpp.o.d"
+  "/root/repo/src/loadbal/partition.cpp" "src/CMakeFiles/pmpl_loadbal.dir/loadbal/partition.cpp.o" "gcc" "src/CMakeFiles/pmpl_loadbal.dir/loadbal/partition.cpp.o.d"
+  "/root/repo/src/loadbal/steal_policy.cpp" "src/CMakeFiles/pmpl_loadbal.dir/loadbal/steal_policy.cpp.o" "gcc" "src/CMakeFiles/pmpl_loadbal.dir/loadbal/steal_policy.cpp.o.d"
+  "/root/repo/src/loadbal/ws_engine.cpp" "src/CMakeFiles/pmpl_loadbal.dir/loadbal/ws_engine.cpp.o" "gcc" "src/CMakeFiles/pmpl_loadbal.dir/loadbal/ws_engine.cpp.o.d"
+  "/root/repo/src/loadbal/ws_threaded.cpp" "src/CMakeFiles/pmpl_loadbal.dir/loadbal/ws_threaded.cpp.o" "gcc" "src/CMakeFiles/pmpl_loadbal.dir/loadbal/ws_threaded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmpl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmpl_loadbal.dir/loadbal/bulk_sync.cpp.o"
+  "CMakeFiles/pmpl_loadbal.dir/loadbal/bulk_sync.cpp.o.d"
+  "CMakeFiles/pmpl_loadbal.dir/loadbal/metrics.cpp.o"
+  "CMakeFiles/pmpl_loadbal.dir/loadbal/metrics.cpp.o.d"
+  "CMakeFiles/pmpl_loadbal.dir/loadbal/partition.cpp.o"
+  "CMakeFiles/pmpl_loadbal.dir/loadbal/partition.cpp.o.d"
+  "CMakeFiles/pmpl_loadbal.dir/loadbal/steal_policy.cpp.o"
+  "CMakeFiles/pmpl_loadbal.dir/loadbal/steal_policy.cpp.o.d"
+  "CMakeFiles/pmpl_loadbal.dir/loadbal/ws_engine.cpp.o"
+  "CMakeFiles/pmpl_loadbal.dir/loadbal/ws_engine.cpp.o.d"
+  "CMakeFiles/pmpl_loadbal.dir/loadbal/ws_threaded.cpp.o"
+  "CMakeFiles/pmpl_loadbal.dir/loadbal/ws_threaded.cpp.o.d"
+  "libpmpl_loadbal.a"
+  "libpmpl_loadbal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmpl_loadbal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmpl_model.dir/model/model_env.cpp.o"
+  "CMakeFiles/pmpl_model.dir/model/model_env.cpp.o.d"
+  "libpmpl_model.a"
+  "libpmpl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmpl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planner/knn.cpp" "src/CMakeFiles/pmpl_planner.dir/planner/knn.cpp.o" "gcc" "src/CMakeFiles/pmpl_planner.dir/planner/knn.cpp.o.d"
+  "/root/repo/src/planner/prm.cpp" "src/CMakeFiles/pmpl_planner.dir/planner/prm.cpp.o" "gcc" "src/CMakeFiles/pmpl_planner.dir/planner/prm.cpp.o.d"
+  "/root/repo/src/planner/query.cpp" "src/CMakeFiles/pmpl_planner.dir/planner/query.cpp.o" "gcc" "src/CMakeFiles/pmpl_planner.dir/planner/query.cpp.o.d"
+  "/root/repo/src/planner/roadmap_io.cpp" "src/CMakeFiles/pmpl_planner.dir/planner/roadmap_io.cpp.o" "gcc" "src/CMakeFiles/pmpl_planner.dir/planner/roadmap_io.cpp.o.d"
+  "/root/repo/src/planner/rrt.cpp" "src/CMakeFiles/pmpl_planner.dir/planner/rrt.cpp.o" "gcc" "src/CMakeFiles/pmpl_planner.dir/planner/rrt.cpp.o.d"
+  "/root/repo/src/planner/samplers.cpp" "src/CMakeFiles/pmpl_planner.dir/planner/samplers.cpp.o" "gcc" "src/CMakeFiles/pmpl_planner.dir/planner/samplers.cpp.o.d"
+  "/root/repo/src/planner/smoothing.cpp" "src/CMakeFiles/pmpl_planner.dir/planner/smoothing.cpp.o" "gcc" "src/CMakeFiles/pmpl_planner.dir/planner/smoothing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmpl_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_cspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_collision.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmpl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

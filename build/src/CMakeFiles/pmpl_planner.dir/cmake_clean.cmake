@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmpl_planner.dir/planner/knn.cpp.o"
+  "CMakeFiles/pmpl_planner.dir/planner/knn.cpp.o.d"
+  "CMakeFiles/pmpl_planner.dir/planner/prm.cpp.o"
+  "CMakeFiles/pmpl_planner.dir/planner/prm.cpp.o.d"
+  "CMakeFiles/pmpl_planner.dir/planner/query.cpp.o"
+  "CMakeFiles/pmpl_planner.dir/planner/query.cpp.o.d"
+  "CMakeFiles/pmpl_planner.dir/planner/roadmap_io.cpp.o"
+  "CMakeFiles/pmpl_planner.dir/planner/roadmap_io.cpp.o.d"
+  "CMakeFiles/pmpl_planner.dir/planner/rrt.cpp.o"
+  "CMakeFiles/pmpl_planner.dir/planner/rrt.cpp.o.d"
+  "CMakeFiles/pmpl_planner.dir/planner/samplers.cpp.o"
+  "CMakeFiles/pmpl_planner.dir/planner/samplers.cpp.o.d"
+  "CMakeFiles/pmpl_planner.dir/planner/smoothing.cpp.o"
+  "CMakeFiles/pmpl_planner.dir/planner/smoothing.cpp.o.d"
+  "libpmpl_planner.a"
+  "libpmpl_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmpl_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmpl_runtime.dir/runtime/thread_pool.cpp.o"
+  "CMakeFiles/pmpl_runtime.dir/runtime/thread_pool.cpp.o.d"
+  "CMakeFiles/pmpl_runtime.dir/runtime/topology.cpp.o"
+  "CMakeFiles/pmpl_runtime.dir/runtime/topology.cpp.o.d"
+  "libpmpl_runtime.a"
+  "libpmpl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmpl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

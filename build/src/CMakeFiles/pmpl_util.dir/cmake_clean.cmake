@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmpl_util.dir/util/rng.cpp.o"
+  "CMakeFiles/pmpl_util.dir/util/rng.cpp.o.d"
+  "libpmpl_util.a"
+  "libpmpl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmpl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

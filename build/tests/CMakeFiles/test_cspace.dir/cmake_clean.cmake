@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cspace.dir/test_cspace.cpp.o"
+  "CMakeFiles/test_cspace.dir/test_cspace.cpp.o.d"
+  "test_cspace"
+  "test_cspace.pdb"
+  "test_cspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loadbal.dir/test_loadbal.cpp.o"
+  "CMakeFiles/test_loadbal.dir/test_loadbal.cpp.o.d"
+  "test_loadbal"
+  "test_loadbal.pdb"
+  "test_loadbal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loadbal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_collision[1]_include.cmake")
+include("/root/repo/build/tests/test_cspace[1]_include.cmake")
+include("/root/repo/build/tests/test_env[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_planner[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_loadbal[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
