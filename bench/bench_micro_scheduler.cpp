@@ -1,0 +1,209 @@
+// Scheduler substrate microbenchmark: the pre-refactor mutex+condvar pool
+// vs the lock-free Chase–Lev work-stealing Scheduler, across task grains
+// (1/10/100 µs of busy work) and thread counts (1..max hardware threads,
+// plus oversubscribed points on small machines).
+//
+// Emits a machine-readable BENCH_scheduler.json (path overridable as
+// argv[1]) so the perf trajectory of the runtime can be tracked across
+// PRs, and prints a human-readable table.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// The mutex ThreadPool this PR replaced, kept verbatim as the baseline:
+/// one global queue, every pop under one lock, wait_idle on a condvar.
+class LegacyMutexPool {
+ public:
+  explicit LegacyMutexPool(std::size_t threads) {
+    const std::size_t n = std::max<std::size_t>(1, threads);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~LegacyMutexPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.push_back(std::move(task));
+    }
+    task_ready_.notify_one();
+  }
+
+  void wait_idle() {
+    std::unique_lock lock(mutex_);
+    all_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        task_ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++active_;
+      }
+      task();
+      {
+        std::lock_guard lock(mutex_);
+        --active_;
+        if (tasks_.empty() && active_ == 0) all_idle_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Busy work of roughly `us` microseconds (clock-bounded spin).
+void spin_us(double us) {
+  if (us <= 0.0) return;
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::nanoseconds(static_cast<long>(us * 1e3));
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+struct Row {
+  std::string executor;
+  double grain_us = 0.0;
+  std::size_t threads = 0;
+  std::size_t tasks = 0;
+  double wall_s = 0.0;
+  double tasks_per_s = 0.0;
+};
+
+double time_mutex_pool(std::size_t threads, std::size_t tasks,
+                       double grain_us) {
+  LegacyMutexPool pool(threads);
+  pmpl::WallTimer t;
+  for (std::size_t i = 0; i < tasks; ++i)
+    pool.submit([grain_us] { spin_us(grain_us); });
+  pool.wait_idle();
+  return t.elapsed_s();
+}
+
+double time_scheduler(std::size_t threads, std::size_t tasks,
+                      double grain_us) {
+  pmpl::runtime::Scheduler sched(threads);
+  pmpl::runtime::TaskGroup group;
+  pmpl::WallTimer t;
+  for (std::size_t i = 0; i < tasks; ++i)
+    sched.submit([grain_us] { spin_us(grain_us); }, &group);
+  sched.wait(group);
+  return t.elapsed_s();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_scheduler.json";
+  const auto hw = std::max(1u, std::thread::hardware_concurrency());
+
+  // Thread sweep: powers of two through the hardware width; on narrow
+  // machines extend past it so queue contention is still exercised.
+  std::vector<std::size_t> thread_counts;
+  for (std::size_t p = 1; p <= hw; p *= 2) thread_counts.push_back(p);
+  while (thread_counts.size() < 3) thread_counts.push_back(thread_counts.back() * 2);
+  if (thread_counts.back() != hw && hw > thread_counts.back())
+    thread_counts.push_back(hw);
+
+  const std::vector<std::pair<double, std::size_t>> grains = {
+      {1.0, 16384}, {10.0, 4096}, {100.0, 512}};
+  constexpr int kReps = 3;
+
+  std::vector<Row> rows;
+  std::printf("# scheduler substrate: %u hardware threads\n", hw);
+  std::printf("%-10s %9s %8s %8s %12s %14s\n", "executor", "grain_us",
+              "threads", "tasks", "wall_s", "tasks_per_s");
+  for (const auto& [grain_us, tasks] : grains) {
+    for (const std::size_t p : thread_counts) {
+      for (const char* executor : {"mutex_pool", "chase_lev"}) {
+        double best = 1e100;
+        for (int rep = 0; rep < kReps; ++rep) {
+          const double wall =
+              std::string(executor) == "mutex_pool"
+                  ? time_mutex_pool(p, tasks, grain_us)
+                  : time_scheduler(p, tasks, grain_us);
+          best = std::min(best, wall);
+        }
+        Row row{executor, grain_us, p, tasks, best,
+                static_cast<double>(tasks) / best};
+        std::printf("%-10s %9.0f %8zu %8zu %12.6f %14.0f\n",
+                    row.executor.c_str(), row.grain_us, row.threads,
+                    row.tasks, row.wall_s, row.tasks_per_s);
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  // Speedup per (grain, threads): chase_lev over mutex_pool.
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"scheduler_substrate\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n  \"results\": [\n", hw);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"executor\": \"%s\", \"grain_us\": %.0f, "
+                 "\"threads\": %zu, \"tasks\": %zu, \"wall_s\": %.6f, "
+                 "\"tasks_per_s\": %.0f}%s\n",
+                 r.executor.c_str(), r.grain_us, r.threads, r.tasks, r.wall_s,
+                 r.tasks_per_s, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedup\": [\n");
+  bool first = true;
+  std::printf("\n%9s %8s %8s\n", "grain_us", "threads", "speedup");
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    const Row& mutex_row = rows[i];
+    const Row& sched_row = rows[i + 1];
+    const double speedup = sched_row.tasks_per_s / mutex_row.tasks_per_s;
+    std::fprintf(f,
+                 "%s    {\"grain_us\": %.0f, \"threads\": %zu, "
+                 "\"chase_lev_over_mutex\": %.3f}",
+                 first ? "" : ",\n", mutex_row.grain_us, mutex_row.threads,
+                 speedup);
+    std::printf("%9.0f %8zu %7.2fx\n", mutex_row.grain_us, mutex_row.threads,
+                speedup);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

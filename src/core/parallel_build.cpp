@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "loadbal/partition.hpp"
-#include "runtime/thread_pool.hpp"
+#include "runtime/scheduler.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -65,24 +65,17 @@ ParallelPrmResult parallel_build_prm(const env::Environment& e,
     });
   }
 
+  // Region tasks go straight onto the work-stealing scheduler with their
+  // block placement; static mode is the same substrate with stealing off,
+  // so each worker drains exactly its own block.
   const auto initial =
       loadbal::partition_block(nr, config.workers);
+  runtime::SchedulerOptions options;
+  options.steal = config.work_stealing;
+  options.seed = config.seed;
+  runtime::Scheduler scheduler(config.workers, options);
   WallTimer build_timer;
-  if (config.work_stealing) {
-    result.workers = loadbal::run_work_stealing(tasks, initial,
-                                                config.workers, config.seed);
-  } else {
-    // Static assignment: each worker drains exactly its own block.
-    runtime::ThreadPool pool(config.workers);
-    for (std::uint32_t w = 0; w < config.workers; ++w) {
-      pool.submit([&, w] {
-        for (std::uint32_t r = 0; r < nr; ++r)
-          if (initial[r] == w) tasks[r]();
-      });
-    }
-    pool.wait_idle();
-    result.workers.assign(config.workers, {});
-  }
+  result.workers = loadbal::run_on_scheduler(scheduler, tasks, initial);
   result.build_wall_s = build_timer.elapsed_s();
 
   // Merge regional roadmaps (serial; bookkeeping only).

@@ -6,6 +6,7 @@
 #include "graph/union_find.hpp"
 #include "loadbal/partition.hpp"
 #include "planner/prm.hpp"
+#include "runtime/scheduler.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -71,10 +72,14 @@ ParallelRrtResult parallel_build_rrt(const env::Environment& e,
       outputs[r] = grow_branch(e, regions, r, root, config);
     });
 
+  // Branch tasks go straight onto the work-stealing scheduler with their
+  // block placement (thin stats adapter keeps the WorkerStats contract).
   const auto initial = loadbal::partition_block(nr, config.workers);
+  runtime::SchedulerOptions options;
+  options.seed = config.seed;
+  runtime::Scheduler scheduler(config.workers, options);
   WallTimer grow_timer;
-  result.workers =
-      loadbal::run_work_stealing(tasks, initial, config.workers, config.seed);
+  result.workers = loadbal::run_on_scheduler(scheduler, tasks, initial);
   result.grow_wall_s = grow_timer.elapsed_s();
 
   // Merge branches.

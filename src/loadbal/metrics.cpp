@@ -57,4 +57,29 @@ MigrationVolume migration_volume(std::span<const std::uint64_t> bytes,
   return mv;
 }
 
+WorkerSummary summarize_workers(std::span<const WorkerStats> stats) {
+  WorkerSummary s;
+  std::vector<double> executed;
+  executed.reserve(stats.size());
+  std::uint64_t stolen = 0, attempts = 0, failures = 0;
+  for (const auto& w : stats) {
+    const std::uint64_t e = w.executed_local + w.executed_stolen;
+    executed.push_back(static_cast<double>(e));
+    s.total_executed += e;
+    stolen += w.executed_stolen;
+    attempts += w.steal_attempts;
+    failures += w.steal_failures;
+    s.total_park_s += w.park_s;
+  }
+  if (s.total_executed > 0)
+    s.stolen_fraction =
+        static_cast<double>(stolen) / static_cast<double>(s.total_executed);
+  if (attempts > 0)
+    s.steal_success_rate =
+        static_cast<double>(attempts - failures) /
+        static_cast<double>(attempts);
+  if (!executed.empty()) s.executed_cv = summarize(executed).cv();
+  return s;
+}
+
 }  // namespace pmpl::loadbal

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "loadbal/ws_threaded.hpp"
 #include "util/stats.hpp"
 
 namespace pmpl::loadbal {
@@ -53,5 +54,18 @@ MigrationVolume migration_volume(std::span<const std::uint64_t> bytes,
                                  std::span<const std::uint32_t> before,
                                  std::span<const std::uint32_t> after,
                                  std::uint32_t parts);
+
+/// Load-balance view of a threaded work-stealing run: the scheduler's
+/// per-worker counters reduced to the same quantities the simulator and
+/// the paper's figures report.
+struct WorkerSummary {
+  std::uint64_t total_executed = 0;
+  double stolen_fraction = 0.0;     ///< executed_stolen / executed (Fig 9)
+  double steal_success_rate = 0.0;  ///< successful probes / attempts
+  double executed_cv = 0.0;         ///< CV of per-worker executed counts
+  double total_park_s = 0.0;        ///< summed idle-parked time
+};
+
+WorkerSummary summarize_workers(std::span<const WorkerStats> stats);
 
 }  // namespace pmpl::loadbal

@@ -1,101 +1,66 @@
 #include "loadbal/ws_threaded.hpp"
 
+#include <atomic>
 #include <cassert>
-#include <thread>
-
-#include "util/rng.hpp"
 
 namespace pmpl::loadbal {
 
-namespace {
+std::vector<WorkerStats> run_on_scheduler(
+    runtime::Scheduler& scheduler,
+    const std::vector<std::function<void()>>& tasks,
+    const std::vector<std::uint32_t>& initial) {
+  assert(tasks.size() == initial.size());
+  const auto workers = static_cast<std::uint32_t>(scheduler.size());
 
-/// A worker's task deque: owner pops from the front, thieves steal from
-/// the back. Mutex-based — region tasks are coarse (milliseconds), so
-/// queue overhead is irrelevant next to task cost.
-class TaskDeque {
- public:
-  void push(std::uint32_t task) {
-    std::lock_guard lock(mutex_);
-    deque_.push_back(task);
+  // Record which worker actually ran each task; local/stolen attribution
+  // is relative to the *initial* assignment, which the scheduler's own
+  // counters (whose "local" means own-deque) cannot express.
+  const auto before = scheduler.counters();
+  std::vector<std::atomic<std::int32_t>> executor(tasks.size());
+  for (auto& e : executor) e.store(-1, std::memory_order_relaxed);
+
+  runtime::TaskGroup group;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    assert(initial[i] < workers);
+    scheduler.submit_to(initial[i],
+                        [&scheduler, &tasks, &executor, i] {
+                          executor[i].store(scheduler.current_worker(),
+                                            std::memory_order_relaxed);
+                          tasks[i]();
+                        },
+                        &group);
   }
+  scheduler.wait(group);
 
-  bool pop_front(std::uint32_t& task) {
-    std::lock_guard lock(mutex_);
-    if (deque_.empty()) return false;
-    task = deque_.front();
-    deque_.pop_front();
-    return true;
+  std::vector<WorkerStats> stats(workers);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto w = executor[i].load(std::memory_order_relaxed);
+    assert(w >= 0);
+    if (static_cast<std::uint32_t>(w) == initial[i])
+      ++stats[static_cast<std::size_t>(w)].executed_local;
+    else
+      ++stats[static_cast<std::size_t>(w)].executed_stolen;
   }
-
-  /// Steal up to half the queue from the back.
-  std::vector<std::uint32_t> steal_half() {
-    std::lock_guard lock(mutex_);
-    const std::size_t n = deque_.size() / 2;
-    std::vector<std::uint32_t> out;
-    out.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      out.push_back(deque_.back());
-      deque_.pop_back();
-    }
-    return out;
+  const auto after = scheduler.counters();
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    stats[w].steal_attempts =
+        after[w].steal_attempts - before[w].steal_attempts;
+    stats[w].steal_failures =
+        after[w].steal_failures - before[w].steal_failures;
+    stats[w].park_s = after[w].park_s - before[w].park_s;
   }
-
- private:
-  std::mutex mutex_;
-  std::deque<std::uint32_t> deque_;
-};
-
-}  // namespace
+  return stats;
+}
 
 std::vector<WorkerStats> run_work_stealing(
     const std::vector<std::function<void()>>& tasks,
     const std::vector<std::uint32_t>& initial, std::uint32_t workers,
     std::uint64_t seed) {
-  assert(tasks.size() == initial.size());
   assert(workers > 0);
-
-  std::vector<TaskDeque> queues(workers);
-  std::vector<bool> is_local_flag(tasks.size(), true);
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    assert(initial[i] < workers);
-    queues[initial[i]].push(static_cast<std::uint32_t>(i));
-  }
-
-  std::vector<WorkerStats> stats(workers);
-  std::atomic<std::uint64_t> remaining{tasks.size()};
-  // Track stolen-ness per (worker, task) locally: a task is "stolen" for
-  // the executing worker iff it was not initially assigned to it.
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::uint32_t w = 0; w < workers; ++w) {
-    threads.emplace_back([&, w] {
-      Xoshiro256ss rng(derive_seed(seed, w));
-      WorkerStats& st = stats[w];
-      while (remaining.load(std::memory_order_acquire) > 0) {
-        std::uint32_t task;
-        if (queues[w].pop_front(task)) {
-          tasks[task]();
-          if (initial[task] == w)
-            ++st.executed_local;
-          else
-            ++st.executed_stolen;
-          remaining.fetch_sub(1, std::memory_order_acq_rel);
-          continue;
-        }
-        // Steal from a random victim.
-        if (workers == 1) break;
-        ++st.steal_attempts;
-        const auto victim =
-            static_cast<std::uint32_t>(rng.uniform_u64(workers));
-        if (victim == w) continue;
-        const auto stolen = queues[victim].steal_half();
-        for (std::uint32_t t : stolen) queues[w].push(t);
-        if (stolen.empty()) std::this_thread::yield();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  return stats;
+  runtime::SchedulerOptions options;
+  options.seed = seed;
+  runtime::Scheduler scheduler(workers, options);
+  return run_on_scheduler(scheduler, tasks, initial);
 }
 
 }  // namespace pmpl::loadbal

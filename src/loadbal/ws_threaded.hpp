@@ -1,32 +1,45 @@
 #pragma once
 /// \file ws_threaded.hpp
-/// Real shared-memory work-stealing executor.
+/// Real shared-memory work-stealing execution, as a thin adapter over the
+/// lock-free runtime::Scheduler.
 ///
-/// The DES engine replays measured work at cluster scale; this executor
+/// The DES engine replays measured work at cluster scale; this adapter
 /// actually runs region tasks concurrently on host threads with the same
-/// steal-from-the-back discipline, demonstrating the algorithm end-to-end
-/// (used by the parallel examples and the threaded integration tests).
+/// initial-placement + steal discipline, demonstrating the algorithm
+/// end-to-end (used by the parallel builders, examples, and the threaded
+/// integration tests). Idle workers park instead of busy-spinning, and a
+/// stolen batch preserves the FIFO order it had in the victim's queue.
 
-#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <mutex>
 #include <vector>
+
+#include "runtime/scheduler.hpp"
 
 namespace pmpl::loadbal {
 
-/// Statistics per worker after a run.
+/// Statistics per worker after a run. `executed_local` counts tasks run by
+/// their initially-assigned worker; `executed_stolen` counts migrated ones.
 struct WorkerStats {
   std::uint64_t executed_local = 0;
   std::uint64_t executed_stolen = 0;
   std::uint64_t steal_attempts = 0;
+  std::uint64_t steal_failures = 0;  ///< attempts that found nothing
+  double park_s = 0.0;               ///< idle time spent parked, not spinning
 };
 
-/// Execute `tasks` distributed to `workers` queues per `initial`
-/// (task index -> worker). Each worker drains its own deque from the
-/// front and steals from a random victim's back when empty. Returns
-/// per-worker stats. Tasks must be thread-safe with respect to each other.
+/// Execute `tasks` on `scheduler` with initial placement `initial`
+/// (task index -> worker), blocking until all complete. Returns per-worker
+/// stats attributed against the initial assignment. Tasks must be
+/// thread-safe with respect to each other.
+std::vector<WorkerStats> run_on_scheduler(
+    runtime::Scheduler& scheduler,
+    const std::vector<std::function<void()>>& tasks,
+    const std::vector<std::uint32_t>& initial);
+
+/// Convenience wrapper: build a `workers`-wide scheduler, run, tear down.
+/// Kept as the stable entry point predating the unified scheduler; `seed`
+/// feeds victim selection.
 std::vector<WorkerStats> run_work_stealing(
     const std::vector<std::function<void()>>& tasks,
     const std::vector<std::uint32_t>& initial, std::uint32_t workers,

@@ -1,0 +1,147 @@
+#pragma once
+/// \file chase_lev_deque.hpp
+/// Lock-free work-stealing deque (Chase & Lev, SPAA 2005), with the C++11
+/// memory orders of Lê et al., PPoPP 2013, adapted to fence-free form so
+/// ThreadSanitizer models every ordering edge.
+///
+/// One owner thread pushes and pops at the *bottom*; any number of thief
+/// threads CAS-steal from the *top*. The owner's push/pop are wait-free
+/// except for the occasional array grow; a steal is lock-free (a failed
+/// CAS means some other thread made progress).
+///
+/// Memory-order argument (see DESIGN.md "Shared-memory runtime"):
+///  - Every store to `bottom_` is at least release and every thief load of
+///    `bottom_` is at least acquire, so a thief that observes `bottom_ >= t+1`
+///    also observes the element stored by the push that published index `t`
+///    (the slot stores themselves are relaxed atomics).
+///  - `pop()` needs a StoreLoad barrier between claiming an element (the
+///    `bottom_` store) and reading `top_`; `steal()` needs the symmetric
+///    barrier between its `top_` and `bottom_` loads. Both are obtained by
+///    making those four accesses seq_cst rather than by standalone fences,
+///    which TSan does not model.
+///  - Retired arrays are kept alive until destruction, so a thief racing a
+///    grow may read a stale array but never freed memory; the CAS on `top_`
+///    rejects the value if the slot was already taken.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace pmpl::runtime {
+
+/// Single-owner, multi-thief lock-free deque. T must be trivially copyable
+/// (in practice a pointer or small index).
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ChaseLevDeque elements must be trivially copyable");
+
+ public:
+  explicit ChaseLevDeque(std::size_t capacity = 64)
+      : array_(new Array(round_up_pow2(capacity))) {}
+
+  ~ChaseLevDeque() { delete array_.load(std::memory_order_relaxed); }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only: append at the bottom. Grows the circular array as needed.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t >= a->capacity) a = grow(a, t, b);
+    a->put(b, item);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: take the most recently pushed element (LIFO end).
+  bool pop(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t <= b) {
+      out = a->get(b);
+      if (t == b) {
+        // Last element: race the thieves for it via the top CAS.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+        return won;
+      }
+      return true;
+    }
+    bottom_.store(b + 1, std::memory_order_seq_cst);  // was empty: restore
+    return false;
+  }
+
+  /// Any thread: take the oldest element (FIFO end). Returns false when the
+  /// deque looks empty or another thread won the race (caller retries).
+  bool steal(T& out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    Array* a = array_.load(std::memory_order_acquire);
+    const T item = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return false;
+    out = item;
+    return true;
+  }
+
+  /// Racy size estimate (exact when only the owner is active).
+  std::size_t size_approx() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_approx() const noexcept { return size_approx() == 0; }
+
+ private:
+  struct Array {
+    explicit Array(std::int64_t cap)
+        : capacity(cap), mask(cap - 1),
+          slots(std::make_unique<std::atomic<T>[]>(
+              static_cast<std::size_t>(cap))) {}
+    void put(std::int64_t i, T v) noexcept {
+      slots[static_cast<std::size_t>(i & mask)].store(
+          v, std::memory_order_relaxed);
+    }
+    T get(std::int64_t i) const noexcept {
+      return slots[static_cast<std::size_t>(i & mask)].load(
+          std::memory_order_relaxed);
+    }
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  static std::int64_t round_up_pow2(std::size_t n) {
+    std::int64_t c = 8;
+    while (c < static_cast<std::int64_t>(n)) c <<= 1;
+    return c;
+  }
+
+  /// Owner only: double the array, copying live indices [t, b). The old
+  /// array is retired, not freed: in-flight thieves may still read it.
+  Array* grow(Array* old, std::int64_t t, std::int64_t b) {
+    Array* bigger = new Array(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    array_.store(bigger, std::memory_order_release);
+    retired_.emplace_back(old);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Array*> array_;
+  std::vector<std::unique_ptr<Array>> retired_;  ///< owner-managed
+};
+
+}  // namespace pmpl::runtime

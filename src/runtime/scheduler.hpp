@@ -1,0 +1,156 @@
+#pragma once
+/// \file scheduler.hpp
+/// Lock-free work-stealing scheduler: the unified shared-memory execution
+/// substrate for the repo.
+///
+/// Each worker owns a Chase–Lev deque (chase_lev_deque.hpp): recursive
+/// submissions from a worker are a lock-free push/pop on its own deque, and
+/// idle workers steal batches from random victims (oldest tasks first, so a
+/// stolen batch preserves the victim's FIFO order). External threads submit
+/// through small per-worker mutex inboxes that workers drain in bulk into
+/// their deques — one brief lock per task on the producer side, amortized
+/// on the consumer side, never on the worker↔worker hot path.
+///
+/// Idle workers back off (spin → yield → park on a condition variable), so
+/// a draining scheduler does not burn 100% CPU; parked time is recorded
+/// per worker. Quiescence is per-TaskGroup: every submission may carry a
+/// completion token, so independent waves of work on one scheduler wait
+/// only for their own tasks (unlike the old ThreadPool::wait_idle()).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/chase_lev_deque.hpp"
+
+namespace pmpl::runtime {
+
+/// Per-worker execution counters, exported after a run (see
+/// loadbal::summarize_workers for the load-balance view).
+struct WorkerCounters {
+  std::uint64_t executed_local = 0;   ///< taken from own deque/inbox
+  std::uint64_t executed_stolen = 0;  ///< taken from another worker
+  std::uint64_t steal_attempts = 0;   ///< victim probes (deque or inbox)
+  std::uint64_t steal_failures = 0;   ///< probes that found nothing
+  double park_s = 0.0;                ///< time spent parked, not spinning
+};
+
+/// Completion token: counts outstanding tasks of one logical wave. A plain
+/// atomic — sleeping waiters park on the scheduler's condition variable, so
+/// the group itself can be a short-lived stack object.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  bool finished() const noexcept {
+    return outstanding_.load(std::memory_order_seq_cst) == 0;
+  }
+
+ private:
+  friend class Scheduler;
+  std::atomic<std::int64_t> outstanding_{0};
+};
+
+struct SchedulerOptions {
+  bool steal = true;  ///< false: tasks run only on their targeted worker
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;  ///< victim-selection streams
+  std::uint32_t steal_batch_max = 16;  ///< cap on extra tasks per steal
+};
+
+/// Fixed set of worker threads over per-worker Chase–Lev deques.
+///
+/// Thread-safety: submit/submit_to/wait may be called from any thread,
+/// including scheduler workers (recursive submission is the cheap path).
+/// The destructor drains all remaining tasks, then joins the workers; as
+/// with the old ThreadPool, submitting concurrently with destruction is
+/// undefined.
+class Scheduler {
+ public:
+  explicit Scheduler(std::size_t threads = std::thread::hardware_concurrency(),
+                     SchedulerOptions options = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task, optionally tracked by `group`. From a worker thread
+  /// this is a lock-free push onto its own deque; from outside, tasks
+  /// round-robin across worker inboxes.
+  void submit(std::function<void()> fn, TaskGroup* group = nullptr);
+
+  /// Enqueue a task for a specific worker. With stealing enabled this is
+  /// an initial placement hint; with stealing disabled it is binding.
+  void submit_to(std::uint32_t worker, std::function<void()> fn,
+                 TaskGroup* group = nullptr);
+
+  /// Block until every task tracked by `group` has finished. Called from a
+  /// worker of this scheduler, the worker helps execute queued tasks
+  /// instead of blocking (recursive parallel_for does not deadlock).
+  void wait(TaskGroup& group);
+
+  /// Index of the calling scheduler worker, or -1 for external threads.
+  int current_worker() const noexcept;
+
+  /// Snapshot of the per-worker counters.
+  std::vector<WorkerCounters> counters() const;
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  struct Worker {
+    ChaseLevDeque<Task*> deque;
+    std::mutex inbox_mutex;
+    std::deque<Task*> inbox;
+    std::atomic<std::int64_t> inbox_size{0};
+    // Counters: written by the owning worker only; atomics so that
+    // counters() snapshots are race-free while workers run.
+    std::atomic<std::uint64_t> executed_local{0};
+    std::atomic<std::uint64_t> executed_stolen{0};
+    std::atomic<std::uint64_t> steal_attempts{0};
+    std::atomic<std::uint64_t> steal_failures{0};
+    std::atomic<std::uint64_t> park_ns{0};
+    std::thread thread;
+  };
+
+  void worker_loop(std::uint32_t w);
+  void enqueue_to(std::uint32_t w, Task* task);
+  void run_task(Task* task, Worker* self_or_null);
+  Task* find_task(std::uint32_t w, std::uint64_t& rng_state);
+  Task* try_steal(std::uint32_t w, std::uint32_t victim);
+  void wake_all();
+
+  SchedulerOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint32_t> next_inbox_{0};  ///< round-robin for submit()
+
+  /// Runnable-but-unclaimed tasks (deques + inboxes). seq_cst against
+  /// `parked_`/`waiters_` to close the sleep/wake race (Dekker pattern).
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::int32_t> parked_{0};
+  std::atomic<std::int32_t> waiters_{0};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+};
+
+/// Run fn(i) for i in [0, n), blocking until done. Waits only on this
+/// call's own tasks (per-call TaskGroup), so concurrent parallel_for calls
+/// on one scheduler do not serialize behind each other.
+void parallel_for(Scheduler& sched, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk = 0);
+
+}  // namespace pmpl::runtime

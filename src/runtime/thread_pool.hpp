@@ -1,55 +1,59 @@
 #pragma once
 /// \file thread_pool.hpp
-/// Shared-memory execution: a fixed thread pool and a parallel_for helper.
+/// Shared-memory execution: the classic pool-shaped API, now a thin facade
+/// over the lock-free work-stealing Scheduler (runtime/scheduler.hpp).
 ///
-/// This is the "really runs in parallel" counterpart to the DES: examples
-/// and the threaded work-stealing executor (loadbal/ws_threaded.hpp) use it
-/// to build roadmaps with genuine concurrency on the host machine.
+/// ThreadPool keeps its original contract (submit + wait_idle) for callers
+/// that want a single pool-wide completion barrier; parallel_for uses a
+/// per-call completion token underneath, so two concurrent parallel_for
+/// calls on the same pool no longer block on each other's tasks.
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "runtime/scheduler.hpp"
 
 namespace pmpl::runtime {
 
-/// Fixed-size pool executing submitted tasks FIFO. `wait_idle()` blocks
-/// until all submitted work has finished.
+/// Fixed-size pool executing submitted tasks on the work-stealing
+/// scheduler. `wait_idle()` blocks until all work submitted *through this
+/// pool's submit()* has finished.
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t threads = std::thread::hardware_concurrency());
-  ~ThreadPool();
+  explicit ThreadPool(std::size_t threads = std::thread::hardware_concurrency())
+      : scheduler_(threads) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t size() const noexcept { return workers_.size(); }
+  std::size_t size() const noexcept { return scheduler_.size(); }
 
-  /// Enqueue a task. Safe from any thread, including pool workers.
-  void submit(std::function<void()> task);
+  /// Enqueue a task. Safe from any thread, including pool workers (where
+  /// it becomes a lock-free push onto the worker's own deque).
+  void submit(std::function<void()> task) {
+    scheduler_.submit(std::move(task), &all_tasks_);
+  }
 
-  /// Block until the queue is empty and all workers are idle.
-  void wait_idle();
+  /// Block until every task submitted via submit() has finished.
+  void wait_idle() { scheduler_.wait(all_tasks_); }
+
+  /// The underlying scheduler, for callers that want per-wave completion
+  /// tokens or targeted submission.
+  Scheduler& scheduler() noexcept { return scheduler_; }
 
  private:
-  void worker_loop();
-
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_idle_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  Scheduler scheduler_;
+  TaskGroup all_tasks_;  ///< pool-wide token backing wait_idle()
 };
 
 /// Run fn(i) for i in [0, n) across `pool`, blocking until done. Indices
-/// are chunked to limit task overhead.
-void parallel_for(ThreadPool& pool, std::size_t n,
-                  const std::function<void(std::size_t)>& fn,
-                  std::size_t chunk = 0);
+/// are chunked to limit task overhead. Waits on a per-call completion
+/// token, not on pool-wide idleness.
+inline void parallel_for(ThreadPool& pool, std::size_t n,
+                         const std::function<void(std::size_t)>& fn,
+                         std::size_t chunk = 0) {
+  parallel_for(pool.scheduler(), n, fn, chunk);
+}
 
 }  // namespace pmpl::runtime

@@ -477,6 +477,42 @@ TEST(WsThreaded, SingleWorker) {
   EXPECT_EQ(stats[0].executed_stolen, 0u);
 }
 
+TEST(WsThreaded, ReusedSchedulerIsolatesRunStats) {
+  runtime::Scheduler sched(3);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks(30, [&] { ++count; });
+  std::vector<std::uint32_t> initial(30);
+  for (std::size_t i = 0; i < initial.size(); ++i)
+    initial[i] = static_cast<std::uint32_t>(i % 3);
+  const auto first = run_on_scheduler(sched, tasks, initial);
+  const auto second = run_on_scheduler(sched, tasks, initial);
+  EXPECT_EQ(count.load(), 60);
+  // Each run's stats cover exactly its own 30 tasks, not the union.
+  for (const auto* stats : {&first, &second}) {
+    std::uint64_t executed = 0;
+    for (const auto& w : *stats)
+      executed += w.executed_local + w.executed_stolen;
+    EXPECT_EQ(executed, 30u);
+  }
+}
+
+TEST(WsThreaded, SummaryReflectsStats) {
+  std::vector<WorkerStats> stats(4);
+  for (auto& w : stats) {
+    w.executed_local = 10;
+    w.steal_attempts = 8;
+    w.steal_failures = 6;
+    w.park_s = 0.25;
+  }
+  stats[1].executed_stolen = 10;  // 50 executed total, 10 stolen
+  const auto s = summarize_workers(stats);
+  EXPECT_EQ(s.total_executed, 50u);
+  EXPECT_NEAR(s.stolen_fraction, 0.2, 1e-12);
+  EXPECT_NEAR(s.steal_success_rate, 0.25, 1e-12);
+  EXPECT_NEAR(s.total_park_s, 1.0, 1e-12);
+  EXPECT_GT(s.executed_cv, 0.0);
+}
+
 TEST(WsThreaded, BalancedDistributionMostlyLocal) {
   std::atomic<int> count{0};
   std::vector<std::function<void()>> tasks(64, [&] { ++count; });

@@ -1,16 +1,22 @@
 // Tests for runtime/: DES core, topology, communication model, Safra
-// termination detection, thread pool, work-unit cost model.
+// termination detection, Chase–Lev deque, work-stealing scheduler, thread
+// pool facade, work-unit cost model. The ChaseLev/Scheduler stress tests
+// double as the ThreadSanitizer targets (PMPL_SANITIZE=thread).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
+#include <numeric>
 #include <thread>
 #include <vector>
 
+#include "runtime/chase_lev_deque.hpp"
 #include "runtime/des.hpp"
+#include "runtime/scheduler.hpp"
 #include "runtime/termination.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/topology.hpp"
@@ -224,6 +230,236 @@ TEST(Safra, ManyMessagesEventuallyTerminate) {
   }
 }
 
+// --- Chase–Lev deque --------------------------------------------------------
+
+TEST(ChaseLev, OwnerPushPopIsLifo) {
+  ChaseLevDeque<std::intptr_t> dq;
+  for (std::intptr_t i = 1; i <= 5; ++i) dq.push(i);
+  std::intptr_t v = 0;
+  for (std::intptr_t i = 5; i >= 1; --i) {
+    ASSERT_TRUE(dq.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(dq.pop(v));
+}
+
+TEST(ChaseLev, StealTakesOldestFirst) {
+  ChaseLevDeque<std::intptr_t> dq;
+  for (std::intptr_t i = 1; i <= 5; ++i) dq.push(i);
+  std::intptr_t v = 0;
+  for (std::intptr_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(dq.steal(v));
+    EXPECT_EQ(v, i);  // FIFO from the top end
+  }
+  EXPECT_FALSE(dq.steal(v));
+}
+
+TEST(ChaseLev, GrowPathPreservesContents) {
+  ChaseLevDeque<std::intptr_t> dq(8);  // forces several grows
+  const std::intptr_t n = 1000;
+  for (std::intptr_t i = 0; i < n; ++i) dq.push(i);
+  EXPECT_EQ(dq.size_approx(), static_cast<std::size_t>(n));
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::intptr_t v = 0;
+  while (dq.pop(v)) seen[static_cast<std::size_t>(v)] = true;
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(ChaseLev, MixedPushPopInterleavesWithGrow) {
+  ChaseLevDeque<std::intptr_t> dq(8);
+  std::intptr_t next = 0, popped = 0;
+  std::intptr_t v = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 37; ++i) dq.push(next++);
+    for (int i = 0; i < 11; ++i)
+      if (dq.pop(v)) ++popped;
+  }
+  while (dq.pop(v)) ++popped;
+  EXPECT_EQ(popped, next);
+}
+
+// Owner pops while thieves steal: every element claimed exactly once.
+// This is the primary TSan target for the deque protocol.
+TEST(ChaseLev, OwnerAndThievesClaimEachItemOnce) {
+  ChaseLevDeque<std::intptr_t> dq(8);
+  constexpr std::intptr_t kItems = 20000;
+  constexpr int kThieves = 3;
+  std::vector<std::atomic<int>> claims(kItems);
+  std::atomic<std::intptr_t> taken{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::intptr_t v = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (dq.steal(v)) {
+          ++claims[static_cast<std::size_t>(v)];
+          taken.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  // Owner: push in bursts, pop in between (grow path exercised under
+  // concurrent steals).
+  std::intptr_t pushed = 0, v = 0;
+  while (pushed < kItems) {
+    const std::intptr_t burst = std::min<std::intptr_t>(64, kItems - pushed);
+    for (std::intptr_t i = 0; i < burst; ++i) dq.push(pushed++);
+    for (int i = 0; i < 24; ++i) {
+      if (dq.pop(v)) {
+        ++claims[static_cast<std::size_t>(v)];
+        taken.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  while (dq.pop(v)) {
+    ++claims[static_cast<std::size_t>(v)];
+    taken.fetch_add(1, std::memory_order_relaxed);
+  }
+  while (taken.load(std::memory_order_acquire) < kItems)
+    std::this_thread::yield();
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  for (std::intptr_t i = 0; i < kItems; ++i)
+    EXPECT_EQ(claims[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+}
+
+// --- scheduler --------------------------------------------------------------
+
+TEST(Scheduler, ExecutesAllExternalTasks) {
+  Scheduler sched(4);
+  TaskGroup group;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 500; ++i) sched.submit([&] { ++count; }, &group);
+  sched.wait(group);
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(Scheduler, WaitOnEmptyGroupReturns) {
+  Scheduler sched(2);
+  TaskGroup group;
+  sched.wait(group);  // must not hang
+  SUCCEED();
+}
+
+TEST(Scheduler, RecursiveSubmissionQuiesces) {
+  Scheduler sched(4);
+  TaskGroup group;
+  std::atomic<int> count{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    ++count;
+    if (depth < 4) {
+      for (int i = 0; i < 3; ++i)
+        sched.submit([&, depth] { spawn(depth + 1); }, &group);
+    }
+  };
+  sched.submit([&] { spawn(0); }, &group);
+  sched.wait(group);
+  // 1 + 3 + 9 + 27 + 81 = 121 nodes of the spawn tree.
+  EXPECT_EQ(count.load(), 121);
+}
+
+TEST(Scheduler, NestedParallelForCompletes) {
+  Scheduler sched(4);
+  std::atomic<int> count{0};
+  parallel_for(sched, 8, [&](std::size_t) {
+    parallel_for(sched, 16, [&](std::size_t) { ++count; }, 1);
+  }, 1);
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(Scheduler, SubmitToPinsWhenStealingDisabled) {
+  SchedulerOptions options;
+  options.steal = false;
+  Scheduler sched(3, options);
+  TaskGroup group;
+  std::vector<std::atomic<int>> ran_on(3);
+  for (int i = 0; i < 60; ++i) {
+    const auto target = static_cast<std::uint32_t>(i % 3);
+    sched.submit_to(target, [&, target] {
+      EXPECT_EQ(sched.current_worker(), static_cast<int>(target));
+      ++ran_on[target];
+    }, &group);
+  }
+  sched.wait(group);
+  for (int w = 0; w < 3; ++w) EXPECT_EQ(ran_on[w].load(), 20);
+}
+
+TEST(Scheduler, PerGroupWaitIgnoresOtherGroups) {
+  Scheduler sched(4);
+  TaskGroup slow_group, fast_group;
+  std::atomic<bool> slow_done{false};
+  std::atomic<bool> release_slow{false};
+  sched.submit([&] {
+    while (!release_slow.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    slow_done.store(true, std::memory_order_release);
+  }, &slow_group);
+  std::atomic<int> fast{0};
+  for (int i = 0; i < 32; ++i) sched.submit([&] { ++fast; }, &fast_group);
+  sched.wait(fast_group);  // must return while the slow task still runs
+  EXPECT_EQ(fast.load(), 32);
+  EXPECT_FALSE(slow_done.load());
+  release_slow.store(true, std::memory_order_release);
+  sched.wait(slow_group);
+  EXPECT_TRUE(slow_done.load());
+}
+
+TEST(Scheduler, CountersAccountForEveryTask) {
+  Scheduler sched(4);
+  TaskGroup group;
+  for (int i = 0; i < 300; ++i)
+    sched.submit([] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }, &group);
+  sched.wait(group);
+  const auto counters = sched.counters();
+  ASSERT_EQ(counters.size(), 4u);
+  std::uint64_t executed = 0;
+  for (const auto& c : counters)
+    executed += c.executed_local + c.executed_stolen;
+  EXPECT_EQ(executed, 300u);
+}
+
+TEST(Scheduler, ParksWhenIdleAndWakesOnSubmit) {
+  Scheduler sched(2);
+  // Give the workers time to run through spin/yield backoff and park.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  TaskGroup group;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) sched.submit([&] { ++count; }, &group);
+  sched.wait(group);
+  EXPECT_EQ(count.load(), 16);
+  const auto counters = sched.counters();
+  double parked = 0.0;
+  for (const auto& c : counters) parked += c.park_s;
+  EXPECT_GT(parked, 0.0);  // the idle period was parked, not spun
+}
+
+// Several waves of small tasks with random recursive spawns: the scheduler
+// TSan target (steals, parking, group completion all under contention).
+TEST(Scheduler, StressWavesOfRecursiveTasks) {
+  Scheduler sched(4);
+  for (int wave = 0; wave < 5; ++wave) {
+    TaskGroup group;
+    std::atomic<int> count{0};
+    for (int i = 0; i < 400; ++i) {
+      sched.submit([&, i] {
+        ++count;
+        if (i % 7 == 0)
+          sched.submit([&] { ++count; }, &group);
+      }, &group);
+    }
+    sched.wait(group);
+    const int spawned = (400 + 6) / 7;
+    EXPECT_EQ(count.load(), 400 + spawned);
+  }
+}
+
 // --- thread pool ------------------------------------------------------------
 
 TEST(ThreadPool, ExecutesAllTasks) {
@@ -269,6 +505,30 @@ TEST(ThreadPool, TasksRunConcurrently) {
       },
       /*chunk=*/1);
   EXPECT_GT(peak.load(), 1);
+}
+
+// Two concurrent parallel_for calls on one pool: each waits on its own
+// completion token, so the quick call must not block behind the slow one
+// (the old wait_idle()-based version serialized them).
+TEST(ThreadPool, ConcurrentParallelForsAreIndependent) {
+  ThreadPool pool(4);
+  std::atomic<bool> slow_finished{false};
+  std::thread slow([&] {
+    // Two long tasks: they occupy at most two of the four workers, so the
+    // quick call below always has idle workers available.
+    parallel_for(pool, 2, [&](std::size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }, /*chunk=*/1);
+    slow_finished.store(true, std::memory_order_release);
+  });
+  // Let the slow tasks occupy workers first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::atomic<int> quick{0};
+  parallel_for(pool, 64, [&](std::size_t) { ++quick; }, /*chunk=*/1);
+  EXPECT_EQ(quick.load(), 64);
+  EXPECT_FALSE(slow_finished.load());  // quick call did not wait for slow
+  slow.join();
+  EXPECT_TRUE(slow_finished.load());
 }
 
 // --- work units --------------------------------------------------------------
