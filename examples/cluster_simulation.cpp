@@ -6,9 +6,21 @@
 //                        [--procs P] [--regions N] [--attempts N]
 //                        [--machine hopper|opteron]
 //
+// Fault injection (all optional; any of them switches the run to a second,
+// faulty pass so the fault-free baseline is always printed too):
+//   --crashes N          crash N ranks (evenly spread) mid-run
+//   --crash-frac F       crash F of the ranks instead of a fixed count
+//   --straggle R         make R ranks stragglers (evenly spread)
+//   --straggle-factor X  slowdown factor of each straggler (default 4)
+//   --drop P             drop every message with probability P
+//   --token-drop P       drop termination tokens with probability P
+//   --fault-seed S       dedicated seed for the drop rolls
+//
 // Prints the phase breakdown, load statistics and communication counters
-// for every strategy at the chosen scale.
+// for every strategy at the chosen scale; with faults, adds recovery
+// metrics and the makespan degradation vs the fault-free run.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
@@ -29,6 +41,17 @@ std::unique_ptr<env::Environment> make_env(const std::string& name) {
   if (name == "walls-45") return env::walls(true);
   if (name == "mixed") return env::mixed(0.60);
   return env::med_cube();
+}
+
+/// Victim ranks spread evenly across [0, p): rank i*p/n for i in [0, n).
+std::vector<std::uint32_t> spread_ranks(std::uint32_t p, std::uint32_t n) {
+  std::vector<std::uint32_t> out;
+  n = std::min(n, p);
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    out.push_back(static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(i) * p) / std::max(1u, n)));
+  return out;
 }
 
 }  // namespace
@@ -59,19 +82,24 @@ int main(int argc, char** argv) {
               w.roadmap.num_vertices(), w.roadmap.num_edges(),
               w.total_sampling_s() + w.total_build_s() + w.total_edge_s());
 
+  // Fault-free pass: run every strategy, remember its total for the
+  // degradation column of an optional faulty pass.
+  std::vector<double> fault_free_total;
   TextTable table({"strategy", "total", "sampling", "redistr.", "node conn",
                    "region conn", "CV after", "regions moved/stolen",
                    "remote roadmap"});
-  for (const auto s :
-       {core::Strategy::kNoLB, core::Strategy::kRepartition,
-        core::Strategy::kHybridWS, core::Strategy::kRand8WS,
-        core::Strategy::kDiffusiveWS}) {
+  const core::Strategy strategies[] = {
+      core::Strategy::kNoLB, core::Strategy::kRepartition,
+      core::Strategy::kHybridWS, core::Strategy::kRand8WS,
+      core::Strategy::kDiffusiveWS};
+  for (const auto s : strategies) {
     core::PrmRunConfig cfg;
     cfg.procs = procs;
     cfg.strategy = s;
     cfg.cluster = cluster;
     cfg.seed = seed;
     const auto r = core::simulate_prm_run(w, cfg);
+    fault_free_total.push_back(r.total_s);
     std::uint64_t moved = r.ws.regions_migrated;
     if (s == core::Strategy::kRepartition) {
       moved = 0;
@@ -91,7 +119,79 @@ int main(int argc, char** argv) {
         .num(r.remote_roadmap);
   }
   table.print();
-  std::printf("\nload profile is in simulated seconds; the workload itself\n"
-              "is real planning work measured once on this machine.\n");
+
+  // Optional faulty pass.
+  auto crashes = static_cast<std::uint32_t>(args.get_i64("crashes", 0));
+  const double crash_frac = args.get_f64("crash-frac", 0.0);
+  if (crash_frac > 0.0)
+    crashes = std::max(crashes, static_cast<std::uint32_t>(
+                                    crash_frac * static_cast<double>(procs)));
+  const auto stragglers =
+      static_cast<std::uint32_t>(args.get_i64("straggle", 0));
+  const double straggle_factor = args.get_f64("straggle-factor", 4.0);
+  const double drop = args.get_f64("drop", 0.0);
+  const double token_drop = args.get_f64("token-drop", 0.0);
+  const auto fault_seed = static_cast<std::uint64_t>(
+      args.get_i64("fault-seed", 0xfa17ed5eedLL));
+
+  runtime::FaultPlan plan;
+  plan.seed = fault_seed;
+  // Crash victims halfway into the (fault-free NoLB) schedule so there is
+  // both completed (durable) and pending (recoverable) work.
+  const double mid = 0.5 * fault_free_total[0];
+  for (const std::uint32_t r : spread_ranks(procs, crashes))
+    plan.crash(r, mid);
+  for (const std::uint32_t r : spread_ranks(procs, stragglers))
+    if (std::find_if(plan.crashes.begin(), plan.crashes.end(),
+                     [r](const auto& c) { return c.rank == r; }) ==
+        plan.crashes.end())
+      plan.straggler(r, straggle_factor, 0.0, fault_free_total[0]);
+  if (drop > 0.0) plan.lossy_links(drop);
+  if (token_drop > 0.0) plan.lose_tokens(token_drop);
+
+  if (plan.empty()) {
+    std::printf("\nload profile is in simulated seconds; the workload itself\n"
+                "is real planning work measured once on this machine.\n");
+    return 0;
+  }
+
+  std::printf("\nfault plan: %zu crash(es) at t=%.3f, %u straggler(s) x%.1f, "
+              "drop=%.2f, token-drop=%.2f, seed=%llu\n",
+              plan.crashes.size(), mid, stragglers, straggle_factor, drop,
+              token_drop, static_cast<unsigned long long>(plan.seed));
+  TextTable ftable({"strategy", "total", "degradation", "recovered", "re-exec",
+                    "re-exec s", "retries", "retransmits", "tokens regen",
+                    "recovery lat"});
+  std::size_t idx = 0;
+  for (const auto s : strategies) {
+    core::PrmRunConfig cfg;
+    cfg.procs = procs;
+    cfg.strategy = s;
+    cfg.cluster = cluster;
+    cfg.seed = seed;
+    cfg.faults = plan;
+    const auto r = core::simulate_prm_run(w, cfg);
+    if (r.ws.hit_event_limit) {
+      std::fprintf(stderr, "FATAL: %s hit the DES event limit under faults\n",
+                   core::to_string(s).c_str());
+      return 1;
+    }
+    const double base = fault_free_total[idx++];
+    ftable.row()
+        .cell(core::to_string(s))
+        .num(r.total_s, 3)
+        .num(base > 0.0 ? r.total_s / base : 1.0, 3)
+        .num(r.ws.faults.regions_recovered)
+        .num(r.ws.faults.regions_reexecuted)
+        .num(r.ws.faults.reexecuted_service_s, 3)
+        .num(r.ws.faults.steal_retries)
+        .num(r.ws.faults.grant_retransmits)
+        .num(r.ws.faults.tokens_regenerated)
+        .num(r.ws.faults.recovery_latency_max_s, 4);
+  }
+  ftable.print();
+  std::printf("\nbulk-synchronous rows model stragglers only (no recovery\n"
+              "protocol to simulate); work-stealing rows inject the full\n"
+              "plan: crashes, lossy links and token loss.\n");
   return 0;
 }

@@ -213,8 +213,10 @@ PrmRunResult simulate_prm_run(const Workload& w, const PrmRunConfig& config) {
     ws_cfg.policy = steal_policy_of(config.strategy);
     ws_cfg.cluster = config.cluster;
     ws_cfg.seed = config.seed;
+    ws_cfg.faults = config.faults;
     out.ws = loadbal::simulate_work_stealing(items, initial, config.procs,
                                              ws_cfg);
+    out.straggler_delay_s = out.ws.faults.straggler_delay_s;
     out.assignment = out.ws.final_owner;
     // Attribute the combined makespan to the sampling / node-connection
     // phases proportionally to their global shares (reporting only).
@@ -226,14 +228,18 @@ PrmRunResult simulate_prm_run(const Workload& w, const PrmRunConfig& config) {
     out.phases.node_connection_s = out.ws.makespan_s * (1.0 - share);
     out.load_profile_s = out.ws.busy_s;
   } else {
-    // Bulk-synchronous pipeline: sample on the naive map first.
+    // Bulk-synchronous pipeline: sample on the naive map first. Straggler
+    // windows stretch each phase from its wall-clock start; there is no
+    // stealing to absorb them, so the closing barrier pays in full.
+    const runtime::FaultInjector inject(config.faults);
     std::vector<double> sampling_times(nr);
     for (std::size_t r = 0; r < nr; ++r)
       sampling_times[r] = w.regions[r].sampling_s;
-    out.phases.sampling_s =
+    const auto sampling_phase =
         loadbal::static_phase(sampling_times, initial, config.procs,
-                              config.cluster)
-            .time_s;
+                              config.cluster, inject, out.phases.setup_s);
+    out.phases.sampling_s = sampling_phase.time_s;
+    out.straggler_delay_s += sampling_phase.straggler_delay_s;
 
     loadbal::Assignment assignment = initial;
     if (config.strategy == Strategy::kRepartition) {
@@ -281,11 +287,14 @@ PrmRunResult simulate_prm_run(const Workload& w, const PrmRunConfig& config) {
       }
     }
 
+    const double build_start = out.phases.setup_s + out.phases.sampling_s +
+                               out.phases.redistribution_s;
     const auto phase =
         loadbal::static_phase(w.build_times(), assignment, config.procs,
-                              config.cluster);
+                              config.cluster, inject, build_start);
     out.phases.node_connection_s = phase.time_s;
     out.load_profile_s = phase.busy_s;
+    out.straggler_delay_s += phase.straggler_delay_s;
     out.assignment = std::move(assignment);
   }
 

@@ -62,6 +62,12 @@ struct PrmRunConfig {
   /// estimated saving does not cover its cost. Protects balanced
   /// workloads (e.g. the free environment) from paying for nothing.
   bool adaptive = false;
+  /// Failure scenario for the replay. Work-stealing strategies get the
+  /// full treatment (crashes, lossy links, token loss, stragglers) through
+  /// the DES engine; the bulk-synchronous strategies — which have no
+  /// recovery protocol to model — apply the straggler windows to their
+  /// phase timing, showing how a barrier amplifies one slow rank.
+  runtime::FaultPlan faults;
 };
 
 /// Replay outcome: everything the figures plot.
@@ -82,6 +88,10 @@ struct PrmRunResult {
   std::uint64_t remote_roadmap = 0;       ///< roadmap remote accesses (Fig 7b)
 
   loadbal::WsResult ws;  ///< populated for work-stealing strategies
+  /// Extra wall seconds lost to straggler windows (ws.faults has the full
+  /// fault metrics for work-stealing strategies; bulk-synchronous
+  /// strategies report their stretched phases here).
+  double straggler_delay_s = 0.0;
 };
 
 /// Replay `workload` under `config`.

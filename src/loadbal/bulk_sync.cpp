@@ -33,6 +33,33 @@ PhaseSchedule static_phase(std::span<const double> service_s,
   return out;
 }
 
+PhaseSchedule static_phase(std::span<const double> service_s,
+                           std::span<const std::uint32_t> assignment,
+                           std::uint32_t p,
+                           const runtime::ClusterSpec& cluster,
+                           const runtime::FaultInjector& inject,
+                           double phase_start_s) {
+  assert(service_s.size() == assignment.size());
+  // Nominal per-location loads first: each location executes its items
+  // back-to-back, so only the *total* per-location service matters and it
+  // can be stretched as one block starting at phase_start_s.
+  PhaseSchedule out;
+  out.busy_s.assign(p, 0.0);
+  for (std::size_t i = 0; i < service_s.size(); ++i)
+    out.busy_s[assignment[i]] += service_s[i];
+  double max_busy = 0.0;
+  for (std::uint32_t loc = 0; loc < p; ++loc) {
+    const double nominal = out.busy_s[loc];
+    const double stretched =
+        inject.stretched_service(loc, phase_start_s, nominal);
+    out.straggler_delay_s += stretched - nominal;
+    out.busy_s[loc] = stretched;
+    max_busy = std::max(max_busy, stretched);
+  }
+  out.time_s = max_busy + collective_latency(p, cluster);  // closing barrier
+  return out;
+}
+
 double redistribution_time(std::span<const std::uint64_t> bytes,
                            std::span<const std::uint32_t> before,
                            std::span<const std::uint32_t> after,

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "loadbal/metrics.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/topology.hpp"
 
 namespace pmpl::loadbal {
@@ -17,6 +18,10 @@ namespace pmpl::loadbal {
 struct PhaseSchedule {
   double time_s = 0.0;            ///< phase completion (max location)
   std::vector<double> busy_s;     ///< per-location busy time
+  /// Extra wall seconds attributable to straggler windows (faulty runs
+  /// only): sum over locations of (stretched - nominal) busy time. The
+  /// barrier amplifies whatever the slowest straggler adds.
+  double straggler_delay_s = 0.0;
 };
 
 /// A static owner-computes phase: every location runs its items
@@ -25,6 +30,19 @@ PhaseSchedule static_phase(std::span<const double> service_s,
                            std::span<const std::uint32_t> assignment,
                            std::uint32_t p,
                            const runtime::ClusterSpec& cluster);
+
+/// Straggler-aware variant: each location's run starts at `phase_start_s`
+/// and its service time is stretched through the injector's slowdown
+/// windows (a bulk-synchronous phase has no stealing, so a straggler
+/// stretches the barrier directly — the contrast the resilience benchmark
+/// measures against work stealing). Identical to the plain overload when
+/// `inject` has no straggler windows.
+PhaseSchedule static_phase(std::span<const double> service_s,
+                           std::span<const std::uint32_t> assignment,
+                           std::uint32_t p,
+                           const runtime::ClusterSpec& cluster,
+                           const runtime::FaultInjector& inject,
+                           double phase_start_s);
 
 /// Time to repartition and migrate: computing the new partition (modeled
 /// as an O(n log n) scan on every location over the gathered weights, after

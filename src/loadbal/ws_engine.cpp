@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <deque>
+#include <map>
+#include <set>
 
 #include "runtime/des.hpp"
 #include "runtime/termination.hpp"
@@ -13,6 +15,12 @@ namespace pmpl::loadbal {
 namespace {
 
 /// Whole simulation state; one instance per simulate_work_stealing call.
+///
+/// Fault machinery (ids, ledger, timeouts, heartbeats, token generations)
+/// is structured so that with an empty FaultPlan the exact same sequence of
+/// Simulator::schedule_* calls is issued as the pre-fault engine made:
+/// determinism ties break on insertion order, so even one extra event would
+/// perturb fault-free schedules.
 class WsEngine {
  public:
   WsEngine(std::span<const WsItem> items,
@@ -24,6 +32,7 @@ class WsEngine {
         policy_(config.policy, p, config.rand_k),
         safra_(p),
         rng_(config.seed),
+        inject_(config.faults),
         locs_(p) {
     for (std::size_t i = 0; i < items.size(); ++i) {
       assert(initial[i] < p);
@@ -33,39 +42,132 @@ class WsEngine {
     result_.local_tasks.assign(p, 0);
     result_.stolen_tasks.assign(p, 0);
     result_.final_owner.assign(items.size(), 0);
+    result_.completion_s.assign(items.size(), -1.0);
     stolen_flag_.assign(items.size(), false);
+    completed_.assign(items.size(), false);
+    reexec_pending_.assign(items.size(), false);
+    alive_.assign(p, true);
+    death_known_.assign(p, false);
+    death_pending_.assign(p, false);
+    crash_time_.assign(p, 0.0);
+    if (inject_.active()) {
+      // Derive resilience timeouts from the worst case the protocol must
+      // wait out: a victim busy with the largest region stretched by the
+      // strongest straggler window, plus round-trip control latency and the
+      // largest grant payload. Too-small values cost retries, never
+      // correctness.
+      const double remote = config.cluster.remote_latency_s;
+      // A short RPC-style timeout: long enough that control messages never
+      // time out spuriously on a healthy link, far shorter than a region's
+      // service time. A request parked at a busy victim may time out and be
+      // retried elsewhere — wasteful but correct (the eventual late grant
+      // is still accepted; its settled request is simply stale).
+      steal_timeout_ = config.steal_timeout_s > 0.0
+                           ? config.steal_timeout_s
+                           : std::max(256.0 * remote, 1e-3);
+      hb_period_ = config.heartbeat_period_s > 0.0
+                       ? config.heartbeat_period_s
+                       : std::max(64.0 * remote, 1e-4);
+      // Consecutive missed heartbeats before a rank is declared dead. The
+      // configured floor is enough on loss-free links, but with a lossy
+      // plan the threshold must scale so the per-window false-positive
+      // probability stays ~1e-9 across ~1e5 probe windows — otherwise the
+      // fencing path would slowly execute the whole cluster. A targeted
+      // drop_prob=1 link still fences after the configured floor.
+      hb_misses_required_ = config.heartbeat_misses;
+      double max_drop = 0.0;
+      for (const auto& l : config.faults.links)
+        max_drop = std::max(max_drop, l.drop_prob);
+      const double p_lost_rt = 1.0 - (1.0 - max_drop) * (1.0 - max_drop);
+      if (p_lost_rt > 0.0 && p_lost_rt < 1.0)
+        hb_misses_required_ = std::max(
+            hb_misses_required_,
+            static_cast<std::uint32_t>(
+                std::ceil(-9.0 / std::log10(p_lost_rt))));
+      // Token regeneration: keyed to an *idle* ring transit, not to the
+      // longest region — a token legitimately parked at a busy rank may be
+      // regenerated spuriously (the stale one is discarded by generation),
+      // which merely costs an extra round. The timeout doubles while
+      // rounds keep failing and resets once a token survives a transit.
+      token_regen_initial_ = std::max(
+          32.0 * static_cast<double>(p) * remote, 1e-3);
+      token_regen_timeout_ = token_regen_initial_;
+      token_retry_delay_ = std::max(64.0 * remote, 1e-4);
+    }
   }
 
   WsResult run() {
     for (std::uint32_t i = 0; i < p_; ++i) start_next(i);
+    if (inject_.active()) {
+      for (const auto& c : inject_.plan().crashes) {
+        if (c.rank >= p_) continue;
+        sim_.schedule_at(c.at_s, [this, r = c.rank] {
+          if (terminated_ || !alive_[r]) return;
+          ++result_.faults.crashes;
+          do_crash(r);
+        });
+      }
+      start_heartbeats();
+    }
     // Token-ring termination works for any p (the p==1 ring is rank 0
     // alone, detecting on its first idle).
     sim_.run();
-    // If the calendar drained without detection (shouldn't happen), fall
-    // back to the last event time.
+    result_.hit_event_limit = sim_.hit_event_limit();
+    result_.terminated = terminated_;
+    // If the calendar drained without detection (all locations crashed, or
+    // p==1 with rank 0 dead), fall back to the last event time.
     if (!terminated_) result_.makespan_s = sim_.now();
     result_.events = sim_.events_processed();
     return std::move(result_);
   }
 
  private:
+  struct PendingRequest {
+    std::uint32_t thief = 0;
+    std::uint64_t req_id = 0;
+  };
+
   struct Location {
     std::deque<std::uint32_t> queue;
     bool busy = false;
+    std::uint32_t cur_item = 0;       ///< executing item (valid while busy)
     std::uint32_t failed_rounds = 0;  ///< consecutive fully-denied rounds
     std::uint32_t outstanding = 0;    ///< replies still expected
     std::uint32_t stage = 0;
     double backoff = 0.0;
     bool holds_token = false;
     runtime::SafraTermination::Token token;
+    std::uint64_t token_gen = 0;  ///< generation of the held token
     /// Steal requests that arrived while this location was executing a
     /// region: single-threaded locations only progress communication
     /// between tasks (STAPL RMI polls at scheduling points), so they are
     /// serviced when the current region completes.
-    std::vector<std::uint32_t> pending_requests;
+    std::vector<PendingRequest> pending_requests;
     /// Lifeline mode: thieves whose steal was denied and who now wait for
     /// a pushed grant when this location next has surplus work.
     std::vector<std::uint32_t> lifeline_waiters;
+    /// Fault mode: outstanding request ids (drained by reply or timeout,
+    /// whichever first; the loser of that race is ignored as stale).
+    std::set<std::uint64_t> reqs_pending;
+    // Heartbeat probe state (fault mode only).
+    std::uint32_t hb_target = 0;
+    std::uint64_t hb_seq = 0;    ///< last probe sequence sent
+    std::uint64_t hb_acked = 0;  ///< last probe sequence acked
+    std::uint32_t hb_misses = 0;
+  };
+
+  /// A granted batch in flight: retransmitted until the thief acks, so a
+  /// region survives message loss. Resolved (erased) on ack, or at a crash
+  /// announcement: an undelivered batch is re-queued (victim alive) or
+  /// recovered with the dead victim's queue; a delivered one needs nothing.
+  struct GrantInFlight {
+    std::uint32_t victim = 0;
+    std::uint32_t thief = 0;
+    std::uint64_t req_id = 0;  ///< 0 for lifeline pushes
+    std::vector<std::uint32_t> items;
+    std::uint64_t bytes = 0;
+    bool delivered = false;
+    double timeout = 0.0;  ///< next retransmit timeout (doubles, capped)
   };
 
   bool idle(const Location& loc) const noexcept {
@@ -73,7 +175,7 @@ class WsEngine {
   }
 
   void start_next(std::uint32_t rank) {
-    if (terminated_) return;
+    if (terminated_ || !alive_[rank]) return;
     Location& loc = locs_[rank];
     if (loc.queue.empty()) {
       on_become_idle(rank);
@@ -82,11 +184,25 @@ class WsEngine {
     const std::uint32_t item = loc.queue.front();
     loc.queue.pop_front();
     loc.busy = true;
-    const double service = items_[item].service_s;
-    result_.busy_s[rank] += service;
-    sim_.schedule_in(service, [this, rank, item] {
+    loc.cur_item = item;
+    const double nominal = items_[item].service_s;
+    const double service =
+        inject_.active() ? inject_.stretched_service(rank, sim_.now(), nominal)
+                         : nominal;
+    sim_.schedule_in(service, [this, rank, item, service, nominal] {
+      if (!alive_[rank]) return;  // crashed mid-region: work lost, recovered
       Location& l = locs_[rank];
       l.busy = false;
+      result_.busy_s[rank] += service;
+      if (service > nominal)
+        result_.faults.straggler_delay_s += service - nominal;
+      completed_[item] = true;
+      result_.completion_s[item] = sim_.now();
+      if (reexec_pending_[item]) {
+        reexec_pending_[item] = false;
+        ++result_.faults.regions_reexecuted;
+        result_.faults.reexecuted_service_s += nominal;
+      }
       result_.final_owner[item] = rank;
       if (stolen_flag_[item])
         ++result_.stolen_tasks[rank];
@@ -97,7 +213,10 @@ class WsEngine {
       if (!l.pending_requests.empty()) {
         const auto pending = std::move(l.pending_requests);
         l.pending_requests.clear();
-        for (const std::uint32_t thief : pending) serve_request(rank, thief);
+        for (const PendingRequest& pr : pending) {
+          if (inject_.active() && death_known_[pr.thief]) continue;
+          serve_request(rank, pr.thief, pr.req_id);
+        }
       }
       feed_lifelines(rank);
       start_next(rank);
@@ -105,16 +224,17 @@ class WsEngine {
   }
 
   void on_become_idle(std::uint32_t rank) {
-    if (terminated_) return;
+    if (terminated_ || !alive_[rank]) return;
     Location& loc = locs_[rank];
-    // Forward a held token now that we are idle.
+    // Forward a held token now that we are idle (unless a crash made it
+    // stale in the meantime — a fresh generation is circulating).
     if (loc.holds_token) {
       loc.holds_token = false;
-      process_token(rank, loc.token);
+      if (loc.token_gen == token_generation_) process_token(rank, loc.token);
     }
-    // Rank 0 drives detection rounds whenever it idles with no round
-    // in flight.
-    if (rank == 0 && !round_active_) initiate_round();
+    // The leader (rank 0 until it dies) drives detection rounds whenever it
+    // idles with no round in flight.
+    if (rank == safra_.leader() && !round_active_) initiate_round();
     // Begin stealing unless a request round is already outstanding.
     loc.stage = 0;
     loc.backoff = config_.backoff_initial_s;
@@ -123,10 +243,16 @@ class WsEngine {
   }
 
   void issue_requests(std::uint32_t rank) {
-    if (terminated_) return;
+    if (terminated_ || !alive_[rank]) return;
     Location& loc = locs_[rank];
     if (!idle(loc)) return;
-    const auto victims = policy_.victims(rank, loc.stage, rng_);
+    auto victims = policy_.victims(rank, loc.stage, rng_);
+    if (inject_.active())
+      victims.erase(std::remove_if(victims.begin(), victims.end(),
+                                   [this](std::uint32_t v) {
+                                     return death_known_[v];
+                                   }),
+                    victims.end());
     if (victims.empty()) {
       retry_later(rank);
       return;
@@ -134,25 +260,54 @@ class WsEngine {
     loc.outstanding += static_cast<std::uint32_t>(victims.size());
     for (const std::uint32_t v : victims) {
       ++result_.steal_requests;
-      sim_.schedule_in(config_.cluster.latency(rank, v),
-                       [this, v, rank] { on_request(v, rank); });
+      const std::uint64_t req_id = next_req_id_++;
+      if (!inject_.active()) {
+        sim_.schedule_in(config_.cluster.latency(rank, v),
+                         [this, v, rank, req_id] {
+                           on_request(v, rank, req_id);
+                         });
+        continue;
+      }
+      loc.reqs_pending.insert(req_id);
+      const auto fate = inject_.on_message(rank, v, sim_.now());
+      if (fate.dropped) {
+        ++result_.faults.messages_dropped;
+      } else {
+        if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
+        sim_.schedule_in(config_.cluster.latency(rank, v) + fate.extra_delay_s,
+                         [this, v, rank, req_id] {
+                           on_request(v, rank, req_id);
+                         });
+      }
+      sim_.schedule_in(steal_timeout_, [this, rank, req_id] {
+        on_request_timeout(rank, req_id);
+      });
     }
   }
 
-  void on_request(std::uint32_t victim, std::uint32_t thief) {
-    if (terminated_) return;
+  void on_request_timeout(std::uint32_t thief, std::uint64_t req_id) {
+    if (terminated_ || !alive_[thief]) return;
+    if (locs_[thief].reqs_pending.erase(req_id) == 0) return;  // answered
+    ++result_.faults.steal_retries;
+    resolve_deny(thief);  // treat the silence as a deny and move on
+  }
+
+  void on_request(std::uint32_t victim, std::uint32_t thief,
+                  std::uint64_t req_id) {
+    if (terminated_ || !alive_[victim]) return;
     Location& loc = locs_[victim];
     // A busy location cannot progress communication until its current
     // region completes; park the request.
     if (loc.busy) {
-      loc.pending_requests.push_back(thief);
+      loc.pending_requests.push_back({thief, req_id});
       return;
     }
-    serve_request(victim, thief);
+    serve_request(victim, thief, req_id);
   }
 
-  void serve_request(std::uint32_t victim, std::uint32_t thief) {
-    if (terminated_) return;
+  void serve_request(std::uint32_t victim, std::uint32_t thief,
+                     std::uint64_t req_id) {
+    if (terminated_ || !alive_[victim]) return;
     Location& loc = locs_[victim];
     // Grant when the victim can spare work: up to steal_max_items from the
     // back of the queue, never more than half (the victim keeps the front
@@ -166,8 +321,21 @@ class WsEngine {
           std::find(loc.lifeline_waiters.begin(), loc.lifeline_waiters.end(),
                     thief) == loc.lifeline_waiters.end())
         loc.lifeline_waiters.push_back(thief);
-      sim_.schedule_in(config_.cluster.latency(victim, thief),
-                       [this, thief] { on_reply(thief, {}); });
+      if (!inject_.active()) {
+        sim_.schedule_in(config_.cluster.latency(victim, thief),
+                         [this, thief, req_id] { on_deny(thief, req_id); });
+        return;
+      }
+      const auto fate = inject_.on_message(victim, thief, sim_.now());
+      if (fate.dropped) {
+        // Lost deny: the thief's request timeout resolves it.
+        ++result_.faults.messages_dropped;
+        return;
+      }
+      if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
+      sim_.schedule_in(
+          config_.cluster.latency(victim, thief) + fate.extra_delay_s,
+          [this, thief, req_id] { on_deny(thief, req_id); });
       return;
     }
     std::vector<std::uint32_t> grant;
@@ -178,34 +346,156 @@ class WsEngine {
       loc.queue.pop_back();
       bytes += items_[grant.back()].bytes;
     }
+    send_grant(victim, thief, req_id, std::move(grant), bytes);
+  }
+
+  /// Dispatch a granted batch. Fault-free: one delivery event, exactly the
+  /// legacy behavior. Fault mode: the batch enters the retransmit ledger
+  /// and is re-sent until acked, so loss delays but never destroys it.
+  void send_grant(std::uint32_t victim, std::uint32_t thief,
+                  std::uint64_t req_id, std::vector<std::uint32_t> grant,
+                  std::uint64_t bytes) {
     ++result_.steal_grants;
     result_.regions_migrated += grant.size();
     // Work-bearing message: participates in termination accounting.
     safra_.on_send(victim);
-    sim_.schedule_in(config_.cluster.transfer_time(victim, thief, bytes),
-                     [this, thief, grant = std::move(grant)] {
-                       safra_.on_receive(thief);
-                       on_reply(thief, grant);
-                     });
+    if (!inject_.active()) {
+      sim_.schedule_in(config_.cluster.transfer_time(victim, thief, bytes),
+                       [this, thief, req_id, grant = std::move(grant)] {
+                         safra_.on_receive(thief);
+                         accept_grant(thief, grant, req_id);
+                       });
+      return;
+    }
+    const std::uint64_t gid = next_grant_id_++;
+    GrantInFlight g;
+    g.victim = victim;
+    g.thief = thief;
+    g.req_id = req_id;
+    g.items = std::move(grant);
+    g.bytes = bytes;
+    g.timeout = steal_timeout_;
+    ledger_.emplace(gid, std::move(g));
+    transmit_grant(gid, /*retransmit=*/false);
   }
 
-  void on_reply(std::uint32_t thief, const std::vector<std::uint32_t>& grant) {
+  void transmit_grant(std::uint64_t gid, bool retransmit) {
+    auto it = ledger_.find(gid);
+    if (it == ledger_.end()) return;
+    GrantInFlight& g = it->second;
+    if (retransmit) ++result_.faults.grant_retransmits;
+    const auto fate = inject_.on_message(g.victim, g.thief, sim_.now());
+    if (fate.dropped) {
+      ++result_.faults.messages_dropped;
+    } else {
+      if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
+      sim_.schedule_in(
+          config_.cluster.transfer_time(g.victim, g.thief, g.bytes) +
+              fate.extra_delay_s,
+          [this, gid] { deliver_grant(gid); });
+    }
+    sim_.schedule_in(g.timeout, [this, gid] { on_grant_timeout(gid); });
+    g.timeout = std::min(g.timeout * 2.0, 16.0 * steal_timeout_);
+  }
+
+  void deliver_grant(std::uint64_t gid) {
+    auto it = ledger_.find(gid);
+    if (it == ledger_.end()) return;  // already acked+resolved (duplicate)
+    GrantInFlight& g = it->second;
+    if (terminated_ || !alive_[g.thief]) return;  // timeout path resolves
+    if (!g.delivered) {
+      g.delivered = true;
+      safra_.on_receive(g.thief);
+      accept_grant(g.thief, g.items, g.req_id);
+    }
+    // Ack every delivery (duplicates re-ack in case the first ack was
+    // dropped). The ack itself can be lost; retransmits re-trigger it.
+    const auto fate = inject_.on_message(g.thief, g.victim, sim_.now());
+    if (fate.dropped) {
+      ++result_.faults.messages_dropped;
+      return;
+    }
+    if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
+    sim_.schedule_in(
+        config_.cluster.latency(g.thief, g.victim) + fate.extra_delay_s,
+        [this, gid] { ledger_.erase(gid); });
+  }
+
+  void on_grant_timeout(std::uint64_t gid) {
+    if (terminated_) return;
+    auto it = ledger_.find(gid);
+    if (it == ledger_.end()) return;  // acked in the meantime
+    GrantInFlight& g = it->second;
+    if (!alive_[g.victim]) return;  // resolved at the victim's death sweep
+    if (death_known_[g.thief]) {
+      // Thief confirmed dead. An undelivered batch goes back to the victim
+      // (a delivered one was recovered with the thief's queue).
+      if (!g.delivered) reclaim_grant(gid);
+      else ledger_.erase(it);
+      return;
+    }
+    transmit_grant(gid, /*retransmit=*/true);
+  }
+
+  /// Return an undelivered batch to its (alive) victim's queue. Only done
+  /// on *confirmed* thief death: re-claiming on mere silence could execute
+  /// a region twice.
+  void reclaim_grant(std::uint64_t gid) {
+    auto it = ledger_.find(gid);
+    if (it == ledger_.end()) return;
+    GrantInFlight& g = it->second;
+    Location& v = locs_[g.victim];
+    std::uint64_t recovered = 0;
+    for (const std::uint32_t item : g.items) {
+      if (completed_[item]) continue;
+      v.queue.push_back(item);
+      ++recovered;
+    }
+    result_.faults.regions_recovered += recovered;
+    // The grant's on_send at the victim will never see its on_receive.
+    safra_.on_send_cancelled(g.victim);
+    safra_.taint(g.victim);
+    ledger_.erase(it);
+    if (recovered > 0 && !v.busy) start_next(g.victim);
+  }
+
+  void accept_grant(std::uint32_t thief,
+                    const std::vector<std::uint32_t>& grant,
+                    std::uint64_t req_id) {
     if (terminated_) return;
     Location& loc = locs_[thief];
-    if (loc.outstanding > 0) --loc.outstanding;
+    if (req_id != 0) {  // 0 = lifeline push: no request to settle
+      bool counted = true;
+      if (inject_.active())
+        counted = loc.reqs_pending.erase(req_id) > 0;  // false: timed out
+      if (counted && loc.outstanding > 0) --loc.outstanding;
+    }
     if (!grant.empty()) {
       for (const std::uint32_t item : grant) {
         stolen_flag_[item] = true;
         loc.queue.push_back(item);
       }
-      loc.stage = 0;
-      loc.backoff = config_.backoff_initial_s;
-      loc.failed_rounds = 0;
+      if (req_id != 0) {
+        loc.stage = 0;
+        loc.backoff = config_.backoff_initial_s;
+        loc.failed_rounds = 0;
+      }
       if (!loc.busy) start_next(thief);
-      return;
     }
-    // Deny: when the whole round came back empty, escalate, back off, or
-    // give up probing (bounded search for work).
+  }
+
+  void on_deny(std::uint32_t thief, std::uint64_t req_id) {
+    if (terminated_ || !alive_[thief]) return;
+    if (inject_.active() && locs_[thief].reqs_pending.erase(req_id) == 0)
+      return;  // stale: the request already timed out
+    resolve_deny(thief);
+  }
+
+  /// A request was answered empty (or timed out): when the whole round came
+  /// back empty, escalate, back off, or give up probing.
+  void resolve_deny(std::uint32_t thief) {
+    Location& loc = locs_[thief];
+    if (loc.outstanding > 0) --loc.outstanding;
     if (loc.outstanding == 0 && idle(loc)) {
       if (loc.stage + 1 < policy_.stages()) {
         ++loc.stage;
@@ -228,6 +518,7 @@ class WsEngine {
       const std::uint32_t waiter = loc.lifeline_waiters.back();
       loc.lifeline_waiters.pop_back();
       if (!idle(locs_[waiter])) continue;  // found work elsewhere meanwhile
+      if (inject_.active() && death_known_[waiter]) continue;
       const std::size_t n = std::min<std::size_t>(config_.steal_max_items,
                                                   loc.queue.size() / 2);
       if (n == 0) break;
@@ -239,20 +530,7 @@ class WsEngine {
         loc.queue.pop_back();
         bytes += items_[grant.back()].bytes;
       }
-      ++result_.steal_grants;
-      result_.regions_migrated += grant.size();
-      safra_.on_send(rank);
-      sim_.schedule_in(
-          config_.cluster.transfer_time(rank, waiter, bytes),
-          [this, waiter, grant = std::move(grant)] {
-            safra_.on_receive(waiter);
-            Location& w = locs_[waiter];
-            for (const std::uint32_t item : grant) {
-              stolen_flag_[item] = true;
-              w.queue.push_back(item);
-            }
-            if (!w.busy) start_next(waiter);
-          });
+      send_grant(rank, waiter, /*req_id=*/0, std::move(grant), bytes);
     }
   }
 
@@ -262,10 +540,200 @@ class WsEngine {
     loc.backoff = std::min(loc.backoff * 2.0, config_.backoff_max_s);
     sim_.schedule_in(delay, [this, rank] {
       Location& l = locs_[rank];
-      if (terminated_ || !idle(l) || l.outstanding > 0) return;
+      if (terminated_ || !alive_[rank] || !idle(l) || l.outstanding > 0)
+        return;
       l.stage = 0;
       issue_requests(rank);
     });
+  }
+
+  // --- fault machinery --------------------------------------------------
+
+  void do_crash(std::uint32_t rank) {
+    alive_[rank] = false;
+    crash_time_[rank] = sim_.now();
+    Location& loc = locs_[rank];
+    if (loc.busy) reexec_pending_[loc.cur_item] = true;  // partial work lost
+    if (loc.holds_token) {
+      loc.holds_token = false;
+      ++result_.faults.tokens_lost;  // regeneration will recover the round
+    }
+    // Everything else — queued regions, parked requests, in-flight grants —
+    // stays frozen until the heartbeat detector announces the death; that
+    // detection latency is part of the measured recovery cost.
+  }
+
+  /// Ring predecessor by *announced* knowledge (the detector cannot peek at
+  /// god-view liveness). Returns `rank` itself when it is the last one.
+  std::uint32_t pred_known_alive(std::uint32_t rank) const {
+    std::uint32_t pred = (rank + p_ - 1) % p_;
+    while (pred != rank && death_known_[pred]) pred = (pred + p_ - 1) % p_;
+    return pred;
+  }
+
+  /// First actually-alive rank after `rank` (recovery is god-view: the DES
+  /// re-homes regions the way a real checkpoint/successor scheme would).
+  std::uint32_t successor_alive(std::uint32_t rank) const {
+    std::uint32_t succ = (rank + 1) % p_;
+    while (succ != rank && !alive_[succ]) succ = (succ + 1) % p_;
+    return succ;
+  }
+
+  void start_heartbeats() {
+    if (p_ < 2) return;
+    for (std::uint32_t r = 0; r < p_; ++r) {
+      locs_[r].hb_target = pred_known_alive(r);
+      // Stagger first probes across the period so they do not pile onto
+      // one simulated instant.
+      sim_.schedule_in(hb_period_ * static_cast<double>(r + 1) /
+                           static_cast<double>(p_),
+                       [this, r] { hb_tick(r); });
+    }
+  }
+
+  void hb_tick(std::uint32_t r) {
+    if (terminated_ || !alive_[r]) return;
+    Location& loc = locs_[r];
+    const std::uint32_t target = pred_known_alive(r);
+    if (target == r) return;  // last announced-alive rank: nobody to probe
+    if (target != loc.hb_target) {
+      // Ring shifted under us; start a fresh probe history.
+      loc.hb_target = target;
+      loc.hb_misses = 0;
+      loc.hb_acked = loc.hb_seq;
+    }
+    // Evaluate the previous probe before sending the next one.
+    if (loc.hb_seq > loc.hb_acked) {
+      ++loc.hb_misses;
+      if (loc.hb_misses >= hb_misses_required_ &&
+          !death_known_[target] && !death_pending_[target]) {
+        death_pending_[target] = true;
+        sim_.schedule_in(broadcast_latency(),
+                         [this, target] { on_death_known(target); });
+      }
+    } else {
+      loc.hb_misses = 0;
+    }
+    ++loc.hb_seq;
+    ++result_.faults.heartbeat_probes;
+    const std::uint64_t seq = loc.hb_seq;
+    const auto fate = inject_.on_message(r, target, sim_.now());
+    if (fate.dropped) {
+      ++result_.faults.messages_dropped;
+    } else {
+      if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
+      sim_.schedule_in(config_.cluster.latency(r, target) + fate.extra_delay_s,
+                       [this, r, target, seq] { hb_probe_at(r, target, seq); });
+    }
+    sim_.schedule_in(hb_period_, [this, r] { hb_tick(r); });
+  }
+
+  /// Probe arrived at `target`. Heartbeats are runtime-level (answered by
+  /// the communication layer even while the rank is busy executing), so a
+  /// merely slow or busy rank is not declared dead — only silence from a
+  /// crash (or message loss, fenced below) is.
+  void hb_probe_at(std::uint32_t prober, std::uint32_t target,
+                   std::uint64_t seq) {
+    if (terminated_ || !alive_[target]) return;  // the dead do not ack
+    const auto fate = inject_.on_message(target, prober, sim_.now());
+    if (fate.dropped) {
+      ++result_.faults.messages_dropped;
+      return;
+    }
+    if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
+    sim_.schedule_in(
+        config_.cluster.latency(target, prober) + fate.extra_delay_s,
+        [this, prober, seq] {
+          if (terminated_ || !alive_[prober]) return;
+          Location& l = locs_[prober];
+          if (seq > l.hb_acked) l.hb_acked = seq;
+        });
+  }
+
+  /// One-to-all dissemination down a binomial tree: log2(p) remote hops.
+  double broadcast_latency() const {
+    return config_.cluster.remote_latency_s *
+           std::ceil(std::log2(static_cast<double>(std::max(2u, p_))));
+  }
+
+  /// The cluster now *knows* `d` is dead: repair the ring, fence a false
+  /// positive, and re-home every region the rank still owned.
+  void on_death_known(std::uint32_t d) {
+    if (terminated_ || death_known_[d]) return;
+    death_known_[d] = true;
+    if (alive_[d]) {
+      // False positive (probes/acks eaten by a lossy link): fence the
+      // suspect so no region ever has two owners.
+      ++result_.faults.fenced;
+      do_crash(d);
+    }
+    safra_.mark_dead(d);
+    // Any token computed against the old ring is unsound (the dead rank's
+    // balance just moved to the leader): invalidate the round.
+    ++token_generation_;
+    round_active_ = false;
+    Location& dead = locs_[d];
+    dead.pending_requests.clear();
+    dead.lifeline_waiters.clear();
+    // Resolve ledger entries touching d. Collect first: resolution erases.
+    std::vector<std::uint64_t> involved;
+    for (const auto& [gid, g] : ledger_)
+      if (g.victim == d || g.thief == d) involved.push_back(gid);
+    std::vector<std::uint32_t> from_ledger;  // victim==d, undelivered
+    for (const std::uint64_t gid : involved) {
+      auto it = ledger_.find(gid);
+      if (it == ledger_.end()) continue;
+      GrantInFlight& g = it->second;
+      if (g.thief == d) {
+        // Delivered: the batch sits in d's queue and is recovered below.
+        // Undelivered: back to the alive victim right away.
+        if (!g.delivered) {
+          reclaim_grant(gid);
+          continue;
+        }
+        ledger_.erase(it);
+        continue;
+      }
+      // g.victim == d. A delivered batch is fine where it is (its Safra
+      // send/receive pair already balanced); an undelivered one is lost
+      // with the sender — recover the regions, cancel the orphaned send
+      // (whose balance mark_dead just folded into the leader).
+      if (!g.delivered) {
+        for (const std::uint32_t item : g.items) from_ledger.push_back(item);
+        safra_.on_send_cancelled(safra_.leader());
+      }
+      ledger_.erase(it);
+    }
+    // Re-home d's unfinished regions to its ring successor.
+    const std::uint32_t succ = successor_alive(d);
+    if (succ != d) {
+      Location& s = locs_[succ];
+      std::uint64_t recovered = 0;
+      auto recover = [&](std::uint32_t item) {
+        if (completed_[item]) return;
+        s.queue.push_back(item);
+        ++recovered;
+      };
+      if (dead.busy) recover(dead.cur_item);  // will be re-executed
+      for (const std::uint32_t item : dead.queue) recover(item);
+      for (const std::uint32_t item : from_ledger) recover(item);
+      dead.queue.clear();
+      dead.busy = false;
+      if (recovered > 0) {
+        result_.faults.regions_recovered += recovered;
+        // The successor just became active again: force a fresh white
+        // detection round before termination can be declared.
+        safra_.taint(succ);
+        result_.faults.recovery_latency_max_s =
+            std::max(result_.faults.recovery_latency_max_s,
+                     sim_.now() - crash_time_[d]);
+        if (!s.busy) start_next(succ);
+      }
+    }
+    // Restart detection under the repaired ring.
+    const std::uint32_t leader = safra_.leader();
+    if (alive_[leader] && idle(locs_[leader]) && !round_active_)
+      initiate_round();
   }
 
   // --- termination detection -------------------------------------------
@@ -274,39 +742,89 @@ class WsEngine {
     if (terminated_ || round_active_) return;
     round_active_ = true;
     ++result_.token_rounds;
-    send_token(0, safra_.initiate());
+    // Each round gets its own generation: an abandoned round's token (or
+    // its regeneration timer) can then be recognized as stale.
+    ++token_generation_;
+    if (inject_.active()) arm_token_regeneration();
+    send_token(safra_.leader(), safra_.initiate());
+  }
+
+  void arm_token_regeneration() {
+    const std::uint64_t gen = token_generation_;
+    sim_.schedule_in(token_regen_timeout_, [this, gen] {
+      if (terminated_ || gen != token_generation_ || !round_active_) return;
+      // The round's token vanished (dropped, or died with a rank before
+      // the crash was announced): abandon the round and let the leader
+      // start a fresh one. The timeout doubles so a slow-but-alive round
+      // is not chased forever.
+      ++result_.faults.tokens_regenerated;
+      ++token_generation_;
+      round_active_ = false;
+      token_regen_timeout_ *= 2.0;
+      const std::uint32_t leader = safra_.leader();
+      if (alive_[leader] && idle(locs_[leader])) initiate_round();
+      // Otherwise the leader's next on_become_idle restarts detection.
+    });
   }
 
   void send_token(std::uint32_t from,
                   runtime::SafraTermination::Token token) {
     const std::uint32_t to = safra_.next_of(from);
-    sim_.schedule_in(config_.cluster.latency(from, to), [this, to, token] {
+    const std::uint64_t gen = token_generation_;
+    double delay = config_.cluster.latency(from, to);
+    if (inject_.active()) {
+      const auto fate = inject_.on_token(from, to, sim_.now());
+      if (fate.dropped) {
+        ++result_.faults.tokens_lost;
+        // Reliable hop-by-hop forwarding: the sender notices the missing
+        // ack and resends (the handshake is folded into the retry delay).
+        // Without this, a lossy ring of p hops completes a round with
+        // probability (1-q)^p — essentially never — and end-to-end
+        // regeneration alone cannot terminate. Regeneration stays as the
+        // backstop for tokens that die *with* their holder.
+        sim_.schedule_in(token_retry_delay_, [this, from, token, gen] {
+          if (terminated_ || gen != token_generation_ || !alive_[from])
+            return;
+          send_token(from, token);
+        });
+        return;
+      }
+      delay += fate.extra_delay_s;
+    }
+    sim_.schedule_in(delay, [this, to, token, gen] {
       if (terminated_) return;
+      if (gen != token_generation_) return;  // stale round: discard
+      if (!alive_[to]) {
+        // Sent into a crash window: the token is gone until regeneration.
+        ++result_.faults.tokens_lost;
+        return;
+      }
       Location& loc = locs_[to];
       if (idle(loc)) {
         process_token(to, token);
       } else {
         loc.holds_token = true;
         loc.token = token;
+        loc.token_gen = gen;
       }
     });
   }
 
   void process_token(std::uint32_t rank,
                      runtime::SafraTermination::Token token) {
+    // A token reaching the leader proves the ring is passable: stop
+    // escalating the regeneration timeout.
+    if (rank == safra_.leader()) token_regen_timeout_ = token_regen_initial_;
     const auto decision = safra_.on_token_at_idle(rank, token);
     switch (decision.action) {
       case runtime::SafraTermination::Action::kTerminate: {
         terminated_ = true;
         // Completion broadcast down a binomial tree: log2(p) remote hops.
-        const double broadcast =
-            config_.cluster.remote_latency_s *
-            std::ceil(std::log2(static_cast<double>(std::max(2u, p_))));
-        result_.makespan_s = sim_.now() + broadcast;
+        result_.makespan_s = sim_.now() + broadcast_latency();
         return;
       }
       case runtime::SafraTermination::Action::kForward: {
-        if (rank == 0) {
+        if (rank == safra_.leader()) {
           // A round just failed; pace the next one so the ring is not
           // saturated by detection traffic.
           round_active_ = false;
@@ -314,7 +832,9 @@ class WsEngine {
               std::max(config_.cluster.remote_latency_s * 16.0,
                        std::min(1e-2, 0.02 * sim_.now()));
           sim_.schedule_in(pace, [this] {
-            if (!terminated_ && idle(locs_[0])) initiate_round();
+            const std::uint32_t leader = safra_.leader();
+            if (!terminated_ && alive_[leader] && idle(locs_[leader]))
+              initiate_round();
           });
           return;
         }
@@ -332,12 +852,29 @@ class WsEngine {
   StealPolicy policy_;
   runtime::SafraTermination safra_;
   Xoshiro256ss rng_;
+  runtime::FaultInjector inject_;
   runtime::Simulator sim_;
   std::vector<Location> locs_;
   std::vector<bool> stolen_flag_;
+  std::vector<bool> completed_;       ///< executed somewhere (durable)
+  std::vector<bool> reexec_pending_;  ///< lost mid-execution at a crash
+  std::vector<bool> alive_;           ///< god view: crash already fired
+  std::vector<bool> death_known_;     ///< announced cluster-wide
+  std::vector<bool> death_pending_;   ///< announcement broadcast in flight
+  std::vector<double> crash_time_;
+  std::map<std::uint64_t, GrantInFlight> ledger_;
   WsResult result_;
   bool terminated_ = false;
   bool round_active_ = false;
+  std::uint64_t next_req_id_ = 1;    ///< 0 is the lifeline-push sentinel
+  std::uint64_t next_grant_id_ = 1;
+  std::uint64_t token_generation_ = 0;
+  double steal_timeout_ = 0.0;
+  double hb_period_ = 0.0;
+  std::uint32_t hb_misses_required_ = 3;
+  double token_regen_initial_ = 0.0;
+  double token_regen_timeout_ = 0.0;
+  double token_retry_delay_ = 0.0;
 };
 
 }  // namespace

@@ -15,6 +15,23 @@
 /// tracked as overhead but do not dirty the token. Thieves retry with
 /// exponential backoff until termination, so late imbalance is still
 /// stolen.
+///
+/// Fault tolerance (active only when WsConfig::faults is non-empty; an
+/// empty plan reproduces the fault-free event stream bit-for-bit):
+///  - steal requests and grants carry ids; requests time out into denies
+///    and are retried, grants are acknowledged and retransmitted until
+///    acked, so a lossy link can delay a region but never lose it.
+///  - a heartbeat detector (each rank probes its ring predecessor) declares
+///    unresponsive ranks dead after `heartbeat_misses` missed acks; a false
+///    positive is fenced (the suspect is killed) so the ring never has two
+///    owners for one region.
+///  - a dead rank's queued and in-progress regions are recovered by its
+///    ring successor; re-executed in-progress work is counted in
+///    FaultMetrics::reexecuted_service_s.
+///  - Safra termination survives crashes via ring repair + leader
+///    migration, and token loss via generation-stamped tokens regenerated
+///    on a doubling timeout — termination is never declared early and
+///    detection never hangs.
 
 #include <cstdint>
 #include <span>
@@ -22,6 +39,7 @@
 
 #include "loadbal/metrics.hpp"
 #include "loadbal/steal_policy.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/topology.hpp"
 
 namespace pmpl::loadbal {
@@ -51,6 +69,15 @@ struct WsConfig {
   /// are what make work stealing "random and non-exact" (paper §IV-C2)
   /// compared with a global repartition.
   std::uint32_t steal_max_items = 1;
+  /// Failure scenario. Empty (the default) leaves the engine's event
+  /// stream bit-for-bit identical to the fault-free model: no timeouts,
+  /// acks, heartbeats or fault-RNG draws are scheduled at all.
+  runtime::FaultPlan faults;
+  /// Resilience knobs, consulted only when `faults` is non-empty.
+  /// 0 = derive from cluster latencies and the largest (stretched) region.
+  double steal_timeout_s = 0.0;     ///< request/grant-ack timeout
+  double heartbeat_period_s = 0.0;  ///< failure-detector probe period
+  std::uint32_t heartbeat_misses = 3;  ///< consecutive misses => declared dead
 };
 
 /// Simulation outcome.
@@ -66,6 +93,16 @@ struct WsResult {
   std::uint64_t regions_migrated = 0;
   std::uint64_t token_rounds = 0;
   std::uint64_t events = 0;
+  /// Completion time of each item (-1 when never executed, which can only
+  /// happen when every location crashed before finishing the work).
+  std::vector<double> completion_s;
+  /// True when Safra detection confirmed global quiescence; false when the
+  /// calendar drained without it (e.g. all locations crashed).
+  bool terminated = false;
+  /// True when the DES stopped at its runaway-event backstop; makespan and
+  /// counters from such a run are meaningless and callers must fail loudly.
+  bool hit_event_limit = false;
+  runtime::FaultMetrics faults;  ///< all-zero for an empty FaultPlan
 
   /// Fraction of executed tasks that were stolen.
   double stolen_fraction() const noexcept {

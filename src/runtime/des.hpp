@@ -7,9 +7,10 @@
 /// the bulk-synchronous phase models run on top of this. Determinism: ties
 /// break by insertion sequence, so a run is a pure function of its inputs.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 namespace pmpl::runtime {
@@ -24,7 +25,8 @@ class Simulator {
 
   /// Schedule `fn` at absolute time `t` (clamped to now — no time travel).
   void schedule_at(double t, Callback fn) {
-    queue_.push(Event{t < now_ ? now_ : t, seq_++, std::move(fn)});
+    heap_.push_back(Event{t < now_ ? now_ : t, seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   /// Schedule `fn` `delay` seconds from now.
@@ -33,13 +35,20 @@ class Simulator {
   }
 
   /// Run until the calendar is empty (or `max_events` processed as a
-  /// runaway backstop). Returns the number of events processed.
+  /// runaway backstop — check hit_event_limit() afterwards: a capped run
+  /// left events pending and any derived makespan is bogus). Returns the
+  /// number of events processed.
   std::uint64_t run(std::uint64_t max_events = 500'000'000ULL) {
+    hit_event_limit_ = false;
     std::uint64_t processed = 0;
-    while (!queue_.empty() && processed < max_events) {
-      // Move the event out before popping so the callback may schedule.
-      Event ev = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
+    while (!heap_.empty()) {
+      if (processed >= max_events) {
+        hit_event_limit_ = true;
+        break;
+      }
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      Event ev = std::move(heap_.back());
+      heap_.pop_back();
       now_ = ev.time;
       ++processed;
       ev.fn();
@@ -48,10 +57,13 @@ class Simulator {
     return processed;
   }
 
-  bool empty() const noexcept { return queue_.empty(); }
+  bool empty() const noexcept { return heap_.empty(); }
   std::uint64_t events_processed() const noexcept {
     return events_processed_;
   }
+
+  /// True when the last run() stopped at its event cap with work pending.
+  bool hit_event_limit() const noexcept { return hit_event_limit_; }
 
  private:
   struct Event {
@@ -59,6 +71,10 @@ class Simulator {
     std::uint64_t seq;
     Callback fn;
   };
+  /// Heap comparator: the "largest" element (the heap front) is the
+  /// earliest (time, seq) — an explicit std::push_heap/std::pop_heap
+  /// binary heap, so events move out by value instead of through the
+  /// const_cast a std::priority_queue::top() would force.
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
@@ -66,10 +82,11 @@ class Simulator {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  bool hit_event_limit_ = false;
 };
 
 }  // namespace pmpl::runtime

@@ -1,0 +1,82 @@
+#include "runtime/fault.hpp"
+
+#include <algorithm>
+
+namespace pmpl::runtime {
+
+namespace {
+
+bool rank_matches(std::uint32_t pattern, std::uint32_t rank) noexcept {
+  return pattern == kAnyRank || pattern == rank;
+}
+
+bool in_window(double t, double from_s, double until_s) noexcept {
+  return t >= from_s && t < until_s;
+}
+
+}  // namespace
+
+FaultInjector::MessageFate FaultInjector::on_message(std::uint32_t from,
+                                                     std::uint32_t to,
+                                                     double t) {
+  MessageFate fate;
+  if (!active_) return fate;
+  for (const auto& link : plan_.links) {
+    if (!rank_matches(link.from, from) || !rank_matches(link.to, to) ||
+        !in_window(t, link.from_s, link.until_s))
+      continue;
+    if (link.drop_prob > 0.0 && rng_.uniform() < link.drop_prob) {
+      fate.dropped = true;
+      return fate;  // dropped: later faults cannot delay it further
+    }
+    fate.extra_delay_s += link.extra_delay_s;
+  }
+  return fate;
+}
+
+FaultInjector::MessageFate FaultInjector::on_token(std::uint32_t from,
+                                                   std::uint32_t to,
+                                                   double t) {
+  if (!active_) return {};
+  for (const auto& tok : plan_.tokens)
+    if (in_window(t, tok.from_s, tok.until_s) && tok.drop_prob > 0.0 &&
+        rng_.uniform() < tok.drop_prob)
+      return {true, 0.0};
+  return on_message(from, to, t);
+}
+
+double FaultInjector::stretched_service(std::uint32_t rank, double start_s,
+                                        double service_s) const {
+  if (!active_ || service_s <= 0.0) return service_s;
+  // Collect this rank's windows, sorted by start. Windows per rank are
+  // assumed disjoint (documented in StragglerFault).
+  std::vector<const StragglerFault*> windows;
+  for (const auto& s : plan_.stragglers)
+    if (s.rank == rank && s.slowdown > 1.0) windows.push_back(&s);
+  if (windows.empty()) return service_s;  // exact identity off the windows
+  std::sort(windows.begin(), windows.end(),
+            [](const StragglerFault* a, const StragglerFault* b) {
+              return a->from_s < b->from_s;
+            });
+  // Walk forward in wall time, spending work at rate 1 outside windows and
+  // 1/slowdown inside, until the remaining service is exhausted.
+  double t = start_s;
+  double remaining = service_s;
+  for (const StragglerFault* w : windows) {
+    if (w->until_s <= t) continue;
+    if (w->from_s > t) {
+      const double gap = w->from_s - t;
+      if (remaining <= gap) return t + remaining - start_s;
+      remaining -= gap;
+      t = w->from_s;
+    }
+    const double span = w->until_s - t;           // wall time inside window
+    const double capacity = span / w->slowdown;   // work doable inside it
+    if (remaining <= capacity) return t + remaining * w->slowdown - start_s;
+    remaining -= capacity;
+    t = w->until_s;
+  }
+  return t + remaining - start_s;
+}
+
+}  // namespace pmpl::runtime

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 
 namespace pmpl::runtime {
 
@@ -121,8 +122,20 @@ void Scheduler::submit_to(std::uint32_t worker, std::function<void()> fn,
 }
 
 void Scheduler::run_task(Task* task, Worker*) {
-  task->fn();
   TaskGroup* group = task->group;
+  try {
+    task->fn();
+  } catch (...) {
+    // Never let a task exception unwind the worker loop (std::terminate).
+    // Grouped: latched on the group, rethrown at its join. Ungrouped:
+    // latched on the scheduler for take_orphan_error().
+    if (group) {
+      group->store_error(std::current_exception());
+    } else {
+      std::lock_guard lock(orphan_mutex_);
+      if (!orphan_error_) orphan_error_ = std::current_exception();
+    }
+  }
   delete task;
   if (group &&
       group->outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
@@ -280,7 +293,19 @@ void Scheduler::worker_loop(std::uint32_t w) {
   }
 }
 
+void Scheduler::report_stall(std::int64_t outstanding) {
+  if (options_.on_watchdog) {
+    options_.on_watchdog(outstanding);
+    return;
+  }
+  std::fprintf(stderr,
+               "[pmpl] scheduler watchdog: wait() stalled for %.1fs with "
+               "%lld task(s) outstanding\n",
+               options_.watchdog_s, static_cast<long long>(outstanding));
+}
+
 void Scheduler::wait(TaskGroup& group) {
+  const bool watch = options_.watchdog_s > 0.0;
   const int self = current_worker();
   if (self >= 0) {
     // Called from one of our own workers: help execute instead of blocking
@@ -289,11 +314,15 @@ void Scheduler::wait(TaskGroup& group) {
     std::uint64_t rng_state =
         mix_seed(options_.seed, 0x5157ull + static_cast<std::uint64_t>(w));
     int idle = 0;
+    auto last_progress = std::chrono::steady_clock::now();
+    std::int64_t last_outstanding =
+        group.outstanding_.load(std::memory_order_seq_cst);
     while (!group.finished()) {
       Task* task = find_task(w, rng_state);
       if (task) {
         run_task(task, workers_[w].get());
         idle = 0;
+        if (watch) last_progress = std::chrono::steady_clock::now();
         continue;
       }
       // The group's remaining tasks are running on other workers.
@@ -301,14 +330,50 @@ void Scheduler::wait(TaskGroup& group) {
         cpu_relax();
       else
         std::this_thread::yield();
+      if (watch && idle > kSpinIters) {
+        const auto now = std::chrono::steady_clock::now();
+        const std::int64_t outstanding =
+            group.outstanding_.load(std::memory_order_seq_cst);
+        if (outstanding != last_outstanding) {
+          last_outstanding = outstanding;
+          last_progress = now;
+        } else if (std::chrono::duration<double>(now - last_progress)
+                       .count() >= options_.watchdog_s) {
+          report_stall(outstanding);
+          last_progress = now;
+        }
+      }
     }
-    return;
+  } else if (!group.finished()) {
+    std::unique_lock lock(park_mutex_);
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    const auto done = [&] { return group.finished(); };
+    if (!watch) {
+      park_cv_.wait(lock, done);
+    } else {
+      const auto interval = std::chrono::duration<double>(options_.watchdog_s);
+      std::int64_t last_outstanding =
+          group.outstanding_.load(std::memory_order_seq_cst);
+      while (!park_cv_.wait_for(lock, interval, done)) {
+        const std::int64_t outstanding =
+            group.outstanding_.load(std::memory_order_seq_cst);
+        if (outstanding == last_outstanding) {
+          lock.unlock();  // never call user code under the park mutex
+          report_stall(outstanding);
+          lock.lock();
+        }
+        last_outstanding = outstanding;
+      }
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
   }
-  if (group.finished()) return;
-  std::unique_lock lock(park_mutex_);
-  waiters_.fetch_add(1, std::memory_order_seq_cst);
-  park_cv_.wait(lock, [&] { return group.finished(); });
-  waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  if (group.has_error())
+    if (auto e = group.take_error()) std::rethrow_exception(e);
+}
+
+std::exception_ptr Scheduler::take_orphan_error() {
+  std::lock_guard lock(orphan_mutex_);
+  return std::exchange(orphan_error_, nullptr);
 }
 
 std::vector<WorkerCounters> Scheduler::counters() const {

@@ -21,10 +21,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "runtime/chase_lev_deque.hpp"
@@ -44,6 +46,11 @@ struct WorkerCounters {
 /// Completion token: counts outstanding tasks of one logical wave. A plain
 /// atomic — sleeping waiters park on the scheduler's condition variable, so
 /// the group itself can be a short-lived stack object.
+///
+/// A tracked task that throws does not take the process down: the first
+/// exception of the wave is captured here and rethrown by Scheduler::wait
+/// (and therefore by parallel_for) at the join point; later exceptions of
+/// the same wave are dropped, matching the usual fork/join convention.
 class TaskGroup {
  public:
   TaskGroup() = default;
@@ -54,15 +61,46 @@ class TaskGroup {
     return outstanding_.load(std::memory_order_seq_cst) == 0;
   }
 
+  /// True when some tracked task threw and wait() has not yet rethrown it.
+  bool has_error() const noexcept {
+    return has_error_.load(std::memory_order_acquire);
+  }
+
  private:
   friend class Scheduler;
+
+  void store_error(std::exception_ptr e) noexcept {
+    std::lock_guard lock(error_mutex_);
+    if (!error_) {
+      error_ = std::move(e);
+      has_error_.store(true, std::memory_order_release);
+    }
+  }
+
+  std::exception_ptr take_error() noexcept {
+    std::lock_guard lock(error_mutex_);
+    has_error_.store(false, std::memory_order_release);
+    return std::exchange(error_, nullptr);
+  }
+
   std::atomic<std::int64_t> outstanding_{0};
+  std::atomic<bool> has_error_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
 };
 
 struct SchedulerOptions {
   bool steal = true;  ///< false: tasks run only on their targeted worker
   std::uint64_t seed = 0x9e3779b97f4a7c15ull;  ///< victim-selection streams
   std::uint32_t steal_batch_max = 16;  ///< cap on extra tasks per steal
+  /// Quiescence watchdog: when > 0, a wait() whose group makes no progress
+  /// for this many seconds reports the apparent hang (and keeps reporting
+  /// every further stalled interval) instead of blocking silently.
+  double watchdog_s = 0.0;
+  /// Watchdog sink; stderr when unset. Called outside scheduler locks, but
+  /// must not call back into the scheduler. Receives the stalled group's
+  /// outstanding-task count.
+  std::function<void(std::int64_t)> on_watchdog;
 };
 
 /// Fixed set of worker threads over per-worker Chase–Lev deques.
@@ -96,7 +134,13 @@ class Scheduler {
   /// Block until every task tracked by `group` has finished. Called from a
   /// worker of this scheduler, the worker helps execute queued tasks
   /// instead of blocking (recursive parallel_for does not deadlock).
+  /// Rethrows the first exception thrown by a task of the group.
   void wait(TaskGroup& group);
+
+  /// First exception thrown by a task submitted *without* a group (nobody
+  /// joins those, so it is latched here instead of silently swallowed).
+  /// Returns nullptr when none; clears the slot.
+  std::exception_ptr take_orphan_error();
 
   /// Index of the calling scheduler worker, or -1 for external threads.
   int current_worker() const noexcept;
@@ -131,6 +175,7 @@ class Scheduler {
   Task* find_task(std::uint32_t w, std::uint64_t& rng_state);
   Task* try_steal(std::uint32_t w, std::uint32_t victim);
   void wake_all();
+  void report_stall(std::int64_t outstanding);
 
   SchedulerOptions options_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -144,6 +189,8 @@ class Scheduler {
   std::atomic<std::int32_t> waiters_{0};
   std::mutex park_mutex_;
   std::condition_variable park_cv_;
+  std::mutex orphan_mutex_;
+  std::exception_ptr orphan_error_;
 };
 
 /// Run fn(i) for i in [0, n), blocking until done. Waits only on this

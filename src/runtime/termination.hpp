@@ -1,6 +1,6 @@
 #pragma once
 /// \file termination.hpp
-/// Safra's token-ring distributed termination detection.
+/// Safra's token-ring distributed termination detection, with ring repair.
 ///
 /// The work-stealing phase has no global barrier: a processor that runs out
 /// of regions keeps issuing steal requests, and the phase ends only when
@@ -8,9 +8,20 @@
 /// drives this detector exactly as an MPI implementation would: a token
 /// circulates the ring; message sends/receives color processes black.
 ///
+/// Fault tolerance: `mark_dead(rank)` splices a crashed rank out of the
+/// ring. Its outstanding message balance is folded into the leader (the
+/// lowest alive rank, which also takes over round initiation when rank 0
+/// dies), so in-flight messages the dead rank sent still balance to zero
+/// when they are delivered — the engine compensates separately (via
+/// on_send_cancelled) for messages that can never be delivered. `taint`
+/// lets the engine blacken a rank that absorbed recovered work, forcing a
+/// fresh white round before termination can be declared.
+///
 /// This class is pure protocol state — the transport (the DES) decides when
 /// the token physically moves and at what latency, so detection *overhead*
-/// is part of the simulated schedule, as in the real system.
+/// is part of the simulated schedule, as in the real system. Token loss and
+/// regeneration are likewise transport concerns: the engine stamps tokens
+/// with a generation and discards stale ones.
 
 #include <cstdint>
 #include <vector>
@@ -30,7 +41,7 @@ class SafraTermination {
   enum class Action {
     kHold,       ///< rank is busy: keep the token until idle
     kForward,    ///< pass the (returned) token to the next rank
-    kTerminate,  ///< rank 0 confirmed global termination
+    kTerminate,  ///< the leader confirmed global termination
   };
 
   struct Decision {
@@ -40,15 +51,15 @@ class SafraTermination {
   };
 
   explicit SafraTermination(std::uint32_t p)
-      : p_(p), counts_(p, 0), black_(p, false) {}
+      : p_(p), counts_(p, 0), black_(p, false), dead_(p, false) {}
 
-  /// Rank 0 starts a detection round (must be idle). Returns the fresh
-  /// token to forward to rank 1. Never declares termination — only a token
-  /// that completed a full round may (see on_token_at_idle).
+  /// The leader starts a detection round (must be idle). Returns the fresh
+  /// token to forward to the next alive rank. Never declares termination —
+  /// only a token that completed a full round may (see on_token_at_idle).
   Token initiate() noexcept {
-    black_[0] = false;
-    // The token starts at zero: rank 0's own balance is folded in only at
-    // the end-of-round check (adding it here would double-count it).
+    black_[leader_] = false;
+    // The token starts at zero: the leader's own balance is folded in only
+    // at the end-of-round check (adding it here would double-count it).
     return Token{0, false};
   }
 
@@ -61,17 +72,47 @@ class SafraTermination {
     black_[rank] = true;
   }
 
+  /// A send that can never be received (message dropped and reclaimed, or
+  /// addressed to a rank that died first): undo its balance contribution.
+  void on_send_cancelled(std::uint32_t rank) noexcept { --counts_[rank]; }
+
+  /// Force `rank` black (e.g. it just absorbed recovered regions), so the
+  /// current round cannot declare termination.
+  void taint(std::uint32_t rank) noexcept { black_[rank] = true; }
+
+  /// Splice a crashed rank out of the ring. Its message balance moves to
+  /// the leader so already-in-flight sends still cancel on delivery; the
+  /// leader role migrates to the lowest alive rank.
+  void mark_dead(std::uint32_t rank) noexcept {
+    if (dead_[rank]) return;
+    dead_[rank] = true;
+    black_[rank] = false;
+    if (leader_ == rank || rank < leader_) {
+      leader_ = 0;
+      while (leader_ < p_ && dead_[leader_]) ++leader_;
+      if (leader_ >= p_) leader_ = rank;  // everyone dead: degenerate
+    }
+    counts_[leader_] += counts_[rank];
+    counts_[rank] = 0;
+  }
+
+  bool is_dead(std::uint32_t rank) const noexcept { return dead_[rank]; }
+
+  /// Lowest alive rank: round head and the only rank that may declare.
+  std::uint32_t leader() const noexcept { return leader_; }
+
   /// Token arrived at (or was initiated by) `rank`, which is now idle.
-  /// For rank 0 this decides whether the ring is terminated or a new round
-  /// starts. Must only be called when `rank` is idle.
+  /// For the leader this decides whether the ring is terminated or a new
+  /// round starts. Must only be called when `rank` is idle and alive.
   Decision on_token_at_idle(std::uint32_t rank, Token token) noexcept {
-    if (rank == 0) {
+    if (rank == leader_) {
       // End of a round: check the termination condition.
-      if (!token.black && !black_[0] && token.count + counts_[0] == 0)
-        return {Action::kTerminate, token, 0};
+      if (!token.black && !black_[leader_] &&
+          token.count + counts_[leader_] == 0)
+        return {Action::kTerminate, token, leader_};
       // Start a fresh round (fresh zero token, as in initiate()).
-      black_[0] = false;
-      return {Action::kForward, Token{0, false}, next_of(0)};
+      black_[leader_] = false;
+      return {Action::kForward, Token{0, false}, next_of(leader_)};
     }
     token.count += counts_[rank];
     if (black_[rank]) token.black = true;
@@ -79,8 +120,11 @@ class SafraTermination {
     return {Action::kForward, token, next_of(rank)};
   }
 
+  /// Ring successor, skipping spliced-out (dead) ranks.
   std::uint32_t next_of(std::uint32_t rank) const noexcept {
-    return (rank + 1) % p_;
+    std::uint32_t next = (rank + 1) % p_;
+    while (next != rank && dead_[next]) next = (next + 1) % p_;
+    return next;
   }
 
   std::uint32_t size() const noexcept { return p_; }
@@ -89,6 +133,8 @@ class SafraTermination {
   std::uint32_t p_;
   std::vector<std::int64_t> counts_;
   std::vector<bool> black_;
+  std::vector<bool> dead_;
+  std::uint32_t leader_ = 0;
 };
 
 }  // namespace pmpl::runtime

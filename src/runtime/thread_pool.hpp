@@ -35,7 +35,9 @@ class ThreadPool {
     scheduler_.submit(std::move(task), &all_tasks_);
   }
 
-  /// Block until every task submitted via submit() has finished.
+  /// Block until every task submitted via submit() has finished. Rethrows
+  /// the first exception thrown by any of those tasks (a throwing task no
+  /// longer terminates the process inside a worker).
   void wait_idle() { scheduler_.wait(all_tasks_); }
 
   /// The underlying scheduler, for callers that want per-wave completion

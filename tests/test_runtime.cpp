@@ -9,8 +9,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -82,6 +84,16 @@ TEST(Des, EventCapStopsRunaway) {
   sim.schedule_at(0.0, forever);
   const auto n = sim.run(1000);
   EXPECT_EQ(n, 1000u);
+  EXPECT_TRUE(sim.hit_event_limit());  // capped with work still pending
+  EXPECT_FALSE(sim.empty());
+}
+
+TEST(Des, DrainedRunClearsEventLimitFlag) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run(1000);
+  EXPECT_FALSE(sim.hit_event_limit());
+  EXPECT_TRUE(sim.empty());
 }
 
 // --- topology ------------------------------------------------------------
@@ -228,6 +240,80 @@ TEST(Safra, ManyMessagesEventuallyTerminate) {
     ++rounds;
     ASSERT_LT(rounds, 5);
   }
+}
+
+// --- Safra ring repair -------------------------------------------------------
+
+/// run_round that starts at the current leader (which may not be rank 0
+/// after crashes) and skips spliced-out ranks.
+SafraTermination::Decision run_round_from_leader(SafraTermination& safra) {
+  const std::uint32_t leader = safra.leader();
+  Token token = safra.initiate();
+  std::uint32_t rank = safra.next_of(leader);
+  while (rank != leader) {
+    const auto d = safra.on_token_at_idle(rank, token);
+    EXPECT_EQ(d.action, Action::kForward);
+    token = d.token;
+    rank = d.next;
+  }
+  return safra.on_token_at_idle(leader, token);
+}
+
+TEST(Safra, SingleRankRingTerminatesImmediately) {
+  SafraTermination safra(1);
+  EXPECT_EQ(safra.next_of(0), 0u);
+  const auto d = safra.on_token_at_idle(0, safra.initiate());
+  EXPECT_EQ(d.action, Action::kTerminate);
+}
+
+TEST(Safra, NextOfSkipsDeadRanks) {
+  SafraTermination safra(4);
+  safra.mark_dead(1);
+  EXPECT_EQ(safra.next_of(0), 2u);
+  safra.mark_dead(2);
+  EXPECT_EQ(safra.next_of(0), 3u);
+  EXPECT_EQ(safra.next_of(3), 0u);
+  EXPECT_TRUE(safra.is_dead(1));
+  EXPECT_FALSE(safra.is_dead(0));
+}
+
+TEST(Safra, LeaderMigratesToLowestAliveRank) {
+  SafraTermination safra(4);
+  EXPECT_EQ(safra.leader(), 0u);
+  safra.mark_dead(0);
+  EXPECT_EQ(safra.leader(), 1u);
+  safra.mark_dead(1);
+  EXPECT_EQ(safra.leader(), 2u);
+  // The repaired two-rank ring still detects termination.
+  EXPECT_EQ(run_round_from_leader(safra).action, Action::kTerminate);
+}
+
+TEST(Safra, DeadRankBalanceFoldsIntoLeader) {
+  SafraTermination safra(4);
+  safra.on_send(2);   // message in flight from rank 2...
+  safra.mark_dead(2); // ...when it dies: balance moves to the leader
+  // The in-flight message is not yet delivered, so no round may terminate.
+  EXPECT_EQ(run_round_from_leader(safra).action, Action::kForward);
+  safra.on_receive(3);  // delivery still cancels the folded count
+  EXPECT_EQ(run_round_from_leader(safra).action, Action::kForward);  // black
+  EXPECT_EQ(run_round_from_leader(safra).action, Action::kTerminate);
+}
+
+TEST(Safra, CancelledSendRestoresBalance) {
+  SafraTermination safra(4);
+  safra.on_send(2);
+  safra.mark_dead(2);
+  // The engine learns the message can never be delivered (its payload was
+  // recovered elsewhere) and compensates at the leader.
+  safra.on_send_cancelled(safra.leader());
+  EXPECT_EQ(run_round_from_leader(safra).action, Action::kTerminate);
+}
+
+TEST(Safra, TaintForcesExtraRound) {
+  SafraTermination safra(3);
+  safra.taint(1);  // rank 1 absorbed recovered regions
+  EXPECT_EQ(run_round_from_leader(safra).action, Action::kForward);
+  EXPECT_EQ(run_round_from_leader(safra).action, Action::kTerminate);
 }
 
 // --- Chase–Lev deque --------------------------------------------------------
@@ -458,6 +544,88 @@ TEST(Scheduler, StressWavesOfRecursiveTasks) {
     const int spawned = (400 + 6) / 7;
     EXPECT_EQ(count.load(), 400 + spawned);
   }
+}
+
+// --- scheduler error propagation & watchdog ---------------------------------
+
+TEST(Scheduler, ThrowingTaskPropagatesAtParallelForJoin) {
+  Scheduler sched(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel_for(sched, 64, [&](std::size_t i) {
+        ++ran;
+        if (i == 17) throw std::runtime_error("task 17 failed");
+      }, 1),
+      std::runtime_error);
+  // The wave still quiesced: the scheduler is fully usable afterwards.
+  std::atomic<int> after{0};
+  parallel_for(sched, 32, [&](std::size_t) { ++after; }, 1);
+  EXPECT_EQ(after.load(), 32);
+}
+
+TEST(Scheduler, FirstExceptionWinsAndGroupIsReusable) {
+  Scheduler sched(4);
+  TaskGroup group;
+  for (int i = 0; i < 16; ++i)
+    sched.submit([] { throw std::runtime_error("boom"); }, &group);
+  int caught = 0;
+  try {
+    sched.wait(group);
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);  // later exceptions of the wave are dropped
+  EXPECT_FALSE(group.has_error());  // wait() consumed the latched error
+  std::atomic<int> ok{0};
+  sched.submit([&] { ++ok; }, &group);
+  sched.wait(group);  // must not rethrow a stale error
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(Scheduler, NestedThrowPropagatesThroughWorkerHelp) {
+  Scheduler sched(4);
+  // The outer body runs on a worker; its inner parallel_for joins via the
+  // worker-help path, which must also rethrow.
+  EXPECT_THROW(
+      parallel_for(sched, 4, [&](std::size_t) {
+        parallel_for(sched, 8, [&](std::size_t j) {
+          if (j == 3) throw std::runtime_error("inner");
+        }, 1);
+      }, 1),
+      std::runtime_error);
+}
+
+TEST(Scheduler, OrphanTaskErrorIsLatched) {
+  Scheduler sched(2);
+  sched.submit([] { throw std::runtime_error("orphan"); });  // no group
+  std::exception_ptr e;
+  for (int i = 0; i < 2000 && !e; ++i) {
+    e = sched.take_orphan_error();
+    if (!e) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(e);
+  EXPECT_THROW(std::rethrow_exception(e), std::runtime_error);
+  EXPECT_FALSE(sched.take_orphan_error());  // slot cleared
+}
+
+TEST(Scheduler, WatchdogReportsStalledWait) {
+  SchedulerOptions options;
+  options.watchdog_s = 0.05;
+  std::atomic<int> fired{0};
+  std::atomic<bool> release{false};
+  options.on_watchdog = [&](std::int64_t outstanding) {
+    EXPECT_GE(outstanding, 1);
+    ++fired;
+    release.store(true, std::memory_order_release);
+  };
+  Scheduler sched(2, options);
+  TaskGroup group;
+  sched.submit([&] {
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }, &group);
+  sched.wait(group);  // stalls until the watchdog releases the task
+  EXPECT_GE(fired.load(), 1);
 }
 
 // --- thread pool ------------------------------------------------------------
