@@ -16,14 +16,26 @@
 //   --token-drop P       drop termination tokens with probability P
 //   --fault-seed S       dedicated seed for the drop rolls
 //
+// Anytime execution (all optional):
+//   --deadline-ms D      stop the real planning work (anytime build and
+//                        workload measurement) after D ms; partial results
+//                        are reported and the process exits 3
+//   --checkpoint FILE    run a real shared-memory anytime PRM build first,
+//                        snapshotting completed regions to FILE
+//   --checkpoint-every N snapshot every N completed regions (default 8)
+//   --resume             restore completed regions from FILE before building
+//   --workers W          threads for the anytime build (default 4)
+//
 // Prints the phase breakdown, load statistics and communication counters
 // for every strategy at the chosen scale; with faults, adds recovery
-// metrics and the makespan degradation vs the fault-free run.
+// metrics and the makespan degradation vs the fault-free run. If any DES
+// replay hits its event limit the run exits non-zero.
 
 #include <algorithm>
 #include <cstdio>
 #include <memory>
 
+#include "core/parallel_build.hpp"
 #include "core/prm_driver.hpp"
 #include "env/builders.hpp"
 #include "util/args.hpp"
@@ -69,21 +81,75 @@ int main(int argc, char** argv) {
                            ? runtime::ClusterSpec::opteron_cluster()
                            : runtime::ClusterSpec::hopper();
 
+  // Anytime controls: one token covers the real planning work (the
+  // optional anytime build and the workload measurement).
+  const double deadline_ms = args.get_f64("deadline-ms", 0.0, 0.0);
+  const std::string checkpoint_path = args.get("checkpoint", "");
+  const bool resume = args.get_bool("resume", false);
+  const auto checkpoint_every =
+      static_cast<std::size_t>(args.get_i64("checkpoint-every", 8, 1));
+  const runtime::CancelToken token(deadline_ms > 0.0
+                                       ? runtime::Deadline::after_ms(deadline_ms)
+                                       : runtime::Deadline::never());
+
   std::printf("what-if: %s on %s, p=%u, %u regions, %zu attempts\n",
               e->name().c_str(), cluster.name.c_str(), procs, regions,
               attempts);
   const core::RegionGrid grid = core::RegionGrid::make_auto(
       e->space().position_bounds(), regions, false);
+
+  // Optional real anytime build: the shared-memory pipeline with
+  // checkpoint/resume, exercised before the DES what-if replays.
+  if (!checkpoint_path.empty() || resume) {
+    core::ParallelPrmConfig bcfg;
+    bcfg.total_attempts = attempts;
+    bcfg.seed = seed;
+    bcfg.workers = static_cast<std::uint32_t>(
+        args.get_i64("workers", 4, 1, 256));
+    bcfg.anytime.cancel = &token;
+    bcfg.anytime.checkpoint_path = checkpoint_path;
+    bcfg.anytime.checkpoint_every = checkpoint_every;
+    bcfg.anytime.resume = resume;
+    const auto b = core::parallel_build_prm(*e, grid, bcfg);
+    const auto& d = b.degradation;
+    std::printf("anytime build: %zu/%zu regions (%zu restored), |V|=%zu "
+                "|E|=%zu, %zu components%s\n",
+                d.regions_completed, d.regions_total, d.regions_restored,
+                b.roadmap.num_vertices(), b.roadmap.num_edges(),
+                d.connected_components,
+                d.checkpoint_written ? ", checkpoint written" : "");
+    if (resume && d.resume_status != IoStatus::kOk)
+      std::fprintf(stderr, "warning: resume: %s — built from scratch\n",
+                   to_string(d.resume_status));
+    if (!d.complete()) {
+      std::fprintf(stderr,
+                   "deadline: anytime build stopped early; partial roadmap "
+                   "above, resume with --resume to finish\n");
+      return 3;
+    }
+  }
+
   core::PrmWorkloadConfig wcfg;
   wcfg.total_attempts = attempts;
   wcfg.seed = seed;
+  wcfg.cancel = &token;
   const auto w = core::build_prm_workload(*e, grid, wcfg);
+  if (w.measurement_cancelled) {
+    std::fprintf(stderr,
+                 "deadline: workload measurement stopped after %zu/%zu "
+                 "regions; nothing to replay\n",
+                 w.regions_measured, grid.size());
+    return 3;
+  }
   std::printf("measured workload: |V|=%zu |E|=%zu, total work %.1f sim-s\n\n",
               w.roadmap.num_vertices(), w.roadmap.num_edges(),
               w.total_sampling_s() + w.total_build_s() + w.total_edge_s());
 
   // Fault-free pass: run every strategy, remember its total for the
-  // degradation column of an optional faulty pass.
+  // degradation column of an optional faulty pass. A DES replay that hits
+  // its event limit produced a truncated schedule — the numbers would be
+  // silently wrong, so it is surfaced and the run exits non-zero.
+  bool des_event_limit = false;
   std::vector<double> fault_free_total;
   TextTable table({"strategy", "total", "sampling", "redistr.", "node conn",
                    "region conn", "CV after", "regions moved/stolen",
@@ -99,6 +165,13 @@ int main(int argc, char** argv) {
     cfg.cluster = cluster;
     cfg.seed = seed;
     const auto r = core::simulate_prm_run(w, cfg);
+    if (r.ws.hit_event_limit) {
+      std::fprintf(stderr,
+                   "warning: %s hit the DES event limit — its replay is "
+                   "truncated and its numbers untrustworthy\n",
+                   core::to_string(s).c_str());
+      des_event_limit = true;
+    }
     fault_free_total.push_back(r.total_s);
     std::uint64_t moved = r.ws.regions_migrated;
     if (s == core::Strategy::kRepartition) {
@@ -152,7 +225,7 @@ int main(int argc, char** argv) {
   if (plan.empty()) {
     std::printf("\nload profile is in simulated seconds; the workload itself\n"
                 "is real planning work measured once on this machine.\n");
-    return 0;
+    return des_event_limit ? 1 : 0;
   }
 
   std::printf("\nfault plan: %zu crash(es) at t=%.3f, %u straggler(s) x%.1f, "
@@ -193,5 +266,5 @@ int main(int argc, char** argv) {
   std::printf("\nbulk-synchronous rows model stragglers only (no recovery\n"
               "protocol to simulate); work-stealing rows inject the full\n"
               "plan: crashes, lossy links and token loss.\n");
-  return 0;
+  return des_event_limit ? 1 : 0;
 }

@@ -3,11 +3,21 @@
 //
 //   $ quickstart [--attempts N] [--seed S]
 //
+// Anytime/parallel mode (any of these flags switches to the shared-memory
+// parallel builder):
+//   --workers W       build with W threads over a region grid
+//   --deadline-ms D   stop building after D ms and answer from whatever
+//                     roadmap exists by then (graceful degradation)
+//   --checkpoint FILE snapshot completed regions to FILE as the build runs
+//   --resume          restore completed regions from FILE first; a resumed
+//                     build finishes bit-identically to an uninterrupted one
+//
 // This is the smallest end-to-end use of the library: environment builder,
-// sequential PRM, and query extraction.
+// PRM (sequential or anytime-parallel), and query extraction.
 
 #include <cstdio>
 
+#include "core/parallel_build.hpp"
 #include "env/builders.hpp"
 #include "planner/prm.hpp"
 #include "planner/query.hpp"
@@ -19,8 +29,13 @@ using namespace pmpl;
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const auto attempts =
-      static_cast<std::size_t>(args.get_i64("attempts", 3000));
+      static_cast<std::size_t>(args.get_i64("attempts", 3000, 1));
   const auto seed = static_cast<std::uint64_t>(args.get_i64("seed", 17));
+  const double deadline_ms = args.get_f64("deadline-ms", 0.0, 0.0);
+  const std::string checkpoint_path = args.get("checkpoint", "");
+  const bool resume = args.get_bool("resume", false);
+  const bool anytime = args.has("workers") || deadline_ms > 0.0 ||
+                       !checkpoint_path.empty() || resume;
 
   // 1. An environment: a 100^3 workspace with a central cube obstacle and
   //    a box-shaped rigid-body robot (6-DOF SE(3) planning).
@@ -31,24 +46,63 @@ int main(int argc, char** argv) {
   // 2. Build the roadmap.
   planner::PrmParams params;
   params.k_neighbors = 8;
-  planner::Prm prm(*e, params);
+  planner::Roadmap roadmap;
+  planner::PlannerStats stats;
   WallTimer timer;
-  prm.build(attempts, seed);
+  if (anytime) {
+    const runtime::CancelToken token(
+        deadline_ms > 0.0 ? runtime::Deadline::after_ms(deadline_ms)
+                          : runtime::Deadline::never());
+    const core::RegionGrid grid =
+        core::RegionGrid::make_auto(e->space().position_bounds(), 64, false);
+    core::ParallelPrmConfig cfg;
+    cfg.total_attempts = attempts;
+    cfg.prm = params;
+    cfg.seed = seed;
+    cfg.workers = static_cast<std::uint32_t>(args.get_i64("workers", 4, 1,
+                                                          256));
+    cfg.anytime.cancel = &token;
+    cfg.anytime.checkpoint_path = checkpoint_path;
+    cfg.anytime.checkpoint_every = 8;
+    cfg.anytime.resume = resume;
+    auto built = core::parallel_build_prm(*e, grid, cfg);
+    const auto& d = built.degradation;
+    std::printf("anytime build: %zu/%zu regions done (%zu restored from "
+                "checkpoint), %zu components%s%s\n",
+                d.regions_completed, d.regions_total, d.regions_restored,
+                d.connected_components, d.cancelled ? ", DEADLINE HIT" : "",
+                d.checkpoint_written ? ", checkpoint written" : "");
+    if (resume && d.resume_status != IoStatus::kOk)
+      std::fprintf(stderr, "warning: resume: %s — built from scratch\n",
+                   to_string(d.resume_status));
+    roadmap = std::move(built.roadmap);
+    stats = built.stats;
+  } else {
+    planner::Prm prm(*e, params);
+    prm.build(attempts, seed);
+    roadmap = std::move(prm.roadmap());
+    stats = prm.stats();
+  }
   std::printf("roadmap: %zu vertices, %zu edges (built in %.2fs)\n",
-              prm.roadmap().num_vertices(), prm.roadmap().num_edges(),
+              roadmap.num_vertices(), roadmap.num_edges(),
               timer.elapsed_s());
   std::printf("planner work: %llu collision queries, %llu local plans\n",
-              static_cast<unsigned long long>(prm.stats().cd.queries),
-              static_cast<unsigned long long>(prm.stats().lp_attempts));
+              static_cast<unsigned long long>(stats.cd.queries),
+              static_cast<unsigned long long>(stats.lp_attempts));
 
   // 3. Query: from one corner of the workspace to the opposite one — the
   //    straight line passes through the obstacle, so the path must detour.
+  //    After a deadline-cut build this still works on whatever roadmap
+  //    exists; a sparse partial roadmap simply may not reach.
   Xoshiro256ss rng(seed + 1);
   const auto start = e->space().at_position({8, 8, 8}, rng);
   const auto goal = e->space().at_position({92, 92, 92}, rng);
-  const auto path = prm.query(start, goal);
+  const auto path = planner::query_roadmap(*e, roadmap, start, goal,
+                                           params.k_neighbors,
+                                           params.resolution);
   if (!path) {
-    std::printf("no path found — increase --attempts\n");
+    std::printf("no path found — increase --attempts%s\n",
+                anytime ? " or the deadline" : "");
     return 1;
   }
   std::printf("path found: %zu waypoints, metric length %.1f\n",

@@ -1,8 +1,13 @@
 #include "core/parallel_build.hpp"
 
+#include <atomic>
+#include <cstdio>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <utility>
 
+#include "graph/union_find.hpp"
 #include "loadbal/partition.hpp"
 #include "runtime/scheduler.hpp"
 #include "util/rng.hpp"
@@ -12,25 +17,18 @@ namespace pmpl::core {
 
 namespace {
 
-/// Region-local construction output, merged after the parallel phase.
-struct RegionOutput {
-  std::vector<cspace::Config> configs;
-  struct LocalEdge {
-    std::uint32_t u, v;  ///< indices into configs
-    double length;
-  };
-  std::vector<LocalEdge> edges;
-  planner::PlannerStats stats;
-};
-
-/// Build one region into region-local storage (thread-confined).
-RegionOutput build_region(const env::Environment& e, const geo::Aabb& box,
-                          std::size_t attempts,
-                          const planner::PrmParams& params,
-                          std::uint64_t seed) {
-  RegionOutput out;
+/// Build one region into region-local storage (thread-confined). With a
+/// fired cancel token the returned snapshot is partial — the caller must
+/// discard it (regions are all-or-nothing).
+RegionSnapshot build_region(const env::Environment& e, const geo::Aabb& box,
+                            std::size_t attempts,
+                            const planner::PrmParams& params,
+                            std::uint64_t seed,
+                            const runtime::CancelToken* cancel) {
+  RegionSnapshot out;
   Xoshiro256ss rng(seed);
-  out.configs = planner::sample_region(e, box, attempts, rng, out.stats);
+  out.configs = planner::sample_region(e, box, attempts, rng, out.stats,
+                                       cancel);
 
   // Region-local roadmap to reuse connect_within, then lift its edges.
   planner::Roadmap local;
@@ -38,11 +36,38 @@ RegionOutput build_region(const env::Environment& e, const geo::Aabb& box,
   ids.reserve(out.configs.size());
   for (const auto& c : out.configs) ids.push_back(local.add_vertex({c, 0}));
   graph::UnionFind cc(local.num_vertices());
-  planner::connect_within(e, local, ids, params, out.stats, &cc);
+  planner::connect_within(e, local, ids, params, out.stats, &cc, cancel);
   for (graph::VertexId u = 0; u < local.num_vertices(); ++u)
     for (const auto& he : local.edges_of(u))
       if (he.to > u) out.edges.push_back({u, he.to, he.prop.length});
   return out;
+}
+
+/// Everything that affects the roadmap (worker count and stealing policy
+/// excluded: the result is placement-independent by construction).
+std::uint64_t prm_fingerprint(const env::Environment& e,
+                              const RegionGrid& grid,
+                              const ParallelPrmConfig& config) {
+  std::uint64_t h = kFnvOffset;
+  h = fp_mix(h, std::string_view(e.name()));
+  const auto& b = e.space().position_bounds();
+  h = fp_mix(h, b.lo.x);
+  h = fp_mix(h, b.lo.y);
+  h = fp_mix(h, b.lo.z);
+  h = fp_mix(h, b.hi.x);
+  h = fp_mix(h, b.hi.y);
+  h = fp_mix(h, b.hi.z);
+  h = fp_mix(h, static_cast<std::uint64_t>(grid.size()));
+  h = fp_mix(h, static_cast<std::uint64_t>(config.total_attempts));
+  h = fp_mix(h, config.seed);
+  h = fp_mix(h, static_cast<std::uint64_t>(config.prm.k_neighbors));
+  h = fp_mix(h, config.prm.resolution);
+  h = fp_mix(h, static_cast<std::uint64_t>(config.prm.skip_same_component));
+  h = fp_mix(h, static_cast<std::uint64_t>(config.prm.exact_knn));
+  h = fp_mix(h, static_cast<std::uint64_t>(config.prm.sampler));
+  h = fp_mix(h, config.prm.sampler_scale);
+  h = fp_mix(h, static_cast<std::uint64_t>(config.max_boundary_attempts));
+  return h;
 }
 
 }  // namespace
@@ -54,20 +79,85 @@ ParallelPrmResult parallel_build_prm(const env::Environment& e,
   const std::size_t nr = grid.size();
   const std::size_t base = config.total_attempts / nr;
   const std::size_t extra = config.total_attempts % nr;
+  const AnytimeOptions& any = config.anytime;
+  const runtime::CancelToken* cancel = any.cancel;
+  auto& report = result.degradation;
+  report.regions_total = nr;
 
-  std::vector<RegionOutput> outputs(nr);
+  const std::uint64_t fingerprint = prm_fingerprint(e, grid, config);
+  std::vector<RegionSnapshot> outputs(nr);
+  std::unique_ptr<std::atomic<bool>[]> done(new std::atomic<bool>[nr]);
+  for (std::size_t r = 0; r < nr; ++r)
+    done[r].store(false, std::memory_order_relaxed);
+
+  // Restore completed regions from a previous run's checkpoint. Any
+  // problem — absent, corrupt, or from a different build — degrades to a
+  // fresh build, recorded in resume_status.
+  if (any.resume && !any.checkpoint_path.empty()) {
+    IoStatus st = IoStatus::kOk;
+    auto ckpt = load_checkpoint_file(any.checkpoint_path, &st);
+    if (ckpt) {
+      if (ckpt->kind != kCheckpointKindPrm ||
+          ckpt->fingerprint != fingerprint || ckpt->num_regions != nr) {
+        st = IoStatus::kFingerprintMismatch;
+      } else {
+        for (auto& reg : ckpt->regions) {
+          const std::uint32_t r = reg.region;
+          outputs[r] = std::move(reg);
+          done[r].store(true, std::memory_order_relaxed);
+          ++report.regions_restored;
+        }
+      }
+    }
+    report.resume_status = st;
+  }
+
+  std::mutex checkpoint_mutex;
+  std::atomic<bool> checkpoint_written{false};
+  auto write_snapshot = [&] {
+    Checkpoint snap;
+    snap.kind = kCheckpointKindPrm;
+    snap.fingerprint = fingerprint;
+    snap.seed = config.seed;
+    snap.num_regions = static_cast<std::uint32_t>(nr);
+    for (std::size_t r = 0; r < nr; ++r)
+      if (done[r].load(std::memory_order_acquire))
+        snap.regions.push_back(outputs[r]);
+    if (save_checkpoint_file(snap, any.checkpoint_path))
+      checkpoint_written.store(true, std::memory_order_release);
+  };
+
+  std::atomic<std::size_t> completed{report.regions_restored};
   std::vector<std::function<void()>> tasks;
   tasks.reserve(nr);
   for (std::uint32_t r = 0; r < nr; ++r) {
     tasks.push_back([&, r] {
-      outputs[r] = build_region(e, grid.sampling_box(r), base + (r < extra),
-                                config.prm, derive_seed(config.seed, r));
+      if (done[r].load(std::memory_order_acquire)) return;  // restored
+      if (runtime::stop_requested(cancel)) return;
+      RegionSnapshot out =
+          build_region(e, grid.sampling_box(r), base + (r < extra),
+                       config.prm, derive_seed(config.seed, r), cancel);
+      // All-or-nothing: a token fired mid-region means `out` is partial
+      // and must not be kept, or resume equivalence would break.
+      if (runtime::stop_requested(cancel)) return;
+      out.region = r;
+      outputs[r] = std::move(out);
+      done[r].store(true, std::memory_order_release);
+      const std::size_t c =
+          completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (any.checkpoint_every != 0 && !any.checkpoint_path.empty() &&
+          c % any.checkpoint_every == 0) {
+        std::lock_guard<std::mutex> lock(checkpoint_mutex);
+        write_snapshot();
+      }
     });
   }
 
   // Region tasks go straight onto the work-stealing scheduler with their
   // block placement; static mode is the same substrate with stealing off,
-  // so each worker drains exactly its own block.
+  // so each worker drains exactly its own block. Tasks always execute and
+  // poll the token themselves (a cancelled task is a cheap no-op), keeping
+  // the executor's accounting intact.
   const auto initial =
       loadbal::partition_block(nr, config.workers);
   runtime::SchedulerOptions options;
@@ -78,9 +168,16 @@ ParallelPrmResult parallel_build_prm(const env::Environment& e,
   result.workers = loadbal::run_on_scheduler(scheduler, tasks, initial);
   result.build_wall_s = build_timer.elapsed_s();
 
-  // Merge regional roadmaps (serial; bookkeeping only).
+  for (std::size_t r = 0; r < nr; ++r)
+    if (done[r].load(std::memory_order_acquire)) ++report.regions_completed;
+  report.cancelled = runtime::stop_requested(cancel);
+
+  // Merge regional roadmaps in region-id order (serial; bookkeeping only).
+  // Only completed regions contribute — this is what makes the partial
+  // result a prefix-equivalent of the full build.
   result.region_vertices.resize(nr);
   for (std::uint32_t r = 0; r < nr; ++r) {
+    if (!done[r].load(std::memory_order_acquire)) continue;
     auto& ids = result.region_vertices[r];
     ids.reserve(outputs[r].configs.size());
     for (auto& c : outputs[r].configs)
@@ -90,15 +187,48 @@ ParallelPrmResult parallel_build_prm(const env::Environment& e,
     result.stats += outputs[r].stats;
   }
 
-  // Region connection along the grid adjacency.
+  // Region connection along the grid adjacency, between completed regions
+  // only. Connection edges are derived state — a resumed build redoes this
+  // phase from the restored regional outputs.
   WallTimer connect_timer;
+  bool connect_ran_to_end = true;
   for (const auto& [a, b] : grid.adjacency_edges()) {
+    if (runtime::stop_requested(cancel)) {
+      connect_ran_to_end = false;
+      break;
+    }
+    if (!done[a].load(std::memory_order_acquire) ||
+        !done[b].load(std::memory_order_acquire))
+      continue;
     planner::connect_between(e, result.roadmap, result.region_vertices[a],
                              result.region_vertices[b], config.prm,
                              result.stats, nullptr,
-                             config.max_boundary_attempts);
+                             config.max_boundary_attempts, cancel);
   }
   result.connect_wall_s = connect_timer.elapsed_s();
+  report.connect_completed =
+      connect_ran_to_end && !runtime::stop_requested(cancel);
+
+  {
+    graph::UnionFind cc(result.roadmap.num_vertices());
+    for (graph::VertexId v = 0; v < result.roadmap.num_vertices(); ++v)
+      for (const auto& he : result.roadmap.edges_of(v)) cc.unite(v, he.to);
+    report.connected_components = cc.num_components();
+  }
+
+  if (!any.checkpoint_path.empty()) {
+    if (!report.complete()) {
+      // Final snapshot of whatever completed, so the build can resume.
+      std::lock_guard<std::mutex> lock(checkpoint_mutex);
+      write_snapshot();
+    } else {
+      // Build finished: a stale checkpoint would only confuse later runs.
+      std::remove(any.checkpoint_path.c_str());
+      checkpoint_written.store(false, std::memory_order_release);
+    }
+  }
+  report.checkpoint_written =
+      checkpoint_written.load(std::memory_order_acquire);
   return result;
 }
 

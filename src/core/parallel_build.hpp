@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/anytime.hpp"
 #include "core/region_grid.hpp"
 #include "env/environment.hpp"
 #include "loadbal/ws_threaded.hpp"
@@ -26,6 +27,7 @@ struct ParallelPrmConfig {
   bool work_stealing = true;  ///< false: static block assignment only
   std::size_t max_boundary_attempts = 16;
   std::uint64_t seed = 1;
+  AnytimeOptions anytime;  ///< deadline/cancel + checkpoint/resume
 };
 
 struct ParallelPrmResult {
@@ -34,10 +36,19 @@ struct ParallelPrmResult {
   std::vector<std::vector<graph::VertexId>> region_vertices;
   double build_wall_s = 0.0;    ///< regional construction (parallel part)
   double connect_wall_s = 0.0;  ///< region-connection phase
-  planner::PlannerStats stats;  ///< aggregated over regions
+  planner::PlannerStats stats;  ///< aggregated over completed regions
+  DegradationReport degradation;  ///< what was actually delivered
 };
 
 /// Build the roadmap for `e` over `grid` with `config.workers` threads.
+///
+/// Anytime semantics (config.anytime): a fired cancel token stops the
+/// build cooperatively and the function still returns a well-formed
+/// partial result — the merge keeps exactly the regions that completed
+/// (all-or-nothing; a region interrupted mid-build is discarded), the
+/// report says how far the build got, and, when a checkpoint path is set,
+/// the completed subset is snapshotted so a later resumed run finishes
+/// the build bit-identically to an uninterrupted one.
 ParallelPrmResult parallel_build_prm(const env::Environment& e,
                                      const RegionGrid& grid,
                                      const ParallelPrmConfig& config);

@@ -1,7 +1,12 @@
 #include "core/parallel_build_rrt.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "graph/union_find.hpp"
 #include "loadbal/partition.hpp"
@@ -14,22 +19,15 @@ namespace pmpl::core {
 
 namespace {
 
-/// One branch grown into branch-local storage (thread-confined).
-struct BranchOutput {
-  std::vector<cspace::Config> configs;  ///< [0] is the root
-  struct LocalEdge {
-    std::uint32_t u, v;
-    double length;
-  };
-  std::vector<LocalEdge> edges;
-  planner::PlannerStats stats;
-};
-
-BranchOutput grow_branch(const env::Environment& e,
-                         const RadialRegions& regions, std::uint32_t region,
-                         const cspace::Config& root,
-                         const ParallelRrtConfig& config) {
-  BranchOutput out;
+/// Grow one branch into branch-local storage (thread-confined); configs[0]
+/// is the root. With a fired cancel token the snapshot is partial and must
+/// be discarded by the caller (branches are all-or-nothing).
+RegionSnapshot grow_branch(const env::Environment& e,
+                           const RadialRegions& regions, std::uint32_t region,
+                           const cspace::Config& root,
+                           const ParallelRrtConfig& config,
+                           const runtime::CancelToken* cancel) {
+  RegionSnapshot out;
   planner::Roadmap local;
   planner::RrtParams params = config.rrt;
   params.max_nodes =
@@ -44,7 +42,7 @@ BranchOutput grow_branch(const env::Environment& e,
             regions.sample_in_cone(region, g, config.cone_overlap);
         return e.space().at_position(p, g);
       },
-      rng, out.stats);
+      rng, out.stats, cancel);
 
   out.configs.reserve(local.num_vertices());
   for (graph::VertexId v = 0; v < local.num_vertices(); ++v)
@@ -55,6 +53,36 @@ BranchOutput grow_branch(const env::Environment& e,
   return out;
 }
 
+/// Everything that affects the forest (worker count excluded: the result
+/// is placement-independent by construction).
+std::uint64_t rrt_fingerprint(const env::Environment& e,
+                              const RadialRegions& regions,
+                              const cspace::Config& root,
+                              const ParallelRrtConfig& config) {
+  std::uint64_t h = kFnvOffset;
+  h = fp_mix(h, std::string_view(e.name()));
+  const auto& b = e.space().position_bounds();
+  h = fp_mix(h, b.lo.x);
+  h = fp_mix(h, b.lo.y);
+  h = fp_mix(h, b.lo.z);
+  h = fp_mix(h, b.hi.x);
+  h = fp_mix(h, b.hi.y);
+  h = fp_mix(h, b.hi.z);
+  h = fp_mix(h, static_cast<std::uint64_t>(regions.size()));
+  h = fp_mix(h, static_cast<std::uint64_t>(config.total_nodes));
+  h = fp_mix(h, config.seed);
+  h = fp_mix(h, config.rrt.step);
+  h = fp_mix(h, config.rrt.resolution);
+  h = fp_mix(h, static_cast<std::uint64_t>(config.rrt.max_nodes));
+  h = fp_mix(h, static_cast<std::uint64_t>(config.rrt.max_iterations));
+  h = fp_mix(h, static_cast<std::uint64_t>(config.rrt.exact_knn));
+  h = fp_mix(h, static_cast<std::uint64_t>(config.iteration_factor));
+  h = fp_mix(h, static_cast<std::uint64_t>(config.max_boundary_attempts));
+  h = fp_mix(h, config.cone_overlap);
+  for (std::size_t i = 0; i < root.size(); ++i) h = fp_mix(h, root[i]);
+  return h;
+}
+
 }  // namespace
 
 ParallelRrtResult parallel_build_rrt(const env::Environment& e,
@@ -63,13 +91,72 @@ ParallelRrtResult parallel_build_rrt(const env::Environment& e,
                                      const ParallelRrtConfig& config) {
   ParallelRrtResult result;
   const std::size_t nr = regions.size();
-  std::vector<BranchOutput> outputs(nr);
+  const AnytimeOptions& any = config.anytime;
+  const runtime::CancelToken* cancel = any.cancel;
+  auto& report = result.degradation;
+  report.regions_total = nr;
 
+  const std::uint64_t fingerprint =
+      rrt_fingerprint(e, regions, root, config);
+  std::vector<RegionSnapshot> outputs(nr);
+  std::unique_ptr<std::atomic<bool>[]> done(new std::atomic<bool>[nr]);
+  for (std::size_t r = 0; r < nr; ++r)
+    done[r].store(false, std::memory_order_relaxed);
+
+  if (any.resume && !any.checkpoint_path.empty()) {
+    IoStatus st = IoStatus::kOk;
+    auto ckpt = load_checkpoint_file(any.checkpoint_path, &st);
+    if (ckpt) {
+      if (ckpt->kind != kCheckpointKindRrt ||
+          ckpt->fingerprint != fingerprint || ckpt->num_regions != nr) {
+        st = IoStatus::kFingerprintMismatch;
+      } else {
+        for (auto& reg : ckpt->regions) {
+          const std::uint32_t r = reg.region;
+          outputs[r] = std::move(reg);
+          done[r].store(true, std::memory_order_relaxed);
+          ++report.regions_restored;
+        }
+      }
+    }
+    report.resume_status = st;
+  }
+
+  std::mutex checkpoint_mutex;
+  std::atomic<bool> checkpoint_written{false};
+  auto write_snapshot = [&] {
+    Checkpoint snap;
+    snap.kind = kCheckpointKindRrt;
+    snap.fingerprint = fingerprint;
+    snap.seed = config.seed;
+    snap.num_regions = static_cast<std::uint32_t>(nr);
+    for (std::size_t r = 0; r < nr; ++r)
+      if (done[r].load(std::memory_order_acquire))
+        snap.regions.push_back(outputs[r]);
+    if (save_checkpoint_file(snap, any.checkpoint_path))
+      checkpoint_written.store(true, std::memory_order_release);
+  };
+
+  std::atomic<std::size_t> completed{report.regions_restored};
   std::vector<std::function<void()>> tasks;
   tasks.reserve(nr);
   for (std::uint32_t r = 0; r < nr; ++r)
     tasks.push_back([&, r] {
-      outputs[r] = grow_branch(e, regions, r, root, config);
+      if (done[r].load(std::memory_order_acquire)) return;  // restored
+      if (runtime::stop_requested(cancel)) return;
+      RegionSnapshot out = grow_branch(e, regions, r, root, config, cancel);
+      // All-or-nothing: discard a branch interrupted mid-growth.
+      if (runtime::stop_requested(cancel)) return;
+      out.region = r;
+      outputs[r] = std::move(out);
+      done[r].store(true, std::memory_order_release);
+      const std::size_t c =
+          completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (any.checkpoint_every != 0 && !any.checkpoint_path.empty() &&
+          c % any.checkpoint_every == 0) {
+        std::lock_guard<std::mutex> lock(checkpoint_mutex);
+        write_snapshot();
+      }
     });
 
   // Branch tasks go straight onto the work-stealing scheduler with their
@@ -82,9 +169,14 @@ ParallelRrtResult parallel_build_rrt(const env::Environment& e,
   result.workers = loadbal::run_on_scheduler(scheduler, tasks, initial);
   result.grow_wall_s = grow_timer.elapsed_s();
 
-  // Merge branches.
+  for (std::size_t r = 0; r < nr; ++r)
+    if (done[r].load(std::memory_order_acquire)) ++report.regions_completed;
+  report.cancelled = runtime::stop_requested(cancel);
+
+  // Merge completed branches in region-id order.
   result.region_vertices.resize(nr);
   for (std::uint32_t r = 0; r < nr; ++r) {
+    if (!done[r].load(std::memory_order_acquire)) continue;
     auto& ids = result.region_vertices[r];
     ids.reserve(outputs[r].configs.size());
     for (auto& c : outputs[r].configs)
@@ -94,7 +186,8 @@ ParallelRrtResult parallel_build_rrt(const env::Environment& e,
     result.stats += outputs[r].stats;
   }
 
-  // Connect adjacent branches, pruning cycles via component skipping.
+  // Connect adjacent completed branches, pruning cycles via component
+  // skipping. Derived state — a resumed build redoes this phase.
   WallTimer connect_timer;
   planner::PrmParams connect_params;
   connect_params.resolution = config.rrt.resolution;
@@ -102,13 +195,42 @@ ParallelRrtResult parallel_build_rrt(const env::Environment& e,
   graph::UnionFind cc(result.tree.num_vertices());
   for (graph::VertexId v = 0; v < result.tree.num_vertices(); ++v)
     for (const auto& he : result.tree.edges_of(v)) cc.unite(v, he.to);
+  bool connect_ran_to_end = true;
   for (const auto& [a, b] : regions.adjacency_edges()) {
+    if (runtime::stop_requested(cancel)) {
+      connect_ran_to_end = false;
+      break;
+    }
+    if (!done[a].load(std::memory_order_acquire) ||
+        !done[b].load(std::memory_order_acquire))
+      continue;
     planner::connect_between(e, result.tree, result.region_vertices[a],
                              result.region_vertices[b], connect_params,
                              result.stats, &cc,
-                             config.max_boundary_attempts);
+                             config.max_boundary_attempts, cancel);
   }
   result.connect_wall_s = connect_timer.elapsed_s();
+  report.connect_completed =
+      connect_ran_to_end && !runtime::stop_requested(cancel);
+
+  {
+    graph::UnionFind final_cc(result.tree.num_vertices());
+    for (graph::VertexId v = 0; v < result.tree.num_vertices(); ++v)
+      for (const auto& he : result.tree.edges_of(v)) final_cc.unite(v, he.to);
+    report.connected_components = final_cc.num_components();
+  }
+
+  if (!any.checkpoint_path.empty()) {
+    if (!report.complete()) {
+      std::lock_guard<std::mutex> lock(checkpoint_mutex);
+      write_snapshot();
+    } else {
+      std::remove(any.checkpoint_path.c_str());
+      checkpoint_written.store(false, std::memory_order_release);
+    }
+  }
+  report.checkpoint_written =
+      checkpoint_written.load(std::memory_order_acquire);
   return result;
 }
 

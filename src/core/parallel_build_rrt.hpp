@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "core/anytime.hpp"
 #include "core/radial_regions.hpp"
 #include "env/environment.hpp"
 #include "loadbal/ws_threaded.hpp"
@@ -24,6 +25,7 @@ struct ParallelRrtConfig {
   double cone_overlap = 1.5;
   std::uint32_t workers = 4;
   std::uint64_t seed = 1;
+  AnytimeOptions anytime;  ///< deadline/cancel + checkpoint/resume
 };
 
 struct ParallelRrtResult {
@@ -33,10 +35,17 @@ struct ParallelRrtResult {
   double grow_wall_s = 0.0;
   double connect_wall_s = 0.0;
   planner::PlannerStats stats;
+  DegradationReport degradation;  ///< what was actually delivered
 };
 
 /// Grow all regional branches of `regions` from `root` with
 /// `config.workers` threads and connect adjacent branches.
+///
+/// Anytime semantics match parallel_build_prm: a fired cancel token yields
+/// a well-formed partial forest of the branches that completed
+/// (all-or-nothing per branch), an optional checkpoint of that subset,
+/// and a report; a resumed run finishes bit-identically to an
+/// uninterrupted one.
 ParallelRrtResult parallel_build_rrt(const env::Environment& e,
                                      const RadialRegions& regions,
                                      const cspace::Config& root,

@@ -61,7 +61,14 @@ Workload build_prm_workload(const env::Environment& e, const RegionGrid& grid,
 
   // Phase 1+2 per region: sample, then connect within the region.
   // Per-region RNG streams make the result independent of execution order.
+  // A fired cancel token stops measurement after the current granule
+  // (sample attempt / vertex connection); the interrupted region's profile
+  // stays zero-initialized and its samples are discarded.
   for (std::uint32_t r = 0; r < nr; ++r) {
+    if (runtime::stop_requested(config.cancel)) {
+      w.measurement_cancelled = true;
+      break;
+    }
     RegionProfile& profile = w.regions[r];
     profile.centroid = grid.centroid(r);
 
@@ -69,10 +76,11 @@ Workload build_prm_workload(const env::Environment& e, const RegionGrid& grid,
     planner::PlannerStats sampling_stats;
     const auto samples = planner::sample_region_with(
         *sampler, grid.sampling_box(r), base + (r < extra), rng,
-        sampling_stats);
-    profile.sampling_ops = to_work_counts(sampling_stats);
-    profile.sampling_s = config.costs.seconds(profile.sampling_ops);
-    profile.samples = static_cast<std::uint32_t>(samples.size());
+        sampling_stats, config.cancel);
+    if (runtime::stop_requested(config.cancel)) {
+      w.measurement_cancelled = true;
+      break;  // partial sample set: discard before committing vertices
+    }
 
     auto& ids = w.region_vertices[r];
     ids.reserve(samples.size());
@@ -80,10 +88,19 @@ Workload build_prm_workload(const env::Environment& e, const RegionGrid& grid,
 
     planner::PlannerStats build_stats;
     graph::UnionFind cc(w.roadmap.num_vertices());
-    planner::connect_within(e, w.roadmap, ids, config.prm, build_stats, &cc);
+    planner::connect_within(e, w.roadmap, ids, config.prm, build_stats, &cc,
+                            config.cancel);
+    if (runtime::stop_requested(config.cancel)) {
+      w.measurement_cancelled = true;
+      break;  // region partially connected: its profile stays unmeasured
+    }
+    profile.sampling_ops = to_work_counts(sampling_stats);
+    profile.sampling_s = config.costs.seconds(profile.sampling_ops);
+    profile.samples = static_cast<std::uint32_t>(samples.size());
     profile.build_ops = to_work_counts(build_stats);
     profile.build_s = config.costs.seconds(profile.build_ops);
     profile.bytes = region_payload_bytes(w.roadmap, ids);
+    ++w.regions_measured;
   }
 
   // Phase 3: region connection along region-graph edges (measured in fixed
@@ -101,6 +118,10 @@ Workload build_prm_workload(const env::Environment& e, const RegionGrid& grid,
   const double band =
       std::max({cell.x, cell.y, cell.z}) / 3.0;
   for (const auto& [a, b] : w.region_edges) {
+    if (runtime::stop_requested(config.cancel)) {
+      w.measurement_cancelled = true;
+      break;  // edge_profiles stays a measured prefix of region_edges
+    }
     EdgeProfile ep;
     ep.a = a;
     ep.b = b;
@@ -147,7 +168,9 @@ RegionConnectionOutcome region_connection_phase(
     const PrmRunConfig& config) {
   RegionConnectionOutcome out;
   std::vector<double> busy(config.procs, 0.0);
-  for (std::size_t i = 0; i < w.region_edges.size(); ++i) {
+  // edge_profiles can be a prefix of region_edges for a cancelled
+  // workload; iterate what was actually measured.
+  for (std::size_t i = 0; i < w.edge_profiles.size(); ++i) {
     const EdgeProfile& ep = w.edge_profiles[i];
     const std::uint32_t pa = owner[ep.a];
     const std::uint32_t pb = owner[ep.b];

@@ -26,6 +26,9 @@ struct PrmWorkloadConfig {
   std::uint64_t seed = 1;
   /// Work-unit costs (paper_fidelity reproduces the paper's regime).
   runtime::CostModel costs = runtime::CostModel::paper_fidelity();
+  /// Cooperative stop: measurement ends after the current granule and the
+  /// workload comes back partial (see Workload::regions_measured).
+  const runtime::CancelToken* cancel = nullptr;
 };
 
 /// Execute Algorithm 1's computation over `grid`, measuring every region

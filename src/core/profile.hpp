@@ -57,6 +57,14 @@ struct Workload {
   std::vector<std::vector<graph::VertexId>> region_vertices;
   geo::Aabb bounds;  ///< centroid bounds (partitioner input)
 
+  /// Anytime measurement progress: regions [0, regions_measured) carry
+  /// real profiles; with a fired cancel token the remainder are
+  /// zero-initialized and `measurement_cancelled` is set. A cancelled
+  /// workload is a valid partial measurement (edge_profiles may be a
+  /// prefix of region_edges) but must not be replayed as if complete.
+  std::size_t regions_measured = 0;
+  bool measurement_cancelled = false;
+
   double total_sampling_s() const noexcept {
     double t = 0.0;
     for (const auto& r : regions) t += r.sampling_s;

@@ -63,8 +63,15 @@ Workload build_rrt_workload(const env::Environment& e,
 
   const std::size_t quota = std::max<std::size_t>(2, config.total_nodes / nr);
 
-  // Grow one branch per region (deterministic per-region streams).
+  // Grow one branch per region (deterministic per-region streams). A fired
+  // cancel token stops between iterations; the interrupted branch's
+  // profile stays zero-initialized (its partial tree keeps the roadmap
+  // valid but is not counted as measured).
   for (std::uint32_t r = 0; r < nr; ++r) {
+    if (runtime::stop_requested(config.cancel)) {
+      w.measurement_cancelled = true;
+      break;
+    }
     RegionProfile& profile = w.regions[r];
     profile.centroid = regions.centroid(r);
 
@@ -80,13 +87,18 @@ Workload build_rrt_workload(const env::Environment& e,
           const geo::Vec3 p = regions.sample_in_cone(r, g, config.cone_overlap);
           return e.space().at_position(p, g);
         },
-        rng, stats);
+        rng, stats, config.cancel);
+    if (runtime::stop_requested(config.cancel)) {
+      w.measurement_cancelled = true;
+      break;
+    }
 
     profile.build_ops = to_work_counts(stats);
     profile.build_s = config.costs.seconds(profile.build_ops);
     profile.samples = static_cast<std::uint32_t>(branch.num_nodes());
     w.region_vertices[r] = branch.node_ids();
     profile.bytes = branch_payload_bytes(w.roadmap, branch.node_ids());
+    ++w.regions_measured;
   }
 
   // Branch connection along the region graph; new edges must not close
@@ -103,6 +115,10 @@ Workload build_rrt_workload(const env::Environment& e,
     for (const auto& he : w.roadmap.edges_of(v)) cc.unite(v, he.to);
   w.edge_profiles.reserve(w.region_edges.size());
   for (const auto& [a, b] : w.region_edges) {
+    if (runtime::stop_requested(config.cancel)) {
+      w.measurement_cancelled = true;
+      break;  // edge_profiles stays a measured prefix of region_edges
+    }
     EdgeProfile ep;
     ep.a = a;
     ep.b = b;
@@ -188,7 +204,9 @@ RrtRunResult simulate_rrt_run(const Workload& w, const env::Environment& e,
   // Branch-connection phase (same accounting as PRM region connection).
   {
     std::vector<double> busy(config.procs, 0.0);
-    for (std::size_t i = 0; i < w.region_edges.size(); ++i) {
+    // edge_profiles can be a prefix of region_edges for a cancelled
+    // workload; iterate what was actually measured.
+    for (std::size_t i = 0; i < w.edge_profiles.size(); ++i) {
       const EdgeProfile& ep = w.edge_profiles[i];
       const std::uint32_t pa = out.assignment[ep.a];
       const std::uint32_t pb = out.assignment[ep.b];

@@ -28,6 +28,9 @@ struct RrtWorkloadConfig {
   std::uint64_t seed = 1;
   /// Work-unit costs (paper_fidelity reproduces the paper's regime).
   runtime::CostModel costs = runtime::CostModel::paper_fidelity();
+  /// Cooperative stop: measurement ends after the current granule and the
+  /// workload comes back partial (see Workload::regions_measured).
+  const runtime::CancelToken* cancel = nullptr;
 };
 
 /// Execute Algorithm 2's computation: grow every regional branch from the

@@ -1,6 +1,7 @@
 #include "env/env_io.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -9,7 +10,12 @@ namespace pmpl::env {
 
 namespace {
 constexpr const char* kMagic = "pmpl-env";
-constexpr int kVersion = 1;
+constexpr int kVersionLegacy = 1;  ///< no checksum, '#' comments (read-only)
+constexpr int kVersion = 2;        ///< trailing checksum over record bytes
+
+void fail(IoStatus* status, IoStatus s) {
+  if (status) *status = s;
+}
 
 /// Recover the z-rotation of an OBB whose rotation is rot_z(a); nullopt
 /// for any other orientation.
@@ -22,90 +28,9 @@ std::optional<double> z_rotation_of(const geo::Mat3& m) {
   return std::atan2(m.r1.x, m.r0.x);
 }
 
-}  // namespace
-
-std::optional<std::unique_ptr<Environment>> load_environment(
-    std::istream& is) {
-  std::string line;
-  if (!std::getline(is, line)) return std::nullopt;
-  {
-    std::istringstream header(line);
-    std::string magic;
-    int version = 0;
-    if (!(header >> magic >> version) || magic != kMagic ||
-        version != kVersion)
-      return std::nullopt;
-  }
-
-  std::string name = "unnamed";
-  std::optional<cspace::CSpace> space;
-  collision::RigidBody robot = collision::RigidBody::box({1, 1, 1});
-  RobotModel model = RobotModel::kRigidBody;
-  std::vector<collision::ObstacleShape> obstacles;
-
-  while (std::getline(is, line)) {
-    std::istringstream ls(line);
-    std::string tag;
-    if (!(ls >> tag) || tag[0] == '#') continue;
-    if (tag == "name") {
-      if (!(ls >> name)) return std::nullopt;
-    } else if (tag == "space") {
-      std::string kind;
-      geo::Vec3 lo, hi;
-      if (!(ls >> kind >> lo.x >> lo.y >> lo.z >> hi.x >> hi.y >> hi.z))
-        return std::nullopt;
-      if (kind == "se3")
-        space = cspace::CSpace::se3({lo, hi});
-      else if (kind == "se2")
-        space = cspace::CSpace::se2({lo, hi});
-      else
-        return std::nullopt;
-    } else if (tag == "robot") {
-      std::string kind;
-      if (!(ls >> kind)) return std::nullopt;
-      if (kind == "box") {
-        geo::Vec3 h;
-        if (!(ls >> h.x >> h.y >> h.z)) return std::nullopt;
-        robot = collision::RigidBody::box(h);
-        model = RobotModel::kRigidBody;
-      } else if (kind == "sphere") {
-        double r = 0.0;
-        if (!(ls >> r)) return std::nullopt;
-        robot = collision::RigidBody::sphere(r);
-        model = RobotModel::kRigidBody;
-      } else if (kind == "point") {
-        robot = collision::RigidBody::sphere(0.0);
-        model = RobotModel::kPoint;
-      } else {
-        return std::nullopt;
-      }
-    } else if (tag == "aabb") {
-      geo::Vec3 lo, hi;
-      if (!(ls >> lo.x >> lo.y >> lo.z >> hi.x >> hi.y >> hi.z))
-        return std::nullopt;
-      obstacles.push_back(geo::Aabb{lo, hi});
-    } else if (tag == "obb") {
-      geo::Vec3 c, h;
-      double angle = 0.0;
-      if (!(ls >> c.x >> c.y >> c.z >> h.x >> h.y >> h.z >> angle))
-        return std::nullopt;
-      obstacles.push_back(geo::Obb{c, h, geo::Mat3::rot_z(angle)});
-    } else if (tag == "sphere") {
-      geo::Vec3 c;
-      double r = 0.0;
-      if (!(ls >> c.x >> c.y >> c.z >> r)) return std::nullopt;
-      obstacles.push_back(geo::Sphere{c, r});
-    } else {
-      return std::nullopt;  // unknown record
-    }
-  }
-  if (!space) return std::nullopt;
-  return std::make_unique<Environment>(name, *space, std::move(obstacles),
-                                       std::move(robot), model);
-}
-
-bool save_environment(const Environment& e, std::ostream& os) {
-  os << kMagic << ' ' << kVersion << '\n';
+/// Serialize just the records (no header/footer) so save can checksum the
+/// exact bytes written.
+bool write_records(const Environment& e, std::ostream& os) {
   os << std::setprecision(17);
   os << "name " << e.name() << '\n';
   const auto& b = e.space().position_bounds();
@@ -140,22 +65,212 @@ bool save_environment(const Environment& e, std::ostream& os) {
       os << "sphere " << sph->center.x << ' ' << sph->center.y << ' '
          << sph->center.z << ' ' << sph->radius << '\n';
     } else {
-      return false;  // triangles not representable in v1
+      return false;  // triangles not representable in this format
     }
   }
   return static_cast<bool>(os);
 }
 
+}  // namespace
+
+std::optional<std::unique_ptr<Environment>> load_environment(
+    std::istream& is, IoStatus* status) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    fail(status, IoStatus::kTruncated);
+    return std::nullopt;
+  }
+  bool strict = false;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    if (!(header >> magic >> version)) {
+      fail(status, IoStatus::kMalformed);
+      return std::nullopt;
+    }
+    if (magic != kMagic) {
+      fail(status, IoStatus::kBadMagic);
+      return std::nullopt;
+    }
+    if (version != kVersion && version != kVersionLegacy) {
+      fail(status, IoStatus::kBadVersion);
+      return std::nullopt;
+    }
+    strict = version == kVersion;
+  }
+
+  std::string name = "unnamed";
+  std::optional<cspace::CSpace> space;
+  collision::RigidBody robot = collision::RigidBody::box({1, 1, 1});
+  RobotModel model = RobotModel::kRigidBody;
+  std::vector<collision::ObstacleShape> obstacles;
+
+  bool have_checksum = false;
+  std::uint64_t claimed_checksum = 0;
+  std::uint64_t running = kFnvOffset;
+
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag[0] == '#') {
+      if (strict) {
+        // v2 is machine-written: no blanks or comments, every byte counts
+        // toward the checksum.
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (strict && tag == "checksum") {
+      std::string junk;
+      if (!(ls >> std::hex >> claimed_checksum) || (ls >> junk)) {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+      have_checksum = true;
+      break;  // footer: nothing may follow
+    }
+    if (strict) {
+      running = fnv1a64(line.data(), line.size(), running);
+      running = fnv1a64("\n", 1, running);
+    }
+    if (tag == "name") {
+      if (!(ls >> name)) {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+    } else if (tag == "space") {
+      std::string kind;
+      geo::Vec3 lo, hi;
+      if (!(ls >> kind >> lo.x >> lo.y >> lo.z >> hi.x >> hi.y >> hi.z)) {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+      if (kind == "se3") {
+        space = cspace::CSpace::se3({lo, hi});
+      } else if (kind == "se2") {
+        space = cspace::CSpace::se2({lo, hi});
+      } else {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+    } else if (tag == "robot") {
+      std::string kind;
+      if (!(ls >> kind)) {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+      if (kind == "box") {
+        geo::Vec3 h;
+        if (!(ls >> h.x >> h.y >> h.z)) {
+          fail(status, IoStatus::kMalformed);
+          return std::nullopt;
+        }
+        robot = collision::RigidBody::box(h);
+        model = RobotModel::kRigidBody;
+      } else if (kind == "sphere") {
+        double r = 0.0;
+        if (!(ls >> r)) {
+          fail(status, IoStatus::kMalformed);
+          return std::nullopt;
+        }
+        robot = collision::RigidBody::sphere(r);
+        model = RobotModel::kRigidBody;
+      } else if (kind == "point") {
+        robot = collision::RigidBody::sphere(0.0);
+        model = RobotModel::kPoint;
+      } else {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+    } else if (tag == "aabb") {
+      geo::Vec3 lo, hi;
+      if (!(ls >> lo.x >> lo.y >> lo.z >> hi.x >> hi.y >> hi.z)) {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+      obstacles.push_back(geo::Aabb{lo, hi});
+    } else if (tag == "obb") {
+      geo::Vec3 c, h;
+      double angle = 0.0;
+      if (!(ls >> c.x >> c.y >> c.z >> h.x >> h.y >> h.z >> angle)) {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+      obstacles.push_back(geo::Obb{c, h, geo::Mat3::rot_z(angle)});
+    } else if (tag == "sphere") {
+      geo::Vec3 c;
+      double r = 0.0;
+      if (!(ls >> c.x >> c.y >> c.z >> r)) {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+      obstacles.push_back(geo::Sphere{c, r});
+    } else {
+      fail(status, IoStatus::kMalformed);  // unknown record
+      return std::nullopt;
+    }
+  }
+
+  if (strict) {
+    if (!have_checksum) {
+      fail(status, IoStatus::kTruncated);
+      return std::nullopt;
+    }
+    std::string rest;
+    if (is >> rest) {
+      fail(status, IoStatus::kMalformed);  // trailing junk after footer
+      return std::nullopt;
+    }
+    if (running != claimed_checksum) {
+      fail(status, IoStatus::kChecksumMismatch);
+      return std::nullopt;
+    }
+  }
+  if (!space) {
+    fail(status, IoStatus::kMalformed);
+    return std::nullopt;
+  }
+  if (status) *status = IoStatus::kOk;
+  return std::make_unique<Environment>(name, *space, std::move(obstacles),
+                                       std::move(robot), model);
+}
+
+bool save_environment(const Environment& e, std::ostream& os) {
+  std::ostringstream body;
+  if (!write_records(e, body)) return false;
+  const std::string payload = body.str();
+  os << kMagic << ' ' << kVersion << '\n';
+  os << payload;
+  os << "checksum " << std::hex << fnv1a64(payload.data(), payload.size())
+     << std::dec << '\n';
+  return static_cast<bool>(os);
+}
+
 std::optional<std::unique_ptr<Environment>> load_environment_file(
-    const std::string& path) {
+    const std::string& path, IoStatus* status) {
   std::ifstream is(path);
-  if (!is) return std::nullopt;
-  return load_environment(is);
+  if (!is) {
+    fail(status, IoStatus::kOpenFailed);
+    return std::nullopt;
+  }
+  return load_environment(is, status);
 }
 
 bool save_environment_file(const Environment& e, const std::string& path) {
-  std::ofstream os(path);
-  return os && save_environment(e, os);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os || !save_environment(e, os)) return false;
+    os.flush();
+    if (!os) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace pmpl::env

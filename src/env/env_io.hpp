@@ -3,15 +3,22 @@
 /// Environment persistence: load user-defined scenes from a line-oriented
 /// text format, and save built-in ones for editing.
 ///
-/// Format (comments with '#', one record per line):
+/// Format (one record per line):
 ///
-///   pmpl-env 1
+///   pmpl-env 2
 ///   name <string>
 ///   space se3|se2 <lo.x> <lo.y> <lo.z> <hi.x> <hi.y> <hi.z>
 ///   robot box <hx> <hy> <hz> | robot sphere <r> | robot point
 ///   aabb <lo.x> <lo.y> <lo.z> <hi.x> <hi.y> <hi.z>
 ///   obb <c.x> <c.y> <c.z> <h.x> <h.y> <h.z> <z-rotation-rad>
 ///   sphere <c.x> <c.y> <c.z> <r>
+///   checksum <fnv1a64-hex>
+///
+/// Version 2 ends with an FNV-1a checksum over the record bytes, so
+/// truncated or bit-flipped files are rejected with a status code instead
+/// of silently loading a different scene. Version 1 files (no checksum,
+/// '#' comments permitted) are still readable; new files are always
+/// written as version 2.
 
 #include <iosfwd>
 #include <memory>
@@ -19,21 +26,25 @@
 #include <string>
 
 #include "env/environment.hpp"
+#include "util/io_status.hpp"
 
 namespace pmpl::env {
 
 /// Parse an environment; nullopt (with no partial state) on malformed
-/// input.
+/// input. When `status` is non-null it receives the precise failure (or
+/// IoStatus::kOk).
 std::optional<std::unique_ptr<Environment>> load_environment(
-    std::istream& is);
+    std::istream& is, IoStatus* status = nullptr);
 
-/// Serialize `e` (space bounds, robot, obstacles). OBB orientations are
-/// saved as z-rotations only (the format's limitation); other orientations
-/// are rejected with a false return.
+/// Serialize `e` (space bounds, robot, obstacles) as format version 2.
+/// OBB orientations are saved as z-rotations only (the format's
+/// limitation); other orientations are rejected with a false return.
 bool save_environment(const Environment& e, std::ostream& os);
 
+/// File convenience wrappers. Saving is atomic: written to `path + ".tmp"`
+/// and renamed over `path` only once complete.
 std::optional<std::unique_ptr<Environment>> load_environment_file(
-    const std::string& path);
+    const std::string& path, IoStatus* status = nullptr);
 bool save_environment_file(const Environment& e, const std::string& path);
 
 }  // namespace pmpl::env

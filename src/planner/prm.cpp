@@ -10,34 +10,41 @@ std::vector<cspace::Config> sample_region(const env::Environment& e,
                                           const geo::Aabb& box,
                                           std::size_t attempts,
                                           Xoshiro256ss& rng,
-                                          PlannerStats& stats) {
+                                          PlannerStats& stats,
+                                          const runtime::CancelToken* cancel) {
   const UniformSampler sampler(e.space(), e.validity());
-  return sample_region_with(sampler, box, attempts, rng, stats);
+  return sample_region_with(sampler, box, attempts, rng, stats, cancel);
 }
 
 std::vector<cspace::Config> sample_region_with(const Sampler& sampler,
                                                const geo::Aabb& box,
                                                std::size_t attempts,
                                                Xoshiro256ss& rng,
-                                               PlannerStats& stats) {
+                                               PlannerStats& stats,
+                                               const runtime::CancelToken*
+                                                   cancel) {
   std::vector<cspace::Config> valid;
   valid.reserve(attempts / 2);
   cspace::Config c;
-  for (std::size_t i = 0; i < attempts; ++i)
+  for (std::size_t i = 0; i < attempts; ++i) {
+    if (runtime::stop_requested(cancel)) break;
     if (sampler.sample(box, rng, c, stats)) valid.push_back(c);
+  }
   return valid;
 }
 
 void connect_within(const env::Environment& e, Roadmap& g,
                     std::span<const graph::VertexId> ids,
                     const PrmParams& params, PlannerStats& stats,
-                    graph::UnionFind* cc) {
+                    graph::UnionFind* cc,
+                    const runtime::CancelToken* cancel) {
   if (ids.size() < 2) return;
   const cspace::LocalPlanner lp(e.space(), e.validity(), params.resolution);
   auto finder = make_neighbor_finder(e.space(), params.exact_knn);
   for (graph::VertexId id : ids) finder->insert(id, g.vertex(id).cfg);
 
   for (graph::VertexId id : ids) {
+    if (runtime::stop_requested(cancel)) return;
     // k+1 because the query point itself is in the structure.
     const auto neighbors =
         finder->nearest(g.vertex(id).cfg, params.k_neighbors + 1, &stats);
@@ -63,7 +70,8 @@ std::size_t connect_between(const env::Environment& e, Roadmap& g,
                             std::span<const graph::VertexId> ids_a,
                             std::span<const graph::VertexId> ids_b,
                             const PrmParams& params, PlannerStats& stats,
-                            graph::UnionFind* cc, std::size_t max_attempts) {
+                            graph::UnionFind* cc, std::size_t max_attempts,
+                            const runtime::CancelToken* cancel) {
   if (ids_a.empty() || ids_b.empty()) return 0;
   // Query from the smaller side into the larger side.
   std::span<const graph::VertexId> from = ids_a;
@@ -95,6 +103,7 @@ std::size_t connect_between(const env::Environment& e, Roadmap& g,
   std::size_t attempts = 0;
   for (const Candidate& c : candidates) {
     if (attempts >= max_attempts) break;
+    if (runtime::stop_requested(cancel)) break;
     if (g.has_edge(c.a, c.b)) continue;
     if (params.skip_same_component && cc != nullptr &&
         cc->connected(c.a, c.b))
@@ -113,17 +122,19 @@ std::size_t connect_between(const env::Environment& e, Roadmap& g,
   return edges_added;
 }
 
-void Prm::build(std::size_t attempts, std::uint64_t seed) {
+void Prm::build(std::size_t attempts, std::uint64_t seed,
+                const runtime::CancelToken* cancel) {
   Xoshiro256ss rng(seed);
   const auto sampler = make_sampler(params_.sampler, env_->space(),
                                     env_->validity(), params_.sampler_scale);
-  const auto samples = sample_region_with(
-      *sampler, env_->space().position_bounds(), attempts, rng, stats_);
+  const auto samples =
+      sample_region_with(*sampler, env_->space().position_bounds(), attempts,
+                         rng, stats_, cancel);
   std::vector<graph::VertexId> ids;
   ids.reserve(samples.size());
   for (const auto& c : samples) ids.push_back(map_.add_vertex({c, 0}));
   graph::UnionFind cc(map_.num_vertices());
-  connect_within(*env_, map_, ids, params_, stats_, &cc);
+  connect_within(*env_, map_, ids, params_, stats_, &cc, cancel);
 }
 
 std::optional<std::vector<cspace::Config>> Prm::query(

@@ -19,6 +19,7 @@
 #include "planner/roadmap.hpp"
 #include "planner/samplers.hpp"
 #include "planner/stats.hpp"
+#include "runtime/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace pmpl::planner {
@@ -34,38 +35,47 @@ struct PrmParams {
 };
 
 /// Sampling phase: draw `attempts` uniform samples with positions in `box`,
-/// keep the valid ones. Deterministic given `rng`'s seed.
+/// keep the valid ones. Deterministic given `rng`'s seed. A fired `cancel`
+/// token stops after the current attempt (bounded overrun: one sample).
 std::vector<cspace::Config> sample_region(const env::Environment& e,
                                           const geo::Aabb& box,
                                           std::size_t attempts,
                                           Xoshiro256ss& rng,
-                                          PlannerStats& stats);
+                                          PlannerStats& stats,
+                                          const runtime::CancelToken* cancel =
+                                              nullptr);
 
 /// Sampling phase with an explicit strategy (Gaussian, bridge-test, ...).
 std::vector<cspace::Config> sample_region_with(const Sampler& sampler,
                                                const geo::Aabb& box,
                                                std::size_t attempts,
                                                Xoshiro256ss& rng,
-                                               PlannerStats& stats);
+                                               PlannerStats& stats,
+                                               const runtime::CancelToken*
+                                                   cancel = nullptr);
 
 /// Node-connection phase within one vertex set: each vertex attempts local
 /// plans to its k nearest neighbors among `ids`. Successful edges are added
-/// to `g` (and merged in `cc` when provided).
+/// to `g` (and merged in `cc` when provided). A fired `cancel` token stops
+/// between vertices (bounded overrun: one k-NN query + k local plans).
 void connect_within(const env::Environment& e, Roadmap& g,
                     std::span<const graph::VertexId> ids,
                     const PrmParams& params, PlannerStats& stats,
-                    graph::UnionFind* cc = nullptr);
+                    graph::UnionFind* cc = nullptr,
+                    const runtime::CancelToken* cancel = nullptr);
 
 /// Region-connection phase between two vertex sets (adjacent regions):
 /// for each vertex of the smaller set, attempt a local plan to its nearest
 /// neighbors in the other set, up to `max_attempts` total attempts (closest
-/// pairs first). Returns the number of edges added.
+/// pairs first). Returns the number of edges added. A fired `cancel` token
+/// stops between attempts (bounded overrun: one local plan).
 std::size_t connect_between(const env::Environment& e, Roadmap& g,
                             std::span<const graph::VertexId> ids_a,
                             std::span<const graph::VertexId> ids_b,
                             const PrmParams& params, PlannerStats& stats,
                             graph::UnionFind* cc = nullptr,
-                            std::size_t max_attempts = 32);
+                            std::size_t max_attempts = 32,
+                            const runtime::CancelToken* cancel = nullptr);
 
 /// Classic sequential PRM over the whole C-space.
 class Prm {
@@ -73,8 +83,10 @@ class Prm {
   Prm(const env::Environment& e, PrmParams params = {})
       : env_(&e), params_(params) {}
 
-  /// Sample `attempts` configurations and connect the valid ones.
-  void build(std::size_t attempts, std::uint64_t seed);
+  /// Sample `attempts` configurations and connect the valid ones. With a
+  /// `cancel` token, stops cooperatively and keeps the partial roadmap.
+  void build(std::size_t attempts, std::uint64_t seed,
+             const runtime::CancelToken* cancel = nullptr);
 
   /// Connect `start` and `goal` to the roadmap and extract a path.
   std::optional<std::vector<cspace::Config>> query(

@@ -1,5 +1,6 @@
 #include "planner/roadmap_io.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -7,70 +8,207 @@
 namespace pmpl::planner {
 
 namespace {
-constexpr const char* kMagic = "pmpl-roadmap";
-constexpr int kVersion = 1;
-}  // namespace
 
-bool save_roadmap(const Roadmap& g, std::ostream& os) {
-  os << kMagic << ' ' << kVersion << '\n';
-  os << std::setprecision(17);
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-    const auto& vert = g.vertex(v);
-    os << "v " << vert.region << ' ' << vert.cfg.size();
-    for (std::size_t i = 0; i < vert.cfg.size(); ++i) os << ' ' << vert.cfg[i];
-    os << '\n';
-  }
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
-    for (const auto& he : g.edges_of(v))
-      if (he.to > v)
-        os << "e " << v << ' ' << he.to << ' ' << he.prop.length << '\n';
-  return static_cast<bool>(os);
+constexpr const char* kMagic = "pmpl-roadmap";
+constexpr int kVersionLegacy = 1;  ///< no counts/checksum (read-only)
+constexpr int kVersion = 2;        ///< counts header + trailing checksum
+
+bool fail(IoStatus* status, IoStatus s) {
+  if (status) *status = s;
+  return false;
 }
 
-std::optional<Roadmap> load_roadmap(std::istream& is) {
-  std::string magic;
-  int version = 0;
-  if (!(is >> magic >> version) || magic != kMagic || version != kVersion)
-    return std::nullopt;
-
+/// Parse the body records shared by both versions. `strict` (v2) requires
+/// the counts header first and stops at the checksum footer, returning the
+/// footer's claimed value through `claimed` and the running checksum of the
+/// record bytes through `actual`.
+std::optional<Roadmap> parse_records(std::istream& is, bool strict,
+                                     IoStatus* status) {
   Roadmap g;
-  std::string tag;
-  while (is >> tag) {
-    if (tag == "v") {
+  bool have_counts = false;
+  std::uint64_t want_vertices = 0, want_edges = 0;
+  bool have_checksum = false;
+  std::uint64_t claimed_checksum = 0;
+  std::uint64_t running = kFnvOffset;
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      if (strict) {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) {
+      fail(status, IoStatus::kMalformed);
+      return std::nullopt;
+    }
+    if (strict && tag == "checksum") {
+      std::string junk;
+      if (!(ls >> std::hex >> claimed_checksum) || (ls >> junk)) {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+      have_checksum = true;
+      break;  // footer: nothing may follow
+    }
+    if (strict) {
+      // The checksum covers every record line (with its newline), exactly
+      // as written by save_roadmap.
+      running = fnv1a64(line.data(), line.size(), running);
+      running = fnv1a64("\n", 1, running);
+    }
+    if (strict && tag == "counts") {
+      if (have_counts || g.num_vertices() != 0) {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+      if (!(ls >> want_vertices >> want_edges)) {
+        fail(status, IoStatus::kMalformed);
+        return std::nullopt;
+      }
+      have_counts = true;
+    } else if (tag == "v") {
       std::uint32_t region = 0;
       std::size_t k = 0;
-      if (!(is >> region >> k) || k > cspace::kMaxConfigValues)
+      if (!(ls >> region >> k)) {
+        fail(status, IoStatus::kMalformed);
         return std::nullopt;
+      }
+      if (k > cspace::kMaxConfigValues) {
+        fail(status, IoStatus::kOutOfRange);
+        return std::nullopt;
+      }
       cspace::Config c;
       for (std::size_t i = 0; i < k; ++i) {
         double value = 0.0;
-        if (!(is >> value)) return std::nullopt;
+        if (!(ls >> value)) {
+          fail(status, IoStatus::kMalformed);
+          return std::nullopt;
+        }
         c.push_back(value);
       }
       g.add_vertex({c, region});
     } else if (tag == "e") {
       graph::VertexId from = 0, to = 0;
       double length = 0.0;
-      if (!(is >> from >> to >> length)) return std::nullopt;
-      if (from >= g.num_vertices() || to >= g.num_vertices())
+      if (!(ls >> from >> to >> length)) {
+        fail(status, IoStatus::kMalformed);
         return std::nullopt;
+      }
+      if (from >= g.num_vertices() || to >= g.num_vertices()) {
+        fail(status, IoStatus::kOutOfRange);
+        return std::nullopt;
+      }
       g.add_edge(from, to, {length});
     } else {
-      return std::nullopt;  // unknown record
+      fail(status, IoStatus::kMalformed);
+      return std::nullopt;
     }
   }
+
+  if (strict) {
+    if (!have_checksum || !have_counts) {
+      // No footer (or no header): the file ends mid-stream.
+      fail(status, IoStatus::kTruncated);
+      return std::nullopt;
+    }
+    std::string rest;
+    if (is >> rest) {
+      fail(status, IoStatus::kMalformed);  // trailing junk after footer
+      return std::nullopt;
+    }
+    if (running != claimed_checksum) {
+      fail(status, IoStatus::kChecksumMismatch);
+      return std::nullopt;
+    }
+    if (g.num_vertices() != want_vertices || g.num_edges() != want_edges) {
+      fail(status, IoStatus::kCountMismatch);
+      return std::nullopt;
+    }
+  }
+  if (status) *status = IoStatus::kOk;
   return g;
 }
 
-bool save_roadmap_file(const Roadmap& g, const std::string& path) {
-  std::ofstream os(path);
-  return os && save_roadmap(g, os);
+}  // namespace
+
+bool save_roadmap(const Roadmap& g, std::ostream& os) {
+  // Records are built in a buffer so the trailing checksum can cover the
+  // exact bytes written.
+  std::ostringstream body;
+  body << std::setprecision(17);
+  body << "counts " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto& vert = g.vertex(v);
+    body << "v " << vert.region << ' ' << vert.cfg.size();
+    for (std::size_t i = 0; i < vert.cfg.size(); ++i)
+      body << ' ' << vert.cfg[i];
+    body << '\n';
+  }
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    for (const auto& he : g.edges_of(v))
+      if (he.to > v)
+        body << "e " << v << ' ' << he.to << ' ' << he.prop.length << '\n';
+
+  const std::string payload = body.str();
+  os << kMagic << ' ' << kVersion << '\n';
+  os << payload;
+  os << "checksum " << std::hex << fnv1a64(payload.data(), payload.size())
+     << std::dec << '\n';
+  return static_cast<bool>(os);
 }
 
-std::optional<Roadmap> load_roadmap_file(const std::string& path) {
+std::optional<Roadmap> load_roadmap(std::istream& is, IoStatus* status) {
+  std::string header;
+  if (!std::getline(is, header)) {
+    fail(status, IoStatus::kTruncated);
+    return std::nullopt;
+  }
+  std::istringstream hs(header);
+  std::string magic;
+  int version = 0;
+  if (!(hs >> magic >> version)) {
+    fail(status, IoStatus::kMalformed);
+    return std::nullopt;
+  }
+  if (magic != kMagic) {
+    fail(status, IoStatus::kBadMagic);
+    return std::nullopt;
+  }
+  if (version != kVersion && version != kVersionLegacy) {
+    fail(status, IoStatus::kBadVersion);
+    return std::nullopt;
+  }
+  return parse_records(is, version == kVersion, status);
+}
+
+bool save_roadmap_file(const Roadmap& g, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os || !save_roadmap(g, os)) return false;
+    os.flush();
+    if (!os) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<Roadmap> load_roadmap_file(const std::string& path,
+                                         IoStatus* status) {
   std::ifstream is(path);
-  if (!is) return std::nullopt;
-  return load_roadmap(is);
+  if (!is) {
+    if (status) *status = IoStatus::kOpenFailed;
+    return std::nullopt;
+  }
+  return load_roadmap(is, status);
 }
 
 }  // namespace pmpl::planner

@@ -3,28 +3,44 @@
 /// Roadmap persistence: a simple line-oriented text format.
 ///
 /// Roadmaps are expensive to build and cheap to store; multi-query
-/// applications build once and reload. Format (one record per line):
+/// applications build once and reload. Format version 2 (one record per
+/// line) is self-verifying — a counts header and a trailing FNV-1a
+/// checksum over the record bytes make truncation and bit corruption
+/// detectable instead of silently yielding a smaller/shifted roadmap:
 ///
-///   pmpl-roadmap 1
+///   pmpl-roadmap 2
+///   counts <num_vertices> <num_edges>
 ///   v <region> <k> <value_0> ... <value_{k-1}>
 ///   e <from> <to> <length>
+///   checksum <fnv1a64-hex>
+///
+/// Version 1 files (no counts/checksum) are still readable; new files are
+/// always written as version 2. Loaders never crash on bad input: they
+/// return nullopt plus an `IoStatus` naming what was wrong.
 
 #include <iosfwd>
 #include <optional>
 #include <string>
 
 #include "planner/roadmap.hpp"
+#include "util/io_status.hpp"
 
 namespace pmpl::planner {
 
-/// Serialize `g` to `os`. Returns false on stream failure.
+/// Serialize `g` to `os` (format version 2). Returns false on stream
+/// failure.
 bool save_roadmap(const Roadmap& g, std::ostream& os);
 
-/// Parse a roadmap from `is`; nullopt on malformed input.
-std::optional<Roadmap> load_roadmap(std::istream& is);
+/// Parse a roadmap from `is`; nullopt on malformed input. When `status` is
+/// non-null it receives the precise failure (or IoStatus::kOk).
+std::optional<Roadmap> load_roadmap(std::istream& is,
+                                    IoStatus* status = nullptr);
 
-/// File convenience wrappers.
+/// File convenience wrappers. Saving is atomic: the roadmap is written to
+/// `path + ".tmp"` and renamed over `path` only once complete, so a crash
+/// mid-save never leaves a half-written file at `path`.
 bool save_roadmap_file(const Roadmap& g, const std::string& path);
-std::optional<Roadmap> load_roadmap_file(const std::string& path);
+std::optional<Roadmap> load_roadmap_file(const std::string& path,
+                                         IoStatus* status = nullptr);
 
 }  // namespace pmpl::planner

@@ -51,10 +51,12 @@ std::optional<graph::VertexId> RrtBranch::extend(const cspace::Config& target,
 
 void RrtBranch::grow(
     const std::function<cspace::Config(Xoshiro256ss&)>& sampler,
-    Xoshiro256ss& rng, PlannerStats& stats) {
+    Xoshiro256ss& rng, PlannerStats& stats,
+    const runtime::CancelToken* cancel) {
   for (std::size_t iter = 0;
        iter < params_.max_iterations && node_ids_.size() < params_.max_nodes;
        ++iter) {
+    if (runtime::stop_requested(cancel)) return;
     ++stats.samples_attempted;
     extend(sampler(rng), stats);
   }
@@ -62,7 +64,8 @@ void RrtBranch::grow(
 
 std::optional<std::vector<cspace::Config>> Rrt::plan(
     const cspace::Config& start, const cspace::Config& goal,
-    std::uint64_t seed, double goal_bias) {
+    std::uint64_t seed, double goal_bias,
+    const runtime::CancelToken* cancel) {
   tree_ = Roadmap{};
   if (!env_->validity().valid(start, &stats_.cd) ||
       !env_->validity().valid(goal, &stats_.cd))
@@ -76,6 +79,7 @@ std::optional<std::vector<cspace::Config>> Rrt::plan(
   for (std::size_t iter = 0; iter < params_.max_iterations &&
                              branch.num_nodes() < params_.max_nodes;
        ++iter) {
+    if (runtime::stop_requested(cancel)) return std::nullopt;
     ++stats_.samples_attempted;
     const cspace::Config target =
         rng.uniform() < goal_bias ? goal : space.sample(rng);

@@ -16,6 +16,7 @@
 #include "planner/knn.hpp"
 #include "planner/roadmap.hpp"
 #include "planner/stats.hpp"
+#include "runtime/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace pmpl::planner {
@@ -47,9 +48,11 @@ class RrtBranch {
                                         PlannerStats& stats);
 
   /// Grow until `max_nodes` nodes or `max_iterations` iterations, drawing
-  /// growth targets from `sampler`.
+  /// growth targets from `sampler`. A fired `cancel` token stops between
+  /// iterations (bounded overrun: one extend = one k-NN + one local plan).
   void grow(const std::function<cspace::Config(Xoshiro256ss&)>& sampler,
-            Xoshiro256ss& rng, PlannerStats& stats);
+            Xoshiro256ss& rng, PlannerStats& stats,
+            const runtime::CancelToken* cancel = nullptr);
 
   std::size_t num_nodes() const noexcept { return node_ids_.size(); }
   graph::VertexId root() const noexcept { return root_id_; }
@@ -76,11 +79,13 @@ class Rrt {
       : env_(&e), params_(params) {}
 
   /// Plan start -> goal; `goal_bias` is the probability of using the goal
-  /// as the growth target. Returns the configuration path on success.
-  std::optional<std::vector<cspace::Config>> plan(const cspace::Config& start,
-                                                  const cspace::Config& goal,
-                                                  std::uint64_t seed,
-                                                  double goal_bias = 0.1);
+  /// as the growth target. Returns the configuration path on success. A
+  /// fired `cancel` token stops between iterations; the grown tree stays
+  /// available through tree() for salvage.
+  std::optional<std::vector<cspace::Config>> plan(
+      const cspace::Config& start, const cspace::Config& goal,
+      std::uint64_t seed, double goal_bias = 0.1,
+      const runtime::CancelToken* cancel = nullptr);
 
   const Roadmap& tree() const noexcept { return tree_; }
   const PlannerStats& stats() const noexcept { return stats_; }

@@ -123,6 +123,15 @@ void Scheduler::submit_to(std::uint32_t worker, std::function<void()> fn,
 
 void Scheduler::run_task(Task* task, Worker*) {
   TaskGroup* group = task->group;
+  // A cancelled group's queued tasks are dropped, not executed: cancelled
+  // waves drain at pointer speed, which bounds the overrun of a deadline.
+  if (group && group->cancel_ && group->cancel_->stop_requested()) {
+    group->skipped_.fetch_add(1, std::memory_order_acq_rel);
+    delete task;
+    if (group->outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1)
+      wake_all();
+    return;
+  }
   try {
     task->fn();
   } catch (...) {
@@ -405,6 +414,29 @@ void parallel_for(Scheduler& sched, std::size_t n,
     }, &group);
   }
   sched.wait(group);
+}
+
+bool parallel_for_cancellable(Scheduler& sched, std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              const CancelToken& cancel, std::size_t chunk) {
+  if (n == 0) return true;
+  if (chunk == 0) chunk = std::max<std::size_t>(1, n / (sched.size() * 8));
+  TaskGroup group(&cancel);
+  std::atomic<bool> cut_short{false};
+  for (std::size_t lo = 0; lo < n; lo += chunk) {
+    const std::size_t hi = std::min(n, lo + chunk);
+    sched.submit([lo, hi, &fn, &cancel, &cut_short] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (cancel.stop_requested()) {
+          cut_short.store(true, std::memory_order_release);
+          return;
+        }
+        fn(i);
+      }
+    }, &group);
+  }
+  sched.wait(group);
+  return group.skipped() == 0 && !cut_short.load(std::memory_order_acquire);
 }
 
 }  // namespace pmpl::runtime

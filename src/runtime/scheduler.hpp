@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/cancel.hpp"
 #include "runtime/chase_lev_deque.hpp"
 
 namespace pmpl::runtime {
@@ -54,11 +55,24 @@ struct WorkerCounters {
 class TaskGroup {
  public:
   TaskGroup() = default;
+  /// Cancel-aware group: once `cancel` fires, tasks of this group that are
+  /// still queued are *dropped* (completion-counted but never executed), so
+  /// a cancelled wave drains in O(queued) pointer work instead of running
+  /// every remaining task — the scheduler half of the bounded-overrun
+  /// guarantee. Tasks already running are expected to poll the same token.
+  explicit TaskGroup(const CancelToken* cancel) noexcept : cancel_(cancel) {}
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   bool finished() const noexcept {
     return outstanding_.load(std::memory_order_seq_cst) == 0;
+  }
+
+  const CancelToken* cancel_token() const noexcept { return cancel_; }
+
+  /// Tasks dropped unexecuted because the group's token fired.
+  std::uint64_t skipped() const noexcept {
+    return skipped_.load(std::memory_order_acquire);
   }
 
   /// True when some tracked task threw and wait() has not yet rethrown it.
@@ -85,6 +99,8 @@ class TaskGroup {
 
   std::atomic<std::int64_t> outstanding_{0};
   std::atomic<bool> has_error_{false};
+  const CancelToken* cancel_ = nullptr;
+  std::atomic<std::uint64_t> skipped_{0};
   std::mutex error_mutex_;
   std::exception_ptr error_;
 };
@@ -199,5 +215,15 @@ class Scheduler {
 void parallel_for(Scheduler& sched, std::size_t n,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t chunk = 0);
+
+/// Cancel-aware parallel_for: batches poll `cancel` between items, and
+/// batches still queued when it fires are dropped by the scheduler.
+/// Returns true iff every index ran; false means the loop was cut short
+/// (some tail of the index space never executed). Overrun past the stop
+/// signal is bounded by one item plus one task dispatch.
+bool parallel_for_cancellable(Scheduler& sched, std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              const CancelToken& cancel,
+                              std::size_t chunk = 0);
 
 }  // namespace pmpl::runtime

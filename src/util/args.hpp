@@ -3,8 +3,18 @@
 /// Minimal command-line flag parser for bench harnesses and examples.
 ///
 /// Supports `--flag value`, `--flag=value` and boolean `--flag` forms.
+/// Numeric lookups are strict: the whole value must parse (trailing
+/// garbage like `10x` or `1.5.2` is rejected), it must fit the type, and
+/// it must lie within the caller's permitted range — anything else is a
+/// clear error on stderr naming the offending flag, then exit(2). Typos
+/// silently becoming 0 (the `std::stoll` legacy) cost more debugging time
+/// than a hard stop.
 
+#include <charconv>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <map>
 #include <string>
 #include <string_view>
@@ -37,23 +47,63 @@ class ArgParser {
     return it != flags_.end() ? it->second : fallback;
   }
 
-  std::int64_t get_i64(const std::string& key, std::int64_t fallback) const {
+  /// Strict integer flag: full-string parse, range-checked against
+  /// [lo, hi]. Errors exit with a message naming the flag.
+  std::int64_t get_i64(const std::string& key, std::int64_t fallback,
+                       std::int64_t lo = std::numeric_limits<std::int64_t>::min(),
+                       std::int64_t hi = std::numeric_limits<std::int64_t>::max()) const {
     const auto it = flags_.find(key);
-    return it != flags_.end() ? std::stoll(it->second) : fallback;
+    if (it == flags_.end()) return fallback;
+    const std::string& s = it->second;
+    std::int64_t value = 0;
+    const auto [end, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec == std::errc::result_out_of_range)
+      die(key, s, "integer out of range");
+    if (ec != std::errc{} || end != s.data() + s.size() || s.empty())
+      die(key, s, "not a valid integer");
+    if (value < lo || value > hi) die(key, s, "value outside permitted range");
+    return value;
   }
 
-  double get_f64(const std::string& key, double fallback) const {
+  /// Strict floating-point flag: full-string parse (rejects `1.5x`, empty,
+  /// and non-finite values), range-checked against [lo, hi].
+  double get_f64(const std::string& key, double fallback,
+                 double lo = std::numeric_limits<double>::lowest(),
+                 double hi = std::numeric_limits<double>::max()) const {
     const auto it = flags_.find(key);
-    return it != flags_.end() ? std::stod(it->second) : fallback;
+    if (it == flags_.end()) return fallback;
+    const std::string& s = it->second;
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec == std::errc::result_out_of_range)
+      die(key, s, "number out of range");
+    if (ec != std::errc{} || end != s.data() + s.size() || s.empty())
+      die(key, s, "not a valid number");
+    if (!(value >= lo && value <= hi))  // also rejects NaN
+      die(key, s, "value outside permitted range");
+    return value;
   }
 
+  /// Strict boolean flag: accepts 1/0, true/false, yes/no, on/off.
   bool get_bool(const std::string& key, bool fallback = false) const {
     const auto it = flags_.find(key);
     if (it == flags_.end()) return fallback;
-    return it->second != "0" && it->second != "false";
+    const std::string& s = it->second;
+    if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+    if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+    die(key, s, "not a valid boolean (use 1/0, true/false, yes/no, on/off)");
   }
 
  private:
+  [[noreturn]] static void die(const std::string& key, const std::string& value,
+                               const char* what) {
+    std::fprintf(stderr, "error: flag --%s: %s: '%s'\n", key.c_str(), what,
+                 value.c_str());
+    std::exit(2);
+  }
+
   std::map<std::string, std::string> flags_;
 };
 
