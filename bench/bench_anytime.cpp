@@ -17,7 +17,10 @@
 #include <vector>
 
 #include "core/parallel_build.hpp"
+#include "core/profile.hpp"
 #include "env/builders.hpp"
+#include "loadbal/metrics.hpp"
+#include "runtime/metrics_registry.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
   // Full build, repeated; the minimum is the noise-free reference.
   double full_s = 1e30;
   std::size_t full_vertices = 0, full_edges = 0;
+  runtime::MetricsRegistry metrics;
   for (int i = 0; i < kRepeats; ++i) {
     double t = 0.0;
     const auto r = build({}, &t);
@@ -75,6 +79,12 @@ int main(int argc, char** argv) {
     full_s = std::min(full_s, t);
     full_vertices = r.roadmap.num_vertices();
     full_edges = r.roadmap.num_edges();
+    if (i == 0) {
+      // Shared-schema "metrics" member: worker stats and planner work
+      // counts of the first full build.
+      publish(metrics, r.workers, "workers/");
+      publish(metrics, core::to_work_counts(r.stats), "work/");
+    }
   }
   std::printf("full build: %.3fs, |V|=%zu |E|=%zu (%zu regions)\n", full_s,
               full_vertices, full_edges, grid.size());
@@ -162,7 +172,10 @@ int main(int argc, char** argv) {
         p.regions_completed, p.vertices, p.edges, p.components, p.vertex_frac,
         i + 1 < curve.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  metrics.set("full_build_s", full_s);
+  metrics.set("checkpoint_build_s", ckpt_s);
+  metrics.set("checkpoint_overhead", overhead);
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.to_json().c_str());
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

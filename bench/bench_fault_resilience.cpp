@@ -17,6 +17,7 @@
 
 #include "loadbal/ws_engine.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/metrics_registry.hpp"
 #include "runtime/topology.hpp"
 
 namespace {
@@ -95,6 +96,7 @@ int main(int argc, char** argv) {
   const double straggler_factors[] = {2.0, 4.0, 8.0};
 
   std::vector<Row> rows;
+  runtime::MetricsRegistry metrics;
   std::printf("%-10s %-16s %7s %11s %12s %10s\n", "policy", "scenario",
               "param", "makespan_s", "degradation", "recovered");
   for (const auto policy : policies) {
@@ -110,6 +112,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     const double base_s = base.makespan_s;
+    // Shared-schema "metrics" member: the fault-free DES counters per
+    // policy (deterministic for the fixed seed).
+    publish(metrics, base, std::string(policy_name(policy)) + "/");
 
     auto run = [&](const runtime::FaultPlan& plan, const char* scenario,
                    double param) {
@@ -191,7 +196,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.tokens_regenerated),
         i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.to_json().c_str());
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;

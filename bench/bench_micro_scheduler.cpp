@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/metrics_registry.hpp"
 #include "runtime/scheduler.hpp"
 #include "util/timer.hpp"
 
@@ -103,6 +104,10 @@ struct Row {
   std::size_t tasks = 0;
   double wall_s = 0.0;
   double tasks_per_s = 0.0;
+  // Scheduler-only observability (the legacy pool has no counters).
+  bool has_counters = false;
+  std::uint64_t steal_failures = 0;
+  double park_s = 0.0;
 };
 
 double time_mutex_pool(std::size_t threads, std::size_t tasks,
@@ -115,15 +120,35 @@ double time_mutex_pool(std::size_t threads, std::size_t tasks,
   return t.elapsed_s();
 }
 
-double time_scheduler(std::size_t threads, std::size_t tasks,
+/// One repetition on a *persistent* scheduler, so its counters accumulate
+/// across reps and their monotonicity can be asserted.
+double time_scheduler(pmpl::runtime::Scheduler& sched, std::size_t tasks,
                       double grain_us) {
-  pmpl::runtime::Scheduler sched(threads);
   pmpl::runtime::TaskGroup group;
   pmpl::WallTimer t;
   for (std::size_t i = 0; i < tasks; ++i)
     sched.submit([grain_us] { spin_us(grain_us); }, &group);
   sched.wait(group);
   return t.elapsed_s();
+}
+
+/// Scheduler counters summed across workers.
+struct SchedTotals {
+  std::uint64_t executed = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steal_failures = 0;
+  double park_s = 0.0;
+};
+
+SchedTotals totals_of(const pmpl::runtime::Scheduler& sched) {
+  SchedTotals t;
+  for (const auto& c : sched.counters()) {
+    t.executed += c.executed_local + c.executed_stolen;
+    t.steal_attempts += c.steal_attempts;
+    t.steal_failures += c.steal_failures;
+    t.park_s += c.park_s;
+  }
+  return t;
 }
 
 }  // namespace
@@ -145,22 +170,56 @@ int main(int argc, char** argv) {
   constexpr int kReps = 3;
 
   std::vector<Row> rows;
+  int monotonicity_violations = 0;
+  pmpl::runtime::MetricsRegistry metrics;
   std::printf("# scheduler substrate: %u hardware threads\n", hw);
   std::printf("%-10s %9s %8s %8s %12s %14s\n", "executor", "grain_us",
               "threads", "tasks", "wall_s", "tasks_per_s");
   for (const auto& [grain_us, tasks] : grains) {
     for (const std::size_t p : thread_counts) {
-      for (const char* executor : {"mutex_pool", "chase_lev"}) {
+      // Baseline: a fresh pool per repetition (it has no counters to keep).
+      {
         double best = 1e100;
-        for (int rep = 0; rep < kReps; ++rep) {
-          const double wall =
-              std::string(executor) == "mutex_pool"
-                  ? time_mutex_pool(p, tasks, grain_us)
-                  : time_scheduler(p, tasks, grain_us);
-          best = std::min(best, wall);
-        }
-        Row row{executor, grain_us, p, tasks, best,
+        for (int rep = 0; rep < kReps; ++rep)
+          best = std::min(best, time_mutex_pool(p, tasks, grain_us));
+        Row row{"mutex_pool", grain_us, p, tasks, best,
                 static_cast<double>(tasks) / best};
+        std::printf("%-10s %9.0f %8zu %8zu %12.6f %14.0f\n",
+                    row.executor.c_str(), row.grain_us, row.threads,
+                    row.tasks, row.wall_s, row.tasks_per_s);
+        rows.push_back(std::move(row));
+      }
+      // One persistent Scheduler per (grain, threads) config: counters
+      // accumulate across repetitions, so each rep must advance them
+      // monotonically and execute exactly `tasks` more tasks.
+      {
+        pmpl::runtime::Scheduler sched(p);
+        double best = 1e100;
+        SchedTotals prev = totals_of(sched);
+        for (int rep = 0; rep < kReps; ++rep) {
+          best = std::min(best, time_scheduler(sched, tasks, grain_us));
+          const SchedTotals cur = totals_of(sched);
+          if (cur.executed != prev.executed + tasks ||
+              cur.steal_attempts < prev.steal_attempts ||
+              cur.steal_failures < prev.steal_failures ||
+              cur.park_s < prev.park_s) {
+            std::fprintf(stderr,
+                         "FAIL: counters not monotone at grain=%.0f p=%zu "
+                         "rep=%d (executed %llu -> %llu, expected +%zu)\n",
+                         grain_us, p, rep,
+                         static_cast<unsigned long long>(prev.executed),
+                         static_cast<unsigned long long>(cur.executed), tasks);
+            ++monotonicity_violations;
+          }
+          prev = cur;
+        }
+        metrics.add("scheduler/executed", prev.executed);
+        metrics.add("scheduler/steal_attempts", prev.steal_attempts);
+        metrics.add("scheduler/steal_failures", prev.steal_failures);
+        metrics.observe("scheduler/park_s_per_config", prev.park_s);
+        Row row{"chase_lev", grain_us, p, tasks, best,
+                static_cast<double>(tasks) / best, true, prev.steal_failures,
+                prev.park_s};
         std::printf("%-10s %9.0f %8zu %8zu %12.6f %14.0f\n",
                     row.executor.c_str(), row.grain_us, row.threads,
                     row.tasks, row.wall_s, row.tasks_per_s);
@@ -182,9 +241,14 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"executor\": \"%s\", \"grain_us\": %.0f, "
                  "\"threads\": %zu, \"tasks\": %zu, \"wall_s\": %.6f, "
-                 "\"tasks_per_s\": %.0f}%s\n",
+                 "\"tasks_per_s\": %.0f",
                  r.executor.c_str(), r.grain_us, r.threads, r.tasks, r.wall_s,
-                 r.tasks_per_s, i + 1 < rows.size() ? "," : "");
+                 r.tasks_per_s);
+    if (r.has_counters)
+      std::fprintf(f, ", \"steal_failures\": %llu, \"park_s\": %.6f",
+                   static_cast<unsigned long long>(r.steal_failures),
+                   r.park_s);
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"speedup\": [\n");
   bool first = true;
@@ -202,8 +266,13 @@ int main(int argc, char** argv) {
                 speedup);
     first = false;
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ],\n  \"metrics\": %s\n}\n", metrics.to_json().c_str());
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
+  if (monotonicity_violations > 0) {
+    std::fprintf(stderr, "%d counter monotonicity violation(s)\n",
+                 monotonicity_violations);
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,128 @@
+// Tracing overhead bench: the same shared-memory parallel PRM build run
+// untraced and traced, best-of-N wall time each way. The instrumentation
+// budget for the tracing layer is <= 3% slowdown with rings attached
+// (DESIGN.md §5e); this harness measures it and records the verdict in
+// BENCH_trace.json (path overridable as argv[1]).
+//
+// The two builds must also produce identical roadmaps — tracing draws no
+// randomness and never changes control flow — so the bench doubles as an
+// end-to-end check of the "disabled means absent / enabled means inert"
+// contract on real planner work. A roadmap mismatch is a hard failure;
+// the overhead number is recorded but not gated here (wall-clock noise on
+// shared CI boxes is larger than the effect — the JSON is the record).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/parallel_build.hpp"
+#include "env/builders.hpp"
+#include "runtime/trace.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+using namespace pmpl;
+
+namespace {
+
+struct BuildOutcome {
+  double wall_s = 0.0;
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+};
+
+BuildOutcome run_build(const env::Environment& e, const core::RegionGrid& grid,
+                       std::size_t attempts, std::uint32_t workers,
+                       std::uint64_t seed, bool traced) {
+  runtime::Tracer tracer;
+  core::ParallelPrmConfig cfg;
+  cfg.total_attempts = attempts;
+  cfg.seed = seed;
+  cfg.workers = workers;
+  if (traced) cfg.tracer = &tracer;
+  WallTimer t;
+  const auto built = core::parallel_build_prm(e, grid, cfg);
+  BuildOutcome out;
+  out.wall_s = t.elapsed_s();
+  out.vertices = built.roadmap.num_vertices();
+  out.edges = built.roadmap.num_edges();
+  out.events = tracer.total_events();
+  out.dropped = tracer.total_dropped();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Positional argv[1] (when not a flag) overrides the output path; flags
+  // are parsed from the full argv (the parser skips positionals).
+  const std::string out_path =
+      argc > 1 && argv[1][0] != '-' ? argv[1] : "BENCH_trace.json";
+  ArgParser args(argc, argv);
+  const auto attempts =
+      static_cast<std::size_t>(args.get_i64("attempts", 20000, 1));
+  const auto workers =
+      static_cast<std::uint32_t>(args.get_i64("workers", 4, 1, 256));
+  const auto seed = static_cast<std::uint64_t>(args.get_i64("seed", 7));
+  constexpr int kReps = 3;
+  constexpr double kThreshold = 0.03;
+
+  const auto e = env::med_cube();
+  const core::RegionGrid grid =
+      core::RegionGrid::make_auto(e->space().position_bounds(), 64, false);
+
+  std::printf("# trace overhead: %zu attempts, %u workers, best of %d\n",
+              attempts, workers, kReps);
+  BuildOutcome untraced, traced;
+  untraced.wall_s = traced.wall_s = 1e100;
+  // Interleave the modes so drift (thermal, other tenants) hits both.
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto u = run_build(*e, grid, attempts, workers, seed, false);
+    const auto t = run_build(*e, grid, attempts, workers, seed, true);
+    std::printf("rep %d: untraced %.4fs, traced %.4fs (%llu events, "
+                "%llu dropped)\n",
+                rep, u.wall_s, t.wall_s,
+                static_cast<unsigned long long>(t.events),
+                static_cast<unsigned long long>(t.dropped));
+    if (u.vertices != t.vertices || u.edges != t.edges) {
+      std::fprintf(stderr,
+                   "FAIL: traced build differs (|V| %zu vs %zu, |E| %zu vs "
+                   "%zu) — tracing must not perturb the roadmap\n",
+                   u.vertices, t.vertices, u.edges, t.edges);
+      return 1;
+    }
+    if (u.wall_s < untraced.wall_s) untraced = u;
+    if (t.wall_s < traced.wall_s) traced = t;
+  }
+
+  const double overhead =
+      untraced.wall_s > 0.0 ? traced.wall_s / untraced.wall_s - 1.0 : 0.0;
+  std::printf("best: untraced %.4fs, traced %.4fs -> overhead %+.2f%% "
+              "(budget %.0f%%)\n",
+              untraced.wall_s, traced.wall_s, 100.0 * overhead,
+              100.0 * kThreshold);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"trace_overhead\",\n"
+               "  \"attempts\": %zu,\n  \"workers\": %u,\n  \"reps\": %d,\n"
+               "  \"untraced_wall_s\": %.6f,\n  \"traced_wall_s\": %.6f,\n"
+               "  \"overhead_frac\": %.6f,\n  \"threshold_frac\": %.2f,\n"
+               "  \"within_threshold\": %s,\n"
+               "  \"trace_events\": %llu,\n  \"trace_dropped\": %llu,\n"
+               "  \"roadmap_vertices\": %zu,\n  \"roadmap_edges\": %zu\n}\n",
+               attempts, workers, kReps, untraced.wall_s, traced.wall_s,
+               overhead, kThreshold, overhead <= kThreshold ? "true" : "false",
+               static_cast<unsigned long long>(traced.events),
+               static_cast<unsigned long long>(traced.dropped),
+               traced.vertices, traced.edges);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

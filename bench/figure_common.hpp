@@ -17,6 +17,7 @@
 #include "core/prm_driver.hpp"
 #include "core/rrt_driver.hpp"
 #include "env/builders.hpp"
+#include "runtime/metrics_registry.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -102,6 +103,16 @@ inline void print_time_table(const std::string& title,
     }() : "-");
   }
   table.print();
+}
+
+/// Shared `"metrics"` member for BENCH_*.json files: every bench embeds a
+/// MetricsRegistry's flat snapshot under this one key, so downstream
+/// tooling reads a single schema (counters/gauges/histograms) regardless
+/// of which bench produced the file. Call between two members of the
+/// top-level JSON object; writes no trailing comma or newline.
+inline void write_metrics_member(std::FILE* f,
+                                 const runtime::MetricsRegistry& reg) {
+  std::fprintf(f, "  \"metrics\": %s", reg.to_json().c_str());
 }
 
 }  // namespace pmpl::bench

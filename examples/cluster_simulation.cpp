@@ -20,6 +20,14 @@
 //   --deadline-ms D      stop the real planning work (anytime build and
 //                        workload measurement) after D ms; partial results
 //                        are reported and the process exits 3
+//
+// Observability (all optional):
+//   --trace FILE         write a Chrome/Perfetto trace of the fault-free
+//                        replays: one "phases" track per strategy plus one
+//                        virtual-time track per simulated processor for the
+//                        HybridWS replay (region spans, steal traffic)
+//   --metrics FILE       write a flat metrics JSON snapshot (per-strategy
+//                        DES counters, fault metrics, phase gauges)
 //   --checkpoint FILE    run a real shared-memory anytime PRM build first,
 //                        snapshotting completed regions to FILE
 //   --checkpoint-every N snapshot every N completed regions (default 8)
@@ -38,6 +46,8 @@
 #include "core/parallel_build.hpp"
 #include "core/prm_driver.hpp"
 #include "env/builders.hpp"
+#include "runtime/metrics_registry.hpp"
+#include "runtime/trace.hpp"
 #include "util/args.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -91,6 +101,14 @@ int main(int argc, char** argv) {
   const runtime::CancelToken token(deadline_ms > 0.0
                                        ? runtime::Deadline::after_ms(deadline_ms)
                                        : runtime::Deadline::never());
+
+  // Observability sinks. The tracer is passed into the fault-free replays;
+  // per-rank virtual-time tracks are created only for the HybridWS replay
+  // (one track per simulated processor adds up fast at p=1024).
+  const std::string trace_path = args.get("trace", "");
+  const std::string metrics_path = args.get("metrics", "");
+  runtime::Tracer tracer;
+  runtime::MetricsRegistry metrics;
 
   std::printf("what-if: %s on %s, p=%u, %u regions, %zu attempts\n",
               e->name().c_str(), cluster.name.c_str(), procs, regions,
@@ -164,7 +182,26 @@ int main(int argc, char** argv) {
     cfg.strategy = s;
     cfg.cluster = cluster;
     cfg.seed = seed;
+    if (!trace_path.empty()) {
+      cfg.tracer = &tracer;
+      cfg.trace_prefix = core::to_string(s) + "/";
+      // Rank-level detail for one representative work-stealing strategy.
+      cfg.trace_ranks = s == core::Strategy::kHybridWS;
+      cfg.trace_rank_capacity = 1 << 12;
+    }
     const auto r = core::simulate_prm_run(w, cfg);
+    if (!metrics_path.empty()) {
+      const std::string prefix = core::to_string(s) + "/";
+      metrics.set(prefix + "total_s", r.total_s);
+      metrics.set(prefix + "sampling_s", r.phases.sampling_s);
+      metrics.set(prefix + "redistribution_s", r.phases.redistribution_s);
+      metrics.set(prefix + "node_connection_s", r.phases.node_connection_s);
+      metrics.set(prefix + "region_connection_s",
+                  r.phases.region_connection_s);
+      metrics.set(prefix + "cv_nodes_after", r.cv_nodes_after);
+      metrics.add(prefix + "remote_roadmap", r.remote_roadmap);
+      if (core::is_work_stealing(s)) publish(metrics, r.ws, prefix);
+    }
     if (r.ws.hit_event_limit) {
       std::fprintf(stderr,
                    "warning: %s hit the DES event limit — its replay is "
@@ -222,10 +259,42 @@ int main(int argc, char** argv) {
   if (drop > 0.0) plan.lossy_links(drop);
   if (token_drop > 0.0) plan.lose_tokens(token_drop);
 
+  // Observability output covers the fault-free replays (the faulty pass
+  // below re-runs the same strategies; tracing it too would double every
+  // track). Write the files as soon as those replays are done.
+  int observability_failed = 0;
+  if (!trace_path.empty()) {
+    if (runtime::export_chrome_trace(tracer, trace_path)) {
+      std::printf("\ntrace: %s (%llu events, %llu dropped) — load in "
+                  "https://ui.perfetto.dev\n",
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(tracer.total_events()),
+                  static_cast<unsigned long long>(tracer.total_dropped()));
+    } else {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_path.c_str());
+      observability_failed = 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::FILE* mf = std::fopen(metrics_path.c_str(), "w");
+    if (mf) {
+      const std::string j = metrics.to_json();
+      std::fwrite(j.data(), 1, j.size(), mf);
+      std::fputc('\n', mf);
+      std::fclose(mf);
+      std::printf("metrics: %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   metrics_path.c_str());
+      observability_failed = 1;
+    }
+  }
+
   if (plan.empty()) {
     std::printf("\nload profile is in simulated seconds; the workload itself\n"
                 "is real planning work measured once on this machine.\n");
-    return des_event_limit ? 1 : 0;
+    return (des_event_limit || observability_failed) ? 1 : 0;
   }
 
   std::printf("\nfault plan: %zu crash(es) at t=%.3f, %u straggler(s) x%.1f, "
@@ -266,5 +335,5 @@ int main(int argc, char** argv) {
   std::printf("\nbulk-synchronous rows model stragglers only (no recovery\n"
               "protocol to simulate); work-stealing rows inject the full\n"
               "plan: crashes, lossy links and token loss.\n");
-  return des_event_limit ? 1 : 0;
+  return (des_event_limit || observability_failed) ? 1 : 0;
 }

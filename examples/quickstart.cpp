@@ -11,6 +11,13 @@
 //   --checkpoint FILE snapshot completed regions to FILE as the build runs
 //   --resume          restore completed regions from FILE first; a resumed
 //                     build finishes bit-identically to an uninterrupted one
+//   --trace FILE      write a Chrome/Perfetto trace of the build (one track
+//                     per worker thread: region > sample/connect spans)
+//   --metrics FILE    write a flat metrics JSON snapshot (worker stats,
+//                     planner work counts)
+//
+// --trace and --metrics imply the parallel builder (there is nothing to
+// put on a per-worker track in the sequential path).
 //
 // This is the smallest end-to-end use of the library: environment builder,
 // PRM (sequential or anytime-parallel), and query extraction.
@@ -18,9 +25,13 @@
 #include <cstdio>
 
 #include "core/parallel_build.hpp"
+#include "core/profile.hpp"
 #include "env/builders.hpp"
+#include "loadbal/metrics.hpp"
 #include "planner/prm.hpp"
 #include "planner/query.hpp"
+#include "runtime/metrics_registry.hpp"
+#include "runtime/trace.hpp"
 #include "util/args.hpp"
 #include "util/timer.hpp"
 
@@ -34,8 +45,11 @@ int main(int argc, char** argv) {
   const double deadline_ms = args.get_f64("deadline-ms", 0.0, 0.0);
   const std::string checkpoint_path = args.get("checkpoint", "");
   const bool resume = args.get_bool("resume", false);
+  const std::string trace_path = args.get("trace", "");
+  const std::string metrics_path = args.get("metrics", "");
   const bool anytime = args.has("workers") || deadline_ms > 0.0 ||
-                       !checkpoint_path.empty() || resume;
+                       !checkpoint_path.empty() || resume ||
+                       !trace_path.empty() || !metrics_path.empty();
 
   // 1. An environment: a 100^3 workspace with a central cube obstacle and
   //    a box-shaped rigid-body robot (6-DOF SE(3) planning).
@@ -48,6 +62,7 @@ int main(int argc, char** argv) {
   params.k_neighbors = 8;
   planner::Roadmap roadmap;
   planner::PlannerStats stats;
+  runtime::Tracer tracer;
   WallTimer timer;
   if (anytime) {
     const runtime::CancelToken token(
@@ -65,6 +80,7 @@ int main(int argc, char** argv) {
     cfg.anytime.checkpoint_path = checkpoint_path;
     cfg.anytime.checkpoint_every = 8;
     cfg.anytime.resume = resume;
+    if (!trace_path.empty()) cfg.tracer = &tracer;
     auto built = core::parallel_build_prm(*e, grid, cfg);
     const auto& d = built.degradation;
     std::printf("anytime build: %zu/%zu regions done (%zu restored from "
@@ -77,6 +93,37 @@ int main(int argc, char** argv) {
                    to_string(d.resume_status));
     roadmap = std::move(built.roadmap);
     stats = built.stats;
+
+    // Workers are joined, so the trace buffers are quiescent.
+    if (!trace_path.empty()) {
+      if (runtime::export_chrome_trace(tracer, trace_path))
+        std::printf("trace: %s (%llu events, %llu dropped) — load in "
+                    "https://ui.perfetto.dev\n",
+                    trace_path.c_str(),
+                    static_cast<unsigned long long>(tracer.total_events()),
+                    static_cast<unsigned long long>(tracer.total_dropped()));
+      else
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      runtime::MetricsRegistry reg;
+      publish(reg, built.workers, "workers/");
+      publish(reg, core::to_work_counts(stats), "work/");
+      reg.set("build_wall_s", built.build_wall_s);
+      reg.set("connect_wall_s", built.connect_wall_s);
+      std::FILE* mf = std::fopen(metrics_path.c_str(), "w");
+      if (mf) {
+        const std::string j = reg.to_json();
+        std::fwrite(j.data(), 1, j.size(), mf);
+        std::fputc('\n', mf);
+        std::fclose(mf);
+        std::printf("metrics: %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                     metrics_path.c_str());
+      }
+    }
   } else {
     planner::Prm prm(*e, params);
     prm.build(attempts, seed);

@@ -24,13 +24,19 @@ RegionSnapshot build_region(const env::Environment& e, const geo::Aabb& box,
                             std::size_t attempts,
                             const planner::PrmParams& params,
                             std::uint64_t seed,
-                            const runtime::CancelToken* cancel) {
+                            const runtime::CancelToken* cancel,
+                            runtime::Tracer* tracer) {
   RegionSnapshot out;
   Xoshiro256ss rng(seed);
-  out.configs = planner::sample_region(e, box, attempts, rng, out.stats,
-                                       cancel);
+  runtime::TraceBuffer* tb = tracer ? tracer->thread_track() : nullptr;
+  {
+    runtime::TraceSpan span(tracer, tb, "sample");
+    out.configs = planner::sample_region(e, box, attempts, rng, out.stats,
+                                         cancel);
+  }
 
   // Region-local roadmap to reuse connect_within, then lift its edges.
+  runtime::TraceSpan span(tracer, tb, "connect");
   planner::Roadmap local;
   std::vector<graph::VertexId> ids;
   ids.reserve(out.configs.size());
@@ -134,9 +140,13 @@ ParallelPrmResult parallel_build_prm(const env::Environment& e,
     tasks.push_back([&, r] {
       if (done[r].load(std::memory_order_acquire)) return;  // restored
       if (runtime::stop_requested(cancel)) return;
+      runtime::TraceBuffer* tb =
+          config.tracer ? config.tracer->thread_track() : nullptr;
+      runtime::TraceSpan region_span(config.tracer, tb, "region", r);
       RegionSnapshot out =
           build_region(e, grid.sampling_box(r), base + (r < extra),
-                       config.prm, derive_seed(config.seed, r), cancel);
+                       config.prm, derive_seed(config.seed, r), cancel,
+                       config.tracer);
       // All-or-nothing: a token fired mid-region means `out` is partial
       // and must not be kept, or resume equivalence would break.
       if (runtime::stop_requested(cancel)) return;
@@ -163,6 +173,7 @@ ParallelPrmResult parallel_build_prm(const env::Environment& e,
   runtime::SchedulerOptions options;
   options.steal = config.work_stealing;
   options.seed = config.seed;
+  options.tracer = config.tracer;
   runtime::Scheduler scheduler(config.workers, options);
   WallTimer build_timer;
   result.workers = loadbal::run_on_scheduler(scheduler, tasks, initial);
@@ -192,6 +203,8 @@ ParallelPrmResult parallel_build_prm(const env::Environment& e,
   // phase from the restored regional outputs.
   WallTimer connect_timer;
   bool connect_ran_to_end = true;
+  runtime::TraceBuffer* connect_tb =
+      config.tracer ? config.tracer->thread_track("region-connect") : nullptr;
   for (const auto& [a, b] : grid.adjacency_edges()) {
     if (runtime::stop_requested(cancel)) {
       connect_ran_to_end = false;
@@ -200,6 +213,7 @@ ParallelPrmResult parallel_build_prm(const env::Environment& e,
     if (!done[a].load(std::memory_order_acquire) ||
         !done[b].load(std::memory_order_acquire))
       continue;
+    runtime::TraceSpan span(config.tracer, connect_tb, "edge_connect", a);
     planner::connect_between(e, result.roadmap, result.region_vertices[a],
                              result.region_vertices[b], config.prm,
                              result.stats, nullptr,

@@ -17,6 +17,7 @@
 #include "env/environment.hpp"
 #include "loadbal/ws_threaded.hpp"
 #include "planner/prm.hpp"
+#include "runtime/trace.hpp"
 
 namespace pmpl::core {
 
@@ -28,6 +29,12 @@ struct ParallelPrmConfig {
   std::size_t max_boundary_attempts = 16;
   std::uint64_t seed = 1;
   AnytimeOptions anytime;  ///< deadline/cancel + checkpoint/resume
+  /// Tracing sink; nullptr disables. When set, scheduler workers record
+  /// task/steal/park events and each region task nests region > sample /
+  /// connect spans on its worker's wall-time track; the serial
+  /// region-connection phase records edge_connect spans on the caller's
+  /// track. The roadmap is bit-identical with tracing on or off.
+  runtime::Tracer* tracer = nullptr;
 };
 
 struct ParallelPrmResult {

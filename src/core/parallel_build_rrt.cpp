@@ -34,6 +34,9 @@ RegionSnapshot grow_branch(const env::Environment& e,
       std::max<std::size_t>(2, config.total_nodes / regions.size());
   params.max_iterations = config.iteration_factor * params.max_nodes;
 
+  runtime::TraceBuffer* tb =
+      config.tracer ? config.tracer->thread_track() : nullptr;
+  runtime::TraceSpan span(config.tracer, tb, "grow", region);
   planner::RrtBranch branch(e, local, root, region, params);
   Xoshiro256ss rng(derive_seed(config.seed, region));
   branch.grow(
@@ -144,6 +147,9 @@ ParallelRrtResult parallel_build_rrt(const env::Environment& e,
     tasks.push_back([&, r] {
       if (done[r].load(std::memory_order_acquire)) return;  // restored
       if (runtime::stop_requested(cancel)) return;
+      runtime::TraceBuffer* tb =
+          config.tracer ? config.tracer->thread_track() : nullptr;
+      runtime::TraceSpan branch_span(config.tracer, tb, "branch", r);
       RegionSnapshot out = grow_branch(e, regions, r, root, config, cancel);
       // All-or-nothing: discard a branch interrupted mid-growth.
       if (runtime::stop_requested(cancel)) return;
@@ -164,6 +170,7 @@ ParallelRrtResult parallel_build_rrt(const env::Environment& e,
   const auto initial = loadbal::partition_block(nr, config.workers);
   runtime::SchedulerOptions options;
   options.seed = config.seed;
+  options.tracer = config.tracer;
   runtime::Scheduler scheduler(config.workers, options);
   WallTimer grow_timer;
   result.workers = loadbal::run_on_scheduler(scheduler, tasks, initial);
@@ -196,6 +203,8 @@ ParallelRrtResult parallel_build_rrt(const env::Environment& e,
   for (graph::VertexId v = 0; v < result.tree.num_vertices(); ++v)
     for (const auto& he : result.tree.edges_of(v)) cc.unite(v, he.to);
   bool connect_ran_to_end = true;
+  runtime::TraceBuffer* connect_tb =
+      config.tracer ? config.tracer->thread_track("branch-connect") : nullptr;
   for (const auto& [a, b] : regions.adjacency_edges()) {
     if (runtime::stop_requested(cancel)) {
       connect_ran_to_end = false;
@@ -204,6 +213,7 @@ ParallelRrtResult parallel_build_rrt(const env::Environment& e,
     if (!done[a].load(std::memory_order_acquire) ||
         !done[b].load(std::memory_order_acquire))
       continue;
+    runtime::TraceSpan span(config.tracer, connect_tb, "edge_connect", a);
     planner::connect_between(e, result.tree, result.region_vertices[a],
                              result.region_vertices[b], connect_params,
                              result.stats, &cc,

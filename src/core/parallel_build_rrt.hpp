@@ -14,6 +14,7 @@
 #include "env/environment.hpp"
 #include "loadbal/ws_threaded.hpp"
 #include "planner/rrt.hpp"
+#include "runtime/trace.hpp"
 
 namespace pmpl::core {
 
@@ -26,6 +27,10 @@ struct ParallelRrtConfig {
   std::uint32_t workers = 4;
   std::uint64_t seed = 1;
   AnytimeOptions anytime;  ///< deadline/cancel + checkpoint/resume
+  /// Tracing sink; nullptr disables (see ParallelPrmConfig::tracer).
+  /// Branch tasks record branch > grow spans; the connection phase records
+  /// edge_connect spans. The forest is bit-identical with tracing on/off.
+  runtime::Tracer* tracer = nullptr;
 };
 
 struct ParallelRrtResult {

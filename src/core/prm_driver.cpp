@@ -237,6 +237,11 @@ PrmRunResult simulate_prm_run(const Workload& w, const PrmRunConfig& config) {
     ws_cfg.cluster = config.cluster;
     ws_cfg.seed = config.seed;
     ws_cfg.faults = config.faults;
+    if (config.tracer && config.trace_ranks) {
+      ws_cfg.tracer = config.tracer;
+      ws_cfg.trace_prefix = config.trace_prefix;
+      ws_cfg.trace_capacity = config.trace_rank_capacity;
+    }
     out.ws = loadbal::simulate_work_stealing(items, initial, config.procs,
                                              ws_cfg);
     out.straggler_delay_s = out.ws.faults.straggler_delay_s;
@@ -330,6 +335,25 @@ PrmRunResult simulate_prm_run(const Workload& w, const PrmRunConfig& config) {
   out.cv_nodes_after = cv_of_counts(out.nodes_per_proc);
   out.edge_cut_after = loadbal::edge_cut(w.region_edges, out.assignment);
   out.total_s = out.phases.total();
+
+  if (config.tracer) {
+    // Lay the reported breakdown end-to-end on a virtual-time track: each
+    // phase is one span, so per-phase span sums in the exported trace equal
+    // the PhaseBreakdown fields exactly.
+    runtime::TraceBuffer* t =
+        config.tracer->track(config.trace_prefix + "phases", 16);
+    double at = 0.0;
+    const auto phase_span = [&](const char* name, double dur) {
+      t->begin_at(name, at);
+      at += dur;
+      t->end_at(name, at);
+    };
+    phase_span("setup", out.phases.setup_s);
+    phase_span("sampling", out.phases.sampling_s);
+    phase_span("redistribution", out.phases.redistribution_s);
+    phase_span("node_connection", out.phases.node_connection_s);
+    phase_span("region_connection", out.phases.region_connection_s);
+  }
   return out;
 }
 

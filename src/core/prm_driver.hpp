@@ -71,6 +71,18 @@ struct PrmRunConfig {
   /// recovery protocol to model — apply the straggler windows to their
   /// phase timing, showing how a barrier amplifies one slow rank.
   runtime::FaultPlan faults;
+  /// Tracing sink; nullptr disables. When set, the replay emits a
+  /// "<trace_prefix>phases" virtual track whose spans lay the reported
+  /// PhaseBreakdown end-to-end on the simulated timeline (span sums match
+  /// the phase totals exactly). With `trace_ranks` additionally set and a
+  /// work-stealing strategy, the DES engine gets one virtual-time track
+  /// per simulated processor (region spans, steal traffic, fault markers)
+  /// — sized by `trace_rank_capacity` (0 = tracer default); mind the
+  /// memory at large `procs`. Tracing never perturbs the replay.
+  runtime::Tracer* tracer = nullptr;
+  std::string trace_prefix;
+  bool trace_ranks = false;
+  std::size_t trace_rank_capacity = 0;
 };
 
 /// Replay outcome: everything the figures plot.

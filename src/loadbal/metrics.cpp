@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "runtime/metrics_registry.hpp"
+
 namespace pmpl::loadbal {
 
 std::vector<double> per_part_load(std::span<const double> weights,
@@ -80,6 +82,26 @@ WorkerSummary summarize_workers(std::span<const WorkerStats> stats) {
         static_cast<double>(attempts);
   if (!executed.empty()) s.executed_cv = summarize(executed).cv();
   return s;
+}
+
+void publish(runtime::MetricsRegistry& reg,
+             std::span<const WorkerStats> stats, const std::string& prefix) {
+  std::uint64_t local = 0, stolen = 0, attempts = 0, failures = 0;
+  for (const auto& w : stats) {
+    local += w.executed_local;
+    stolen += w.executed_stolen;
+    attempts += w.steal_attempts;
+    failures += w.steal_failures;
+  }
+  reg.add(prefix + "executed_local", local);
+  reg.add(prefix + "executed_stolen", stolen);
+  reg.add(prefix + "steal_attempts", attempts);
+  reg.add(prefix + "steal_failures", failures);
+  const WorkerSummary s = summarize_workers(stats);
+  reg.set(prefix + "stolen_fraction", s.stolen_fraction);
+  reg.set(prefix + "steal_success_rate", s.steal_success_rate);
+  reg.set(prefix + "executed_cv", s.executed_cv);
+  reg.set(prefix + "park_total_s", s.total_park_s);
 }
 
 }  // namespace pmpl::loadbal

@@ -9,11 +9,16 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "loadbal/ws_threaded.hpp"
 #include "util/stats.hpp"
+
+namespace pmpl::runtime {
+class MetricsRegistry;
+}
 
 namespace pmpl::loadbal {
 
@@ -67,5 +72,12 @@ struct WorkerSummary {
 };
 
 WorkerSummary summarize_workers(std::span<const WorkerStats> stats);
+
+/// Publish per-worker stats into `reg`: summed counters under
+/// "<prefix>{executed_local,executed_stolen,steal_attempts,steal_failures}",
+/// the WorkerSummary reductions as "<prefix>{stolen_fraction,
+/// steal_success_rate, executed_cv, park_total_s}" gauges.
+void publish(runtime::MetricsRegistry& reg,
+             std::span<const WorkerStats> stats, const std::string& prefix);
 
 }  // namespace pmpl::loadbal

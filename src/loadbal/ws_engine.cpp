@@ -8,6 +8,7 @@
 #include <set>
 
 #include "runtime/des.hpp"
+#include "runtime/metrics_registry.hpp"
 #include "runtime/termination.hpp"
 
 namespace pmpl::loadbal {
@@ -50,6 +51,16 @@ class WsEngine {
     death_known_.assign(p, false);
     death_pending_.assign(p, false);
     crash_time_.assign(p, 0.0);
+    if (config.tracer) {
+      // One virtual-time track per rank. The DES is single-threaded, so
+      // every track has exactly one writer (the simulation loop) and the
+      // lock-free single-writer emit contract holds trivially.
+      trace_.reserve(p);
+      for (std::uint32_t r = 0; r < p; ++r)
+        trace_.push_back(config.tracer->track(
+            config.trace_prefix + "rank " + std::to_string(r),
+            config.trace_capacity));
+    }
     if (inject_.active()) {
       // Derive resilience timeouts from the worst case the protocol must
       // wait out: a victim busy with the largest region stretched by the
@@ -174,6 +185,11 @@ class WsEngine {
     return !loc.busy && loc.queue.empty();
   }
 
+  /// Rank's trace track; nullptr when tracing is off.
+  runtime::TraceBuffer* tr(std::uint32_t rank) const noexcept {
+    return trace_.empty() ? nullptr : trace_[rank];
+  }
+
   void start_next(std::uint32_t rank) {
     if (terminated_ || !alive_[rank]) return;
     Location& loc = locs_[rank];
@@ -189,10 +205,19 @@ class WsEngine {
     const double service =
         inject_.active() ? inject_.stretched_service(rank, sim_.now(), nominal)
                          : nominal;
+    if (runtime::TraceBuffer* t = tr(rank)) {
+      t->counter_at("queue", sim_.now(), loc.queue.size());
+      t->begin_at("region", sim_.now(), item);
+      if (service > nominal)
+        t->instant_at("straggle", sim_.now(),
+                      static_cast<std::uint64_t>((service - nominal) * 1e6));
+    }
     sim_.schedule_in(service, [this, rank, item, service, nominal] {
       if (!alive_[rank]) return;  // crashed mid-region: work lost, recovered
       Location& l = locs_[rank];
       l.busy = false;
+      if (runtime::TraceBuffer* t = tr(rank))
+        t->end_at("region", sim_.now(), item);
       result_.busy_s[rank] += service;
       if (service > nominal)
         result_.faults.straggler_delay_s += service - nominal;
@@ -260,6 +285,8 @@ class WsEngine {
     loc.outstanding += static_cast<std::uint32_t>(victims.size());
     for (const std::uint32_t v : victims) {
       ++result_.steal_requests;
+      if (runtime::TraceBuffer* t = tr(rank))
+        t->instant_at("steal_req", sim_.now(), v);
       const std::uint64_t req_id = next_req_id_++;
       if (!inject_.active()) {
         sim_.schedule_in(config_.cluster.latency(rank, v),
@@ -272,6 +299,8 @@ class WsEngine {
       const auto fate = inject_.on_message(rank, v, sim_.now());
       if (fate.dropped) {
         ++result_.faults.messages_dropped;
+        if (runtime::TraceBuffer* t = tr(rank))
+          t->instant_at("drop", sim_.now(), v);
       } else {
         if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
         sim_.schedule_in(config_.cluster.latency(rank, v) + fate.extra_delay_s,
@@ -317,6 +346,8 @@ class WsEngine {
     if (n == 0 && loc.queue.size() == 1 && loc.busy) n = 1;
     if (n == 0) {
       ++result_.steal_denies;
+      if (runtime::TraceBuffer* t = tr(victim))
+        t->instant_at("deny", sim_.now(), thief);
       if (policy_.kind() == StealPolicyKind::kLifeline &&
           std::find(loc.lifeline_waiters.begin(), loc.lifeline_waiters.end(),
                     thief) == loc.lifeline_waiters.end())
@@ -330,6 +361,8 @@ class WsEngine {
       if (fate.dropped) {
         // Lost deny: the thief's request timeout resolves it.
         ++result_.faults.messages_dropped;
+        if (runtime::TraceBuffer* t = tr(victim))
+          t->instant_at("drop", sim_.now(), thief);
         return;
       }
       if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
@@ -357,6 +390,8 @@ class WsEngine {
                   std::uint64_t bytes) {
     ++result_.steal_grants;
     result_.regions_migrated += grant.size();
+    if (runtime::TraceBuffer* t = tr(victim))
+      t->instant_at("grant", sim_.now(), thief);
     // Work-bearing message: participates in termination accounting.
     safra_.on_send(victim);
     if (!inject_.active()) {
@@ -387,6 +422,8 @@ class WsEngine {
     const auto fate = inject_.on_message(g.victim, g.thief, sim_.now());
     if (fate.dropped) {
       ++result_.faults.messages_dropped;
+      if (runtime::TraceBuffer* t = tr(g.victim))
+        t->instant_at("drop", sim_.now(), g.thief);
     } else {
       if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
       sim_.schedule_in(
@@ -413,6 +450,8 @@ class WsEngine {
     const auto fate = inject_.on_message(g.thief, g.victim, sim_.now());
     if (fate.dropped) {
       ++result_.faults.messages_dropped;
+      if (runtime::TraceBuffer* t = tr(g.thief))
+        t->instant_at("drop", sim_.now(), g.victim);
       return;
     }
     if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
@@ -474,6 +513,10 @@ class WsEngine {
       for (const std::uint32_t item : grant) {
         stolen_flag_[item] = true;
         loc.queue.push_back(item);
+      }
+      if (runtime::TraceBuffer* t = tr(thief)) {
+        t->instant_at("migrate_in", sim_.now(), grant.size());
+        t->counter_at("queue", sim_.now(), loc.queue.size());
       }
       if (req_id != 0) {
         loc.stage = 0;
@@ -553,6 +596,12 @@ class WsEngine {
     alive_[rank] = false;
     crash_time_[rank] = sim_.now();
     Location& loc = locs_[rank];
+    if (runtime::TraceBuffer* t = tr(rank)) {
+      // Close the open region span (its completion event will bail out on
+      // !alive_) so the crash shows as a truncated span, then mark it.
+      if (loc.busy) t->end_at("region", sim_.now(), loc.cur_item);
+      t->instant_at("crash", sim_.now());
+    }
     if (loc.busy) reexec_pending_[loc.cur_item] = true;  // partial work lost
     if (loc.holds_token) {
       loc.holds_token = false;
@@ -605,6 +654,8 @@ class WsEngine {
     // Evaluate the previous probe before sending the next one.
     if (loc.hb_seq > loc.hb_acked) {
       ++loc.hb_misses;
+      if (runtime::TraceBuffer* t = tr(r))
+        t->instant_at("hb_miss", sim_.now(), target);
       if (loc.hb_misses >= hb_misses_required_ &&
           !death_known_[target] && !death_pending_[target]) {
         death_pending_[target] = true;
@@ -665,8 +716,12 @@ class WsEngine {
       // False positive (probes/acks eaten by a lossy link): fence the
       // suspect so no region ever has two owners.
       ++result_.faults.fenced;
+      if (runtime::TraceBuffer* t = tr(d))
+        t->instant_at("fenced", sim_.now());
       do_crash(d);
     }
+    if (runtime::TraceBuffer* t = tr(d))
+      t->instant_at("death_known", sim_.now());
     safra_.mark_dead(d);
     // Any token computed against the old ring is unsound (the dead rank's
     // balance just moved to the leader): invalidate the round.
@@ -771,6 +826,8 @@ class WsEngine {
                   runtime::SafraTermination::Token token) {
     const std::uint32_t to = safra_.next_of(from);
     const std::uint64_t gen = token_generation_;
+    if (runtime::TraceBuffer* t = tr(from))
+      t->instant_at("token", sim_.now(), to);
     double delay = config_.cluster.latency(from, to);
     if (inject_.active()) {
       const auto fate = inject_.on_token(from, to, sim_.now());
@@ -819,6 +876,8 @@ class WsEngine {
     switch (decision.action) {
       case runtime::SafraTermination::Action::kTerminate: {
         terminated_ = true;
+        if (runtime::TraceBuffer* t = tr(rank))
+          t->instant_at("terminate", sim_.now());
         // Completion broadcast down a binomial tree: log2(p) remote hops.
         result_.makespan_s = sim_.now() + broadcast_latency();
         return;
@@ -862,6 +921,7 @@ class WsEngine {
   std::vector<bool> death_known_;     ///< announced cluster-wide
   std::vector<bool> death_pending_;   ///< announcement broadcast in flight
   std::vector<double> crash_time_;
+  std::vector<runtime::TraceBuffer*> trace_;  ///< per rank; empty = off
   std::map<std::uint64_t, GrantInFlight> ledger_;
   WsResult result_;
   bool terminated_ = false;
@@ -886,6 +946,26 @@ WsResult simulate_work_stealing(std::span<const WsItem> items,
   assert(items.size() == initial.size());
   WsEngine engine(items, initial, p, config);
   return engine.run();
+}
+
+void publish(runtime::MetricsRegistry& reg, const WsResult& result,
+             const std::string& prefix) {
+  reg.add(prefix + "steal_requests", result.steal_requests);
+  reg.add(prefix + "steal_grants", result.steal_grants);
+  reg.add(prefix + "steal_denies", result.steal_denies);
+  reg.add(prefix + "regions_migrated", result.regions_migrated);
+  reg.add(prefix + "token_rounds", result.token_rounds);
+  reg.add(prefix + "events", result.events);
+  reg.set(prefix + "makespan_s", result.makespan_s);
+  reg.set(prefix + "stolen_fraction", result.stolen_fraction());
+  double busy = 0.0;
+  runtime::Histogram& busy_hist = reg.histogram(prefix + "rank_busy_us");
+  for (const double b : result.busy_s) {
+    busy += b;
+    busy_hist.observe(b * 1e6);
+  }
+  reg.set(prefix + "busy_total_s", busy);
+  publish(reg, result.faults, prefix + "fault_");
 }
 
 }  // namespace pmpl::loadbal

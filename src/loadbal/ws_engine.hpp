@@ -35,12 +35,18 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "loadbal/metrics.hpp"
 #include "loadbal/steal_policy.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/topology.hpp"
+#include "runtime/trace.hpp"
+
+namespace pmpl::runtime {
+class MetricsRegistry;
+}
 
 namespace pmpl::loadbal {
 
@@ -78,6 +84,17 @@ struct WsConfig {
   double steal_timeout_s = 0.0;     ///< request/grant-ack timeout
   double heartbeat_period_s = 0.0;  ///< failure-detector probe period
   std::uint32_t heartbeat_misses = 3;  ///< consecutive misses => declared dead
+  /// Tracing sink; nullptr (the default) disables tracing. When set, the
+  /// engine creates one *virtual-time* track per rank named
+  /// "<trace_prefix>rank <r>" and records region spans, steal
+  /// request/deny/grant and migration instants, heartbeat-miss / fencing /
+  /// death markers, Safra token hops, and crash/straggle/drop fault
+  /// instants, all stamped in simulated seconds. Tracing draws no
+  /// randomness and schedules no DES events, so a traced replay is
+  /// event-for-event identical to an untraced one.
+  runtime::Tracer* tracer = nullptr;
+  std::string trace_prefix;        ///< track-name prefix (strategy label…)
+  std::size_t trace_capacity = 0;  ///< per-rank ring size; 0 = tracer default
 };
 
 /// Simulation outcome.
@@ -120,5 +137,13 @@ struct WsResult {
 WsResult simulate_work_stealing(std::span<const WsItem> items,
                                 std::span<const std::uint32_t> initial,
                                 std::uint32_t p, const WsConfig& config);
+
+/// Publish a result's counters into `reg` as "<prefix>…" instruments
+/// (steal/migration/token counters, makespan and busy-time gauges, a
+/// per-rank busy-seconds histogram) plus the fault metrics under
+/// "<prefix>fault_". Lives here rather than in loadbal/metrics.hpp because
+/// this header already depends on that one.
+void publish(runtime::MetricsRegistry& reg, const WsResult& result,
+             const std::string& prefix);
 
 }  // namespace pmpl::loadbal

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/metrics_registry.hpp"
+
 namespace pmpl::runtime {
 
 namespace {
@@ -77,6 +79,24 @@ double FaultInjector::stretched_service(std::uint32_t rank, double start_s,
     t = w->until_s;
   }
   return t + remaining - start_s;
+}
+
+void publish(MetricsRegistry& reg, const FaultMetrics& m,
+             const std::string& prefix) {
+  reg.add(prefix + "crashes", m.crashes);
+  reg.add(prefix + "fenced", m.fenced);
+  reg.add(prefix + "messages_dropped", m.messages_dropped);
+  reg.add(prefix + "messages_delayed", m.messages_delayed);
+  reg.add(prefix + "tokens_lost", m.tokens_lost);
+  reg.add(prefix + "tokens_regenerated", m.tokens_regenerated);
+  reg.add(prefix + "heartbeat_probes", m.heartbeat_probes);
+  reg.add(prefix + "steal_retries", m.steal_retries);
+  reg.add(prefix + "grant_retransmits", m.grant_retransmits);
+  reg.add(prefix + "regions_recovered", m.regions_recovered);
+  reg.add(prefix + "regions_reexecuted", m.regions_reexecuted);
+  reg.set(prefix + "reexecuted_service_s", m.reexecuted_service_s);
+  reg.set(prefix + "straggler_delay_s", m.straggler_delay_s);
+  reg.set(prefix + "recovery_latency_max_s", m.recovery_latency_max_s);
 }
 
 }  // namespace pmpl::runtime

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -123,6 +124,15 @@ struct FaultMetrics {
   double straggler_delay_s = 0.0;       ///< extra busy seconds from slowdowns
   double recovery_latency_max_s = 0.0;  ///< worst crash -> regions re-homed
 };
+
+class MetricsRegistry;
+
+/// Publish every FaultMetrics field into `reg` as "<prefix><field>"
+/// (integer fields as counters, seconds as gauges). The single place the
+/// field list is spelled for export; an all-zero struct still registers
+/// its instruments so snapshots have a stable shape.
+void publish(MetricsRegistry& reg, const FaultMetrics& m,
+             const std::string& prefix);
 
 /// Evaluates a FaultPlan. Const queries (crash times, straggler stretch) do
 /// not touch the RNG; message-fate queries do, in call order, so the DES

@@ -121,17 +121,20 @@ void Scheduler::submit_to(std::uint32_t worker, std::function<void()> fn,
   }
 }
 
-void Scheduler::run_task(Task* task, Worker*) {
+void Scheduler::run_task(Task* task, Worker* self) {
   TaskGroup* group = task->group;
+  TraceBuffer* const trace = self ? self->trace : nullptr;
   // A cancelled group's queued tasks are dropped, not executed: cancelled
   // waves drain at pointer speed, which bounds the overrun of a deadline.
   if (group && group->cancel_ && group->cancel_->stop_requested()) {
+    if (trace) trace->instant_at("task_cancelled", options_.tracer->now_s());
     group->skipped_.fetch_add(1, std::memory_order_acq_rel);
     delete task;
     if (group->outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1)
       wake_all();
     return;
   }
+  if (trace) trace->begin_at("task", options_.tracer->now_s());
   try {
     task->fn();
   } catch (...) {
@@ -145,6 +148,7 @@ void Scheduler::run_task(Task* task, Worker*) {
       if (!orphan_error_) orphan_error_ = std::current_exception();
     }
   }
+  if (trace) trace->end_at("task", options_.tracer->now_s());
   delete task;
   if (group &&
       group->outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
@@ -230,6 +234,8 @@ Scheduler::Task* Scheduler::find_task(std::uint32_t w,
     if ((task = try_steal(w, victim))) {
       pending_.fetch_sub(1, std::memory_order_seq_cst);
       self.executed_stolen.fetch_add(1, std::memory_order_relaxed);
+      if (self.trace)
+        self.trace->instant_at("steal", options_.tracer->now_s(), victim);
       return task;
     }
     self.steal_failures.fetch_add(1, std::memory_order_relaxed);
@@ -240,6 +246,8 @@ Scheduler::Task* Scheduler::find_task(std::uint32_t w,
     if ((task = try_steal(w, victim))) {
       pending_.fetch_sub(1, std::memory_order_seq_cst);
       self.executed_stolen.fetch_add(1, std::memory_order_relaxed);
+      if (self.trace)
+        self.trace->instant_at("steal", options_.tracer->now_s(), victim);
       return task;
     }
     self.steal_failures.fetch_add(1, std::memory_order_relaxed);
@@ -251,6 +259,11 @@ void Scheduler::worker_loop(std::uint32_t w) {
   tls_scheduler = this;
   tls_worker = static_cast<int>(w);
   Worker& self = *workers_[w];
+  if (options_.tracer) {
+    char track_name[32];
+    std::snprintf(track_name, sizeof track_name, "worker %u", w);
+    self.trace = options_.tracer->thread_track(track_name);
+  }
   std::uint64_t rng_state = mix_seed(options_.seed, w);
   int idle = 0;
   for (;;) {
@@ -288,6 +301,7 @@ void Scheduler::worker_loop(std::uint32_t w) {
                 pending_.load(std::memory_order_seq_cst) > 0);
       };
       if (!runnable()) {
+        if (self.trace) self.trace->begin_at("park", options_.tracer->now_s());
         const auto start = std::chrono::steady_clock::now();
         park_cv_.wait(lock, runnable);
         const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -295,6 +309,7 @@ void Scheduler::worker_loop(std::uint32_t w) {
                             .count();
         self.park_ns.fetch_add(static_cast<std::uint64_t>(ns),
                                std::memory_order_relaxed);
+        if (self.trace) self.trace->end_at("park", options_.tracer->now_s());
       }
       parked_.fetch_sub(1, std::memory_order_seq_cst);
     }

@@ -31,6 +31,7 @@
 
 #include "runtime/cancel.hpp"
 #include "runtime/chase_lev_deque.hpp"
+#include "runtime/trace.hpp"
 
 namespace pmpl::runtime {
 
@@ -117,6 +118,12 @@ struct SchedulerOptions {
   /// must not call back into the scheduler. Receives the stalled group's
   /// outstanding-task count.
   std::function<void(std::int64_t)> on_watchdog;
+  /// Tracing sink; nullptr (the default) disables tracing entirely — no
+  /// events, no extra work, no behavioral change. When set, each worker
+  /// records task spans, steal instants (arg = victim), cancel-drop
+  /// instants and park spans on its own wall-time thread track. Must
+  /// outlive the scheduler.
+  Tracer* tracer = nullptr;
 };
 
 /// Fixed set of worker threads over per-worker Chase–Lev deques.
@@ -182,6 +189,7 @@ class Scheduler {
     std::atomic<std::uint64_t> steal_attempts{0};
     std::atomic<std::uint64_t> steal_failures{0};
     std::atomic<std::uint64_t> park_ns{0};
+    TraceBuffer* trace = nullptr;  ///< this worker's track; null = tracing off
     std::thread thread;
   };
 

