@@ -1,0 +1,369 @@
+// Hot-path kernel bench: the pre-overhaul kernels, reimplemented here
+// verbatim, raced against the shipping ones on identical inputs.
+//
+//  - k-NN: recursive pointer-chasing AoS kd-tree (full C-space metric at
+//    every visited node) vs the bucketed SoA tree with positional
+//    lower-bound skipping.
+//  - Edge validation: sequential sweep with per-step interpolate +
+//    per-primitive std::function BVH callbacks vs the incremental
+//    interpolator + midpoint-out ordering + batched validity.
+//
+// Both comparisons assert identical results (neighbor ids/distances
+// bit-for-bit, edge verdicts and lengths) — the overhaul may only change
+// speed, never answers. Emits BENCH_hotpath.json (path overridable as
+// argv[1]; --quick shrinks sizes for CI). Exits nonzero if the kd-tree
+// visits more candidates than brute force would — the tree must prune,
+// or it is strictly worse than the fallback.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "collision/bvh.hpp"
+#include "cspace/local_planner.hpp"
+#include "env/builders.hpp"
+#include "planner/knn.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+using namespace pmpl;
+
+namespace {
+
+// --- legacy k-NN: recursive AoS kd-tree -----------------------------------
+// The pre-overhaul KdTreeKnn, with the canonical (distance, id) tie-break
+// grafted in so results compare bit-for-bit against the new kernels.
+
+void legacy_heap_consider(std::vector<planner::Neighbor>& heap, std::size_t k,
+                          planner::Neighbor n) {
+  const auto before = [](const planner::Neighbor& a,
+                         const planner::Neighbor& b) {
+    return planner::neighbor_before(a, b);
+  };
+  if (heap.size() < k) {
+    heap.push_back(n);
+    std::push_heap(heap.begin(), heap.end(), before);
+  } else if (planner::neighbor_before(n, heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), before);
+    heap.back() = n;
+    std::push_heap(heap.begin(), heap.end(), before);
+  }
+}
+
+class LegacyKdTree {
+ public:
+  explicit LegacyKdTree(const cspace::CSpace& space) : space_(&space) {}
+
+  void insert(graph::VertexId id, const cspace::Config& c) {
+    points_.push_back({space_->position(c), id, c});
+    const std::size_t buffered = points_.size() - tree_size_;
+    if (buffered >= 32 && buffered * 2 >= tree_size_) rebuild();
+  }
+
+  std::vector<planner::Neighbor> nearest(const cspace::Config& q,
+                                         std::size_t k) const {
+    std::vector<planner::Neighbor> heap;
+    heap.reserve(k + 1);
+    search(root_, space_->position(q), k, heap, q);
+    for (std::size_t i = tree_size_; i < points_.size(); ++i)
+      legacy_heap_consider(heap, k,
+                           {points_[i].id, space_->distance(q, points_[i].cfg)});
+    std::sort_heap(heap.begin(), heap.end(),
+                   [](const planner::Neighbor& a, const planner::Neighbor& b) {
+                     return planner::neighbor_before(a, b);
+                   });
+    return heap;
+  }
+
+ private:
+  struct Point {
+    geo::Vec3 pos;
+    graph::VertexId id;
+    cspace::Config cfg;
+  };
+  struct Node {
+    std::uint32_t point = 0;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    std::uint8_t axis = 0;
+  };
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+  void rebuild() {
+    nodes_.clear();
+    nodes_.reserve(points_.size());
+    std::vector<std::uint32_t> items(points_.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+      items[i] = static_cast<std::uint32_t>(i);
+    root_ = points_.empty() ? kNoNode : build_subtree(items, 0, items.size(), 0);
+    tree_size_ = points_.size();
+  }
+
+  std::uint32_t build_subtree(std::vector<std::uint32_t>& items, std::size_t lo,
+                              std::size_t hi, int depth) {
+    if (lo >= hi) return kNoNode;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const auto axis = static_cast<std::uint8_t>(depth % 3);
+    std::nth_element(items.begin() + static_cast<long>(lo),
+                     items.begin() + static_cast<long>(mid),
+                     items.begin() + static_cast<long>(hi),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return points_[a].pos[axis] < points_[b].pos[axis];
+                     });
+    const auto idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back({items[mid], kNoNode, kNoNode, axis});
+    const std::uint32_t left = build_subtree(items, lo, mid, depth + 1);
+    const std::uint32_t right = build_subtree(items, mid + 1, hi, depth + 1);
+    nodes_[idx].left = left;
+    nodes_[idx].right = right;
+    return idx;
+  }
+
+  void search(std::uint32_t node, const geo::Vec3& q, std::size_t k,
+              std::vector<planner::Neighbor>& heap,
+              const cspace::Config& qcfg) const {
+    if (node == kNoNode) return;
+    const Node& n = nodes_[node];
+    const Point& p = points_[n.point];
+    legacy_heap_consider(heap, k, {p.id, space_->distance(qcfg, p.cfg)});
+    const double delta = q[n.axis] - p.pos[n.axis];
+    const std::uint32_t near_child = delta < 0.0 ? n.left : n.right;
+    const std::uint32_t far_child = delta < 0.0 ? n.right : n.left;
+    search(near_child, q, k, heap, qcfg);
+    if (heap.size() < k || !(std::fabs(delta) > heap.front().distance))
+      search(far_child, q, k, heap, qcfg);
+  }
+
+  const cspace::CSpace* space_;
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = kNoNode;
+  std::size_t tree_size_ = 0;
+};
+
+// --- legacy edge validation -----------------------------------------------
+// The pre-overhaul per-step path: full interpolate per step (slerp
+// invariants recomputed every time), sequential sweep from the `a` end,
+// and the type-erased std::function BVH traversal per robot primitive —
+// which heap-allocates for its captures on every narrow-phase query.
+
+struct LegacyEdgeResult {
+  bool success = false;
+  double length = 0.0;
+};
+
+class LegacyEdgeValidator {
+ public:
+  LegacyEdgeValidator(const cspace::CSpace& space,
+                      const collision::RigidBody& robot,
+                      std::span<const collision::ObstacleShape> obstacles,
+                      double resolution)
+      : space_(&space),
+        robot_(&robot),
+        obstacles_(obstacles),
+        resolution_(resolution) {
+    bvh_.build(obstacles_);
+  }
+
+  LegacyEdgeResult plan(const cspace::Config& a, const cspace::Config& b) const {
+    LegacyEdgeResult r;
+    r.length = space_->distance(a, b);
+    const std::size_t n = space_->step_count(a, b, resolution_);
+    for (std::size_t i = 1; i < n; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(n);
+      if (!config_valid(space_->interpolate(a, b, t))) return r;
+    }
+    r.success = true;
+    return r;
+  }
+
+ private:
+  bool config_valid(const cspace::Config& c) const {
+    if (!space_->in_bounds(c)) return false;
+    const geo::Transform pose = space_->pose(c);
+    for (const auto& box : robot_->boxes) {
+      const collision::Obb world = pose.apply(box);
+      const std::function<bool(std::uint32_t)> fn = [&](std::uint32_t idx) {
+        return collision::hits(world, obstacles_[idx]);
+      };
+      if (bvh_.for_overlaps(world.bounds(), fn)) return false;
+    }
+    for (const auto& sphere : robot_->spheres) {
+      const collision::Sphere world = pose.apply(sphere);
+      const std::function<bool(std::uint32_t)> fn = [&](std::uint32_t idx) {
+        return collision::hits(world, obstacles_[idx]);
+      };
+      if (bvh_.for_overlaps(world.bounds(), fn)) return false;
+    }
+    return true;
+  }
+
+  const cspace::CSpace* space_;
+  const collision::RigidBody* robot_;
+  std::span<const collision::ObstacleShape> obstacles_;
+  double resolution_;
+  collision::Bvh bvh_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 && argv[1][0] != '-' ? argv[1] : "BENCH_hotpath.json";
+  ArgParser args(argc, argv);
+  const bool quick = args.has("quick");
+  const auto points =
+      static_cast<std::size_t>(args.get_i64("points", quick ? 2000 : 6000, 8));
+  const auto queries =
+      static_cast<std::size_t>(args.get_i64("queries", quick ? 1500 : 6000, 1));
+  const auto edges =
+      static_cast<std::size_t>(args.get_i64("edges", quick ? 200 : 800, 1));
+  const std::size_t k = 6;
+
+  const auto e = env::med_cube();
+  const cspace::CSpace& space = e->space();
+  Xoshiro256ss rng(97);
+
+  // --- k-NN ---------------------------------------------------------------
+  LegacyKdTree legacy_tree(space);
+  planner::KdTreeKnn new_tree(space);
+  planner::BruteForceKnn brute(space);
+  for (std::size_t i = 0; i < points; ++i) {
+    const cspace::Config c = space.sample(rng);
+    legacy_tree.insert(static_cast<graph::VertexId>(i), c);
+    new_tree.insert(static_cast<graph::VertexId>(i), c);
+    brute.insert(static_cast<graph::VertexId>(i), c);
+  }
+  std::vector<cspace::Config> knn_queries;
+  knn_queries.reserve(queries);
+  for (std::size_t q = 0; q < queries; ++q)
+    knn_queries.push_back(space.sample(rng));
+
+  // Correctness + visited-candidate accounting (untimed pass).
+  planner::PlannerStats kd_stats, brute_stats;
+  for (const auto& q : knn_queries) {
+    const auto legacy = legacy_tree.nearest(q, k);
+    const auto fresh = new_tree.nearest(q, k, &kd_stats);
+    const auto exact = brute.nearest(q, k, &brute_stats);
+    if (legacy.size() != fresh.size() || fresh.size() != exact.size()) {
+      std::fprintf(stderr, "FAIL: k-NN result size mismatch\n");
+      return 1;
+    }
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      if (legacy[i].id != fresh[i].id || fresh[i].id != exact[i].id ||
+          legacy[i].distance != fresh[i].distance ||
+          fresh[i].distance != exact[i].distance) {
+        std::fprintf(stderr, "FAIL: k-NN results differ at rank %zu\n", i);
+        return 1;
+      }
+    }
+  }
+
+  // Timed passes (single-threaded wall clock; checksum defeats DCE).
+  double checksum = 0.0;
+  WallTimer t_legacy;
+  for (const auto& q : knn_queries)
+    checksum += legacy_tree.nearest(q, k).front().distance;
+  const double legacy_knn_s = t_legacy.elapsed_s();
+  WallTimer t_new;
+  for (const auto& q : knn_queries)
+    checksum -= new_tree.nearest(q, k).front().distance;
+  const double new_knn_s = t_new.elapsed_s();
+  const double legacy_qps = static_cast<double>(queries) / legacy_knn_s;
+  const double new_qps = static_cast<double>(queries) / new_knn_s;
+  const double knn_speedup = new_qps / legacy_qps;
+
+  const auto kd_visited = kd_stats.knn_candidates;
+  const auto brute_visited = brute_stats.knn_candidates;
+  std::printf("knn: %zu pts, %zu queries, k=%zu | legacy %.0f q/s, new %.0f "
+              "q/s -> %.2fx | visited kd %llu vs brute %llu (checksum %g)\n",
+              points, queries, k, legacy_qps, new_qps, knn_speedup,
+              static_cast<unsigned long long>(kd_visited),
+              static_cast<unsigned long long>(brute_visited), checksum);
+
+  // --- edge validation ----------------------------------------------------
+  const auto& validity =
+      dynamic_cast<const cspace::RigidBodyValidity&>(e->validity());
+  const double resolution = 1.0;
+  const LegacyEdgeValidator legacy_lp(space, validity.robot(),
+                                      e->checker().obstacles(), resolution);
+  const cspace::LocalPlanner new_lp(space, validity, resolution);
+
+  std::vector<std::pair<cspace::Config, cspace::Config>> edge_set;
+  while (edge_set.size() < edges) {
+    cspace::Config a = space.sample(rng);
+    cspace::Config b = space.sample(rng);
+    if (validity.valid(a) && validity.valid(b))
+      edge_set.emplace_back(std::move(a), std::move(b));
+  }
+
+  // Correctness pass: identical verdicts and lengths.
+  std::size_t accepted = 0;
+  for (const auto& [a, b] : edge_set) {
+    const auto legacy = legacy_lp.plan(a, b);
+    const auto fresh = new_lp.plan(a, b);
+    if (legacy.success != fresh.success || legacy.length != fresh.length) {
+      std::fprintf(stderr, "FAIL: edge verdicts differ\n");
+      return 1;
+    }
+    accepted += fresh.success;
+  }
+
+  WallTimer t_legacy_e;
+  std::size_t acc_l = 0;
+  for (const auto& [a, b] : edge_set) acc_l += legacy_lp.plan(a, b).success;
+  const double legacy_edge_s = t_legacy_e.elapsed_s();
+  WallTimer t_new_e;
+  std::size_t acc_n = 0;
+  for (const auto& [a, b] : edge_set) acc_n += new_lp.plan(a, b).success;
+  const double new_edge_s = t_new_e.elapsed_s();
+  const double legacy_eps = static_cast<double>(edges) / legacy_edge_s;
+  const double new_eps = static_cast<double>(edges) / new_edge_s;
+  const double edge_speedup = new_eps / legacy_eps;
+  std::printf("edges: %zu (%zu accepted) | legacy %.0f e/s, new %.0f e/s -> "
+              "%.2fx\n",
+              edges, accepted, legacy_eps, new_eps, edge_speedup);
+  if (acc_l != accepted || acc_n != accepted) {
+    std::fprintf(stderr, "FAIL: timed passes disagree on accepted count\n");
+    return 1;
+  }
+
+  // --- report -------------------------------------------------------------
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n  \"bench\": \"hotpath\",\n  \"quick\": %s,\n"
+      "  \"knn\": {\n"
+      "    \"points\": %zu,\n    \"queries\": %zu,\n    \"k\": %zu,\n"
+      "    \"legacy_qps\": %.1f,\n    \"new_qps\": %.1f,\n"
+      "    \"speedup\": %.3f,\n"
+      "    \"kd_visited_candidates\": %llu,\n"
+      "    \"brute_visited_candidates\": %llu\n  },\n"
+      "  \"edges\": {\n"
+      "    \"count\": %zu,\n    \"accepted\": %zu,\n"
+      "    \"legacy_eps\": %.1f,\n    \"new_eps\": %.1f,\n"
+      "    \"speedup\": %.3f\n  }\n}\n",
+      quick ? "true" : "false", points, queries, k, legacy_qps, new_qps,
+      knn_speedup, static_cast<unsigned long long>(kd_visited),
+      static_cast<unsigned long long>(brute_visited), edges, accepted,
+      legacy_eps, new_eps, edge_speedup);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (kd_visited > brute_visited) {
+    std::fprintf(stderr,
+                 "FAIL: kd-tree visited %llu candidates, brute force would "
+                 "visit %llu — the tree is not pruning\n",
+                 static_cast<unsigned long long>(kd_visited),
+                 static_cast<unsigned long long>(brute_visited));
+    return 1;
+  }
+  return 0;
+}

@@ -1,8 +1,6 @@
 #include "collision/bvh.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 #include <numeric>
 
 namespace pmpl::collision {
@@ -59,68 +57,6 @@ std::uint32_t Bvh::build_node(std::span<std::uint32_t> items,
       build_node(items.subspan(mid), prim_bounds, leaf_size);
   nodes_[node_idx].right = right;
   return node_idx;
-}
-
-bool Bvh::for_overlaps(const Aabb& query,
-                       const std::function<bool(std::uint32_t)>& fn,
-                       TraversalStats* stats) const {
-  if (nodes_.empty()) return false;
-  // Explicit stack: collision queries are hot and recursion-depth-bounded
-  // traversal with a fixed stack avoids per-call allocation.
-  std::uint32_t stack[64];
-  std::size_t top = 0;
-  stack[top++] = 0;
-  while (top > 0) {
-    const Node& node = nodes_[stack[--top]];
-    if (stats) ++stats->nodes_visited;
-    if (!node.bounds.overlaps(query)) continue;
-    if (node.is_leaf()) {
-      for (std::uint32_t i = 0; i < node.count; ++i) {
-        const std::uint32_t prim = prim_index_[node.first + i];
-        if (!prim_bounds_[prim].overlaps(query)) continue;
-        if (stats) ++stats->leaves_tested;
-        if (fn(prim)) return true;
-      }
-    } else {
-      const auto self =
-          static_cast<std::uint32_t>(&node - nodes_.data());
-      stack[top++] = node.right;
-      stack[top++] = self + 1;
-    }
-  }
-  return false;
-}
-
-std::optional<double> Bvh::raycast(
-    const Ray& ray,
-    const std::function<std::optional<double>(std::uint32_t)>& hit_fn,
-    TraversalStats* stats) const {
-  if (nodes_.empty()) return std::nullopt;
-  double best = std::numeric_limits<double>::infinity();
-  std::uint32_t stack[64];
-  std::size_t top = 0;
-  stack[top++] = 0;
-  while (top > 0) {
-    const Node& node = nodes_[stack[--top]];
-    if (stats) ++stats->nodes_visited;
-    const auto entry = geo::ray_hit(ray, node.bounds);
-    if (!entry || *entry >= best) continue;
-    if (node.is_leaf()) {
-      for (std::uint32_t i = 0; i < node.count; ++i) {
-        if (stats) ++stats->leaves_tested;
-        if (const auto t = hit_fn(prim_index_[node.first + i]);
-            t && *t < best)
-          best = *t;
-      }
-    } else {
-      const auto self =
-          static_cast<std::uint32_t>(&node - nodes_.data());
-      stack[top++] = node.right;
-      stack[top++] = self + 1;
-    }
-  }
-  if (std::isinf(best)) return std::nullopt;
-  return best;
 }
 
 }  // namespace pmpl::collision

@@ -6,9 +6,17 @@
 /// Queries visit nodes whose bounds overlap the query volume and invoke a
 /// callback per candidate obstacle; the callback returns true to stop early
 /// (first-hit semantics for boolean collision checks).
+///
+/// Traversal is iterative with an explicit fixed stack, and the hot entry
+/// points are templates over the callback type: the per-check callable is
+/// inlined instead of going through `std::function` (whose capture list
+/// exceeds the small-buffer size and heap-allocates on every query). The
+/// `std::function` overloads remain as convenience wrappers.
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <span>
 #include <vector>
@@ -44,17 +52,84 @@ class Bvh {
 
   /// Visit every shape whose own bounds overlap `query`. `fn(index)`
   /// returns true to stop the traversal (hit found). Returns whether it
-  /// stopped.
+  /// stopped. The callable is a template parameter so the compiler can
+  /// inline it — this is the allocation-free hot path.
+  template <typename Fn>
+  bool for_each_overlap(const Aabb& query, Fn&& fn,
+                        TraversalStats* stats = nullptr) const {
+    if (nodes_.empty()) return false;
+    // Explicit stack: collision queries are hot and recursion-depth-bounded
+    // traversal with a fixed stack avoids per-call allocation.
+    std::uint32_t stack[64];
+    std::size_t top = 0;
+    stack[top++] = 0;
+    while (top > 0) {
+      const Node& node = nodes_[stack[--top]];
+      if (stats) ++stats->nodes_visited;
+      if (!node.bounds.overlaps(query)) continue;
+      if (node.is_leaf()) {
+        for (std::uint32_t i = 0; i < node.count; ++i) {
+          const std::uint32_t prim = prim_index_[node.first + i];
+          if (!prim_bounds_[prim].overlaps(query)) continue;
+          if (stats) ++stats->leaves_tested;
+          if (fn(prim)) return true;
+        }
+      } else {
+        const auto self = static_cast<std::uint32_t>(&node - nodes_.data());
+        stack[top++] = node.right;
+        stack[top++] = self + 1;
+      }
+    }
+    return false;
+  }
+
+  /// Type-erased wrapper over `for_each_overlap` for non-hot callers.
   bool for_overlaps(const Aabb& query,
                     const std::function<bool(std::uint32_t)>& fn,
-                    TraversalStats* stats = nullptr) const;
+                    TraversalStats* stats = nullptr) const {
+    return for_each_overlap(query, fn, stats);
+  }
 
   /// Nearest ray hit over leaf candidates: returns the smallest entry
-  /// distance produced by `hit_fn(index, ray)`, or nullopt.
+  /// distance produced by `hit_fn(index)`, or nullopt. Template for the
+  /// same inlining/allocation reasons as `for_each_overlap`.
+  template <typename Fn>
+  std::optional<double> raycast_with(const Ray& ray, Fn&& hit_fn,
+                                     TraversalStats* stats = nullptr) const {
+    if (nodes_.empty()) return std::nullopt;
+    double best = std::numeric_limits<double>::infinity();
+    std::uint32_t stack[64];
+    std::size_t top = 0;
+    stack[top++] = 0;
+    while (top > 0) {
+      const Node& node = nodes_[stack[--top]];
+      if (stats) ++stats->nodes_visited;
+      const auto entry = geo::ray_hit(ray, node.bounds);
+      if (!entry || *entry >= best) continue;
+      if (node.is_leaf()) {
+        for (std::uint32_t i = 0; i < node.count; ++i) {
+          if (stats) ++stats->leaves_tested;
+          if (const auto t = hit_fn(prim_index_[node.first + i]);
+              t && *t < best)
+            best = *t;
+        }
+      } else {
+        const auto self = static_cast<std::uint32_t>(&node - nodes_.data());
+        stack[top++] = node.right;
+        stack[top++] = self + 1;
+      }
+    }
+    if (std::isinf(best)) return std::nullopt;
+    return best;
+  }
+
+  /// Type-erased wrapper over `raycast_with`.
   std::optional<double> raycast(
       const Ray& ray,
       const std::function<std::optional<double>(std::uint32_t)>& hit_fn,
-      TraversalStats* stats = nullptr) const;
+      TraversalStats* stats = nullptr) const {
+    return raycast_with(ray, hit_fn, stats);
+  }
 
  private:
   struct Node {

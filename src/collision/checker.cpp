@@ -11,7 +11,10 @@ template <typename Body>
 bool CollisionChecker::body_hits_any(const Body& body, const Aabb& query,
                                      CollisionStats* stats) const {
   TraversalStats ts;
-  const bool hit = bvh_.for_overlaps(
+  // Template callback: inlined by the compiler — no std::function, and no
+  // per-query heap allocation for its captures (this used to be the single
+  // hottest allocation site in edge validation).
+  const bool hit = bvh_.for_each_overlap(
       query,
       [&](std::uint32_t idx) {
         if (stats) ++stats->narrow_tests;
@@ -37,11 +40,19 @@ bool CollisionChecker::in_collision(const RigidBody& robot,
   return false;
 }
 
+std::size_t CollisionChecker::first_collision(
+    const RigidBody& robot, std::span<const geo::Transform> poses,
+    CollisionStats* stats) const {
+  for (std::size_t i = 0; i < poses.size(); ++i)
+    if (in_collision(robot, poses[i], stats)) return i;
+  return poses.size();
+}
+
 bool CollisionChecker::point_in_collision(Vec3 p,
                                           CollisionStats* stats) const {
   if (stats) ++stats->queries;
   TraversalStats ts;
-  const bool hit = bvh_.for_overlaps(
+  const bool hit = bvh_.for_each_overlap(
       Aabb{p, p},
       [&](std::uint32_t idx) {
         if (stats) ++stats->narrow_tests;
@@ -57,7 +68,7 @@ bool CollisionChecker::segment_in_collision(const Segment& seg,
   if (stats) ++stats->queries;
   const Aabb query{geo::min(seg.a, seg.b), geo::max(seg.a, seg.b)};
   TraversalStats ts;
-  const bool hit = bvh_.for_overlaps(
+  const bool hit = bvh_.for_each_overlap(
       query,
       [&](std::uint32_t idx) {
         if (stats) ++stats->narrow_tests;
@@ -72,7 +83,7 @@ std::optional<double> CollisionChecker::raycast(const Ray& ray,
                                                 CollisionStats* stats) const {
   if (stats) ++stats->ray_casts;
   TraversalStats ts;
-  const auto t = bvh_.raycast(
+  const auto t = bvh_.raycast_with(
       ray,
       [&](std::uint32_t idx) {
         if (stats) ++stats->narrow_tests;

@@ -52,6 +52,15 @@ class CollisionChecker {
   bool in_collision(const RigidBody& robot, const geo::Transform& pose,
                     CollisionStats* stats = nullptr) const;
 
+  /// Batched robot placement query for edge validation: checks `poses` in
+  /// order and returns the index of the first colliding pose, or
+  /// `poses.size()` when all are free. Semantics and per-pose stats match
+  /// calling `in_collision` sequentially and stopping at the first hit;
+  /// the batch amortizes the robot-shape setup across an edge's steps.
+  std::size_t first_collision(const RigidBody& robot,
+                              std::span<const geo::Transform> poses,
+                              CollisionStats* stats = nullptr) const;
+
   /// Is a bare point inside any obstacle? (point robots, V_free estimation)
   bool point_in_collision(Vec3 p, CollisionStats* stats = nullptr) const;
 

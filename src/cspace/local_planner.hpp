@@ -7,6 +7,12 @@
 /// discretized edge is a full validity (collision) check, so the op counts
 /// recorded here drive the load model.
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "collision/checker.hpp"
 #include "cspace/space.hpp"
 #include "cspace/validity.hpp"
@@ -21,6 +27,11 @@ struct LocalPlanResult {
 };
 
 /// Straight-line (geodesic) local planner with fixed step resolution.
+///
+/// An instance owns mutable per-edge scratch (interpolator, step ordering,
+/// config blocks), so `plan()` is allocation-free once warm but concurrent
+/// `plan()` calls on ONE instance race. Construct one planner per worker —
+/// every current call site already builds its own local instance.
 class LocalPlanner {
  public:
   LocalPlanner(const CSpace& space, const ValidityChecker& validity,
@@ -31,30 +42,89 @@ class LocalPlanner {
 
   /// Check the straight-line path a -> b. Endpoints are assumed already
   /// validated (PRM checks samples before connecting); intermediate
-  /// configurations are checked at `resolution` spacing, interleaved from
-  /// the midpoint outward-ish (sequential here: cheap edges dominate).
+  /// configurations are checked at `resolution` spacing.
+  ///
+  /// Interior steps are visited midpoint-out: breadth-first bisection of
+  /// [0, n] emits the edge midpoint first, then the quarter points, and so
+  /// on — colliding edges usually fail near the middle, so rejection comes
+  /// after far fewer checks than a sweep from one end. The ordering is a
+  /// pure function of the step count, each step's parameter is the same
+  /// t = i/n the sequential sweep used, and the edge is accepted iff every
+  /// interior step is valid — so accept/reject decisions (and therefore
+  /// roadmaps) are bit-identical to the sequential scan; only
+  /// `steps_checked` on *rejected* edges shrinks.
   LocalPlanResult plan(const Config& a, const Config& b,
                        collision::CollisionStats* stats = nullptr) const {
     LocalPlanResult r;
     r.length = space_->distance(a, b);
-    const std::size_t n = space_->step_count(a, b, resolution_);
-    // Interior points only: i in [1, n-1].
-    for (std::size_t i = 1; i < n; ++i) {
-      const double t = static_cast<double>(i) / static_cast<double>(n);
-      ++r.steps_checked;
-      if (!validity_->valid(space_->interpolate(a, b, t), stats)) {
+    // Same value step_count() would produce — it computes ceil(d/res) from
+    // the same distance — without paying the metric a second time.
+    const auto n =
+        static_cast<std::size_t>(std::ceil(r.length / resolution_));
+    if (n <= 1) {  // no interior points to check
+      r.success = true;
+      return r;
+    }
+    interp_.reset(*space_, a, b);
+    segs_.clear();
+    segs_.push_back({0, static_cast<std::uint32_t>(n)});
+    seg_head_ = 0;
+    const double dn = static_cast<double>(n);
+    const std::size_t total = n - 1;
+    std::size_t checked = 0;
+    // A small first block keeps the wasted interpolation work minimal for
+    // the common case — blocked edges usually fail at the very first
+    // midpoint checks; block boundaries never affect the visit order.
+    std::size_t want = kFirstBlock;
+    while (checked < total) {
+      const std::size_t m = fill_block(want, dn);
+      want = kBlock;
+      const std::size_t bad = validity_->valid_batch({block_.data(), m}, stats);
+      if (bad < m) {
+        r.steps_checked = checked + bad + 1;
         r.success = false;
         return r;
       }
+      checked += m;
     }
+    r.steps_checked = checked;
     r.success = true;
     return r;
   }
 
  private:
+  static constexpr std::size_t kFirstBlock = 4;
+  static constexpr std::size_t kBlock = 16;
+
+  /// Produce up to `want` more interior steps in midpoint-out order,
+  /// interpolating each into block_. The order is a BFS over bisected
+  /// segments of [0, n], emitting each segment's midpoint — the van der
+  /// Corput sequence for power-of-two n, deterministic for any n. The
+  /// segment queue is consumed lazily so a rejected edge only generates
+  /// the steps it actually checked.
+  std::size_t fill_block(std::size_t want, double dn) const {
+    std::size_t j = 0;
+    while (j < want && seg_head_ < segs_.size()) {
+      const auto [lo, hi] = segs_[seg_head_++];
+      if (hi - lo < 2) continue;
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      interp_.at(static_cast<double>(mid) / dn, block_[j]);
+      ++j;
+      segs_.push_back({lo, mid});
+      segs_.push_back({mid, hi});
+    }
+    return j;
+  }
+
   const CSpace* space_;
   const ValidityChecker* validity_;
   double resolution_;
+
+  // Per-edge scratch (see class comment for the thread-safety contract).
+  mutable EdgeInterpolator interp_;
+  mutable std::vector<std::pair<std::uint32_t, std::uint32_t>> segs_;
+  mutable std::size_t seg_head_ = 0;
+  mutable std::array<Config, kBlock> block_;
 };
 
 }  // namespace pmpl::cspace

@@ -193,6 +193,84 @@ std::size_t CSpace::step_count(const Config& a, const Config& b,
   return static_cast<std::size_t>(std::ceil(d / resolution));
 }
 
+void EdgeInterpolator::reset(const CSpace& space, const Config& a,
+                             const Config& b) noexcept {
+  kind_ = space.kind();
+  count_ = a.size();
+  has_rot_ = false;
+  switch (kind_) {
+    case SpaceKind::Euclidean:
+      lerp_count_ = count_;
+      for (std::size_t i = 0; i < count_; ++i) {
+        base_[i] = a[i];
+        delta_[i] = b[i] - a[i];
+      }
+      return;
+    case SpaceKind::SE2:
+      lerp_count_ = 2;
+      base_[0] = a[0];
+      delta_[0] = b[0] - a[0];
+      base_[1] = a[1];
+      delta_[1] = b[1] - a[1];
+      base_[2] = a[2];
+      delta_[2] = angle_diff(a[2], b[2]);
+      return;
+    case SpaceKind::SE3: {
+      lerp_count_ = 3;
+      for (std::size_t i = 0; i < 3; ++i) {
+        base_[i] = a[i];
+        delta_[i] = b[i] - a[i];
+      }
+      has_rot_ = true;
+      qa_ = quat_of(a);
+      const geo::Quat qb = quat_of(b);
+      // Invariant hoisting of Quat::slerp(qa, qb, t): sign flip, the
+      // near-parallel branch choice, theta and sin(theta) do not depend
+      // on t. The per-t expressions in at() are kept identical to slerp's.
+      double d = qa_.dot(qb);
+      qt_ = qb;
+      if (d < 0.0) {
+        d = -d;
+        qt_ = {-qb.w, -qb.x, -qb.y, -qb.z};
+      }
+      nlerp_ = d > 0.9995;
+      if (nlerp_) {
+        qd_ = {qt_.w - qa_.w, qt_.x - qa_.x, qt_.y - qa_.y, qt_.z - qa_.z};
+      } else {
+        theta_ = std::acos(d);
+        sin_theta_ = std::sin(theta_);
+      }
+      return;
+    }
+  }
+}
+
+void EdgeInterpolator::at(double t, Config& out) const noexcept {
+  out.clear();
+  for (std::size_t i = 0; i < lerp_count_; ++i)
+    out.push_back(base_[i] + t * delta_[i]);
+  if (kind_ == SpaceKind::SE2) {
+    out.push_back(base_[2] + t * delta_[2]);
+    return;
+  }
+  if (!has_rot_) return;
+  geo::Quat q;
+  if (nlerp_) {
+    const geo::Quat r{qa_.w + t * qd_.w, qa_.x + t * qd_.x,
+                      qa_.y + t * qd_.y, qa_.z + t * qd_.z};
+    q = r.normalized();
+  } else {
+    const double sa = std::sin((1.0 - t) * theta_) / sin_theta_;
+    const double sb = std::sin(t * theta_) / sin_theta_;
+    q = {sa * qa_.w + sb * qt_.w, sa * qa_.x + sb * qt_.x,
+         sa * qa_.y + sb * qt_.y, sa * qa_.z + sb * qt_.z};
+  }
+  out.push_back(q.w);
+  out.push_back(q.x);
+  out.push_back(q.y);
+  out.push_back(q.z);
+}
+
 bool CSpace::in_bounds(const Config& c) const noexcept {
   switch (kind_) {
     case SpaceKind::Euclidean: {

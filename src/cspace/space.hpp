@@ -9,6 +9,7 @@
 ///  - `SE3`      — (x, y, z, qw, qx, qy, qz) spatial rigid body, the space
 ///                 used in all of the paper's PRM/RRT experiments.
 
+#include <array>
 #include <utility>
 #include <vector>
 
@@ -90,6 +91,45 @@ class CSpace {
   geo::Aabb pos_bounds_;
   double rot_weight_ = 0.5;
   std::vector<std::pair<double, double>> euclid_bounds_;
+};
+
+/// Precomputed straight-line edge a -> b for the local planner's hot loop.
+///
+/// `at(t, out)` produces exactly the same bits as
+/// `CSpace::interpolate(a, b, t)` — the t-independent work (per-dimension
+/// deltas, the SE2 angular difference, the slerp sign flip / angle /
+/// 1/sin(theta) invariants) is hoisted into `reset()`, but every remaining
+/// per-step expression is kept operation-for-operation identical. That
+/// bit-identity is load-bearing: edge accept/reject decisions must not
+/// change under the reordered local planner, or anytime checkpoints and
+/// fault replays would diverge.
+///
+/// `reset()` may be called repeatedly; the interpolator holds no heap
+/// storage, so reuse is allocation-free.
+class EdgeInterpolator {
+ public:
+  EdgeInterpolator() = default;
+
+  /// Rebind to the edge a -> b of `space`.
+  void reset(const CSpace& space, const Config& a, const Config& b) noexcept;
+
+  /// Write interpolate(a, b, t) into `out` (cleared first).
+  void at(double t, Config& out) const noexcept;
+
+ private:
+  SpaceKind kind_ = SpaceKind::Euclidean;
+  std::size_t count_ = 0;                          ///< values to emit
+  std::size_t lerp_count_ = 0;                     ///< plain-lerp prefix
+  std::array<double, kMaxConfigValues> base_{};    ///< a[i]
+  std::array<double, kMaxConfigValues> delta_{};   ///< b[i] - a[i]
+  // SE3 rotation invariants (see CSpace::interpolate / Quat::slerp).
+  geo::Quat qa_{};      ///< start rotation
+  geo::Quat qt_{};      ///< sign-corrected target rotation
+  geo::Quat qd_{};      ///< qt_ - qa_ componentwise (nlerp fast path)
+  double theta_ = 0.0;  ///< acos(|dot|)
+  double sin_theta_ = 1.0;
+  bool nlerp_ = false;  ///< rotations nearly parallel: lerp + renormalize
+  bool has_rot_ = false;
 };
 
 }  // namespace pmpl::cspace

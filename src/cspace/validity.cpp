@@ -1,8 +1,35 @@
 #include "cspace/validity.hpp"
 
+#include <array>
 #include <cmath>
 
 namespace pmpl::cspace {
+
+std::size_t RigidBodyValidity::valid_batch(
+    std::span<const Config> cs, collision::CollisionStats* stats) const {
+  constexpr std::size_t kBlock = 16;
+  std::array<geo::Transform, kBlock> poses;
+  std::size_t i = 0;
+  while (i < cs.size()) {
+    // Collect a run of in-bounds configs, transforming to world poses.
+    std::size_t m = 0;
+    while (m < kBlock && i + m < cs.size()) {
+      if (!space_->in_bounds(cs[i + m])) break;
+      poses[m] = space_->pose(cs[i + m]);
+      ++m;
+    }
+    if (m > 0) {
+      const std::size_t hit =
+          checker_->first_collision(robot_, {poses.data(), m}, stats);
+      if (hit < m) return i + hit;
+      i += m;
+    }
+    // The run ended before the block filled: either we consumed all of
+    // `cs` (loop exits) or cs[i] is out of bounds — the first invalid one.
+    if (m < kBlock && i < cs.size()) return i;
+  }
+  return cs.size();
+}
 
 std::vector<geo::Vec3> PlanarArmValidity::forward_kinematics(
     const Config& c) const {

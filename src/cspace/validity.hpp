@@ -7,6 +7,7 @@
 /// environment), and a planar articulated arm (examples).
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "collision/checker.hpp"
@@ -25,6 +26,20 @@ class ValidityChecker {
   /// Is `c` collision-free (and within bounds)?
   virtual bool valid(const Config& c,
                      collision::CollisionStats* stats = nullptr) const = 0;
+
+  /// Batched validity over an edge's interpolated steps: checks `cs` in
+  /// order and returns the index of the first invalid configuration, or
+  /// `cs.size()` when all are valid. Results and per-config stats are
+  /// identical to calling `valid()` sequentially and stopping at the first
+  /// failure; overrides exist to amortize per-call setup (virtual dispatch,
+  /// robot pose transforms) across the batch.
+  virtual std::size_t valid_batch(
+      std::span<const Config> cs,
+      collision::CollisionStats* stats = nullptr) const {
+    for (std::size_t i = 0; i < cs.size(); ++i)
+      if (!valid(cs[i], stats)) return i;
+    return cs.size();
+  }
 };
 
 /// Rigid-body robot placed by the configuration's pose.
@@ -39,6 +54,13 @@ class RigidBodyValidity final : public ValidityChecker {
     if (!space_->in_bounds(c)) return false;
     return !checker_->in_collision(robot_, space_->pose(c), stats);
   }
+
+  /// Batches pose transforms in fixed-size blocks and hands them to
+  /// `CollisionChecker::first_collision`; verdict and stats are identical
+  /// to the sequential default.
+  std::size_t valid_batch(
+      std::span<const Config> cs,
+      collision::CollisionStats* stats = nullptr) const override;
 
   const collision::RigidBody& robot() const noexcept { return robot_; }
 

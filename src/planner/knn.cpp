@@ -7,118 +7,190 @@ namespace pmpl::planner {
 
 namespace {
 
-/// Max-heap ordering on distance so the worst of the current k best is at
-/// the front.
-struct ByDistance {
+/// Max-heap on the canonical order, so the *worst* kept neighbor is at the
+/// front; sort_heap then yields ascending canonical order.
+struct WorstFirst {
   bool operator()(const Neighbor& a, const Neighbor& b) const noexcept {
-    return a.distance < b.distance;
+    return neighbor_before(a, b);
   }
 };
 
 void heap_consider(std::vector<Neighbor>& heap, std::size_t k, Neighbor n) {
   if (heap.size() < k) {
     heap.push_back(n);
-    std::push_heap(heap.begin(), heap.end(), ByDistance{});
-  } else if (n.distance < heap.front().distance) {
-    std::pop_heap(heap.begin(), heap.end(), ByDistance{});
+    std::push_heap(heap.begin(), heap.end(), WorstFirst{});
+  } else if (neighbor_before(n, heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), WorstFirst{});
     heap.back() = n;
-    std::push_heap(heap.begin(), heap.end(), ByDistance{});
+    std::push_heap(heap.begin(), heap.end(), WorstFirst{});
   }
 }
 
 }  // namespace
 
-std::vector<Neighbor> BruteForceKnn::nearest(const cspace::Config& q,
-                                             std::size_t k,
-                                             PlannerStats* stats) {
+void NeighborFinder::nearest_batch(std::span<const cspace::Config> queries,
+                                   std::size_t k, KnnBatch& out,
+                                   PlannerStats* stats) {
+  out.neighbors.clear();
+  out.offsets.clear();
+  out.offsets.reserve(queries.size() + 1);
+  out.offsets.push_back(0);
+  for (const auto& q : queries) {
+    const auto r = nearest(q, k, stats);
+    out.neighbors.insert(out.neighbors.end(), r.begin(), r.end());
+    out.offsets.push_back(static_cast<std::uint32_t>(out.neighbors.size()));
+  }
+}
+
+std::span<const Neighbor> BruteForceKnn::nearest(const cspace::Config& q,
+                                                 std::size_t k,
+                                                 PlannerStats* stats) {
   if (stats) ++stats->knn_queries;
-  std::vector<Neighbor> heap;
-  heap.reserve(k + 1);
+  heap_.clear();
+  if (k == 0) return {};
+  heap_.reserve(k + 1);
   for (std::size_t i = 0; i < ids_.size(); ++i) {
     if (stats) ++stats->knn_candidates;
-    heap_consider(heap, k, {ids_[i], space_->distance(q, configs_[i])});
+    heap_consider(heap_, k, {ids_[i], space_->distance(q, configs_[i])});
   }
-  std::sort_heap(heap.begin(), heap.end(), ByDistance{});
-  return heap;
+  std::sort_heap(heap_.begin(), heap_.end(), WorstFirst{});
+  return {heap_.data(), heap_.size()};
 }
 
 void KdTreeKnn::insert(graph::VertexId id, const cspace::Config& c) {
-  points_.push_back({space_->position(c), id, c});
+  ids_.push_back(id);
+  cfgs_.push_back(c);
+  pos_.push_back(space_->position(c));
   // Rebuild when the unindexed buffer exceeds half the indexed size (and at
   // least 32 points), keeping amortized insertion cheap.
-  const std::size_t buffered = points_.size() - tree_size_;
-  if (buffered >= 32 && buffered * 2 >= tree_size_) rebuild();
+  const std::size_t buffered = ids_.size() - indexed_;
+  if (buffered >= 32 && buffered * 2 >= indexed_) rebuild();
 }
 
 void KdTreeKnn::rebuild() {
+  const std::size_t n = ids_.size();
   nodes_.clear();
-  nodes_.reserve(points_.size());
-  std::vector<std::uint32_t> items(points_.size());
-  for (std::size_t i = 0; i < items.size(); ++i)
-    items[i] = static_cast<std::uint32_t>(i);
-  root_ = points_.empty()
-              ? kNoNode
-              : build_subtree(items, 0, items.size(), 0);
-  tree_size_ = points_.size();
+  nodes_.reserve(leaf_size_ ? 2 * n / leaf_size_ + 2 : n);
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = static_cast<std::uint32_t>(i);
+  root_ = n == 0 ? kNoNode : build_subtree(0, n);
+  // The recursion only permutes within its own subrange, so perm_ ends up
+  // leaf-contiguous; mirror it into the SoA coordinate arrays.
+  px_.resize(n);
+  py_.resize(n);
+  pz_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geo::Vec3& p = pos_[perm_[i]];
+    px_[i] = p.x;
+    py_[i] = p.y;
+    pz_[i] = p.z;
+  }
+  stack_.reserve(64);
+  indexed_ = n;
 }
 
-std::uint32_t KdTreeKnn::build_subtree(std::vector<std::uint32_t>& items,
-                                       std::size_t lo, std::size_t hi,
-                                       int depth) {
-  if (lo >= hi) return kNoNode;
-  const std::size_t mid = lo + (hi - lo) / 2;
-  const auto axis = static_cast<std::uint8_t>(depth % 3);
-  std::nth_element(items.begin() + static_cast<long>(lo),
-                   items.begin() + static_cast<long>(mid),
-                   items.begin() + static_cast<long>(hi),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return points_[a].pos[axis] < points_[b].pos[axis];
-                   });
+std::uint32_t KdTreeKnn::build_subtree(std::size_t lo, std::size_t hi) {
   const auto idx = static_cast<std::uint32_t>(nodes_.size());
-  nodes_.push_back({items[mid], kNoNode, kNoNode, axis});
-  const std::uint32_t left = build_subtree(items, lo, mid, depth + 1);
-  const std::uint32_t right = build_subtree(items, mid + 1, hi, depth + 1);
-  nodes_[idx].left = left;
-  nodes_[idx].right = right;
+  nodes_.emplace_back();
+  if (hi - lo <= leaf_size_) {
+    nodes_[idx] = {0.0, static_cast<std::uint32_t>(lo),
+                   static_cast<std::uint32_t>(hi - lo), kLeafAxis};
+    return idx;
+  }
+  // Split along the axis of widest positional spread; a degenerate
+  // zero-width spread still partitions, its split plane just never prunes.
+  geo::Vec3 cmin = pos_[perm_[lo]];
+  geo::Vec3 cmax = cmin;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const geo::Vec3& p = pos_[perm_[i]];
+    cmin = geo::min(cmin, p);
+    cmax = geo::max(cmax, p);
+  }
+  const geo::Vec3 extent = cmax - cmin;
+  std::uint8_t axis = 0;
+  if (extent.y > extent[axis]) axis = 1;
+  if (extent.z > extent[axis]) axis = 2;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(perm_.begin() + static_cast<long>(lo),
+                   perm_.begin() + static_cast<long>(mid),
+                   perm_.begin() + static_cast<long>(hi),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return pos_[a][axis] < pos_[b][axis];
+                   });
+  // Median point goes to the right half: left holds coords <= split,
+  // right holds coords >= split, which is what the |delta| bound assumes.
+  const double split = pos_[perm_[mid]][axis];
+  const std::uint32_t left = build_subtree(lo, mid);
+  const std::uint32_t right = build_subtree(mid, hi);
+  nodes_[idx] = {split, left, right, axis};
   return idx;
 }
 
-void KdTreeKnn::search(std::uint32_t node, const geo::Vec3& q, std::size_t k,
-                       std::vector<Neighbor>& heap,
-                       const cspace::Config& qcfg,
-                       PlannerStats* stats) const {
-  if (node == kNoNode) return;
-  const Node& n = nodes_[node];
-  const Point& p = points_[n.point];
-  if (stats) ++stats->knn_candidates;
-  heap_consider(heap, k, {p.id, space_->distance(qcfg, p.cfg)});
+std::span<const Neighbor> KdTreeKnn::nearest(const cspace::Config& q,
+                                             std::size_t k,
+                                             PlannerStats* stats) {
+  // Lazy-rebuild guard: a long insert burst can leave a large fraction of
+  // the points in the linear buffer (the insert-time policy only fires
+  // every tree/2 inserts); if the buffer dominates, fold it into the tree
+  // once instead of paying an O(buffer) scan on every query.
+  const std::size_t buffered = ids_.size() - indexed_;
+  if (buffered >= 32 && buffered * 4 >= indexed_) rebuild();
 
-  const double delta = q[n.axis] - p.pos[n.axis];
-  const std::uint32_t near_child = delta < 0.0 ? n.left : n.right;
-  const std::uint32_t far_child = delta < 0.0 ? n.right : n.left;
-  search(near_child, q, k, heap, qcfg, stats);
-  // The positional split plane bounds positional distance; the full metric
-  // adds a non-negative rotation term, so |delta| remains a valid lower
-  // bound for pruning.
-  if (heap.size() < k || std::fabs(delta) < heap.front().distance)
-    search(far_child, q, k, heap, qcfg, stats);
-}
-
-std::vector<Neighbor> KdTreeKnn::nearest(const cspace::Config& q,
-                                         std::size_t k, PlannerStats* stats) {
   if (stats) ++stats->knn_queries;
-  std::vector<Neighbor> heap;
-  heap.reserve(k + 1);
+  heap_.clear();
+  if (k == 0) return {};
+  heap_.reserve(k + 1);
   const geo::Vec3 qp = space_->position(q);
-  search(root_, qp, k, heap, q, stats);
-  // Points inserted since the last rebuild live in the linear buffer.
-  for (std::size_t i = tree_size_; i < points_.size(); ++i) {
-    if (stats) ++stats->knn_candidates;
-    heap_consider(heap, k, {points_[i].id,
-                            space_->distance(q, points_[i].cfg)});
+
+  stack_.clear();
+  if (root_ != kNoNode) stack_.push_back({root_, 0.0});
+  while (!stack_.empty()) {
+    const Visit v = stack_.back();
+    stack_.pop_back();
+    // Strict >: an equal bound may still hide an equal-distance point with
+    // a smaller id, which beats the current worst under canonical order.
+    if (heap_.size() >= k && v.bound > heap_.front().distance) continue;
+    const Node& n = nodes_[v.node];
+    if (n.axis == kLeafAxis) {
+      const std::size_t first = n.a;
+      const std::size_t count = n.b;
+      for (std::size_t s = first; s < first + count; ++s) {
+        if (stats) ++stats->knn_candidates;
+        const double dx = qp.x - px_[s];
+        const double dy = qp.y - py_[s];
+        const double dz = qp.z - pz_[s];
+        // Left-associative sum, matching Vec3::dot/norm bit-for-bit so
+        // this positional bound can never exceed the full metric (which
+        // only adds a non-negative rotation term on top of it).
+        const double pd = std::sqrt((dx * dx + dy * dy) + dz * dz);
+        if (heap_.size() >= k && pd > heap_.front().distance) continue;
+        const std::uint32_t m = perm_[s];
+        heap_consider(heap_, k, {ids_[m], space_->distance(q, cfgs_[m])});
+      }
+      continue;
+    }
+    const double delta = qp[n.axis] - n.split;
+    const std::uint32_t near_child = delta < 0.0 ? n.a : n.b;
+    const std::uint32_t far_child = delta < 0.0 ? n.b : n.a;
+    // Depth-first into the near child: push the far side (with its
+    // tightened bound) first so the near side pops next.
+    stack_.push_back({far_child, std::max(v.bound, std::fabs(delta))});
+    stack_.push_back({near_child, v.bound});
   }
-  std::sort_heap(heap.begin(), heap.end(), ByDistance{});
-  return heap;
+
+  // Points inserted since the last rebuild live in the linear buffer; the
+  // same positional lower bound skips the full metric where it cannot win.
+  for (std::size_t i = indexed_; i < ids_.size(); ++i) {
+    if (stats) ++stats->knn_candidates;
+    const double dx = qp.x - pos_[i].x;
+    const double dy = qp.y - pos_[i].y;
+    const double dz = qp.z - pos_[i].z;
+    const double pd = std::sqrt((dx * dx + dy * dy) + dz * dz);
+    if (heap_.size() >= k && pd > heap_.front().distance) continue;
+    heap_consider(heap_, k, {ids_[i], space_->distance(q, cfgs_[i])});
+  }
+  std::sort_heap(heap_.begin(), heap_.end(), WorstFirst{});
+  return {heap_.data(), heap_.size()};
 }
 
 std::unique_ptr<NeighborFinder> make_neighbor_finder(

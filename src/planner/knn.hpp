@@ -7,16 +7,32 @@
 /// by keeping searches regional. Two finders are provided:
 ///
 ///  - `BruteForceKnn` — exact under the full C-space metric; O(n) per query.
-///  - `KdTreeKnn`     — kd-tree over workspace *positions* with deferred
-///    rebuilds for incremental insertion. Candidates are ranked by the full
-///    C-space metric; the positional split distance is a valid lower bound
-///    on every metric we define (rotation adds a non-negative term), so
-///    results are exact — the tree only loses pruning power, not accuracy.
+///  - `KdTreeKnn`     — leaf-bucketed kd-tree over workspace *positions*
+///    with deferred rebuilds for incremental insertion. Leaves hold 8–16
+///    points in structure-of-arrays layout so a leaf scan is a tight loop
+///    over contiguous doubles; traversal is iterative with an explicit
+///    stack. Candidates are ranked by the full C-space metric; positional
+///    distance is a valid lower bound on every metric we define (rotation
+///    adds a non-negative term), so results are exact — the tree only loses
+///    pruning power, not accuracy.
+///
+/// Both finders return results in the *canonical neighbor order* (ascending
+/// distance, ties broken by ascending vertex id — see `neighbor_before`),
+/// which makes the k-best set a total order: any exact finder returns
+/// bit-identical results regardless of scan or traversal order. That
+/// determinism is load-bearing for roadmap reproducibility.
+///
+/// `nearest()` returns a span into per-finder scratch (no per-query heap
+/// allocation once warm); `nearest_batch()` amortizes call overhead across
+/// a query batch into a caller-owned reusable buffer. Finders are *not*
+/// thread-safe for concurrent queries — each worker owns its finder, which
+/// matches how the planners already use them.
 ///
 /// Both report visited-candidate counts so k-NN work feeds the load model.
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cspace/space.hpp"
@@ -31,6 +47,30 @@ struct Neighbor {
   double distance;
 };
 
+/// Canonical neighbor order: ascending distance, ties broken by ascending
+/// vertex id. The id tie-break totally orders candidates (ids are unique),
+/// so the k nearest are a unique set in a unique order no matter how a
+/// finder visits points.
+inline bool neighbor_before(const Neighbor& a, const Neighbor& b) noexcept {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+/// Flat result buffer for `nearest_batch`: query i's neighbors occupy
+/// [offsets[i], offsets[i+1]) of `neighbors`. Reuse the same instance
+/// across batches to keep the connection phase allocation-free once warm.
+struct KnnBatch {
+  std::vector<Neighbor> neighbors;
+  std::vector<std::uint32_t> offsets;  ///< size = query count + 1
+
+  std::span<const Neighbor> of(std::size_t i) const noexcept {
+    return {neighbors.data() + offsets[i], neighbors.data() + offsets[i + 1]};
+  }
+  std::size_t query_count() const noexcept {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+};
+
 /// Interface for incremental k-NN over (id, config) pairs.
 class NeighborFinder {
  public:
@@ -38,11 +78,18 @@ class NeighborFinder {
 
   virtual void insert(graph::VertexId id, const cspace::Config& c) = 0;
 
-  /// The k nearest stored configs to `q` (ascending distance). Fewer than k
-  /// if the structure holds fewer points.
-  virtual std::vector<Neighbor> nearest(const cspace::Config& q,
-                                        std::size_t k,
-                                        PlannerStats* stats = nullptr) = 0;
+  /// The k nearest stored configs to `q`, in canonical order. Fewer than k
+  /// if the structure holds fewer points. The span aliases finder-owned
+  /// scratch: it is invalidated by the next `nearest`/`nearest_batch`/
+  /// `insert` call, and a finder must not be queried concurrently.
+  virtual std::span<const Neighbor> nearest(
+      const cspace::Config& q, std::size_t k,
+      PlannerStats* stats = nullptr) = 0;
+
+  /// Run `nearest` for every query, packing results into `out` (cleared
+  /// first). Results are identical to k single queries in order.
+  void nearest_batch(std::span<const cspace::Config> queries, std::size_t k,
+                     KnnBatch& out, PlannerStats* stats = nullptr);
 
   virtual std::size_t size() const noexcept = 0;
 };
@@ -57,8 +104,8 @@ class BruteForceKnn final : public NeighborFinder {
     configs_.push_back(c);
   }
 
-  std::vector<Neighbor> nearest(const cspace::Config& q, std::size_t k,
-                                PlannerStats* stats = nullptr) override;
+  std::span<const Neighbor> nearest(const cspace::Config& q, std::size_t k,
+                                    PlannerStats* stats = nullptr) override;
 
   std::size_t size() const noexcept override { return ids_.size(); }
 
@@ -66,49 +113,74 @@ class BruteForceKnn final : public NeighborFinder {
   const cspace::CSpace* space_;
   std::vector<graph::VertexId> ids_;
   std::vector<cspace::Config> configs_;
+  std::vector<Neighbor> heap_;  ///< query scratch; holds the last result
 };
 
-/// kd-tree over positions with an insertion buffer; the tree is rebuilt
-/// when the buffer outgrows a fraction of the tree (amortized O(log n)
-/// insertion without rebalancing machinery).
+/// Leaf-bucketed kd-tree over positions with an insertion buffer; the tree
+/// is rebuilt when the buffer outgrows a fraction of the tree (amortized
+/// O(log n) insertion without rebalancing machinery). Internal nodes store
+/// only a split plane; points live in leaf buckets laid out SoA
+/// (`px_/py_/pz_`) so the per-leaf distance scan is branch-light and
+/// cache-friendly.
 class KdTreeKnn final : public NeighborFinder {
  public:
-  explicit KdTreeKnn(const cspace::CSpace& space) : space_(&space) {}
+  static constexpr std::size_t kDefaultLeafSize = 12;
+
+  explicit KdTreeKnn(const cspace::CSpace& space,
+                     std::size_t leaf_size = kDefaultLeafSize)
+      : space_(&space), leaf_size_(leaf_size) {}
 
   void insert(graph::VertexId id, const cspace::Config& c) override;
 
-  std::vector<Neighbor> nearest(const cspace::Config& q, std::size_t k,
-                                PlannerStats* stats = nullptr) override;
+  std::span<const Neighbor> nearest(const cspace::Config& q, std::size_t k,
+                                    PlannerStats* stats = nullptr) override;
 
-  std::size_t size() const noexcept override { return points_.size(); }
+  std::size_t size() const noexcept override { return ids_.size(); }
+
+  /// Points covered by the built tree; the rest sit in the linear
+  /// insertion buffer. Exposed for rebuild-policy tests.
+  std::size_t indexed_size() const noexcept { return indexed_; }
 
  private:
+  static constexpr std::uint8_t kLeafAxis = 3;
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
   struct Node {
-    std::uint32_t point = 0;       ///< index into points_
-    std::uint32_t left = 0;        ///< 0 = none (node 0 is the root; valid)
-    std::uint32_t right = 0;
-    std::uint8_t axis = 0;
+    double split = 0.0;     ///< internal: split-plane coordinate
+    std::uint32_t a = 0;    ///< internal: left child; leaf: first slot
+    std::uint32_t b = 0;    ///< internal: right child; leaf: point count
+    std::uint8_t axis = 0;  ///< 0..2 for internal nodes, kLeafAxis for leaves
   };
 
-  struct Point {
-    geo::Vec3 pos;
-    graph::VertexId id;
-    cspace::Config cfg;
+  /// Deferred subtree visit: `bound` is a positional lower bound on the
+  /// distance from the query to anything in the subtree.
+  struct Visit {
+    std::uint32_t node;
+    double bound;
   };
 
   void rebuild();
-  std::uint32_t build_subtree(std::vector<std::uint32_t>& items,
-                              std::size_t lo, std::size_t hi, int depth);
-  void search(std::uint32_t node, const geo::Vec3& q, std::size_t k,
-              std::vector<Neighbor>& heap, const cspace::Config& qcfg,
-              PlannerStats* stats) const;
+  std::uint32_t build_subtree(std::size_t lo, std::size_t hi);
 
   const cspace::CSpace* space_;
-  std::vector<Point> points_;
+  std::size_t leaf_size_;
+
+  // Master point storage, indexed by insertion order.
+  std::vector<graph::VertexId> ids_;
+  std::vector<cspace::Config> cfgs_;
+  std::vector<geo::Vec3> pos_;
+
+  // Built tree. perm_ maps leaf-contiguous slots to master indices;
+  // px_/py_/pz_ hold slot positions as SoA for the leaf distance scan.
   std::vector<Node> nodes_;
+  std::vector<std::uint32_t> perm_;
+  std::vector<double> px_, py_, pz_;
   std::uint32_t root_ = kNoNode;
-  std::size_t tree_size_ = 0;  ///< points included in the built tree
-  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+  std::size_t indexed_ = 0;  ///< points included in the built tree
+
+  // Per-query scratch, reused so nearest() is allocation-free once warm.
+  std::vector<Neighbor> heap_;
+  std::vector<Visit> stack_;
 };
 
 /// Factory: kd-tree by default, brute force for exactness-sensitive users.

@@ -43,12 +43,21 @@ void connect_within(const env::Environment& e, Roadmap& g,
   auto finder = make_neighbor_finder(e.space(), params.exact_knn);
   for (graph::VertexId id : ids) finder->insert(id, g.vertex(id).cfg);
 
-  for (graph::VertexId id : ids) {
+  // Batch every k-NN query up front. The finder holds all of `ids` and is
+  // never mutated during the connection loop, so batched results are
+  // identical to interleaved per-vertex queries — and the batch reuses one
+  // result buffer instead of allocating a neighbor vector per vertex.
+  std::vector<cspace::Config> qcfgs;
+  qcfgs.reserve(ids.size());
+  for (graph::VertexId id : ids) qcfgs.push_back(g.vertex(id).cfg);
+  KnnBatch batch;
+  // k+1 because the query point itself is in the structure.
+  finder->nearest_batch(qcfgs, params.k_neighbors + 1, batch, &stats);
+
+  for (std::size_t qi = 0; qi < ids.size(); ++qi) {
+    const graph::VertexId id = ids[qi];
     if (runtime::stop_requested(cancel)) return;
-    // k+1 because the query point itself is in the structure.
-    const auto neighbors =
-        finder->nearest(g.vertex(id).cfg, params.k_neighbors + 1, &stats);
-    for (const Neighbor& n : neighbors) {
+    for (const Neighbor& n : batch.of(qi)) {
       if (n.id == id) continue;
       if (g.has_edge(id, n.id)) continue;
       if (params.skip_same_component && cc != nullptr &&
@@ -88,11 +97,14 @@ std::size_t connect_between(const env::Environment& e, Roadmap& g,
   };
   std::vector<Candidate> candidates;
   candidates.reserve(from.size() * 2);
-  for (graph::VertexId id : from) {
-    const auto neighbors = finder->nearest(g.vertex(id).cfg, 2, &stats);
-    for (const Neighbor& n : neighbors)
-      candidates.push_back({n.distance, id, n.id});
-  }
+  std::vector<cspace::Config> qcfgs;
+  qcfgs.reserve(from.size());
+  for (graph::VertexId id : from) qcfgs.push_back(g.vertex(id).cfg);
+  KnnBatch batch;
+  finder->nearest_batch(qcfgs, 2, batch, &stats);
+  for (std::size_t qi = 0; qi < from.size(); ++qi)
+    for (const Neighbor& n : batch.of(qi))
+      candidates.push_back({n.distance, from[qi], n.id});
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& x, const Candidate& y) {
               return x.distance < y.distance;

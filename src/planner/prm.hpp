@@ -56,8 +56,9 @@ std::vector<cspace::Config> sample_region_with(const Sampler& sampler,
 
 /// Node-connection phase within one vertex set: each vertex attempts local
 /// plans to its k nearest neighbors among `ids`. Successful edges are added
-/// to `g` (and merged in `cc` when provided). A fired `cancel` token stops
-/// between vertices (bounded overrun: one k-NN query + k local plans).
+/// to `g` (and merged in `cc` when provided). All k-NN queries run batched
+/// before the first local plan; a fired `cancel` token stops between
+/// vertices (bounded overrun: the batched k-NN pass + k local plans).
 void connect_within(const env::Environment& e, Roadmap& g,
                     std::span<const graph::VertexId> ids,
                     const PrmParams& params, PlannerStats& stats,

@@ -327,5 +327,144 @@ TEST(LocalPlanner, StatsCountValidityChecks) {
   EXPECT_EQ(stats.queries, 9u);
 }
 
+// --- edge interpolator ---------------------------------------------------
+
+void expect_bit_identical(const CSpace& s, const Config& a, const Config& b) {
+  EdgeInterpolator ip;
+  ip.reset(s, a, b);
+  Config out;
+  for (const double t :
+       {0.0, 1e-9, 0.125, 1.0 / 3.0, 0.5, 0.75, 0.9999999, 1.0}) {
+    const Config ref = s.interpolate(a, b, t);
+    ip.at(t, out);
+    ASSERT_EQ(out.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_EQ(out[i], ref[i]) << "t=" << t << " i=" << i;  // exact bits
+  }
+}
+
+TEST(EdgeInterpolator, BitIdenticalToInterpolate) {
+  Xoshiro256ss rng(21);
+  const CSpace eu = CSpace::euclidean({{0, 100}, {-5, 5}, {0, 1}, {-2, 2}});
+  const CSpace se2 = CSpace::se2({{0, 0, 0}, {100, 100, 0}});
+  const CSpace se3 = CSpace::se3(unit_box100());
+  for (int i = 0; i < 50; ++i) {
+    expect_bit_identical(eu, eu.sample(rng), eu.sample(rng));
+    expect_bit_identical(se2, se2.sample(rng), se2.sample(rng));
+    expect_bit_identical(se3, se3.sample(rng), se3.sample(rng));
+  }
+  // Force slerp's near-parallel (nlerp) branch: rotations almost equal.
+  for (int i = 0; i < 20; ++i) {
+    Config a = se3.sample(rng);
+    Config b = se3.sample(rng);
+    for (std::size_t j = 3; j < 7; ++j) b[j] = a[j] + 1e-6 * b[j];
+    expect_bit_identical(se3, a, b);
+    // And the sign-flip branch: negated target quaternion, same rotation.
+    Config c = a;
+    for (std::size_t j = 3; j < 7; ++j) c[j] = -a[j];
+    c[0] = b[0];
+    expect_bit_identical(se3, a, c);
+  }
+  // Degenerate edge: a == b.
+  const Config a = se3.sample(rng);
+  expect_bit_identical(se3, a, a);
+}
+
+// --- batched validity -----------------------------------------------------
+
+TEST(Validity, RigidBodyBatchMatchesSequential) {
+  const CSpace s = CSpace::se3(unit_box100());
+  CollisionChecker checker(
+      {Aabb{{40, 40, 40}, {60, 60, 60}}, Aabb{{0, 0, 0}, {15, 15, 15}}});
+  RigidBodyValidity validity(s, RigidBody::box({2, 2, 2}), checker);
+  Xoshiro256ss rng(22);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Config> cs;
+    const std::size_t n = 1 + rng.uniform_u64(40);
+    for (std::size_t i = 0; i < n; ++i) {
+      Config c = s.sample(rng);
+      if (rng.uniform_u64(7) == 0) c[0] = -5.0;  // out-of-bounds entries
+      cs.push_back(c);
+    }
+    std::size_t ref = cs.size();
+    collision::CollisionStats ref_stats;
+    for (std::size_t i = 0; i < cs.size(); ++i)
+      if (!validity.valid(cs[i], &ref_stats)) {
+        ref = i;
+        break;
+      }
+    collision::CollisionStats batch_stats;
+    EXPECT_EQ(validity.valid_batch(cs, &batch_stats), ref) << trial;
+    EXPECT_EQ(batch_stats.queries, ref_stats.queries);
+    EXPECT_EQ(batch_stats.narrow_tests, ref_stats.narrow_tests);
+    EXPECT_EQ(batch_stats.bvh_nodes, ref_stats.bvh_nodes);
+  }
+}
+
+// --- local planner: midpoint-out ordering --------------------------------
+
+/// Reference: the pre-reordering sequential sweep, kept here to pin the
+/// contract that reordering never changes an edge's verdict or length.
+LocalPlanResult sequential_plan(const CSpace& s, const ValidityChecker& v,
+                                double resolution, const Config& a,
+                                const Config& b) {
+  LocalPlanResult r;
+  r.length = s.distance(a, b);
+  const std::size_t n = s.step_count(a, b, resolution);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    ++r.steps_checked;
+    if (!v.valid(s.interpolate(a, b, t))) {
+      r.success = false;
+      return r;
+    }
+  }
+  r.success = true;
+  return r;
+}
+
+TEST(LocalPlanner, ReorderedVerdictMatchesSequentialScan) {
+  const CSpace s = CSpace::se3(unit_box100());
+  CollisionChecker checker({Aabb{{30, 0, 0}, {40, 70, 100}},
+                            Aabb{{60, 30, 0}, {70, 100, 100}},
+                            Aabb{{20, 20, 60}, {80, 80, 70}}});
+  RigidBodyValidity validity(s, RigidBody::box({3, 3, 3}), checker);
+  const LocalPlanner lp(s, validity, 1.0);
+  Xoshiro256ss rng(23);
+  int accepted = 0, rejected = 0;
+  for (int i = 0; i < 120; ++i) {
+    const Config a = s.sample(rng);
+    const Config b = s.sample(rng);
+    const auto ref = sequential_plan(s, validity, 1.0, a, b);
+    const auto got = lp.plan(a, b);
+    ASSERT_EQ(got.success, ref.success) << "edge " << i;
+    EXPECT_EQ(got.length, ref.length);
+    // Accepted edges check every interior step exactly once.
+    if (ref.success) {
+      EXPECT_EQ(got.steps_checked, ref.steps_checked);
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  // The fixture must actually exercise both outcomes.
+  EXPECT_GT(accepted, 5);
+  EXPECT_GT(rejected, 5);
+}
+
+TEST(LocalPlanner, MidpointOutRejectsBlockedMiddleEarly) {
+  const CSpace s = CSpace::euclidean({{0, 1000}, {0, 10}, {0, 10}});
+  // Thin wall at the exact middle of a very long edge.
+  CollisionChecker checker({Aabb{{499, -1, -1}, {501, 11, 11}}});
+  PointValidity validity(s, checker);
+  const LocalPlanner lp(s, validity, 1.0);
+  const auto r = lp.plan(Config{0, 5, 5}, Config{1000, 5, 5});
+  EXPECT_FALSE(r.success);
+  // The first checked step is the midpoint, which is inside the wall, so
+  // rejection happens within the very first block of checks — the
+  // sequential sweep would have burned ~500 checks getting there.
+  EXPECT_LE(r.steps_checked, 16u);
+}
+
 }  // namespace
 }  // namespace pmpl::cspace

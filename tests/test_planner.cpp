@@ -41,9 +41,14 @@ TEST_P(KnnProperty, KdTreeMatchesBruteForce) {
       auto a = tree.nearest(query, k);
       auto b = brute.nearest(query, k);
       ASSERT_EQ(a.size(), b.size());
-      for (std::size_t i = 0; i < a.size(); ++i)
-        EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9)
+      // Canonical order (distance, id) makes results bit-identical, not
+      // merely close: both finders must agree exactly.
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id)
             << "n=" << n << " q=" << q << " k=" << k << " i=" << i;
+        EXPECT_EQ(a[i].distance, b[i].distance)
+            << "n=" << n << " q=" << q << " k=" << k << " i=" << i;
+      }
     }
   }
 }
@@ -118,6 +123,147 @@ TEST(Knn, FactorySelectsImplementation) {
   EXPECT_NE(
       dynamic_cast<BruteForceKnn*>(make_neighbor_finder(space, true).get()),
       nullptr);
+}
+
+// Randomized cross-check over every space kind with adversarial point sets:
+// duplicates (exact distance ties), collinear points (symmetric ties),
+// k > n, and the empty structure. Results must match bit-for-bit, including
+// tie order — the canonical (distance, id) order totally orders candidates,
+// so kd-tree traversal order must not leak into results.
+TEST(Knn, RandomizedCrossCheckAllSpaces) {
+  const CSpace spaces[] = {
+      CSpace::euclidean({{0, 100}, {0, 100}, {0, 100}, {-3, 3}, {-3, 3}}),
+      CSpace::se2({{0, 0, 0}, {100, 100, 0}}),
+      CSpace::se3({{0, 0, 0}, {100, 100, 100}}),
+  };
+  std::size_t total_queries = 0;
+  for (const CSpace& space : spaces) {
+    for (const std::size_t n : {0u, 3u, 17u, 150u, 400u}) {
+      Xoshiro256ss rng(1000 + n);
+      KdTreeKnn tree(space);
+      BruteForceKnn brute(space);
+      std::vector<Config> pts;
+      for (std::size_t i = 0; i < n; ++i) {
+        // ~1 in 6 points duplicates an earlier one: exact distance ties.
+        const Config c = (!pts.empty() && rng.uniform_u64(6) == 0)
+                             ? pts[rng.uniform_u64(pts.size())]
+                             : space.sample(rng);
+        pts.push_back(c);
+        tree.insert(static_cast<graph::VertexId>(i), c);
+        brute.insert(static_cast<graph::VertexId>(i), c);
+      }
+      for (int q = 0; q < 30; ++q) {
+        // Half the queries sit exactly on stored points.
+        const Config query = (!pts.empty() && q % 2 == 0)
+                                 ? pts[rng.uniform_u64(pts.size())]
+                                 : space.sample(rng);
+        for (const std::size_t k :
+             {std::size_t{1}, std::size_t{3}, std::size_t{8}, n + 5}) {
+          const auto a = tree.nearest(query, k);
+          const auto b = brute.nearest(query, k);
+          ++total_queries;
+          ASSERT_EQ(a.size(), b.size()) << "n=" << n << " k=" << k;
+          for (std::size_t i = 0; i < a.size(); ++i) {
+            ASSERT_EQ(a[i].id, b[i].id)
+                << "n=" << n << " q=" << q << " k=" << k << " i=" << i;
+            ASSERT_EQ(a[i].distance, b[i].distance)
+                << "n=" << n << " q=" << q << " k=" << k << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(total_queries, 1000u);
+}
+
+TEST(Knn, CollinearPointsExactTieOrder) {
+  // Points on a line; querying between two of them yields symmetric ties
+  // at every radius. Ties must come back ordered by ascending id.
+  const CSpace space = CSpace::euclidean({{0, 100}, {0, 100}, {0, 100}});
+  KdTreeKnn tree(space);
+  BruteForceKnn brute(space);
+  for (int i = 0; i < 12; ++i) {
+    const Config c{static_cast<double>(i), 0.0, 0.0};
+    tree.insert(static_cast<graph::VertexId>(i), c);
+    brute.insert(static_cast<graph::VertexId>(i), c);
+  }
+  const Config query{5.5, 0.0, 0.0};
+  const auto a = tree.nearest(query, 6);
+  const auto b = brute.nearest(query, 6);
+  ASSERT_EQ(a.size(), 6u);
+  ASSERT_EQ(b.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].distance, b[i].distance);
+  }
+  // Pairs (5,6), (4,7), (3,8) tie at 0.5, 1.5, 2.5; smaller id first.
+  EXPECT_EQ(a[0].id, 5u);
+  EXPECT_EQ(a[1].id, 6u);
+  EXPECT_EQ(a[2].id, 4u);
+  EXPECT_EQ(a[3].id, 7u);
+  EXPECT_EQ(a[4].id, 3u);
+  EXPECT_EQ(a[5].id, 8u);
+}
+
+TEST(Knn, DuplicatePositionsOrderedById) {
+  const CSpace space = CSpace::euclidean({{0, 100}, {0, 100}, {0, 100}});
+  KdTreeKnn tree(space);
+  const Config dup{10, 10, 10};
+  // Insert the duplicate under deliberately unsorted ids.
+  for (const graph::VertexId id : {7u, 2u, 9u, 4u}) tree.insert(id, dup);
+  tree.insert(1, Config{90, 90, 90});
+  const auto nn = tree.nearest(dup, 4);
+  ASSERT_EQ(nn.size(), 4u);
+  EXPECT_EQ(nn[0].id, 2u);
+  EXPECT_EQ(nn[1].id, 4u);
+  EXPECT_EQ(nn[2].id, 7u);
+  EXPECT_EQ(nn[3].id, 9u);
+  for (const auto& n : nn) EXPECT_EQ(n.distance, 0.0);
+}
+
+TEST(Knn, NearestBatchMatchesSingleQueries) {
+  const CSpace space = CSpace::se3({{0, 0, 0}, {100, 100, 100}});
+  Xoshiro256ss rng(31);
+  KdTreeKnn tree(space);
+  for (int i = 0; i < 300; ++i)
+    tree.insert(static_cast<graph::VertexId>(i), space.sample(rng));
+  std::vector<Config> queries;
+  for (int q = 0; q < 40; ++q) queries.push_back(space.sample(rng));
+
+  PlannerStats batch_stats;
+  KnnBatch batch;
+  tree.nearest_batch(queries, 7, batch, &batch_stats);
+  ASSERT_EQ(batch.query_count(), queries.size());
+
+  PlannerStats single_stats;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto single = tree.nearest(queries[q], 7, &single_stats);
+    const auto got = batch.of(q);
+    ASSERT_EQ(got.size(), single.size());
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(got[i].id, single[i].id);
+      EXPECT_EQ(got[i].distance, single[i].distance);
+    }
+  }
+  EXPECT_EQ(batch_stats.knn_queries, single_stats.knn_queries);
+  EXPECT_EQ(batch_stats.knn_candidates, single_stats.knn_candidates);
+}
+
+TEST(Knn, LazyRebuildWhenBufferDominates) {
+  const CSpace space = CSpace::se3({{0, 0, 0}, {100, 100, 100}});
+  Xoshiro256ss rng(32);
+  KdTreeKnn tree(space);
+  // Inserting one-by-one, the insert-time policy (buffer >= 32 and
+  // buffer*2 >= tree) rebuilds at 32, 64, 96, 144, 216, 324, 486 — after
+  // 686 inserts the tree covers 486 points with 200 in the linear buffer.
+  for (int i = 0; i < 686; ++i)
+    tree.insert(static_cast<graph::VertexId>(i), space.sample(rng));
+  EXPECT_EQ(tree.size(), 686u);
+  EXPECT_EQ(tree.indexed_size(), 486u);
+  // The first query notices the buffer dominating (200*4 >= 486) and folds
+  // it into the tree instead of linearly scanning it on every query.
+  tree.nearest(space.sample(rng), 4);
+  EXPECT_EQ(tree.indexed_size(), 686u);
 }
 
 // --- PRM free functions ----------------------------------------------------
