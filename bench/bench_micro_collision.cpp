@@ -1,14 +1,257 @@
 // Microbenchmarks for the collision substrate: the per-operation costs
 // that the work-unit model (runtime/work_units.hpp) abstracts.
+//
+// This binary brings its own main: before the google-benchmark cases run,
+// a wide-vs-scalar sweep times every SIMD primitive kernel (hit masks and
+// the fused place+bounds) on identical lane groups and writes the result
+// to BENCH_simd.json. Per-kernel checksums must match bit for bit between
+// the scalar ground truth and the widest available level — a mismatch
+// fails the run.
+//
+//   $ bench_micro_collision --simd-out=FILE   # JSON path (default
+//                                             # BENCH_simd.json)
+//   $ bench_micro_collision --simd-only       # skip the google benchmarks
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "env/builders.hpp"
+#include "geometry/intersect_wide.hpp"
+#include "geometry/simd.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace pmpl;
+
+// --- wide-vs-scalar primitive sweep ---------------------------------------
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct KernelRow {
+  std::string name;
+  double scalar_tps = 0.0;  // lane tests per second, scalar ground truth
+  double wide_tps = 0.0;    // lane tests per second, best level
+  double speedup = 0.0;
+  std::uint64_t checksum = 0;  // identical at both levels by construction
+  bool match = false;
+};
+
+struct LaneWorkload {
+  std::vector<geo::ObbLanes4> obbs;
+  std::vector<geo::SphereLanes4> spheres;
+  // Raw SoA pose components for the placement kernels.
+  std::vector<double> tx, ty, tz, qw, qx, qy, qz;
+};
+
+LaneWorkload make_workload(std::size_t groups) {
+  LaneWorkload w;
+  Xoshiro256ss rng(11);
+  const geo::Obb body{{0, 0, 0}, {3, 2, 1},
+                      geo::Quat::uniform(0.2, 0.5, 0.7).to_matrix()};
+  const geo::Sphere sbody{{0, 0, 0}, 2.5};
+  const std::size_t n = groups * geo::kWideLanes;
+  w.tx.resize(n);
+  w.ty.resize(n);
+  w.tz.resize(n);
+  w.qw.resize(n);
+  w.qx.resize(n);
+  w.qy.resize(n);
+  w.qz.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Near the obstacle band so the masks are a hit/miss mix.
+    const geo::Quat q =
+        geo::Quat::uniform(rng.uniform(), rng.uniform(), rng.uniform());
+    w.tx[i] = rng.uniform(30, 70);
+    w.ty[i] = rng.uniform(30, 70);
+    w.tz[i] = rng.uniform(30, 70);
+    w.qw[i] = q.w;
+    w.qx[i] = q.x;
+    w.qy[i] = q.y;
+    w.qz[i] = q.z;
+  }
+  // Placement is bit-identical at every level, so the hit-mask inputs can
+  // be placed once (at whatever level is active) and shared.
+  w.obbs.resize(groups);
+  w.spheres.resize(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t base = g * geo::kWideLanes;
+    geo::place_box_lanes(w.tx.data() + base, w.ty.data() + base,
+                         w.tz.data() + base, w.qw.data() + base,
+                         w.qx.data() + base, w.qy.data() + base,
+                         w.qz.data() + base, geo::kWideLanes, body,
+                         w.obbs[g]);
+    geo::place_sphere_lanes(w.tx.data() + base, w.ty.data() + base,
+                            w.tz.data() + base, w.qw.data() + base,
+                            w.qx.data() + base, w.qy.data() + base,
+                            w.qz.data() + base, geo::kWideLanes, sbody,
+                            w.spheres[g]);
+  }
+  return w;
+}
+
+/// Best-of-N wall time of `pass()`, which returns the pass checksum.
+template <typename Pass>
+std::pair<double, std::uint64_t> time_pass(Pass&& pass) {
+  double best_s = 0.0;
+  std::uint64_t sum = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    WallTimer t;
+    sum = pass();
+    const double s = t.elapsed_s();
+    if (rep == 0 || s < best_s) best_s = s;
+  }
+  return {best_s, sum};
+}
+
+/// Times `pass` (its return value must already be cheap to fold) and
+/// verifies cross-level equality with the untimed `check`, which may hash
+/// every output bit without polluting the measurement.
+template <typename Pass, typename Check>
+KernelRow run_kernel(const char* name, std::size_t groups,
+                     geo::SimdLevel best, Pass&& pass, Check&& check) {
+  KernelRow row;
+  row.name = name;
+  const double lane_tests =
+      static_cast<double>(groups) * static_cast<double>(geo::kWideLanes);
+  geo::set_simd_level(geo::SimdLevel::kScalar);
+  const auto [scalar_s, scalar_sink] = time_pass(pass);
+  const std::uint64_t scalar_sum = check();
+  geo::set_simd_level(best);
+  const auto [wide_s, wide_sink] = time_pass(pass);
+  const std::uint64_t wide_sum = check();
+  row.scalar_tps = lane_tests / scalar_s;
+  row.wide_tps = lane_tests / wide_s;
+  row.speedup = row.wide_tps / row.scalar_tps;
+  row.checksum = scalar_sum;
+  row.match = scalar_sum == wide_sum && scalar_sink == wide_sink;
+  return row;
+}
+
+int run_simd_sweep(const std::string& out_path) {
+  const geo::SimdLevel best = geo::detected_simd_level();
+  const std::size_t groups = 4096;
+  const LaneWorkload w = make_workload(groups);
+
+  const geo::Aabb aabb_obs{{40, 40, 40}, {60, 60, 60}};
+  const geo::Obb obb_obs{{50, 50, 50}, {12, 8, 10},
+                         geo::Quat::uniform(0.6, 0.1, 0.8).to_matrix()};
+  const geo::Sphere sph_obs{{50, 50, 50}, 15};
+  const geo::Obb body{{0, 0, 0}, {3, 2, 1},
+                      geo::Quat::uniform(0.2, 0.5, 0.7).to_matrix()};
+
+  std::vector<KernelRow> rows;
+  const auto mask_pass = [&](const auto& lanes_vec, const auto& obstacle) {
+    return [&]() {
+      std::uint64_t sum = 0;
+      for (std::size_t g = 0; g < lanes_vec.size(); ++g)
+        sum = sum * 33 + geo::hit_mask(lanes_vec[g], geo::kWideLanes,
+                                       obstacle);
+      return sum;
+    };
+  };
+  const auto add_mask = [&](const char* name, const auto& lanes_vec,
+                            const auto& obstacle) {
+    const auto pass = mask_pass(lanes_vec, obstacle);
+    rows.push_back(run_kernel(name, groups, best, pass, pass));
+  };
+  add_mask("obb_vs_aabb", w.obbs, aabb_obs);
+  add_mask("obb_vs_obb", w.obbs, obb_obs);
+  add_mask("obb_vs_sphere", w.obbs, sph_obs);
+  add_mask("sphere_vs_aabb", w.spheres, aabb_obs);
+  add_mask("sphere_vs_obb", w.spheres, obb_obs);
+  add_mask("sphere_vs_sphere", w.spheres, sph_obs);
+  // Fused placement + union bounds (the checker's per-group entry). The
+  // timed pass folds just the union box corner; the untimed check hashes
+  // every placed lane bit and the box.
+  rows.push_back(run_kernel(
+      "place_box_bounded", groups, best,
+      [&]() {
+        std::uint64_t sum = 0;
+        geo::ObbLanes4 lanes;
+        for (std::size_t g = 0; g < groups; ++g) {
+          const std::size_t base = g * geo::kWideLanes;
+          const geo::Aabb box = geo::place_box_lanes_bounded(
+              w.tx.data() + base, w.ty.data() + base, w.tz.data() + base,
+              w.qw.data() + base, w.qx.data() + base, w.qy.data() + base,
+              w.qz.data() + base, geo::kWideLanes, body, lanes);
+          std::uint64_t bits;
+          std::memcpy(&bits, &box.lo.x, sizeof bits);
+          sum ^= bits + 0x9e3779b97f4a7c15ull + (sum << 6) + (sum >> 2);
+        }
+        return sum;
+      },
+      [&]() {
+        std::uint64_t h = 14695981039346656037ull;
+        geo::ObbLanes4 lanes;
+        for (std::size_t g = 0; g < groups; ++g) {
+          const std::size_t base = g * geo::kWideLanes;
+          const geo::Aabb box = geo::place_box_lanes_bounded(
+              w.tx.data() + base, w.ty.data() + base, w.tz.data() + base,
+              w.qw.data() + base, w.qx.data() + base, w.qy.data() + base,
+              w.qz.data() + base, geo::kWideLanes, body, lanes);
+          h = fnv1a(h, lanes.cx, sizeof lanes.cx);
+          h = fnv1a(h, lanes.cy, sizeof lanes.cy);
+          h = fnv1a(h, lanes.cz, sizeof lanes.cz);
+          h = fnv1a(h, lanes.m, sizeof lanes.m);
+          h = fnv1a(h, &box, sizeof box);
+        }
+        return h;
+      }));
+
+  bool all_match = true;
+  for (const auto& r : rows) all_match = all_match && r.match;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"micro_collision_simd\",\n"
+               "  \"level\": \"%s\",\n  \"lanes\": %zu,\n"
+               "  \"groups\": %zu,\n  \"kernels\": [\n",
+               to_string(best), geo::kWideLanes, groups);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"scalar_tps\": %.1f, "
+                 "\"wide_tps\": %.1f, \"speedup\": %.3f, "
+                 "\"checksum\": %llu, \"match\": %s}%s\n",
+                 r.name.c_str(), r.scalar_tps, r.wide_tps, r.speedup,
+                 static_cast<unsigned long long>(r.checksum),
+                 r.match ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  for (const auto& r : rows)
+    std::printf("simd %-18s scalar %12.0f t/s | %s %12.0f t/s -> %5.2fx %s\n",
+                r.name.c_str(), r.scalar_tps, to_string(best), r.wide_tps,
+                r.speedup, r.match ? "" : "CHECKSUM MISMATCH");
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: wide kernel checksum differs from scalar\n");
+    return 1;
+  }
+  return 0;
+}
+
+// --- google-benchmark cases ------------------------------------------------
 
 void BM_PointQuery(benchmark::State& state) {
   const auto e = env::mixed(0.60);
@@ -79,6 +322,23 @@ void BM_ObbObbSat(benchmark::State& state) {
 }
 BENCHMARK(BM_ObbObbSat);
 
+void BM_HitMaskObbAabb(benchmark::State& state) {
+  const LaneWorkload w = make_workload(64);
+  const geo::Aabb obs{{40, 40, 40}, {60, 60, 60}};
+  geo::set_simd_level(state.range(0) == 0 ? geo::SimdLevel::kScalar
+                                          : geo::detected_simd_level());
+  std::size_t g = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geo::hit_mask(w.obbs[g], geo::kWideLanes, obs));
+    g = (g + 1) % w.obbs.size();
+  }
+  geo::set_simd_level(geo::detected_simd_level());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(geo::kWideLanes));
+}
+BENCHMARK(BM_HitMaskObbAabb)->Arg(0)->Arg(1);
+
 void BM_BvhBuild(benchmark::State& state) {
   const auto e = env::mixed(0.60);
   std::vector<collision::ObstacleShape> obs(e->checker().obstacles().begin(),
@@ -94,3 +354,29 @@ void BM_BvhBuild(benchmark::State& state) {
 BENCHMARK(BM_BvhBuild);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_simd.json";
+  bool simd_only = false;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--simd-out=", 11) == 0)
+      out_path = argv[i] + 11;
+    else if (std::strcmp(argv[i], "--simd-only") == 0)
+      simd_only = true;
+    else
+      passthrough.push_back(argv[i]);
+  }
+  if (pmpl::geo::detected_simd_level() == pmpl::geo::SimdLevel::kScalar)
+    std::printf("no wide level available, SIMD sweep reports scalar only\n");
+  const int rc = run_simd_sweep(out_path);
+  if (rc != 0 || simd_only) return rc;
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

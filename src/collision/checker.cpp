@@ -1,5 +1,8 @@
 #include "collision/checker.hpp"
 
+#include <bit>
+#include <type_traits>
+
 namespace pmpl::collision {
 
 CollisionChecker::CollisionChecker(std::vector<ObstacleShape> obstacles)
@@ -40,12 +43,127 @@ bool CollisionChecker::in_collision(const RigidBody& robot,
   return false;
 }
 
-std::size_t CollisionChecker::first_collision(
+std::size_t CollisionChecker::first_collision_sequential(
     const RigidBody& robot, std::span<const geo::Transform> poses,
     CollisionStats* stats) const {
   for (std::size_t i = 0; i < poses.size(); ++i)
     if (in_collision(robot, poses[i], stats)) return i;
   return poses.size();
+}
+
+namespace {
+
+// Wide verdicts for one robot body against one obstacle: the SIMD kernels
+// for volume obstacles, the shipping scalar test per lane for triangles
+// (too rare in the paper's environments to deserve a wide path).
+template <typename Lanes>
+std::uint32_t body_group_hits(const Lanes& lanes, std::size_t g,
+                              const ObstacleShape& obstacle) noexcept {
+  return std::visit(
+      [&](const auto& obs) -> std::uint32_t {
+        using S = std::decay_t<decltype(obs)>;
+        if constexpr (std::is_same_v<S, Triangle>) {
+          std::uint32_t m = 0;
+          for (std::size_t i = 0; i < g; ++i) {
+            if constexpr (std::is_same_v<Lanes, geo::ObbLanes4>) {
+              if (hits(geo::lane_obb(lanes, i), obstacle)) m |= 1u << i;
+            } else {
+              if (hits(geo::lane_sphere(lanes, i), obstacle)) m |= 1u << i;
+            }
+          }
+          return m;
+        } else {
+          return geo::hit_mask(lanes, g, obs);
+        }
+      },
+      obstacle);
+}
+
+}  // namespace
+
+std::uint32_t CollisionChecker::group_collision_mask(
+    const RigidBody& robot, const geo::PoseBlock& poses, std::size_t base,
+    std::size_t g, CollisionStats* stats) const {
+  const std::uint32_t full = (1u << g) - 1u;
+  std::uint32_t collide = 0;
+
+  const auto run_body = [&](const auto& body, auto& lanes, auto place) {
+    const Aabb query =
+        place(poses.tx + base, poses.ty + base, poses.tz + base,
+              poses.qw + base, poses.qx + base, poses.qy + base,
+              poses.qz + base, g, body, lanes);
+    TraversalStats ts;
+    bvh_.for_each_overlap(
+        query,
+        [&](std::uint32_t idx) {
+          if (stats) stats->narrow_tests += g;
+          collide |= body_group_hits(lanes, g, obstacles_[idx]);
+          return collide == full;
+        },
+        stats ? &ts : nullptr);
+    if (stats) stats->bvh_nodes += ts.nodes_visited;
+    return collide == full;
+  };
+
+  geo::ObbLanes4 obb_lanes;
+  for (const auto& box : robot.boxes)
+    if (run_body(box, obb_lanes, geo::place_box_lanes_bounded)) return collide;
+  geo::SphereLanes4 sphere_lanes;
+  for (const auto& sphere : robot.spheres)
+    if (run_body(sphere, sphere_lanes, geo::place_sphere_lanes_bounded))
+      return collide;
+  return collide;
+}
+
+std::size_t CollisionChecker::first_collision(
+    const RigidBody& robot, const geo::PoseBlock& poses,
+    CollisionStats* stats) const {
+  for (std::size_t base = 0; base < poses.count; base += geo::kWideLanes) {
+    const std::size_t g = poses.count - base < geo::kWideLanes
+                              ? poses.count - base
+                              : geo::kWideLanes;
+    const std::uint32_t mask =
+        group_collision_mask(robot, poses, base, g, stats);
+    if (mask != 0) {
+      // The first colliding lane ends the batch: only poses up to and
+      // including it had their verdict consumed.
+      const std::size_t first = std::countr_zero(mask);
+      if (stats) stats->queries += first + 1;
+      return base + first;
+    }
+    if (stats) stats->queries += g;
+  }
+  return poses.count;
+}
+
+std::size_t CollisionChecker::first_collision(
+    const RigidBody& robot, std::span<const geo::Transform> poses,
+    CollisionStats* stats) const {
+  geo::PoseBlock block;
+  std::size_t done = 0;
+  while (done < poses.size()) {
+    block.clear();
+    while (done + block.count < poses.size() && !block.full())
+      block.push(poses[done + block.count]);
+    const std::size_t first = first_collision(robot, block, stats);
+    if (first < block.count) return done + first;
+    done += block.count;
+  }
+  return poses.size();
+}
+
+std::uint32_t CollisionChecker::collision_mask(const RigidBody& robot,
+                                               const geo::PoseBlock& poses,
+                                               CollisionStats* stats) const {
+  std::uint32_t mask = 0;
+  for (std::size_t base = 0; base < poses.count; base += geo::kWideLanes) {
+    const std::size_t g = poses.count - base < geo::kWideLanes
+                              ? poses.count - base
+                              : geo::kWideLanes;
+    mask |= group_collision_mask(robot, poses, base, g, stats) << base;
+  }
+  if (stats) stats->queries += poses.count;
+  return mask;
 }
 
 bool CollisionChecker::point_in_collision(Vec3 p,

@@ -13,12 +13,23 @@
 
 #include "collision/bvh.hpp"
 #include "collision/shape.hpp"
+#include "geometry/intersect_wide.hpp"
+#include "geometry/pose_block.hpp"
 #include "geometry/transform.hpp"
 
 namespace pmpl::collision {
 
 /// Counters for collision work performed by one caller. These are the raw
 /// inputs to the DES work-unit model (runtime/work_units.hpp).
+///
+/// Accounting contract (DESIGN.md §5g): `queries` counts poses whose
+/// verdict was consumed — identical on every path (sequential, blocked,
+/// any SIMD level) because verdicts are bit-identical. `narrow_tests` and
+/// `bvh_nodes` count work at the granularity the path actually performs it
+/// (per pose sequentially, per 4-lane group on the block path); they are
+/// deterministic and identical across SIMD levels, but the block path's
+/// counts differ from the sequential path's by design (one union-box BVH
+/// walk per group, one wide test per candidate).
 struct CollisionStats {
   std::uint64_t queries = 0;       ///< full robot-vs-environment checks
   std::uint64_t narrow_tests = 0;  ///< primitive-vs-primitive tests
@@ -54,12 +65,34 @@ class CollisionChecker {
 
   /// Batched robot placement query for edge validation: checks `poses` in
   /// order and returns the index of the first colliding pose, or
-  /// `poses.size()` when all are free. Semantics and per-pose stats match
-  /// calling `in_collision` sequentially and stopping at the first hit;
-  /// the batch amortizes the robot-shape setup across an edge's steps.
+  /// `poses.size()` when all are free. Verdicts (and therefore roadmaps)
+  /// are bit-identical to calling `in_collision` sequentially and stopping
+  /// at the first hit; work runs through the wide SoA kernels in groups of
+  /// 4 poses, with stats under the block contract (see CollisionStats).
   std::size_t first_collision(const RigidBody& robot,
                               std::span<const geo::Transform> poses,
                               CollisionStats* stats = nullptr) const;
+
+  /// SoA variant of the above — the wide hot path. `poses.count <= 16`.
+  std::size_t first_collision(const RigidBody& robot,
+                              const geo::PoseBlock& poses,
+                              CollisionStats* stats = nullptr) const;
+
+  /// Per-pose verdicts for *independent* poses (cross-edge batching,
+  /// wavefront extension): bit i set = pose i collides. Every pose is
+  /// evaluated (no first-hit early exit); `queries` advances by
+  /// `poses.count`.
+  std::uint32_t collision_mask(const RigidBody& robot,
+                               const geo::PoseBlock& poses,
+                               CollisionStats* stats = nullptr) const;
+
+  /// The pre-wide reference: a plain per-pose `in_collision` sweep with
+  /// per-pose broad phase and early exit. Kept as the bench baseline and
+  /// the semantic ground truth the block path is tested against.
+  std::size_t first_collision_sequential(const RigidBody& robot,
+                                         std::span<const geo::Transform> poses,
+                                         CollisionStats* stats = nullptr)
+      const;
 
   /// Is a bare point inside any obstacle? (point robots, V_free estimation)
   bool point_in_collision(Vec3 p, CollisionStats* stats = nullptr) const;
@@ -77,6 +110,13 @@ class CollisionChecker {
   template <typename Body>
   bool body_hits_any(const Body& body, const Aabb& query,
                      CollisionStats* stats) const;
+
+  /// Collide verdicts for lanes [base, base+g) of `poses` (g <= 4): one
+  /// union-box BVH walk per robot body, wide narrow tests per candidate.
+  std::uint32_t group_collision_mask(const RigidBody& robot,
+                                     const geo::PoseBlock& poses,
+                                     std::size_t base, std::size_t g,
+                                     CollisionStats* stats) const;
 
   std::vector<ObstacleShape> obstacles_;
   Bvh bvh_;

@@ -1,0 +1,129 @@
+#include "cspace/local_planner.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pmpl::cspace {
+
+EdgeBatchPlanner::EdgeBatchPlanner(const CSpace& space,
+                                   const ValidityChecker& validity,
+                                   double resolution, std::size_t window)
+    : space_(&space),
+      validity_(&validity),
+      resolution_(resolution),
+      slots_(window == 0 ? 1 : window) {}
+
+void EdgeBatchPlanner::reset() noexcept {
+  head_ = 0;
+  size_ = 0;
+}
+
+void EdgeBatchPlanner::admit(const Config& a, const Config& b,
+                             std::uint64_t tag) {
+  assert(can_admit());
+  Slot& s = slots_[(head_ + size_) % slots_.size()];
+  ++size_;
+  s.tag = tag;
+  s.decided = false;
+  s.first_bad = kNone;
+  s.emitted = 0;
+  s.seg_head = 0;
+  s.segs.clear();
+  s.result = {};
+  // Same distance/step-count derivation as LocalPlanner::plan.
+  s.result.length = space_->distance(a, b);
+  const auto n =
+      static_cast<std::size_t>(std::ceil(s.result.length / resolution_));
+  if (n <= 1) {  // no interior points to check
+    s.total = 0;
+    s.result.success = true;
+    s.decided = true;
+    return;
+  }
+  s.total = n - 1;
+  s.dn = static_cast<double>(n);
+  s.interp.reset(*space_, a, b);
+  s.segs.push_back({0, static_cast<std::uint32_t>(n)});
+}
+
+void EdgeBatchPlanner::emit_step(Slot& s, Config& out) {
+  while (s.seg_head < s.segs.size()) {
+    const auto [lo, hi] = s.segs[s.seg_head++];
+    if (hi - lo < 2) continue;
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    s.interp.at(static_cast<double>(mid) / s.dn, out);
+    s.segs.push_back({lo, mid});
+    s.segs.push_back({mid, hi});
+    ++s.emitted;
+    return;
+  }
+  assert(false && "emit_step called on an exhausted slot");
+}
+
+void EdgeBatchPlanner::run_round(collision::CollisionStats* stats) {
+  // Fill the block round-robin over undecided in-flight edges, oldest
+  // first, one step per edge per pass, so every edge makes progress and
+  // lanes stay full.
+  std::size_t m = 0;
+  bool progressed = true;
+  while (m < kBatch && progressed) {
+    progressed = false;
+    for (std::size_t k = 0; k < size_ && m < kBatch; ++k) {
+      const std::size_t idx = (head_ + k) % slots_.size();
+      Slot& s = slots_[idx];
+      if (s.decided || s.emitted >= s.total) continue;
+      rank_[m] = s.emitted;
+      emit_step(s, block_[m]);
+      owner_[m] = idx;
+      ++m;
+      progressed = true;
+    }
+  }
+
+  if (m > 0) {
+    // Queries are dropped from the merged stats: speculative steps past an
+    // edge's first failure must not count, and the caller reconstructs the
+    // exact sequential count from steps_checked per committed edge.
+    collision::CollisionStats scratch;
+    const std::uint32_t vmask =
+        validity_->valid_mask({block_.data(), m}, stats ? &scratch : nullptr);
+    if (stats) {
+      stats->narrow_tests += scratch.narrow_tests;
+      stats->bvh_nodes += scratch.bvh_nodes;
+      stats->ray_casts += scratch.ray_casts;
+    }
+    // Entries for one edge appear in increasing rank order, so the first
+    // invalid seen here is the edge's first invalid in visit order.
+    for (std::size_t j = 0; j < m; ++j) {
+      Slot& s = slots_[owner_[j]];
+      if (s.first_bad == kNone && !(vmask >> j & 1u)) s.first_bad = rank_[j];
+    }
+  }
+
+  // Every emitted step now has its verdict: decide finished edges.
+  for (std::size_t k = 0; k < size_; ++k) {
+    Slot& s = slots_[(head_ + k) % slots_.size()];
+    if (s.decided) continue;
+    if (s.first_bad != kNone) {
+      s.result.success = false;
+      s.result.steps_checked = s.first_bad + 1;
+      s.decided = true;
+    } else if (s.emitted >= s.total) {
+      s.result.success = true;
+      s.result.steps_checked = s.total;
+      s.decided = true;
+    }
+  }
+}
+
+EdgeBatchPlanner::Outcome EdgeBatchPlanner::next(
+    collision::CollisionStats* stats) {
+  assert(pending());
+  while (!slots_[head_].decided) run_round(stats);
+  Slot& s = slots_[head_];
+  head_ = (head_ + 1) % slots_.size();
+  --size_;
+  return {s.tag, s.result};
+}
+
+}  // namespace pmpl::cspace

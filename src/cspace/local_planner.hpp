@@ -127,4 +127,89 @@ class LocalPlanner {
   mutable std::array<Config, kBlock> block_;
 };
 
+/// Local planner that validates a *window* of edges concurrently, filling
+/// each wide validity block with steps drawn round-robin across all
+/// in-flight edges — so the SIMD lanes stay full even when individual
+/// edges are short or reject early.
+///
+/// Per-edge results are bit-identical to `LocalPlanner::plan` on the same
+/// edge: each edge's steps are emitted in the same midpoint-out order, and
+/// its outcome is decided by the first invalid step in that order
+/// (`steps_checked` = that rank + 1 on rejection, the full interior count
+/// on success). Steps evaluated past an edge's first failure are
+/// speculation; they cost narrow-phase work (reported via `stats`) but
+/// never change a verdict.
+///
+/// Stats contract: `next()` merges narrow_tests/bvh_nodes/ray_casts — the
+/// work actually performed, speculation included — into `stats`, but NOT
+/// `queries`: the caller re-adds the semantic per-edge count
+/// (`steps_checked`, which equals the sequential path's query count for
+/// in-bounds edge interiors) for each edge it commits, keeping `queries`
+/// identical to sequential planning even when speculative edges are
+/// discarded.
+class EdgeBatchPlanner {
+ public:
+  /// Outcome of one admitted edge, FIFO with respect to `admit` order.
+  struct Outcome {
+    std::uint64_t tag = 0;
+    LocalPlanResult result;
+  };
+
+  EdgeBatchPlanner(const CSpace& space, const ValidityChecker& validity,
+                   double resolution, std::size_t window = 8);
+
+  double resolution() const noexcept { return resolution_; }
+  std::size_t window() const noexcept { return slots_.size(); }
+  std::size_t in_flight() const noexcept { return size_; }
+  bool can_admit() const noexcept { return size_ < slots_.size(); }
+  bool pending() const noexcept { return size_ > 0; }
+
+  /// Drop all in-flight edges (between connection phases).
+  void reset() noexcept;
+
+  /// Enqueue edge a -> b. Requires `can_admit()`. Endpoints are assumed
+  /// already validated, exactly as in `LocalPlanner::plan`.
+  void admit(const Config& a, const Config& b, std::uint64_t tag);
+
+  /// Deliver the oldest admitted edge's outcome, running wide validity
+  /// rounds until it is decided. Requires `pending()`.
+  Outcome next(collision::CollisionStats* stats = nullptr);
+
+ private:
+  static constexpr std::size_t kBatch = 16;
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Slot {
+    EdgeInterpolator interp;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> segs;
+    std::size_t seg_head = 0;
+    double dn = 0.0;
+    std::size_t total = 0;      ///< interior steps on this edge
+    std::size_t emitted = 0;    ///< steps produced so far (visit order)
+    std::size_t first_bad = kNone;  ///< rank of first invalid step
+    bool decided = false;
+    std::uint64_t tag = 0;
+    LocalPlanResult result;
+  };
+
+  /// Emit the slot's next midpoint-out step into `out` (same bisection as
+  /// LocalPlanner::fill_block). Requires emitted < total.
+  void emit_step(Slot& s, Config& out);
+
+  /// One fill + wide-validate + decide cycle over the window.
+  void run_round(collision::CollisionStats* stats);
+
+  const CSpace* space_;
+  const ValidityChecker* validity_;
+  double resolution_;
+
+  std::vector<Slot> slots_;  // ring buffer: head_ is the oldest in flight
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+
+  std::array<Config, kBatch> block_;
+  std::array<std::size_t, kBatch> owner_;
+  std::array<std::size_t, kBatch> rank_;
+};
+
 }  // namespace pmpl::cspace

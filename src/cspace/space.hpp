@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cspace/config.hpp"
+#include "geometry/pose_block.hpp"
 #include "geometry/quat.hpp"
 #include "geometry/shapes.hpp"
 #include "geometry/transform.hpp"
@@ -56,6 +57,13 @@ class CSpace {
 
   /// Rigid transform of a configuration (identity rotation for Euclidean).
   geo::Transform pose(const Config& c) const noexcept;
+
+  /// Append the configuration's pose to a SoA block — the wide validity
+  /// kernels consume the block's flat lanes directly. Same bits as
+  /// `pose(c)` split into components.
+  void pose_into(const Config& c, geo::PoseBlock& out) const noexcept {
+    out.push(pose(c));
+  }
 
   /// Uniform sample over the whole space.
   Config sample(Xoshiro256ss& rng) const;

@@ -1,34 +1,58 @@
 #include "cspace/validity.hpp"
 
-#include <array>
 #include <cmath>
 
 namespace pmpl::cspace {
 
 std::size_t RigidBodyValidity::valid_batch(
     std::span<const Config> cs, collision::CollisionStats* stats) const {
-  constexpr std::size_t kBlock = 16;
-  std::array<geo::Transform, kBlock> poses;
+  geo::PoseBlock block;
   std::size_t i = 0;
   while (i < cs.size()) {
-    // Collect a run of in-bounds configs, transforming to world poses.
-    std::size_t m = 0;
-    while (m < kBlock && i + m < cs.size()) {
-      if (!space_->in_bounds(cs[i + m])) break;
-      poses[m] = space_->pose(cs[i + m]);
-      ++m;
+    // Collect a run of in-bounds configs, transforming to SoA pose lanes.
+    block.clear();
+    while (!block.full() && i + block.count < cs.size()) {
+      if (!space_->in_bounds(cs[i + block.count])) break;
+      space_->pose_into(cs[i + block.count], block);
     }
+    const std::size_t m = block.count;
     if (m > 0) {
-      const std::size_t hit =
-          checker_->first_collision(robot_, {poses.data(), m}, stats);
+      const std::size_t hit = checker_->first_collision(robot_, block, stats);
       if (hit < m) return i + hit;
       i += m;
     }
     // The run ended before the block filled: either we consumed all of
     // `cs` (loop exits) or cs[i] is out of bounds — the first invalid one.
-    if (m < kBlock && i < cs.size()) return i;
+    if (m < geo::PoseBlock::kCapacity && i < cs.size()) return i;
   }
   return cs.size();
+}
+
+std::uint32_t RigidBodyValidity::valid_mask(
+    std::span<const Config> cs, collision::CollisionStats* stats) const {
+  std::uint32_t mask = 0;
+  std::size_t i = 0;
+  while (i < cs.size()) {
+    geo::PoseBlock block;
+    std::size_t owner[geo::PoseBlock::kCapacity];
+    // Out-of-bounds configs are invalid without a collision query (exactly
+    // like `valid()`): they simply never enter the block.
+    std::size_t consumed = 0;
+    while (i + consumed < cs.size() && !block.full()) {
+      const Config& c = cs[i + consumed];
+      if (space_->in_bounds(c)) {
+        owner[block.count] = i + consumed;
+        space_->pose_into(c, block);
+      }
+      ++consumed;
+    }
+    const std::uint32_t collide =
+        checker_->collision_mask(robot_, block, stats);
+    for (std::size_t j = 0; j < block.count; ++j)
+      if (!(collide >> j & 1u)) mask |= 1u << owner[j];
+    i += consumed;
+  }
+  return mask;
 }
 
 std::vector<geo::Vec3> PlanarArmValidity::forward_kinematics(

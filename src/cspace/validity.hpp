@@ -16,6 +16,21 @@
 
 namespace pmpl::cspace {
 
+/// Validity-level counters, one layer above CollisionStats: every batch
+/// entry point advances these the same way regardless of execution path
+/// (sequential, blocked, cross-edge, any SIMD level), because verdicts —
+/// and therefore first-invalid indices — are bit-identical everywhere.
+struct ValidityStats {
+  std::uint64_t checks = 0;  ///< configuration verdicts consumed
+  std::uint64_t hits = 0;    ///< batches terminated by an invalid config
+
+  ValidityStats& operator+=(const ValidityStats& o) noexcept {
+    checks += o.checks;
+    hits += o.hits;
+    return *this;
+  }
+};
+
 /// Abstract validity test. Implementations must be thread-safe for
 /// concurrent `valid()` calls (they are shared across planner threads);
 /// per-caller op counts go through the `stats` out-parameter.
@@ -29,16 +44,47 @@ class ValidityChecker {
 
   /// Batched validity over an edge's interpolated steps: checks `cs` in
   /// order and returns the index of the first invalid configuration, or
-  /// `cs.size()` when all are valid. Results and per-config stats are
-  /// identical to calling `valid()` sequentially and stopping at the first
-  /// failure; overrides exist to amortize per-call setup (virtual dispatch,
-  /// robot pose transforms) across the batch.
+  /// `cs.size()` when all are valid. Results are identical to calling
+  /// `valid()` sequentially and stopping at the first failure; overrides
+  /// exist to amortize per-call setup (virtual dispatch, robot pose
+  /// transforms) across the batch and to run wide kernels.
   virtual std::size_t valid_batch(
       std::span<const Config> cs,
       collision::CollisionStats* stats = nullptr) const {
     for (std::size_t i = 0; i < cs.size(); ++i)
       if (!valid(cs[i], stats)) return i;
     return cs.size();
+  }
+
+  /// Independent per-config verdicts (bit i set = cs[i] valid), for
+  /// callers batching *across* edges or tree extensions where there is no
+  /// first-invalid early exit. `cs.size() <= 32`. Verdicts are identical
+  /// to `valid()` per config at every dispatch level.
+  virtual std::uint32_t valid_mask(
+      std::span<const Config> cs,
+      collision::CollisionStats* stats = nullptr) const {
+    std::uint32_t mask = 0;
+    for (std::size_t i = 0; i < cs.size(); ++i)
+      if (valid(cs[i], stats)) mask |= 1u << i;
+    return mask;
+  }
+
+  /// `valid_batch` plus the ValidityStats accounting every caller must
+  /// apply: one check per verdict consumed (first + 1 when the batch ends
+  /// early), one hit per terminated batch. Non-virtual on purpose — the
+  /// counts derive only from the verdict, so no override can skew them.
+  std::size_t valid_batch_counted(std::span<const Config> cs,
+                                  ValidityStats& vstats,
+                                  collision::CollisionStats* stats =
+                                      nullptr) const {
+    const std::size_t first = valid_batch(cs, stats);
+    if (first < cs.size()) {
+      vstats.checks += first + 1;
+      vstats.hits += 1;
+    } else {
+      vstats.checks += cs.size();
+    }
+    return first;
   }
 };
 
@@ -55,10 +101,16 @@ class RigidBodyValidity final : public ValidityChecker {
     return !checker_->in_collision(robot_, space_->pose(c), stats);
   }
 
-  /// Batches pose transforms in fixed-size blocks and hands them to
-  /// `CollisionChecker::first_collision`; verdict and stats are identical
-  /// to the sequential default.
+  /// Batches pose transforms into SoA PoseBlocks and hands them to the
+  /// wide `CollisionChecker::first_collision`; verdicts are identical to
+  /// the sequential default, stats follow the block contract.
   std::size_t valid_batch(
+      std::span<const Config> cs,
+      collision::CollisionStats* stats = nullptr) const override;
+
+  /// Gathers in-bounds configs into PoseBlocks and scatters the wide
+  /// `collision_mask` verdicts back to the callers' indices.
+  std::uint32_t valid_mask(
       std::span<const Config> cs,
       collision::CollisionStats* stats = nullptr) const override;
 

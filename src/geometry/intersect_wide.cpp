@@ -1,0 +1,461 @@
+#include "geometry/intersect_wide.hpp"
+
+#include "geometry/intersect.hpp"
+#include "geometry/transform.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define PMPL_WIDE_HAVE_SSE2 1
+#include <emmintrin.h>
+#endif
+
+#include "geometry/intersect_wide_impl.hpp"
+
+namespace pmpl::geo {
+
+// --- SSE2 pack: four lanes as two __m128d --------------------------------
+
+#if PMPL_WIDE_HAVE_SSE2
+namespace {
+
+struct PackSse2 {
+  __m128d a, b;
+
+  static PackSse2 load(const double* p) noexcept {
+    return {_mm_loadu_pd(p), _mm_loadu_pd(p + 2)};
+  }
+  void store(double* p) const noexcept {
+    _mm_storeu_pd(p, a);
+    _mm_storeu_pd(p + 2, b);
+  }
+  static PackSse2 set1(double v) noexcept {
+    const __m128d s = _mm_set1_pd(v);
+    return {s, s};
+  }
+  static PackSse2 zero() noexcept {
+    const __m128d z = _mm_setzero_pd();
+    return {z, z};
+  }
+  static PackSse2 zero_mask() noexcept { return zero(); }
+
+  friend PackSse2 operator+(PackSse2 x, PackSse2 y) noexcept {
+    return {_mm_add_pd(x.a, y.a), _mm_add_pd(x.b, y.b)};
+  }
+  friend PackSse2 operator-(PackSse2 x, PackSse2 y) noexcept {
+    return {_mm_sub_pd(x.a, y.a), _mm_sub_pd(x.b, y.b)};
+  }
+  friend PackSse2 operator*(PackSse2 x, PackSse2 y) noexcept {
+    return {_mm_mul_pd(x.a, y.a), _mm_mul_pd(x.b, y.b)};
+  }
+  static PackSse2 abs(PackSse2 x) noexcept {
+    const __m128d sign = _mm_set1_pd(-0.0);
+    return {_mm_andnot_pd(sign, x.a), _mm_andnot_pd(sign, x.b)};
+  }
+  static PackSse2 lt(PackSse2 x, PackSse2 y) noexcept {
+    return {_mm_cmplt_pd(x.a, y.a), _mm_cmplt_pd(x.b, y.b)};
+  }
+  static PackSse2 gt(PackSse2 x, PackSse2 y) noexcept {
+    return {_mm_cmpgt_pd(x.a, y.a), _mm_cmpgt_pd(x.b, y.b)};
+  }
+  static PackSse2 le(PackSse2 x, PackSse2 y) noexcept {
+    return {_mm_cmple_pd(x.a, y.a), _mm_cmple_pd(x.b, y.b)};
+  }
+  static PackSse2 or_(PackSse2 x, PackSse2 y) noexcept {
+    return {_mm_or_pd(x.a, y.a), _mm_or_pd(x.b, y.b)};
+  }
+  /// mask ? x : y (SSE2 has no blendv; and/andnot is exact on full masks).
+  static PackSse2 blend(PackSse2 mask, PackSse2 x, PackSse2 y) noexcept {
+    return {_mm_or_pd(_mm_and_pd(mask.a, x.a), _mm_andnot_pd(mask.a, y.a)),
+            _mm_or_pd(_mm_and_pd(mask.b, x.b), _mm_andnot_pd(mask.b, y.b))};
+  }
+  static unsigned movemask(PackSse2 m) noexcept {
+    return static_cast<unsigned>(_mm_movemask_pd(m.a)) |
+           (static_cast<unsigned>(_mm_movemask_pd(m.b)) << 2);
+  }
+};
+
+}  // namespace
+
+namespace wide_sse2 {
+
+void place_box(const double* tx, const double* ty, const double* tz,
+               const double* qw, const double* qx, const double* qy,
+               const double* qz, const Obb& body, ObbLanes4& out) noexcept {
+  wide_detail::place_box_t<PackSse2>(tx, ty, tz, qw, qx, qy, qz, body, out);
+}
+void place_sphere(const double* tx, const double* ty, const double* tz,
+                  const double* qw, const double* qx, const double* qy,
+                  const double* qz, const Sphere& body,
+                  SphereLanes4& out) noexcept {
+  wide_detail::place_sphere_t<PackSse2>(tx, ty, tz, qw, qx, qy, qz, body, out);
+}
+void place_box_bounded(const double* tx, const double* ty, const double* tz,
+                       const double* qw, const double* qx, const double* qy,
+                       const double* qz, const Obb& body, ObbLanes4& out,
+                       double (&lo)[3][kWideLanes],
+                       double (&hi)[3][kWideLanes]) noexcept {
+  wide_detail::place_box_bounded_t<PackSse2>(tx, ty, tz, qw, qx, qy, qz, body,
+                                             out, lo, hi);
+}
+void obb_bounds(const ObbLanes4& lanes, double (&lo)[3][kWideLanes],
+                double (&hi)[3][kWideLanes]) noexcept {
+  wide_detail::obb_bounds_t<PackSse2>(lanes, lo, hi);
+}
+std::uint32_t obb_hit_obb(const ObbLanes4& a, const Obb& b) noexcept {
+  return wide_detail::obb_hit_obb_t<PackSse2>(a, b);
+}
+std::uint32_t obb_hit_sphere(const ObbLanes4& a, const Sphere& s) noexcept {
+  return wide_detail::obb_hit_sphere_t<PackSse2>(a, s);
+}
+std::uint32_t sphere_hit_aabb(const SphereLanes4& s, const Aabb& b) noexcept {
+  return wide_detail::sphere_hit_aabb_t<PackSse2>(s, b);
+}
+std::uint32_t sphere_hit_obb(const SphereLanes4& s, const Obb& b) noexcept {
+  return wide_detail::sphere_hit_obb_t<PackSse2>(s, b);
+}
+std::uint32_t sphere_hit_sphere(const SphereLanes4& s,
+                                const Sphere& b) noexcept {
+  return wide_detail::sphere_hit_sphere_t<PackSse2>(s, b);
+}
+
+}  // namespace wide_sse2
+#endif  // PMPL_WIDE_HAVE_SSE2
+
+// --- scalar ground truth --------------------------------------------------
+// Per-lane calls into the shipping Transform / intersect routines. This is
+// the semantic reference the wide paths are tested against, and the
+// fallback on targets without SSE2.
+
+Obb lane_obb(const ObbLanes4& lanes, std::size_t i) noexcept {
+  Obb o;
+  o.center = {lanes.cx[i], lanes.cy[i], lanes.cz[i]};
+  o.half = lanes.half;
+  o.rot = {{lanes.m[0][i], lanes.m[1][i], lanes.m[2][i]},
+           {lanes.m[3][i], lanes.m[4][i], lanes.m[5][i]},
+           {lanes.m[6][i], lanes.m[7][i], lanes.m[8][i]}};
+  return o;
+}
+
+Sphere lane_sphere(const SphereLanes4& lanes, std::size_t i) noexcept {
+  return {{lanes.cx[i], lanes.cy[i], lanes.cz[i]}, lanes.radius};
+}
+
+namespace {
+
+Transform lane_pose(const double* tx, const double* ty, const double* tz,
+                    const double* qw, const double* qx, const double* qy,
+                    const double* qz, std::size_t i) noexcept {
+  return {{qw[i], qx[i], qy[i], qz[i]}, {tx[i], ty[i], tz[i]}};
+}
+
+void place_box_scalar(const double* tx, const double* ty, const double* tz,
+                      const double* qw, const double* qx, const double* qy,
+                      const double* qz, std::size_t n, const Obb& body,
+                      ObbLanes4& out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Obb w = lane_pose(tx, ty, tz, qw, qx, qy, qz, i).apply(body);
+    out.cx[i] = w.center.x;
+    out.cy[i] = w.center.y;
+    out.cz[i] = w.center.z;
+    const Vec3 rows[3] = {w.rot.r0, w.rot.r1, w.rot.r2};
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c) out.m[3 * r + c][i] = rows[r][c];
+  }
+  // Stale tail lanes are fine: callers mask them, and the union bounds
+  // reduction only reads the first n lanes.
+  out.half = body.half;
+}
+
+void place_sphere_scalar(const double* tx, const double* ty, const double* tz,
+                         const double* qw, const double* qx, const double* qy,
+                         const double* qz, std::size_t n, const Sphere& body,
+                         SphereLanes4& out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sphere w = lane_pose(tx, ty, tz, qw, qx, qy, qz, i).apply(body);
+    out.cx[i] = w.center.x;
+    out.cy[i] = w.center.y;
+    out.cz[i] = w.center.z;
+  }
+  out.radius = body.radius;
+}
+
+Aabb obb_bounds_scalar(const ObbLanes4& lanes, std::size_t n) noexcept {
+  Aabb box = lane_obb(lanes, 0).bounds();
+  for (std::size_t i = 1; i < n; ++i)
+    box = box.merged(lane_obb(lanes, i).bounds());
+  return box;
+}
+
+// Argument-order shims matching shape.cpp's narrow-phase dispatch.
+bool intersects_lane(const Obb& body, const Aabb& obstacle) noexcept {
+  return intersects(body, obstacle);
+}
+bool intersects_lane(const Obb& body, const Obb& obstacle) noexcept {
+  return intersects(body, obstacle);
+}
+bool intersects_lane(const Obb& body, const Sphere& obstacle) noexcept {
+  return intersects(obstacle, body);
+}
+bool intersects_lane(const Sphere& body, const Aabb& obstacle) noexcept {
+  return intersects(body, obstacle);
+}
+bool intersects_lane(const Sphere& body, const Obb& obstacle) noexcept {
+  return intersects(body, obstacle);
+}
+bool intersects_lane(const Sphere& body, const Sphere& obstacle) noexcept {
+  return intersects(body, obstacle);
+}
+
+template <typename Obstacle>
+std::uint32_t obb_mask_scalar(const ObbLanes4& lanes, std::size_t n,
+                              const Obstacle& obstacle) noexcept {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (intersects_lane(lane_obb(lanes, i), obstacle))
+      mask |= 1u << i;
+  return mask;
+}
+
+template <typename Obstacle>
+std::uint32_t sphere_mask_scalar(const SphereLanes4& lanes, std::size_t n,
+                                 const Obstacle& obstacle) noexcept {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (intersects_lane(lane_sphere(lanes, i), obstacle))
+      mask |= 1u << i;
+  return mask;
+}
+
+inline std::uint32_t lane_bits(std::size_t n) noexcept {
+  return (1u << n) - 1u;
+}
+
+/// Reduce per-lane lo/hi components (from the wide bounds kernels) to the
+/// union box over the first n lanes.
+Aabb reduce_bounds(const double (&lo)[3][kWideLanes],
+                   const double (&hi)[3][kWideLanes], std::size_t n) noexcept {
+  Aabb box{{lo[0][0], lo[1][0], lo[2][0]}, {hi[0][0], hi[1][0], hi[2][0]}};
+  for (std::size_t i = 1; i < n; ++i) {
+    box.lo = geo::min(box.lo, Vec3{lo[0][i], lo[1][i], lo[2][i]});
+    box.hi = geo::max(box.hi, Vec3{hi[0][i], hi[1][i], hi[2][i]});
+  }
+  return box;
+}
+
+}  // namespace
+
+// --- dispatch -------------------------------------------------------------
+
+void place_box_lanes(const double* tx, const double* ty, const double* tz,
+                     const double* qw, const double* qx, const double* qy,
+                     const double* qz, std::size_t n, const Obb& body,
+                     ObbLanes4& out) noexcept {
+  switch (simd_level()) {
+#if defined(PMPL_HAVE_AVX2_KERNELS)
+    case SimdLevel::kAvx2:
+      wide_avx2::place_box(tx, ty, tz, qw, qx, qy, qz, body, out);
+      return;
+#endif
+#if PMPL_WIDE_HAVE_SSE2
+    case SimdLevel::kSse2:
+      wide_sse2::place_box(tx, ty, tz, qw, qx, qy, qz, body, out);
+      return;
+#endif
+    default:
+      place_box_scalar(tx, ty, tz, qw, qx, qy, qz, n, body, out);
+      return;
+  }
+}
+
+void place_sphere_lanes(const double* tx, const double* ty, const double* tz,
+                        const double* qw, const double* qx, const double* qy,
+                        const double* qz, std::size_t n, const Sphere& body,
+                        SphereLanes4& out) noexcept {
+  switch (simd_level()) {
+#if defined(PMPL_HAVE_AVX2_KERNELS)
+    case SimdLevel::kAvx2:
+      wide_avx2::place_sphere(tx, ty, tz, qw, qx, qy, qz, body, out);
+      return;
+#endif
+#if PMPL_WIDE_HAVE_SSE2
+    case SimdLevel::kSse2:
+      wide_sse2::place_sphere(tx, ty, tz, qw, qx, qy, qz, body, out);
+      return;
+#endif
+    default:
+      place_sphere_scalar(tx, ty, tz, qw, qx, qy, qz, n, body, out);
+      return;
+  }
+}
+
+Aabb place_box_lanes_bounded(const double* tx, const double* ty,
+                             const double* tz, const double* qw,
+                             const double* qx, const double* qy,
+                             const double* qz, std::size_t n, const Obb& body,
+                             ObbLanes4& out) noexcept {
+  switch (simd_level()) {
+#if defined(PMPL_HAVE_AVX2_KERNELS)
+    case SimdLevel::kAvx2: {
+      double lo[3][kWideLanes], hi[3][kWideLanes];
+      wide_avx2::place_box_bounded(tx, ty, tz, qw, qx, qy, qz, body, out, lo,
+                                   hi);
+      return reduce_bounds(lo, hi, n);
+    }
+#endif
+#if PMPL_WIDE_HAVE_SSE2
+    case SimdLevel::kSse2: {
+      double lo[3][kWideLanes], hi[3][kWideLanes];
+      wide_sse2::place_box_bounded(tx, ty, tz, qw, qx, qy, qz, body, out, lo,
+                                   hi);
+      return reduce_bounds(lo, hi, n);
+    }
+#endif
+    default:
+      place_box_scalar(tx, ty, tz, qw, qx, qy, qz, n, body, out);
+      return obb_bounds_scalar(out, n);
+  }
+}
+
+Aabb place_sphere_lanes_bounded(const double* tx, const double* ty,
+                                const double* tz, const double* qw,
+                                const double* qx, const double* qy,
+                                const double* qz, std::size_t n,
+                                const Sphere& body,
+                                SphereLanes4& out) noexcept {
+  // Sphere bounds are center -+ r; placing and merging in one pass is
+  // already one dispatch, so this just composes the existing paths.
+  place_sphere_lanes(tx, ty, tz, qw, qx, qy, qz, n, body, out);
+  return lanes_bounds(out, n);
+}
+
+Aabb lanes_bounds(const ObbLanes4& lanes, std::size_t n) noexcept {
+  switch (simd_level()) {
+#if defined(PMPL_HAVE_AVX2_KERNELS)
+    case SimdLevel::kAvx2: {
+      double lo[3][kWideLanes], hi[3][kWideLanes];
+      wide_avx2::obb_bounds(lanes, lo, hi);
+      return reduce_bounds(lo, hi, n);
+    }
+#endif
+#if PMPL_WIDE_HAVE_SSE2
+    case SimdLevel::kSse2: {
+      double lo[3][kWideLanes], hi[3][kWideLanes];
+      wide_sse2::obb_bounds(lanes, lo, hi);
+      return reduce_bounds(lo, hi, n);
+    }
+#endif
+    default:
+      return obb_bounds_scalar(lanes, n);
+  }
+}
+
+Aabb lanes_bounds(const SphereLanes4& lanes, std::size_t n) noexcept {
+  // Sphere bounds are center +- r; the per-lane merge is already cheap, so
+  // every level shares this one path.
+  Aabb box = lane_sphere(lanes, 0).bounds();
+  for (std::size_t i = 1; i < n; ++i)
+    box = box.merged(lane_sphere(lanes, i).bounds());
+  return box;
+}
+
+std::uint32_t hit_mask(const ObbLanes4& lanes, std::size_t n,
+                       const Aabb& obstacle) noexcept {
+  // Matches intersects(Obb, Aabb): SAT against the axis-aligned box lifted
+  // to an OBB. from_aabb's center/extent arithmetic is done scalar here,
+  // exactly as the scalar path does it.
+  switch (simd_level()) {
+#if defined(PMPL_HAVE_AVX2_KERNELS)
+    case SimdLevel::kAvx2:
+      return wide_avx2::obb_hit_obb(lanes, Obb::from_aabb(obstacle)) &
+             lane_bits(n);
+#endif
+#if PMPL_WIDE_HAVE_SSE2
+    case SimdLevel::kSse2:
+      return wide_sse2::obb_hit_obb(lanes, Obb::from_aabb(obstacle)) &
+             lane_bits(n);
+#endif
+    default:
+      return obb_mask_scalar(lanes, n, obstacle);
+  }
+}
+
+std::uint32_t hit_mask(const ObbLanes4& lanes, std::size_t n,
+                       const Obb& obstacle) noexcept {
+  switch (simd_level()) {
+#if defined(PMPL_HAVE_AVX2_KERNELS)
+    case SimdLevel::kAvx2:
+      return wide_avx2::obb_hit_obb(lanes, obstacle) & lane_bits(n);
+#endif
+#if PMPL_WIDE_HAVE_SSE2
+    case SimdLevel::kSse2:
+      return wide_sse2::obb_hit_obb(lanes, obstacle) & lane_bits(n);
+#endif
+    default:
+      return obb_mask_scalar(lanes, n, obstacle);
+  }
+}
+
+std::uint32_t hit_mask(const ObbLanes4& lanes, std::size_t n,
+                       const Sphere& obstacle) noexcept {
+  switch (simd_level()) {
+#if defined(PMPL_HAVE_AVX2_KERNELS)
+    case SimdLevel::kAvx2:
+      return wide_avx2::obb_hit_sphere(lanes, obstacle) & lane_bits(n);
+#endif
+#if PMPL_WIDE_HAVE_SSE2
+    case SimdLevel::kSse2:
+      return wide_sse2::obb_hit_sphere(lanes, obstacle) & lane_bits(n);
+#endif
+    default:
+      return obb_mask_scalar(lanes, n, obstacle);
+  }
+}
+
+std::uint32_t hit_mask(const SphereLanes4& lanes, std::size_t n,
+                       const Aabb& obstacle) noexcept {
+  switch (simd_level()) {
+#if defined(PMPL_HAVE_AVX2_KERNELS)
+    case SimdLevel::kAvx2:
+      return wide_avx2::sphere_hit_aabb(lanes, obstacle) & lane_bits(n);
+#endif
+#if PMPL_WIDE_HAVE_SSE2
+    case SimdLevel::kSse2:
+      return wide_sse2::sphere_hit_aabb(lanes, obstacle) & lane_bits(n);
+#endif
+    default:
+      return sphere_mask_scalar(lanes, n, obstacle);
+  }
+}
+
+std::uint32_t hit_mask(const SphereLanes4& lanes, std::size_t n,
+                       const Obb& obstacle) noexcept {
+  switch (simd_level()) {
+#if defined(PMPL_HAVE_AVX2_KERNELS)
+    case SimdLevel::kAvx2:
+      return wide_avx2::sphere_hit_obb(lanes, obstacle) & lane_bits(n);
+#endif
+#if PMPL_WIDE_HAVE_SSE2
+    case SimdLevel::kSse2:
+      return wide_sse2::sphere_hit_obb(lanes, obstacle) & lane_bits(n);
+#endif
+    default:
+      return sphere_mask_scalar(lanes, n, obstacle);
+  }
+}
+
+std::uint32_t hit_mask(const SphereLanes4& lanes, std::size_t n,
+                       const Sphere& obstacle) noexcept {
+  switch (simd_level()) {
+#if defined(PMPL_HAVE_AVX2_KERNELS)
+    case SimdLevel::kAvx2:
+      return wide_avx2::sphere_hit_sphere(lanes, obstacle) & lane_bits(n);
+#endif
+#if PMPL_WIDE_HAVE_SSE2
+    case SimdLevel::kSse2:
+      return wide_sse2::sphere_hit_sphere(lanes, obstacle) & lane_bits(n);
+#endif
+    default:
+      return sphere_mask_scalar(lanes, n, obstacle);
+  }
+}
+
+}  // namespace pmpl::geo

@@ -1,0 +1,110 @@
+#pragma once
+/// \file intersect_wide.hpp
+/// Wide (multi-pose) primitive tests over SoA lane groups.
+///
+/// A *lane group* is up to 4 world placements of one robot body primitive,
+/// stored component-wise. The kernels here answer "which of these 4
+/// placements hit obstacle X?" as a bitmask in one pass. Three
+/// implementations sit behind `simd_level()` dispatch:
+///
+///  - scalar: reconstructs each lane and calls the shipping
+///    `geo::intersects` / `Transform::apply` routines — the semantic
+///    ground truth;
+///  - sse2 / avx2: evaluate the *same expression tree* 2/4 lanes at a time
+///    with explicit intrinsics, mirroring the scalar operation order
+///    exactly (and avoiding FMA contraction), so every lane's verdict is
+///    bit-identical to the scalar path.
+///
+/// Early-exit differences are verdict-neutral: the scalar SAT returns at
+/// the first separating axis while the wide SAT accumulates a per-lane
+/// "separated" mask over all 15 axes — the final boolean per lane is the
+/// same either way.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geometry/shapes.hpp"
+#include "geometry/simd.hpp"
+
+namespace pmpl::geo {
+
+/// Lanes per wide group. All dispatch levels process groups of 4 (SSE2
+/// uses two 2-lane registers) so grouping, stats accounting, and masks are
+/// identical at every level.
+inline constexpr std::size_t kWideLanes = 4;
+
+/// Four world-placed OBBs sharing half-extents (one robot box body at four
+/// poses). Rotation entries are row-major: `m[3*r + c][lane]`.
+struct ObbLanes4 {
+  alignas(32) double cx[kWideLanes];
+  alignas(32) double cy[kWideLanes];
+  alignas(32) double cz[kWideLanes];
+  alignas(32) double m[9][kWideLanes];
+  Vec3 half;
+};
+
+/// Four world-placed spheres sharing a radius.
+struct SphereLanes4 {
+  alignas(32) double cx[kWideLanes];
+  alignas(32) double cy[kWideLanes];
+  alignas(32) double cz[kWideLanes];
+  double radius;
+};
+
+/// Reconstruct one lane as the scalar primitive (tests, scalar fallback).
+Obb lane_obb(const ObbLanes4& lanes, std::size_t i) noexcept;
+Sphere lane_sphere(const SphereLanes4& lanes, std::size_t i) noexcept;
+
+/// Place the body-frame box/sphere at `n <= 4` poses read from SoA lane
+/// arrays (PoseBlock columns at some offset). Every level writes the same
+/// bits as `Transform::apply` per lane. Lanes in [n, 4) are computed from
+/// whatever the arrays hold and must be ignored by the caller.
+void place_box_lanes(const double* tx, const double* ty, const double* tz,
+                     const double* qw, const double* qx, const double* qy,
+                     const double* qz, std::size_t n, const Obb& body,
+                     ObbLanes4& out) noexcept;
+void place_sphere_lanes(const double* tx, const double* ty, const double* tz,
+                        const double* qw, const double* qx, const double* qy,
+                        const double* qz, std::size_t n, const Sphere& body,
+                        SphereLanes4& out) noexcept;
+
+/// Fused place + union bounds: identical bits to `place_*_lanes` followed
+/// by `lanes_bounds`, but one dispatch and no lane reload — the world
+/// rotation stays in registers between placement and the extent
+/// reduction. This is what the checker's block path calls per group.
+Aabb place_box_lanes_bounded(const double* tx, const double* ty,
+                             const double* tz, const double* qw,
+                             const double* qx, const double* qy,
+                             const double* qz, std::size_t n, const Obb& body,
+                             ObbLanes4& out) noexcept;
+Aabb place_sphere_lanes_bounded(const double* tx, const double* ty,
+                                const double* tz, const double* qw,
+                                const double* qx, const double* qy,
+                                const double* qz, std::size_t n,
+                                const Sphere& body,
+                                SphereLanes4& out) noexcept;
+
+/// Union world AABB of the first `n` lanes; merges the same per-lane
+/// `Obb::bounds()` / `Sphere::bounds()` values the sequential path uses,
+/// so the broad-phase candidate set is a conservative superset of every
+/// lane's own candidates.
+Aabb lanes_bounds(const ObbLanes4& lanes, std::size_t n) noexcept;
+Aabb lanes_bounds(const SphereLanes4& lanes, std::size_t n) noexcept;
+
+/// Per-lane hit masks (bit i set = lane i intersects the obstacle).
+/// Verdicts are bit-identical to `geo::intersects` on the reconstructed
+/// lane primitive at every dispatch level.
+std::uint32_t hit_mask(const ObbLanes4& lanes, std::size_t n,
+                       const Aabb& obstacle) noexcept;
+std::uint32_t hit_mask(const ObbLanes4& lanes, std::size_t n,
+                       const Obb& obstacle) noexcept;
+std::uint32_t hit_mask(const ObbLanes4& lanes, std::size_t n,
+                       const Sphere& obstacle) noexcept;
+std::uint32_t hit_mask(const SphereLanes4& lanes, std::size_t n,
+                       const Aabb& obstacle) noexcept;
+std::uint32_t hit_mask(const SphereLanes4& lanes, std::size_t n,
+                       const Obb& obstacle) noexcept;
+std::uint32_t hit_mask(const SphereLanes4& lanes, std::size_t n,
+                       const Sphere& obstacle) noexcept;
+
+}  // namespace pmpl::geo

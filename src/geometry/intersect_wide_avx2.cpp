@@ -1,0 +1,113 @@
+/// \file intersect_wide_avx2.cpp
+/// AVX2 instantiations of the wide primitive kernels.
+///
+/// The only translation unit compiled with -mavx2 (and *only* -mavx2: FMA
+/// stays off so a*b+c never contracts and results match the scalar and
+/// SSE2 paths bit for bit). Compiled to an empty TU when the build
+/// disables AVX2 kernels (PMPL_ENABLE_AVX2=OFF); runtime dispatch then
+/// caps at SSE2.
+
+#if defined(PMPL_HAVE_AVX2_KERNELS) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "geometry/intersect_wide.hpp"
+#include "geometry/intersect_wide_impl.hpp"
+
+namespace pmpl::geo {
+
+namespace {
+
+struct PackAvx2 {
+  __m256d v;
+
+  static PackAvx2 load(const double* p) noexcept {
+    return {_mm256_loadu_pd(p)};
+  }
+  void store(double* p) const noexcept { _mm256_storeu_pd(p, v); }
+  static PackAvx2 set1(double x) noexcept { return {_mm256_set1_pd(x)}; }
+  static PackAvx2 zero() noexcept { return {_mm256_setzero_pd()}; }
+  static PackAvx2 zero_mask() noexcept { return zero(); }
+
+  friend PackAvx2 operator+(PackAvx2 x, PackAvx2 y) noexcept {
+    return {_mm256_add_pd(x.v, y.v)};
+  }
+  friend PackAvx2 operator-(PackAvx2 x, PackAvx2 y) noexcept {
+    return {_mm256_sub_pd(x.v, y.v)};
+  }
+  friend PackAvx2 operator*(PackAvx2 x, PackAvx2 y) noexcept {
+    return {_mm256_mul_pd(x.v, y.v)};
+  }
+  static PackAvx2 abs(PackAvx2 x) noexcept {
+    return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), x.v)};
+  }
+  // Ordered (quiet) comparisons: false on NaN, matching scalar <, >, <=.
+  static PackAvx2 lt(PackAvx2 x, PackAvx2 y) noexcept {
+    return {_mm256_cmp_pd(x.v, y.v, _CMP_LT_OQ)};
+  }
+  static PackAvx2 gt(PackAvx2 x, PackAvx2 y) noexcept {
+    return {_mm256_cmp_pd(x.v, y.v, _CMP_GT_OQ)};
+  }
+  static PackAvx2 le(PackAvx2 x, PackAvx2 y) noexcept {
+    return {_mm256_cmp_pd(x.v, y.v, _CMP_LE_OQ)};
+  }
+  static PackAvx2 or_(PackAvx2 x, PackAvx2 y) noexcept {
+    return {_mm256_or_pd(x.v, y.v)};
+  }
+  static PackAvx2 blend(PackAvx2 mask, PackAvx2 x, PackAvx2 y) noexcept {
+    return {_mm256_blendv_pd(y.v, x.v, mask.v)};
+  }
+  static unsigned movemask(PackAvx2 m) noexcept {
+    return static_cast<unsigned>(_mm256_movemask_pd(m.v));
+  }
+};
+
+}  // namespace
+
+namespace wide_avx2 {
+
+void place_box(const double* tx, const double* ty, const double* tz,
+               const double* qw, const double* qx, const double* qy,
+               const double* qz, const Obb& body, ObbLanes4& out) noexcept {
+  wide_detail::place_box_t<PackAvx2>(tx, ty, tz, qw, qx, qy, qz, body, out);
+}
+void place_sphere(const double* tx, const double* ty, const double* tz,
+                  const double* qw, const double* qx, const double* qy,
+                  const double* qz, const Sphere& body,
+                  SphereLanes4& out) noexcept {
+  wide_detail::place_sphere_t<PackAvx2>(tx, ty, tz, qw, qx, qy, qz, body, out);
+}
+void place_box_bounded(const double* tx, const double* ty, const double* tz,
+                       const double* qw, const double* qx, const double* qy,
+                       const double* qz, const Obb& body, ObbLanes4& out,
+                       double (&lo)[3][kWideLanes],
+                       double (&hi)[3][kWideLanes]) noexcept {
+  wide_detail::place_box_bounded_t<PackAvx2>(tx, ty, tz, qw, qx, qy, qz, body,
+                                             out, lo, hi);
+}
+void obb_bounds(const ObbLanes4& lanes, double (&lo)[3][kWideLanes],
+                double (&hi)[3][kWideLanes]) noexcept {
+  wide_detail::obb_bounds_t<PackAvx2>(lanes, lo, hi);
+}
+std::uint32_t obb_hit_obb(const ObbLanes4& a, const Obb& b) noexcept {
+  return wide_detail::obb_hit_obb_t<PackAvx2>(a, b);
+}
+std::uint32_t obb_hit_sphere(const ObbLanes4& a, const Sphere& s) noexcept {
+  return wide_detail::obb_hit_sphere_t<PackAvx2>(a, s);
+}
+std::uint32_t sphere_hit_aabb(const SphereLanes4& s, const Aabb& b) noexcept {
+  return wide_detail::sphere_hit_aabb_t<PackAvx2>(s, b);
+}
+std::uint32_t sphere_hit_obb(const SphereLanes4& s, const Obb& b) noexcept {
+  return wide_detail::sphere_hit_obb_t<PackAvx2>(s, b);
+}
+std::uint32_t sphere_hit_sphere(const SphereLanes4& s,
+                                const Sphere& b) noexcept {
+  return wide_detail::sphere_hit_sphere_t<PackAvx2>(s, b);
+}
+
+}  // namespace wide_avx2
+
+}  // namespace pmpl::geo
+
+#endif  // PMPL_HAVE_AVX2_KERNELS && __AVX2__

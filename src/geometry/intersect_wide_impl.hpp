@@ -1,0 +1,394 @@
+#pragma once
+/// \file intersect_wide_impl.hpp
+/// Internal: lane-pack templates behind the wide primitive tests.
+///
+/// Each kernel is written once as a template over a 4-lane "pack" type and
+/// instantiated with an SSE2 pack (two __m128d) and an AVX2 pack (one
+/// __m256d). The expression trees mirror the scalar routines in
+/// intersect.cpp / transform.hpp / quat.hpp *operation for operation* —
+/// same association, same comparison direction, no FMA — which is what
+/// makes every lane's result bit-identical to the scalar ground truth.
+/// Do not "simplify" the arithmetic here without updating the scalar side
+/// to match; the golden roadmap hashes pin this equivalence.
+///
+/// This header is included by intersect_wide.cpp (SSE2 instantiations) and
+/// intersect_wide_avx2.cpp (AVX2 instantiations, compiled with -mavx2).
+/// It must not be included anywhere else.
+
+#include <cstdint>
+
+#include "geometry/intersect_wide.hpp"
+#include "geometry/shapes.hpp"
+
+namespace pmpl::geo::wide_detail {
+
+// Row-major accessors into the 3x3 lane matrices.
+inline constexpr std::size_t idx(std::size_t r, std::size_t c) noexcept {
+  return 3 * r + c;
+}
+
+/// Quaternion rotation of a constant body-frame point, lanes-wide.
+/// Mirrors Quat::rotate: t = qv x v * 2;  v' = v + t*w + qv x t.
+template <class P>
+struct RotLanes {
+  P qw, qx, qy, qz;
+
+  void rotate(double vx, double vy, double vz, P& rx, P& ry, P& rz) const {
+    const P cvx = P::set1(vx), cvy = P::set1(vy), cvz = P::set1(vz);
+    // t = qv.cross(v) * 2.0
+    const P two = P::set1(2.0);
+    const P t0 = (qy * cvz - qz * cvy) * two;
+    const P t1 = (qz * cvx - qx * cvz) * two;
+    const P t2 = (qx * cvy - qy * cvx) * two;
+    // v + t*w, then + qv.cross(t)
+    const P sx = cvx + t0 * qw;
+    const P sy = cvy + t1 * qw;
+    const P sz = cvz + t2 * qw;
+    rx = sx + (qy * t2 - qz * t1);
+    ry = sy + (qz * t0 - qx * t2);
+    rz = sz + (qx * t1 - qy * t0);
+  }
+};
+
+/// Mirrors Transform::apply(const Obb&): world center = R(c) + t, world
+/// rotation = to_matrix(q) * body.rot.
+template <class P>
+void place_box_t(const double* tx, const double* ty, const double* tz,
+                 const double* qw, const double* qx, const double* qy,
+                 const double* qz, const Obb& body, ObbLanes4& out) noexcept {
+  const RotLanes<P> q{P::load(qw), P::load(qx), P::load(qy), P::load(qz)};
+
+  P cx, cy, cz;
+  q.rotate(body.center.x, body.center.y, body.center.z, cx, cy, cz);
+  (cx + P::load(tx)).store(out.cx);
+  (cy + P::load(ty)).store(out.cy);
+  (cz + P::load(tz)).store(out.cz);
+
+  // Quat::to_matrix, lanes-wide.
+  const P xx = q.qx * q.qx, yy = q.qy * q.qy, zz = q.qz * q.qz;
+  const P xy = q.qx * q.qy, xz = q.qx * q.qz, yz = q.qy * q.qz;
+  const P wx = q.qw * q.qx, wy = q.qw * q.qy, wz = q.qw * q.qz;
+  const P one = P::set1(1.0), two = P::set1(2.0);
+  P rot[9];
+  rot[idx(0, 0)] = one - two * (yy + zz);
+  rot[idx(0, 1)] = two * (xy - wz);
+  rot[idx(0, 2)] = two * (xz + wy);
+  rot[idx(1, 0)] = two * (xy + wz);
+  rot[idx(1, 1)] = one - two * (xx + zz);
+  rot[idx(1, 2)] = two * (yz - wx);
+  rot[idx(2, 0)] = two * (xz - wy);
+  rot[idx(2, 1)] = two * (yz + wx);
+  rot[idx(2, 2)] = one - two * (xx + yy);
+
+  // Mat3 product to_matrix(q) * body.rot: out[i][j] = row_i . col_j, with
+  // the dot's left-to-right association (x*x + y*y) + z*z.
+  const Mat3& b = body.rot;
+  const Vec3 brow[3] = {b.r0, b.r1, b.r2};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const P v = (rot[idx(i, 0)] * P::set1(brow[0][j]) +
+                   rot[idx(i, 1)] * P::set1(brow[1][j])) +
+                  rot[idx(i, 2)] * P::set1(brow[2][j]);
+      v.store(out.m[idx(i, j)]);
+    }
+  }
+  out.half = body.half;
+}
+
+/// Fused place_box_t + obb_bounds_t: the same two expression trees, but
+/// the world rotation stays in registers between placement and bounds, so
+/// a group costs one dispatch and no lane reload. Hot path of
+/// CollisionChecker::group_collision_mask.
+template <class P>
+void place_box_bounded_t(const double* tx, const double* ty, const double* tz,
+                         const double* qw, const double* qx, const double* qy,
+                         const double* qz, const Obb& body, ObbLanes4& out,
+                         double (&lo)[3][kWideLanes],
+                         double (&hi)[3][kWideLanes]) noexcept {
+  const RotLanes<P> q{P::load(qw), P::load(qx), P::load(qy), P::load(qz)};
+
+  P c[3];
+  q.rotate(body.center.x, body.center.y, body.center.z, c[0], c[1], c[2]);
+  c[0] = c[0] + P::load(tx);
+  c[1] = c[1] + P::load(ty);
+  c[2] = c[2] + P::load(tz);
+  c[0].store(out.cx);
+  c[1].store(out.cy);
+  c[2].store(out.cz);
+
+  const P xx = q.qx * q.qx, yy = q.qy * q.qy, zz = q.qz * q.qz;
+  const P xy = q.qx * q.qy, xz = q.qx * q.qz, yz = q.qy * q.qz;
+  const P wx = q.qw * q.qx, wy = q.qw * q.qy, wz = q.qw * q.qz;
+  const P one = P::set1(1.0), two = P::set1(2.0);
+  P rot[9];
+  rot[idx(0, 0)] = one - two * (yy + zz);
+  rot[idx(0, 1)] = two * (xy - wz);
+  rot[idx(0, 2)] = two * (xz + wy);
+  rot[idx(1, 0)] = two * (xy + wz);
+  rot[idx(1, 1)] = one - two * (xx + zz);
+  rot[idx(1, 2)] = two * (yz - wx);
+  rot[idx(2, 0)] = two * (xz - wy);
+  rot[idx(2, 1)] = two * (yz + wx);
+  rot[idx(2, 2)] = one - two * (xx + yy);
+
+  const Mat3& b = body.rot;
+  const Vec3 brow[3] = {b.r0, b.r1, b.r2};
+  const P half[3] = {P::set1(body.half.x), P::set1(body.half.y),
+                     P::set1(body.half.z)};
+  for (std::size_t i = 0; i < 3; ++i) {
+    P w[3];
+    for (std::size_t j = 0; j < 3; ++j) {
+      w[j] = (rot[idx(i, 0)] * P::set1(brow[0][j]) +
+              rot[idx(i, 1)] * P::set1(brow[1][j])) +
+             rot[idx(i, 2)] * P::set1(brow[2][j]);
+      w[j].store(out.m[idx(i, j)]);
+    }
+    // Row extent in column order, exactly as obb_bounds_t reads it back.
+    P e = P::abs(w[0]) * half[0];
+    e = e + P::abs(w[1]) * half[1];
+    e = e + P::abs(w[2]) * half[2];
+    (c[i] - e).store(lo[i]);
+    (c[i] + e).store(hi[i]);
+  }
+  out.half = body.half;
+}
+
+/// Mirrors Transform::apply(const Sphere&).
+template <class P>
+void place_sphere_t(const double* tx, const double* ty, const double* tz,
+                    const double* qw, const double* qx, const double* qy,
+                    const double* qz, const Sphere& body,
+                    SphereLanes4& out) noexcept {
+  const RotLanes<P> q{P::load(qw), P::load(qx), P::load(qy), P::load(qz)};
+  P cx, cy, cz;
+  q.rotate(body.center.x, body.center.y, body.center.z, cx, cy, cz);
+  (cx + P::load(tx)).store(out.cx);
+  (cy + P::load(ty)).store(out.cy);
+  (cz + P::load(tz)).store(out.cz);
+  out.radius = body.radius;
+}
+
+/// Mirrors Obb::bounds(): e = sum_i |col_i| * half_i, box = center -+ e.
+/// Writes per-lane lo/hi components (reduced to the union by the caller).
+template <class P>
+void obb_bounds_t(const ObbLanes4& lanes, double (&lo)[3][kWideLanes],
+                  double (&hi)[3][kWideLanes]) noexcept {
+  const P c[3] = {P::load(lanes.cx), P::load(lanes.cy), P::load(lanes.cz)};
+  for (std::size_t r = 0; r < 3; ++r) {
+    // e_r accumulates |m[r][i]| * half[i] in column order, as the scalar
+    // loop over columns does.
+    P e = P::abs(P::load(lanes.m[idx(r, 0)])) * P::set1(lanes.half.x);
+    e = e + P::abs(P::load(lanes.m[idx(r, 1)])) * P::set1(lanes.half.y);
+    e = e + P::abs(P::load(lanes.m[idx(r, 2)])) * P::set1(lanes.half.z);
+    (c[r] - e).store(lo[r]);
+    (c[r] + e).store(hi[r]);
+  }
+}
+
+/// Mirrors intersects(const Obb& a, const Obb& b) — Gottschalk SAT with
+/// `a` as the lane body and `b` a fixed obstacle. The scalar routine
+/// returns at the first separating axis; here a per-lane "separated" mask
+/// accumulates over all 15 axes with a group early-exit when every lane is
+/// separated — the final verdict per lane is identical either way.
+template <class P>
+std::uint32_t obb_hit_obb_t(const ObbLanes4& a, const Obb& b) noexcept {
+  constexpr double kEps = 1e-12;
+  const P eps = P::set1(kEps);
+
+  // r = a_rot_t * b.rot; a_rot_t(i,k) = a.m[k][i].
+  P r[9], absr[9];
+  for (std::size_t i = 0; i < 3; ++i) {
+    const P at0 = P::load(a.m[idx(0, i)]);
+    const P at1 = P::load(a.m[idx(1, i)]);
+    const P at2 = P::load(a.m[idx(2, i)]);
+    for (std::size_t j = 0; j < 3; ++j) {
+      const P v = (at0 * P::set1(b.rot.r0[j]) + at1 * P::set1(b.rot.r1[j])) +
+                  at2 * P::set1(b.rot.r2[j]);
+      r[idx(i, j)] = v;
+      absr[idx(i, j)] = P::abs(v) + eps;
+    }
+  }
+
+  // t = a_rot_t * (b.center - a.center).
+  const P dx = P::set1(b.center.x) - P::load(a.cx);
+  const P dy = P::set1(b.center.y) - P::load(a.cy);
+  const P dz = P::set1(b.center.z) - P::load(a.cz);
+  P t[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    t[i] = (P::load(a.m[idx(0, i)]) * dx + P::load(a.m[idx(1, i)]) * dy) +
+           P::load(a.m[idx(2, i)]) * dz;
+  }
+
+  const Vec3& ea = a.half;
+  const Vec3& eb = b.half;
+  P sep = P::zero_mask();
+
+  // Axes A0, A1, A2.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const P rb = (P::set1(eb.x) * absr[idx(i, 0)] +
+                  P::set1(eb.y) * absr[idx(i, 1)]) +
+                 P::set1(eb.z) * absr[idx(i, 2)];
+    sep = P::or_(sep, P::gt(P::abs(t[i]), P::set1(ea[i]) + rb));
+  }
+  if (P::movemask(sep) == 0xF) return 0;
+
+  // Axes B0, B1, B2.
+  for (std::size_t j = 0; j < 3; ++j) {
+    const P ra = (P::set1(ea.x) * absr[idx(0, j)] +
+                  P::set1(ea.y) * absr[idx(1, j)]) +
+                 P::set1(ea.z) * absr[idx(2, j)];
+    const P tproj =
+        (t[0] * r[idx(0, j)] + t[1] * r[idx(1, j)]) + t[2] * r[idx(2, j)];
+    sep = P::or_(sep, P::gt(P::abs(tproj), ra + P::set1(eb[j])));
+  }
+  if (P::movemask(sep) == 0xF) return 0;
+
+  // Cross-product axes A_i x B_j.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t i1 = (i + 1) % 3;
+    const std::size_t i2 = (i + 2) % 3;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const std::size_t j1 = (j + 1) % 3;
+      const std::size_t j2 = (j + 2) % 3;
+      const P ra = P::set1(ea[i1]) * absr[idx(i2, j)] +
+                   P::set1(ea[i2]) * absr[idx(i1, j)];
+      const P rb = P::set1(eb[j1]) * absr[idx(i, j2)] +
+                   P::set1(eb[j2]) * absr[idx(i, j1)];
+      const P tproj = t[i2] * r[idx(i1, j)] - t[i1] * r[idx(i2, j)];
+      sep = P::or_(sep, P::gt(P::abs(tproj), ra + rb));
+    }
+    if (P::movemask(sep) == 0xF) return 0;
+  }
+  return (~P::movemask(sep)) & 0xFu;
+}
+
+/// Mirrors intersects(const Sphere& s, const Obb& b) with `b` as the lane
+/// body and `s` a fixed sphere obstacle: closest point in the box's local
+/// frame, then squared distance against r^2.
+template <class P>
+std::uint32_t obb_hit_sphere_t(const ObbLanes4& a, const Sphere& s) noexcept {
+  const P dx = P::set1(s.center.x) - P::load(a.cx);
+  const P dy = P::set1(s.center.y) - P::load(a.cy);
+  const P dz = P::set1(s.center.z) - P::load(a.cz);
+
+  P d2 = P::zero();
+  P local[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    // to_local: rot^T row i = column i of rot.
+    local[i] = (P::load(a.m[idx(0, i)]) * dx + P::load(a.m[idx(1, i)]) * dy) +
+               P::load(a.m[idx(2, i)]) * dz;
+  }
+  // std::clamp(v, -h, h): v < -h ? -h : (h < v ? h : v).
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double h = a.half[i];
+    const P lo = P::set1(-h), hi = P::set1(h);
+    const P v = local[i];
+    const P clamped = P::blend(P::lt(v, lo), lo, P::blend(P::lt(hi, v), hi, v));
+    const P d = v - clamped;
+    d2 = d2 + d * d;
+  }
+  // (local - clamped).norm2() <= s.radius * s.radius — but norm2's dot
+  // associates (x*x + y*y) + z*z; the loop above accumulates
+  // ((0 + x*x) + y*y) + z*z, identical bits since 0 + a == a for the
+  // non-negative squares involved.
+  return P::movemask(P::le(d2, P::set1(s.radius * s.radius)));
+}
+
+/// Mirrors intersects(const Sphere& s, const Aabb& b) with the sphere as
+/// the lane body: distance2(p, b) <= r^2.
+template <class P>
+std::uint32_t sphere_hit_aabb_t(const SphereLanes4& s, const Aabb& b) noexcept {
+  const P p[3] = {P::load(s.cx), P::load(s.cy), P::load(s.cz)};
+  P d2 = P::zero();
+  for (std::size_t i = 0; i < 3; ++i) {
+    const P lo = P::set1(b.lo[i]), hi = P::set1(b.hi[i]);
+    const P dlo = lo - p[i];
+    const P dhi = p[i] - hi;
+    const P d =
+        P::blend(P::lt(p[i], lo), dlo, P::blend(P::gt(p[i], hi), dhi, P::zero()));
+    d2 = d2 + d * d;
+  }
+  return P::movemask(P::le(d2, P::set1(s.radius * s.radius)));
+}
+
+/// Mirrors intersects(const Sphere& s, const Obb& b) with the sphere as
+/// the lane body and a fixed box obstacle.
+template <class P>
+std::uint32_t sphere_hit_obb_t(const SphereLanes4& s, const Obb& b) noexcept {
+  const P dx = P::load(s.cx) - P::set1(b.center.x);
+  const P dy = P::load(s.cy) - P::set1(b.center.y);
+  const P dz = P::load(s.cz) - P::set1(b.center.z);
+  const Mat3 rt = b.rot.transposed();
+  const Vec3 rows[3] = {rt.r0, rt.r1, rt.r2};
+  P d2 = P::zero();
+  for (std::size_t i = 0; i < 3; ++i) {
+    const P v = (P::set1(rows[i].x) * dx + P::set1(rows[i].y) * dy) +
+                P::set1(rows[i].z) * dz;
+    const double h = b.half[i];
+    const P lo = P::set1(-h), hi = P::set1(h);
+    const P clamped = P::blend(P::lt(v, lo), lo, P::blend(P::lt(hi, v), hi, v));
+    const P d = v - clamped;
+    d2 = d2 + d * d;
+  }
+  return P::movemask(P::le(d2, P::set1(s.radius * s.radius)));
+}
+
+/// Mirrors intersects(const Sphere& a, const Sphere& b).
+template <class P>
+std::uint32_t sphere_hit_sphere_t(const SphereLanes4& s,
+                                  const Sphere& b) noexcept {
+  const double r = s.radius + b.radius;
+  const P dx = P::load(s.cx) - P::set1(b.center.x);
+  const P dy = P::load(s.cy) - P::set1(b.center.y);
+  const P dz = P::load(s.cz) - P::set1(b.center.z);
+  const P n2 = (dx * dx + dy * dy) + dz * dz;
+  return P::movemask(P::le(n2, P::set1(r * r)));
+}
+
+}  // namespace pmpl::geo::wide_detail
+
+// Entry points of the per-ISA translation units. The AVX2 set exists only
+// when the build compiles intersect_wide_avx2.cpp with kernels enabled
+// (PMPL_HAVE_AVX2_KERNELS); dispatch never reaches it otherwise because
+// detected_simd_level() caps at SSE2.
+namespace pmpl::geo::wide_sse2 {
+void place_box(const double*, const double*, const double*, const double*,
+               const double*, const double*, const double*, const Obb&,
+               ObbLanes4&) noexcept;
+void place_sphere(const double*, const double*, const double*, const double*,
+                  const double*, const double*, const double*, const Sphere&,
+                  SphereLanes4&) noexcept;
+void place_box_bounded(const double*, const double*, const double*,
+                       const double*, const double*, const double*,
+                       const double*, const Obb&, ObbLanes4&,
+                       double (&)[3][kWideLanes],
+                       double (&)[3][kWideLanes]) noexcept;
+void obb_bounds(const ObbLanes4&, double (&)[3][kWideLanes],
+                double (&)[3][kWideLanes]) noexcept;
+std::uint32_t obb_hit_obb(const ObbLanes4&, const Obb&) noexcept;
+std::uint32_t obb_hit_sphere(const ObbLanes4&, const Sphere&) noexcept;
+std::uint32_t sphere_hit_aabb(const SphereLanes4&, const Aabb&) noexcept;
+std::uint32_t sphere_hit_obb(const SphereLanes4&, const Obb&) noexcept;
+std::uint32_t sphere_hit_sphere(const SphereLanes4&, const Sphere&) noexcept;
+}  // namespace pmpl::geo::wide_sse2
+
+namespace pmpl::geo::wide_avx2 {
+void place_box(const double*, const double*, const double*, const double*,
+               const double*, const double*, const double*, const Obb&,
+               ObbLanes4&) noexcept;
+void place_sphere(const double*, const double*, const double*, const double*,
+                  const double*, const double*, const double*, const Sphere&,
+                  SphereLanes4&) noexcept;
+void place_box_bounded(const double*, const double*, const double*,
+                       const double*, const double*, const double*,
+                       const double*, const Obb&, ObbLanes4&,
+                       double (&)[3][kWideLanes],
+                       double (&)[3][kWideLanes]) noexcept;
+void obb_bounds(const ObbLanes4&, double (&)[3][kWideLanes],
+                double (&)[3][kWideLanes]) noexcept;
+std::uint32_t obb_hit_obb(const ObbLanes4&, const Obb&) noexcept;
+std::uint32_t obb_hit_sphere(const ObbLanes4&, const Sphere&) noexcept;
+std::uint32_t sphere_hit_aabb(const SphereLanes4&, const Aabb&) noexcept;
+std::uint32_t sphere_hit_obb(const SphereLanes4&, const Obb&) noexcept;
+std::uint32_t sphere_hit_sphere(const SphereLanes4&, const Sphere&) noexcept;
+}  // namespace pmpl::geo::wide_avx2

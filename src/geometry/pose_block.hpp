@@ -1,0 +1,52 @@
+#pragma once
+/// \file pose_block.hpp
+/// SoA layout for a block of rigid-body poses (the wide-kernel input).
+///
+/// Mirrors the kd-tree's bucketed SoA design: each pose component lives in
+/// its own contiguous lane array so the wide collision kernels can load
+/// 2/4 poses with one instruction instead of gathering from an AoS
+/// `Transform[]`. Filled by `CSpace::pose_into` (bit-identical to
+/// `CSpace::pose`); consumed by `CollisionChecker::first_collision` /
+/// `collision_mask`.
+
+#include <cstddef>
+
+#include "geometry/transform.hpp"
+
+namespace pmpl::geo {
+
+/// Up to 16 poses, stored component-wise. Lanes past `count` hold stale
+/// (but initialized) values; kernels mask them out.
+struct PoseBlock {
+  static constexpr std::size_t kCapacity = 16;
+
+  alignas(32) double tx[kCapacity] = {};
+  alignas(32) double ty[kCapacity] = {};
+  alignas(32) double tz[kCapacity] = {};
+  alignas(32) double qw[kCapacity] = {};
+  alignas(32) double qx[kCapacity] = {};
+  alignas(32) double qy[kCapacity] = {};
+  alignas(32) double qz[kCapacity] = {};
+  std::size_t count = 0;
+
+  void clear() noexcept { count = 0; }
+  bool full() const noexcept { return count == kCapacity; }
+
+  void push(const Transform& t) noexcept {
+    tx[count] = t.translation.x;
+    ty[count] = t.translation.y;
+    tz[count] = t.translation.z;
+    qw[count] = t.rotation.w;
+    qx[count] = t.rotation.x;
+    qy[count] = t.rotation.y;
+    qz[count] = t.rotation.z;
+    ++count;
+  }
+
+  /// Reconstruct lane `i` (bit-identical to the pushed Transform).
+  Transform get(std::size_t i) const noexcept {
+    return {{qw[i], qx[i], qy[i], qz[i]}, {tx[i], ty[i], tz[i]}};
+  }
+};
+
+}  // namespace pmpl::geo

@@ -1,0 +1,81 @@
+#include "geometry/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace pmpl::geo {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+bool cpu_has_avx2() noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+#endif
+
+SimdLevel detect() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(PMPL_HAVE_AVX2_KERNELS)
+  if (cpu_has_avx2()) return SimdLevel::kAvx2;
+#endif
+  // SSE2 is part of the x86-64 baseline.
+  return SimdLevel::kSse2;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel parse_level(const char* s, SimdLevel fallback) noexcept {
+  if (s == nullptr) return fallback;
+  if (std::strcmp(s, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(s, "sse2") == 0) return SimdLevel::kSse2;
+  if (std::strcmp(s, "avx2") == 0) return SimdLevel::kAvx2;
+  return fallback;
+}
+
+SimdLevel clamp_to_detected(SimdLevel level) noexcept {
+  const SimdLevel cap = detected_simd_level();
+  return static_cast<std::uint8_t>(level) <= static_cast<std::uint8_t>(cap)
+             ? level
+             : cap;
+}
+
+std::atomic<SimdLevel>& active_level() noexcept {
+  static std::atomic<SimdLevel> level{
+      clamp_to_detected(parse_level(std::getenv("PMPL_SIMD"),
+                                    detected_simd_level()))};
+  return level;
+}
+
+}  // namespace
+
+const char* to_string(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSse2: return "sse2";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel detected_simd_level() noexcept {
+  static const SimdLevel detected = detect();
+  return detected;
+}
+
+SimdLevel simd_level() noexcept {
+  return active_level().load(std::memory_order_relaxed);
+}
+
+SimdLevel set_simd_level(SimdLevel level) noexcept {
+  const SimdLevel effective = clamp_to_detected(level);
+  active_level().store(effective, std::memory_order_relaxed);
+  return effective;
+}
+
+}  // namespace pmpl::geo

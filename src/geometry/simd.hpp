@@ -1,0 +1,36 @@
+#pragma once
+/// \file simd.hpp
+/// Runtime CPU-feature dispatch for the wide (SoA) geometry kernels.
+///
+/// The wide kernels in intersect_wide.hpp come in three implementations:
+/// a scalar fallback (per-lane calls into the shipping intersect.cpp
+/// routines — the semantic ground truth), an SSE2 path, and an AVX2 path.
+/// All three produce bit-identical verdicts; dispatch only changes speed.
+/// The active level is selected once from CPUID at startup, can be capped
+/// with the PMPL_SIMD environment variable (`scalar`, `sse2`, `avx2`), and
+/// can be overridden programmatically for tests and benches.
+
+#include <cstdint>
+
+namespace pmpl::geo {
+
+/// Available wide-kernel implementations, weakest first.
+enum class SimdLevel : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Human-readable name ("scalar", "sse2", "avx2").
+const char* to_string(SimdLevel level) noexcept;
+
+/// Best level supported by this CPU *and* this build (AVX2 kernels may be
+/// compiled out with PMPL_ENABLE_AVX2=OFF). Constant for the process.
+SimdLevel detected_simd_level() noexcept;
+
+/// Currently active level. Defaults to `detected_simd_level()` clamped by
+/// the PMPL_SIMD environment variable when set.
+SimdLevel simd_level() noexcept;
+
+/// Override the active level (clamped to `detected_simd_level()`); returns
+/// the level actually in effect. Intended for tests and benches that sweep
+/// scalar-vs-wide bit equality.
+SimdLevel set_simd_level(SimdLevel level) noexcept;
+
+}  // namespace pmpl::geo

@@ -32,6 +32,15 @@ struct PrmParams {
   bool exact_knn = false;        ///< brute-force k-NN instead of kd-tree
   SamplerKind sampler = SamplerKind::kUniform;  ///< node generation strategy
   double sampler_scale = 6.0;    ///< sigma / bridge length for the above
+
+  /// Validate candidate edges through a cross-edge batching window
+  /// (EdgeBatchPlanner) so wide validity lanes stay full across short or
+  /// early-rejecting edges. Roadmaps and planner stats are bit-identical
+  /// to the sequential path: admission preconditions are re-checked at
+  /// in-order commit, and speculative work never reaches `queries` or the
+  /// lp_* counters. OFF falls back to one LocalPlanner::plan per edge.
+  bool batch_edges = true;
+  std::size_t edge_window = 8;   ///< in-flight edges when batching
 };
 
 /// Sampling phase: draw `attempts` uniform samples with positions in `box`,

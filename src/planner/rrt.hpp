@@ -9,7 +9,9 @@
 /// the classic whole-space planner for sequential use and the examples.
 
 #include <functional>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "env/environment.hpp"
@@ -18,6 +20,10 @@
 #include "planner/stats.hpp"
 #include "runtime/cancel.hpp"
 #include "util/rng.hpp"
+
+namespace pmpl::cspace {
+class EdgeBatchPlanner;
+}
 
 namespace pmpl::planner {
 
@@ -40,6 +46,7 @@ class RrtBranch {
   RrtBranch(const env::Environment& e, Roadmap& tree,
             const cspace::Config& root, std::uint32_t region,
             const RrtParams& params);
+  ~RrtBranch();
 
   /// One RRT iteration: steer from the nearest tree node toward `target`
   /// by at most `step`, validate, and add. Returns the new vertex id on
@@ -47,12 +54,42 @@ class RrtBranch {
   std::optional<graph::VertexId> extend(const cspace::Config& target,
                                         PlannerStats& stats);
 
+  /// Wavefront extension: process up to 32 `targets` as one batch —
+  /// nearest-neighbor queries batched against the tree as it stood at
+  /// entry, new configurations validated through one wide `valid_mask`
+  /// call, connecting edges validated through a cross-edge window
+  /// (EdgeBatchPlanner), survivors inserted strictly in target order.
+  /// Returns the number of nodes added (also appended to `added` when
+  /// non-null). A single-target wave is roadmap- and query-count-identical
+  /// to `extend`; wider waves steer every target against the same frozen
+  /// tree snapshot, which is the wavefront semantics (deterministic for a
+  /// fixed width, but a different — equally valid — tree than width 1).
+  std::size_t extend_wave(std::span<const cspace::Config> targets,
+                          PlannerStats& stats,
+                          std::vector<graph::VertexId>* added = nullptr);
+
   /// Grow until `max_nodes` nodes or `max_iterations` iterations, drawing
   /// growth targets from `sampler`. A fired `cancel` token stops between
   /// iterations (bounded overrun: one extend = one k-NN + one local plan).
   void grow(const std::function<cspace::Config(Xoshiro256ss&)>& sampler,
             Xoshiro256ss& rng, PlannerStats& stats,
             const runtime::CancelToken* cancel = nullptr);
+
+  /// `grow` with wavefront batching: draws `width` targets per round and
+  /// extends them as one wave. `width <= 1` delegates to `grow` (identical
+  /// tree); wider waves may overshoot `max_nodes` by at most one wave. A
+  /// fired `cancel` token stops between waves.
+  void grow_wave(const std::function<cspace::Config(Xoshiro256ss&)>& sampler,
+                 Xoshiro256ss& rng, std::size_t width, PlannerStats& stats,
+                 const runtime::CancelToken* cancel = nullptr);
+
+  /// The k nearest tree nodes to `q` (canonical neighbor order) — exposed
+  /// for inter-tree connection (RRT-Connect). The span aliases finder
+  /// scratch: invalidated by the next query or insertion.
+  std::span<const Neighbor> nearest(const cspace::Config& q, std::size_t k,
+                                    PlannerStats& stats) {
+    return finder_->nearest(q, k, &stats);
+  }
 
   std::size_t num_nodes() const noexcept { return node_ids_.size(); }
   graph::VertexId root() const noexcept { return root_id_; }
@@ -62,6 +99,8 @@ class RrtBranch {
   std::uint32_t region() const noexcept { return region_; }
 
  private:
+  static constexpr std::size_t kMaxWave = 32;  ///< valid_mask verdict width
+
   const env::Environment* env_;
   Roadmap* tree_;
   RrtParams params_;
@@ -69,6 +108,13 @@ class RrtBranch {
   graph::VertexId root_id_;
   std::vector<graph::VertexId> node_ids_;
   std::unique_ptr<NeighborFinder> finder_;
+
+  // Wavefront scratch, created on first extend_wave (classic extend/grow
+  // users never pay for it).
+  std::unique_ptr<cspace::EdgeBatchPlanner> ebp_;
+  KnnBatch wave_knn_;
+  std::vector<graph::VertexId> wave_near_;
+  std::vector<cspace::Config> wave_cfg_;
 };
 
 /// Classic sequential RRT: grow from `start`, biased toward `goal`, stop

@@ -68,4 +68,12 @@ std::unique_ptr<Sampler> make_sampler(SamplerKind kind, const cspace::CSpace& sp
   return std::make_unique<UniformSampler>(space, validity);
 }
 
+void sample_targets(
+    const std::function<cspace::Config(Xoshiro256ss&)>& sampler,
+    Xoshiro256ss& rng, std::size_t n, std::vector<cspace::Config>& out) {
+  out.clear();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sampler(rng));
+}
+
 }  // namespace pmpl::planner

@@ -15,7 +15,9 @@
 ///
 /// All draw from the caller's RNG so per-region determinism is preserved.
 
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "cspace/space.hpp"
 #include "cspace/validity.hpp"
@@ -95,5 +97,13 @@ enum class SamplerKind { kUniform, kGaussian, kBridgeTest };
 std::unique_ptr<Sampler> make_sampler(SamplerKind kind, const cspace::CSpace& space,
                                       const cspace::ValidityChecker& validity,
                                       double scale);
+
+/// Draw `n` growth targets from `sampler` into `out` (cleared first) — the
+/// front end of a wavefront extension batch. Consumes exactly the RNG
+/// stream n sequential draws would, so width-1 wavefronts replay the
+/// classic per-iteration sampling order.
+void sample_targets(const std::function<cspace::Config(Xoshiro256ss&)>& sampler,
+                    Xoshiro256ss& rng, std::size_t n,
+                    std::vector<cspace::Config>& out);
 
 }  // namespace pmpl::planner

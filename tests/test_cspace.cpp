@@ -395,9 +395,16 @@ TEST(Validity, RigidBodyBatchMatchesSequential) {
       }
     collision::CollisionStats batch_stats;
     EXPECT_EQ(validity.valid_batch(cs, &batch_stats), ref) << trial;
+    // `queries` counts consumed verdicts — identical on every path. The
+    // work counters (narrow_tests / bvh_nodes) follow the block contract:
+    // the wide path does one union-box BVH walk and one 4-lane test per
+    // candidate per group, so they are deterministic but not equal to the
+    // per-pose sequential counts (see CollisionStats docs).
     EXPECT_EQ(batch_stats.queries, ref_stats.queries);
-    EXPECT_EQ(batch_stats.narrow_tests, ref_stats.narrow_tests);
-    EXPECT_EQ(batch_stats.bvh_nodes, ref_stats.bvh_nodes);
+    collision::CollisionStats rerun_stats;
+    EXPECT_EQ(validity.valid_batch(cs, &rerun_stats), ref) << trial;
+    EXPECT_EQ(rerun_stats.narrow_tests, batch_stats.narrow_tests);
+    EXPECT_EQ(rerun_stats.bvh_nodes, batch_stats.bvh_nodes);
   }
 }
 
