@@ -1,0 +1,172 @@
+// Transport comparison bench: the same seeded work-stealing scenarios run
+// through the DES (simulated transport) and through real forked processes
+// over Unix-domain sockets, holding the two to the sim-vs-real gate
+// (identical roadmap hashes; see DESIGN.md §5h) and reporting wall time,
+// protocol-event counts and transport health side by side.
+//
+// Scenarios: fault-free, SIGKILL-one-rank, lossy links. Emits
+// machine-readable BENCH_transport.json (path overridable as argv[1])
+// with the shared "metrics" schema: per-scenario protocol counters and
+// nested transport health (reconnects, retransmits, frames dropped,
+// heartbeat misses) published through the metrics registry.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "loadbal/ws_cluster.hpp"
+#include "loadbal/ws_engine.hpp"
+#include "runtime/fault_io.hpp"
+#include "runtime/metrics_registry.hpp"
+
+namespace {
+
+using namespace pmpl;
+
+constexpr std::uint32_t kRanks = 4;
+constexpr std::uint32_t kRegions = 64;
+constexpr std::uint64_t kSeed = 42;
+
+struct Scenario {
+  std::string name;
+  runtime::FaultPlan plan;
+};
+
+struct Row {
+  std::string scenario;
+  // DES side.
+  bool des_terminated = false;
+  double des_makespan_s = 0.0;
+  std::uint64_t des_hash = 0;
+  std::uint64_t des_grants = 0;
+  // Real side.
+  bool real_terminated = false;
+  bool real_all_done = false;
+  double real_wall_s = 0.0;
+  std::uint64_t real_hash = 0;
+  std::uint64_t real_grants = 0;
+  std::uint64_t real_retransmits = 0;
+  std::uint64_t real_recovered = 0;
+  std::uint64_t real_frames_dropped = 0;
+  bool gate = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_transport.json";
+  const auto work = loadbal::make_cluster_items(kSeed, kRegions, kRanks);
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"fault_free", {}});
+  {
+    runtime::FaultPlan p;
+    p.seed = 99;
+    p.crash(1, 0.10);
+    scenarios.push_back({"sigkill_rank1", p});
+  }
+  {
+    runtime::FaultPlan p;
+    p.seed = 5;
+    p.lossy_links(0.25, 0.0, 0.0, 0.4);
+    p.lose_tokens(0.25, 0.0, 0.4);
+    scenarios.push_back({"lossy_links", p});
+  }
+
+  runtime::MetricsRegistry metrics;
+  std::vector<Row> rows;
+  std::printf("%-14s %10s %10s %7s %7s %8s %6s %6s\n", "scenario",
+              "des mksp", "real wall", "grants", "grants", "retrans",
+              "recov", "gate");
+  std::printf("%-14s %10s %10s %7s %7s %8s %6s %6s\n", "", "(sim-s)",
+              "(s)", "des", "real", "real", "real", "");
+  for (const auto& sc : scenarios) {
+    Row row;
+    row.scenario = sc.name;
+
+    loadbal::WsConfig wcfg;
+    wcfg.seed = kSeed;
+    wcfg.rand_k = 2;
+    wcfg.faults = sc.plan;
+    const auto des =
+        loadbal::simulate_work_stealing(work.items, work.initial, kRanks, wcfg);
+    row.des_terminated = des.terminated;
+    row.des_makespan_s = des.makespan_s;
+    row.des_grants = des.steal_grants;
+    row.des_hash = loadbal::roadmap_hash(kSeed, loadbal::completed_set(des));
+
+    loadbal::ClusterConfig cfg;
+    cfg.ranks = kRanks;
+    cfg.rank.items = work.items;
+    cfg.rank.initial = work.initial;
+    cfg.rank.seed = kSeed;
+    cfg.faults = sc.plan;
+    cfg.timeout_s = 60.0;
+    const auto real = loadbal::run_ws_cluster(cfg);
+    row.real_terminated = real.terminated_all;
+    row.real_all_done = real.all_done;
+    row.real_hash = real.roadmap;
+    row.real_grants = real.steal_grants;
+    row.real_retransmits = real.grant_retransmits;
+    row.real_recovered = real.regions_recovered;
+    for (std::uint32_t r = 0; r < kRanks; ++r) {
+      if (!real.reported[r]) continue;
+      if (real.ranks[r].finish_s > row.real_wall_s)
+        row.real_wall_s = real.ranks[r].finish_s;
+      row.real_frames_dropped += real.ranks[r].transport.frames_dropped;
+      // Shared metrics schema: per-scenario, per-rank protocol health.
+      publish(metrics, real.ranks[r],
+              sc.name + "/rank" + std::to_string(r) + "/");
+    }
+    row.gate = real.ok && real.terminated_all && row.des_hash == row.real_hash;
+
+    std::printf("%-14s %10.4f %10.3f %7llu %7llu %8llu %6llu %6s\n",
+                row.scenario.c_str(), row.des_makespan_s, row.real_wall_s,
+                static_cast<unsigned long long>(row.des_grants),
+                static_cast<unsigned long long>(row.real_grants),
+                static_cast<unsigned long long>(row.real_retransmits),
+                static_cast<unsigned long long>(row.real_recovered),
+                row.gate ? "MATCH" : "FAIL");
+    rows.push_back(row);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"transport\",\n");
+  std::fprintf(f, "  \"ranks\": %u,\n  \"regions\": %u,\n  \"seed\": %llu,\n",
+               kRanks, kRegions, static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"des_terminated\": %s, "
+        "\"des_makespan_s\": %.6f, \"des_roadmap\": \"%016llx\", "
+        "\"des_grants\": %llu, \"real_terminated\": %s, "
+        "\"real_all_done\": %s, \"real_wall_s\": %.6f, "
+        "\"real_roadmap\": \"%016llx\", \"real_grants\": %llu, "
+        "\"real_retransmits\": %llu, \"real_recovered\": %llu, "
+        "\"real_frames_dropped\": %llu, \"gate\": %s}%s\n",
+        r.scenario.c_str(), r.des_terminated ? "true" : "false",
+        r.des_makespan_s, static_cast<unsigned long long>(r.des_hash),
+        static_cast<unsigned long long>(r.des_grants),
+        r.real_terminated ? "true" : "false",
+        r.real_all_done ? "true" : "false", r.real_wall_s,
+        static_cast<unsigned long long>(r.real_hash),
+        static_cast<unsigned long long>(r.real_grants),
+        static_cast<unsigned long long>(r.real_retransmits),
+        static_cast<unsigned long long>(r.real_recovered),
+        static_cast<unsigned long long>(r.real_frames_dropped),
+        r.gate ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n", metrics.to_json().c_str());
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  for (const Row& r : rows)
+    if (!r.gate) return 1;
+  return 0;
+}

@@ -15,6 +15,20 @@
 //   --drop P             drop every message with probability P
 //   --token-drop P       drop termination tokens with probability P
 //   --fault-seed S       dedicated seed for the drop rolls
+//   --faults FILE        JSON fault plan (runtime/fault_io.hpp format);
+//                        validated up front — a malformed plan exits 2
+//                        naming the offending field — and replaces the
+//                        ad-hoc fault flags above
+//
+// Transport (optional):
+//   --transport des|socket  des (default) replays everything through the
+//                        simulator only; socket additionally runs the
+//                        measured HybridWS workload on real forked
+//                        processes over Unix-domain sockets (ranks capped
+//                        at 16) and gates the result against the DES
+//                        (identical roadmap hash, DESIGN.md §5h)
+//   --time-scale K       wall seconds per simulated second for the socket
+//                        pass (default: auto, sized for a ~2 s run)
 //
 // Anytime execution (all optional):
 //   --deadline-ms D      stop the real planning work (anytime build and
@@ -46,6 +60,8 @@
 #include "core/parallel_build.hpp"
 #include "core/prm_driver.hpp"
 #include "env/builders.hpp"
+#include "loadbal/ws_cluster.hpp"
+#include "runtime/fault_io.hpp"
 #include "runtime/metrics_registry.hpp"
 #include "runtime/trace.hpp"
 #include "util/args.hpp"
@@ -90,6 +106,28 @@ int main(int argc, char** argv) {
   const auto cluster = args.get("machine", "hopper") == "opteron"
                            ? runtime::ClusterSpec::opteron_cluster()
                            : runtime::ClusterSpec::hopper();
+
+  // Up-front validation of anything that would otherwise fail mid-run,
+  // after minutes of real planning work: the fault-plan file and the
+  // transport choice. A malformed plan exits 2 naming the offending field.
+  runtime::FaultPlan file_plan;
+  bool have_file_plan = false;
+  if (const std::string faults_path = args.get("faults", "");
+      !faults_path.empty()) {
+    std::string err;
+    if (!runtime::load_fault_plan(faults_path, file_plan, err)) {
+      std::fprintf(stderr, "error: --faults: %s\n", err.c_str());
+      return 2;
+    }
+    have_file_plan = true;
+  }
+  const std::string transport = args.get("transport", "des");
+  if (transport != "des" && transport != "socket") {
+    std::fprintf(stderr,
+                 "error: --transport: expected 'des' or 'socket', got '%s'\n",
+                 transport.c_str());
+    return 2;
+  }
 
   // Anytime controls: one token covers the real planning work (the
   // optional anytime build and the workload measurement).
@@ -258,6 +296,8 @@ int main(int argc, char** argv) {
       plan.straggler(r, straggle_factor, 0.0, fault_free_total[0]);
   if (drop > 0.0) plan.lossy_links(drop);
   if (token_drop > 0.0) plan.lose_tokens(token_drop);
+  // A --faults file wholly replaces the ad-hoc flags above.
+  if (have_file_plan) plan = file_plan;
 
   // Observability output covers the fault-free replays (the faulty pass
   // below re-runs the same strategies; tracing it too would double every
@@ -291,16 +331,88 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Optional real-transport pass: the measured HybridWS workload on forked
+  // processes over Unix-domain sockets, held to the sim-vs-real gate
+  // (DESIGN.md §5h) against a DES replay of the very same inputs.
+  int socket_failed = 0;
+  if (transport == "socket") {
+    const auto p_sock = std::min<std::uint32_t>(procs, 16u);
+    const std::size_t nr = w.regions.size();
+    std::vector<loadbal::WsItem> items(nr);
+    double total_service = 0.0;
+    for (std::size_t r = 0; r < nr; ++r) {
+      items[r] = {w.regions[r].service_s(), w.regions[r].bytes};
+      total_service += items[r].service_s;
+    }
+    const auto initial = core::naive_assignment(nr, p_sock);
+
+    loadbal::WsConfig des_cfg;
+    des_cfg.seed = seed;
+    des_cfg.faults = plan;
+    const auto des =
+        loadbal::simulate_work_stealing(items, initial, p_sock, des_cfg);
+    const auto des_hash =
+        loadbal::roadmap_hash(seed, loadbal::completed_set(des));
+
+    loadbal::ClusterConfig ccfg;
+    ccfg.ranks = p_sock;
+    ccfg.rank.items = items;
+    ccfg.rank.initial = initial;
+    ccfg.rank.seed = seed;
+    ccfg.faults = plan;
+    ccfg.timeout_s = 120.0;
+    // Auto time scale: aim the busy portion of the run at ~2 wall seconds
+    // spread across the ranks; never stretch beyond real time.
+    double tscale = args.get_f64("time-scale", 0.0);
+    if (tscale <= 0.0)
+      tscale = std::min(1.0, 2.0 * p_sock / std::max(1e-9, total_service));
+    ccfg.rank.time_scale = tscale;
+    std::printf("\nsocket transport: %u forked rank(s), %zu regions, "
+                "time-scale %.4g\n",
+                p_sock, nr, tscale);
+    const auto real = loadbal::run_ws_cluster(ccfg);
+    if (!real.ok)
+      std::fprintf(stderr, "socket harness error: %s\n", real.error.c_str());
+    std::uint32_t reported = 0, killed = 0;
+    double wall = 0.0;
+    for (std::uint32_t r = 0; r < p_sock; ++r) {
+      if (real.killed[r]) ++killed;
+      if (!real.reported[r]) continue;
+      ++reported;
+      wall = std::max(wall, real.ranks[r].finish_s);
+    }
+    std::printf("socket run: %u/%u rank(s) reported (%u killed), wall %.3f s, "
+                "%llu grant(s), %llu retransmit(s), %llu recovered\n",
+                reported, p_sock, killed, wall,
+                static_cast<unsigned long long>(real.steal_grants),
+                static_cast<unsigned long long>(real.grant_retransmits),
+                static_cast<unsigned long long>(real.regions_recovered));
+    const bool match =
+        real.ok && real.terminated_all && des_hash == real.roadmap;
+    std::printf("gate: des=%016llx real=%016llx -> %s\n",
+                static_cast<unsigned long long>(des_hash),
+                static_cast<unsigned long long>(real.roadmap),
+                match ? "MATCH" : "MISMATCH");
+    if (!match) socket_failed = 1;
+  }
+
   if (plan.empty()) {
     std::printf("\nload profile is in simulated seconds; the workload itself\n"
                 "is real planning work measured once on this machine.\n");
-    return (des_event_limit || observability_failed) ? 1 : 0;
+    return (des_event_limit || observability_failed || socket_failed) ? 1 : 0;
   }
 
-  std::printf("\nfault plan: %zu crash(es) at t=%.3f, %u straggler(s) x%.1f, "
-              "drop=%.2f, token-drop=%.2f, seed=%llu\n",
-              plan.crashes.size(), mid, stragglers, straggle_factor, drop,
-              token_drop, static_cast<unsigned long long>(plan.seed));
+  if (have_file_plan)
+    std::printf("\nfault plan (file): %zu crash(es), %zu straggler(s), "
+                "%zu link fault(s), %zu token fault(s), seed=%llu\n",
+                plan.crashes.size(), plan.stragglers.size(), plan.links.size(),
+                plan.tokens.size(),
+                static_cast<unsigned long long>(plan.seed));
+  else
+    std::printf("\nfault plan: %zu crash(es) at t=%.3f, %u straggler(s) "
+                "x%.1f, drop=%.2f, token-drop=%.2f, seed=%llu\n",
+                plan.crashes.size(), mid, stragglers, straggle_factor, drop,
+                token_drop, static_cast<unsigned long long>(plan.seed));
   TextTable ftable({"strategy", "total", "degradation", "recovered", "re-exec",
                     "re-exec s", "retries", "retransmits", "tokens regen",
                     "recovery lat"});
@@ -335,5 +447,5 @@ int main(int argc, char** argv) {
   std::printf("\nbulk-synchronous rows model stragglers only (no recovery\n"
               "protocol to simulate); work-stealing rows inject the full\n"
               "plan: crashes, lossy links and token loss.\n");
-  return (des_event_limit || observability_failed) ? 1 : 0;
+  return (des_event_limit || observability_failed || socket_failed) ? 1 : 0;
 }

@@ -1,0 +1,424 @@
+#include "loadbal/ws_cluster.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "runtime/fault_io.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/transport_socket.hpp"
+#include "util/io_status.hpp"
+#include "util/rng.hpp"
+
+namespace pmpl::loadbal {
+
+namespace {
+
+double steady_seconds() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void sleep_s(double s) {
+  if (s <= 0.0) return;
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(s);
+  ts.tv_nsec = static_cast<long>((s - static_cast<double>(ts.tv_sec)) * 1e9);
+  nanosleep(&ts, nullptr);
+}
+
+// --- child <-> parent result files -------------------------------------
+//
+// One line-based text file per rank, written to a temp name and renamed
+// (atomic on the same filesystem), ending in a FNV-1a checksum over the
+// preceding bytes. A SIGKILLed child leaves at most a temp file behind,
+// which the parent treats as "did not report" — expected for planned
+// crash victims, an error for anyone else.
+
+std::string serialize_result(const WsRankResult& r) {
+  std::ostringstream os;
+  os << "wsrank 1\n";
+  os << "rank " << r.rank << "\n";
+  os << "terminated " << (r.terminated ? 1 : 0) << "\n";
+  os << "fenced " << (r.fenced ? 1 : 0) << "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g %.17g", r.busy_s, r.finish_s);
+  os << "times " << buf << "\n";
+  os << "counters " << r.local_tasks << " " << r.stolen_tasks << " "
+     << r.steal_requests << " " << r.steal_grants << " " << r.steal_denies
+     << " " << r.regions_migrated << " " << r.token_rounds << " "
+     << r.steal_retries << " " << r.grant_retransmits << " "
+     << r.regions_recovered << " " << r.heartbeat_probes << " "
+     << r.heartbeat_misses << " " << r.deaths_detected << " "
+     << r.tokens_regenerated << "\n";
+  const auto& t = r.transport;
+  os << "transport " << t.frames_sent << " " << t.frames_received << " "
+     << t.frames_dropped << " " << t.frames_delayed << " " << t.bytes_sent
+     << " " << t.bytes_received << " " << t.reconnects << " "
+     << t.connect_retries << " " << t.send_timeouts << "\n";
+  os << "executed " << r.executed.size();
+  for (const std::uint32_t e : r.executed) os << " " << e;
+  os << "\n";
+  os << "done " << r.done.size() << " ";
+  for (const bool b : r.done) os << (b ? '1' : '0');
+  os << "\n";
+  const std::string payload = os.str();
+  std::ostringstream out;
+  out << payload << "checksum " << std::hex
+      << fnv1a64(payload.data(), payload.size()) << "\n";
+  return out.str();
+}
+
+bool parse_result(const std::string& text, WsRankResult& r,
+                  std::string& err) {
+  const auto pos = text.rfind("checksum ");
+  if (pos == std::string::npos || pos == 0) {
+    err = "missing checksum";
+    return false;
+  }
+  {
+    std::uint64_t stored = 0;
+    std::istringstream cs(text.substr(pos + 9));
+    cs >> std::hex >> stored;
+    if (!cs || stored != fnv1a64(text.data(), pos)) {
+      err = "checksum mismatch";
+      return false;
+    }
+  }
+  std::istringstream is(text.substr(0, pos));
+  std::string tag;
+  int version = 0;
+  is >> tag >> version;
+  if (tag != "wsrank" || version != 1) {
+    err = "bad header";
+    return false;
+  }
+  int b = 0;
+  is >> tag >> r.rank;
+  is >> tag >> b;
+  r.terminated = b != 0;
+  is >> tag >> b;
+  r.fenced = b != 0;
+  is >> tag >> r.busy_s >> r.finish_s;
+  is >> tag >> r.local_tasks >> r.stolen_tasks >> r.steal_requests >>
+      r.steal_grants >> r.steal_denies >> r.regions_migrated >>
+      r.token_rounds >> r.steal_retries >> r.grant_retransmits >>
+      r.regions_recovered >> r.heartbeat_probes >> r.heartbeat_misses >>
+      r.deaths_detected >> r.tokens_regenerated;
+  auto& t = r.transport;
+  is >> tag >> t.frames_sent >> t.frames_received >> t.frames_dropped >>
+      t.frames_delayed >> t.bytes_sent >> t.bytes_received >>
+      t.reconnects >> t.connect_retries >> t.send_timeouts;
+  std::size_t n = 0;
+  is >> tag >> n;
+  if (!is || tag != "executed" || n > (1u << 24)) {
+    err = "bad executed list";
+    return false;
+  }
+  r.executed.resize(n);
+  for (auto& e : r.executed) is >> e;
+  is >> tag >> n;
+  if (!is || tag != "done" || n > (1u << 24)) {
+    err = "bad done bitmap";
+    return false;
+  }
+  std::string bits;
+  is >> bits;
+  if (bits.size() != n) {
+    err = "bad done bitmap";
+    return false;
+  }
+  r.done.resize(n);
+  for (std::size_t i = 0; i < n; ++i) r.done[i] = bits[i] == '1';
+  if (!is) {
+    err = "truncated result";
+    return false;
+  }
+  return true;
+}
+
+bool write_file_atomic(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < body.size()) {
+    const ssize_t w = ::write(fd, body.data() + off, body.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  ::close(fd);
+  return ::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[4096];
+  out.clear();
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+[[noreturn]] void child_main(const ClusterConfig& cfg, std::uint32_t r,
+                             const std::string& dir, double epoch) {
+  runtime::Tracer tracer;
+  runtime::SocketTransportConfig net_cfg;
+  net_cfg.rank = r;
+  net_cfg.size = cfg.ranks;
+  net_cfg.dir = dir;
+  net_cfg.epoch_steady_s = epoch;
+  net_cfg.connect_timeout_s = cfg.launch_timeout_s;
+  net_cfg.accept_timeout_s = cfg.launch_timeout_s;
+  // Crashes are the parent's job; children only see the link/token part,
+  // mapped from simulated onto wall seconds.
+  net_cfg.faults = runtime::scaled_fault_plan(cfg.faults,
+                                              cfg.rank.time_scale);
+  net_cfg.faults.crashes.clear();
+  if (!cfg.trace_path.empty()) {
+    net_cfg.tracer = &tracer;
+    net_cfg.track_name = "transport " + std::to_string(r);
+    net_cfg.trace_capacity = 1 << 14;
+  }
+  runtime::SocketTransport net(std::move(net_cfg));
+  std::string err;
+  if (!net.start(&err))
+    std::fprintf(stderr, "rank %u: %s (continuing degraded)\n", r,
+                 err.c_str());
+
+  WsRankConfig rank_cfg = cfg.rank;
+  if (!cfg.trace_path.empty()) {
+    rank_cfg.tracer = &tracer;
+    rank_cfg.trace_capacity =
+        rank_cfg.trace_capacity ? rank_cfg.trace_capacity : 1 << 14;
+  }
+  const WsRankResult result = run_ws_rank(net, rank_cfg);
+  net.close();
+
+  write_file_atomic(dir + "/result_" + std::to_string(r),
+                    serialize_result(result));
+  if (!cfg.trace_path.empty())
+    runtime::export_chrome_trace(
+        tracer, cfg.trace_path + ".r" + std::to_string(r) + ".json");
+  _exit(result.fenced ? 3 : (result.terminated ? 0 : 4));
+}
+
+}  // namespace
+
+ClusterItems make_cluster_items(std::uint64_t seed, std::uint32_t n,
+                                std::uint32_t p) {
+  ClusterItems out;
+  out.items.resize(n);
+  out.initial.resize(n);
+  Xoshiro256ss rng(derive_seed(seed, 0xc1a55e5ULL));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    out.items[i].service_s = 4e-3 + 3e-2 * u * u;  // heavy-tailed
+    out.items[i].bytes = 256 + static_cast<std::uint64_t>(u * 4096.0);
+    // Front-load rank 0 so the run *must* steal to balance.
+    out.initial[i] = i < n / 2 ? 0 : i % p;
+  }
+  return out;
+}
+
+std::uint64_t region_payload_hash(std::uint64_t seed, std::uint32_t region) {
+  Xoshiro256ss rng(derive_seed(seed, region));
+  std::uint64_t words[4];
+  for (auto& w : words) w = rng();
+  return fnv1a64(words, sizeof words);
+}
+
+std::uint64_t roadmap_hash(std::uint64_t seed,
+                           const std::vector<bool>& done) {
+  std::uint64_t h = kFnvOffset;
+  for (std::uint32_t i = 0; i < done.size(); ++i) {
+    if (!done[i]) continue;
+    h = fnv1a64(&i, sizeof i, h);
+    const std::uint64_t payload = region_payload_hash(seed, i);
+    h = fnv1a64(&payload, sizeof payload, h);
+  }
+  return h;
+}
+
+std::vector<bool> completed_set(const WsResult& des) {
+  std::vector<bool> done(des.completion_s.size(), false);
+  for (std::size_t i = 0; i < des.completion_s.size(); ++i)
+    done[i] = des.completion_s[i] >= 0.0;
+  return done;
+}
+
+ClusterResult run_ws_cluster(const ClusterConfig& config) {
+  ClusterResult out;
+  const std::uint32_t p = config.ranks;
+  const std::size_t n = config.rank.items.size();
+  out.ranks.resize(p);
+  out.reported.assign(p, false);
+  out.killed.assign(p, false);
+  out.exit_codes.assign(p, -1);
+  out.done.assign(n, false);
+  if (p == 0 || n == 0 || config.rank.initial.size() != n) {
+    out.error = "bad cluster config";
+    return out;
+  }
+
+  std::string dir = config.dir;
+  char tmpl[] = "/tmp/pmpl_ws_XXXXXX";
+  if (dir.empty()) {
+    if (!mkdtemp(tmpl)) {
+      out.error = "mkdtemp failed";
+      return out;
+    }
+    dir = tmpl;
+  }
+
+  // SIGKILL schedule from the plan's crash list, on the wall clock.
+  struct Kill {
+    double at_s;
+    std::uint32_t rank;
+    bool fired = false;
+  };
+  std::vector<Kill> kills;
+  for (const auto& c : config.faults.crashes)
+    if (c.rank < p)
+      kills.push_back({c.at_s * config.rank.time_scale, c.rank, false});
+
+  const double epoch = steady_seconds();
+  std::vector<pid_t> pids(p, -1);
+  for (std::uint32_t r = 0; r < p; ++r) {
+    const pid_t pid = ::fork();
+    if (pid == 0) child_main(config, r, dir, epoch);  // never returns
+    if (pid < 0) {
+      out.error = "fork failed";
+      for (std::uint32_t k = 0; k < r; ++k) ::kill(pids[k], SIGKILL);
+      for (std::uint32_t k = 0; k < r; ++k)
+        ::waitpid(pids[k], nullptr, 0);
+      return out;
+    }
+    pids[r] = pid;
+  }
+
+  // Reap children, firing planned kills at their instants and the
+  // watchdog if the protocol wedges.
+  std::uint32_t live = p;
+  bool watchdog_fired = false;
+  while (live > 0) {
+    const double t = steady_seconds() - epoch;
+    for (auto& k : kills) {
+      if (k.fired || t < k.at_s) continue;
+      k.fired = true;
+      if (pids[k.rank] >= 0 && out.exit_codes[k.rank] == -1) {
+        ::kill(pids[k.rank], SIGKILL);
+        out.killed[k.rank] = true;
+      }
+    }
+    if (t > config.timeout_s && !watchdog_fired) {
+      watchdog_fired = true;
+      for (std::uint32_t r = 0; r < p; ++r)
+        if (pids[r] >= 0 && out.exit_codes[r] == -1) {
+          ::kill(pids[r], SIGKILL);
+          out.killed[r] = true;
+        }
+    }
+    int status = 0;
+    const pid_t done_pid = ::waitpid(-1, &status, WNOHANG);
+    if (done_pid == 0) {
+      sleep_s(1e-3);
+      continue;
+    }
+    if (done_pid < 0) break;  // no children left (shouldn't happen)
+    for (std::uint32_t r = 0; r < p; ++r) {
+      if (pids[r] != done_pid) continue;
+      out.exit_codes[r] = WIFEXITED(status) ? WEXITSTATUS(status)
+                          : WIFSIGNALED(status)
+                              ? 128 + WTERMSIG(status)
+                              : -2;
+      --live;
+      break;
+    }
+  }
+  if (watchdog_fired) out.error = "watchdog: cluster run timed out";
+
+  // Collect what the children reported.
+  out.ok = !watchdog_fired;
+  out.terminated_all = true;
+  for (std::uint32_t r = 0; r < p; ++r) {
+    std::string text, err;
+    const std::string path = dir + "/result_" + std::to_string(r);
+    if (!read_file(path, text)) {
+      if (!out.killed[r]) {
+        out.ok = false;
+        if (out.error.empty())
+          out.error = "rank " + std::to_string(r) + ": no result file";
+      }
+      continue;
+    }
+    WsRankResult res;
+    if (!parse_result(text, res, err)) {
+      // A kill can race the write; only survivors must parse.
+      if (!out.killed[r]) {
+        out.ok = false;
+        if (out.error.empty())
+          out.error = "rank " + std::to_string(r) + ": " + err;
+      }
+      continue;
+    }
+    out.ranks[r] = std::move(res);
+    out.reported[r] = true;
+    ::unlink(path.c_str());
+  }
+
+  for (std::uint32_t r = 0; r < p; ++r) {
+    if (!out.reported[r]) {
+      if (!out.killed[r]) out.terminated_all = false;
+      continue;
+    }
+    const WsRankResult& res = out.ranks[r];
+    // A fenced rank was (falsely or not) declared dead; its directory
+    // still counts, but it is not required to have seen termination.
+    if (!res.terminated && !res.fenced && !out.killed[r])
+      out.terminated_all = false;
+    for (std::size_t i = 0; i < res.done.size() && i < n; ++i)
+      if (res.done[i]) out.done[i] = true;
+    out.steal_requests += res.steal_requests;
+    out.steal_grants += res.steal_grants;
+    out.steal_denies += res.steal_denies;
+    out.regions_migrated += res.regions_migrated;
+    out.regions_recovered += res.regions_recovered;
+    out.grant_retransmits += res.grant_retransmits;
+    out.deaths_detected += res.deaths_detected;
+    out.executed_total += res.executed.size();
+  }
+  out.all_done =
+      std::all_of(out.done.begin(), out.done.end(), [](bool b) { return b; });
+  out.roadmap = roadmap_hash(config.rank.seed, out.done);
+
+  // Clean the socket dir if this call created it (best-effort).
+  if (config.dir.empty()) {
+    for (std::uint32_t r = 0; r < p; ++r) {
+      ::unlink((dir + "/r" + std::to_string(r) + ".sock").c_str());
+      ::unlink((dir + "/result_" + std::to_string(r)).c_str());
+      ::unlink((dir + "/result_" + std::to_string(r) + ".tmp").c_str());
+    }
+    ::rmdir(dir.c_str());
+  }
+  return out;
+}
+
+}  // namespace pmpl::loadbal

@@ -1,0 +1,112 @@
+#pragma once
+/// \file ws_cluster.hpp
+/// Forked-rank cluster harness and the sim-vs-real validation gate.
+///
+/// run_ws_cluster() forks `ranks` processes, wires them into a
+/// SocketTransport mesh and runs the per-rank protocol engine
+/// (ws_rank.cpp) in each, while the parent plays fault-plan executioner:
+/// planned crashes become real SIGKILLs at their (time-scaled) wall-clock
+/// instants, planned link/token faults ride inside each child's transport.
+/// Each child writes a checksummed result file; the parent aggregates the
+/// survivors into a ClusterResult.
+///
+/// The gate (DESIGN.md §5h): the completed-region set is summarized by a
+/// schedule-independent roadmap hash — FNV-1a over (region id, payload
+/// hash) in ascending region order, payloads derived from
+/// derive_seed(seed, region) only — so the same seed and fault plan run
+/// under the DES (simulate_work_stealing) and under this harness must
+/// produce *identical* hashes, and their protocol-event counters must
+/// agree within tolerance. tests/test_transport.cpp and
+/// bench/bench_transport.cpp hold both transports to it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loadbal/ws_engine.hpp"
+#include "loadbal/ws_rank.hpp"
+
+namespace pmpl::loadbal {
+
+/// Deterministic synthetic cluster workload: skewed service times (many
+/// small regions, a heavy tail) and a deliberately imbalanced initial
+/// assignment (first half of the regions on rank 0) so stealing always
+/// has something to do. Identical inputs for the DES and socket runs.
+struct ClusterItems {
+  std::vector<WsItem> items;
+  std::vector<std::uint32_t> initial;
+};
+ClusterItems make_cluster_items(std::uint64_t seed, std::uint32_t n,
+                                std::uint32_t p);
+
+/// Deterministic per-region payload digest (derive_seed(seed, region)
+/// expanded through the region's own stream) — what the region's roadmap
+/// piece hashes to, independent of who executed it or when.
+std::uint64_t region_payload_hash(std::uint64_t seed, std::uint32_t region);
+
+/// Roadmap hash over a completed set: FNV-1a over (region id, payload
+/// hash) for every done region in ascending order.
+std::uint64_t roadmap_hash(std::uint64_t seed, const std::vector<bool>& done);
+
+/// Completed set of a DES run (completion_s >= 0), for hashing with
+/// roadmap_hash on the sim side of the gate.
+std::vector<bool> completed_set(const WsResult& des);
+
+struct ClusterConfig {
+  std::uint32_t ranks = 4;
+
+  /// Per-rank engine configuration. `items`/`initial` must outlive the
+  /// call; tracer is ignored (children cannot share the parent's tracer).
+  WsRankConfig rank;
+
+  /// Fault plan in *simulated* seconds, like the DES takes it; crash and
+  /// window instants are multiplied by rank.time_scale onto the wall
+  /// clock. Crashes are delivered by the parent as SIGKILL; link/token
+  /// faults are evaluated inside each child's transport.
+  runtime::FaultPlan faults;
+
+  /// Non-empty: each child exports its transport + protocol trace to
+  /// "<trace_path>.r<rank>.json" (satellite trace tooling merges them).
+  std::string trace_path;
+
+  /// Directory for socket and result files; empty = fresh mkdtemp.
+  std::string dir;
+
+  double launch_timeout_s = 10.0;  ///< per-child mesh bring-up budget
+  double timeout_s = 90.0;         ///< parent's whole-run watchdog
+};
+
+struct ClusterResult {
+  /// Harness-level success: every non-crashed child exited and produced a
+  /// parseable result file. Protocol-level outcomes are below.
+  bool ok = false;
+  std::string error;  ///< first harness failure when !ok
+
+  bool terminated_all = false;  ///< every survivor saw the termination wave
+  bool all_done = false;        ///< union directory covers every region
+  std::uint64_t roadmap = 0;    ///< roadmap_hash over the union
+  std::vector<bool> done;       ///< union of the survivors' directories
+
+  /// Per-rank results for ranks that reported; `reported[r]` says which.
+  /// SIGKILLed ranks normally don't report (their entry is default).
+  std::vector<WsRankResult> ranks;
+  std::vector<bool> reported;
+  std::vector<bool> killed;  ///< SIGKILLed by the plan (or watchdog)
+  std::vector<int> exit_codes;
+
+  // Survivor-summed protocol counters, for the gate's tolerance checks.
+  std::uint64_t steal_requests = 0;
+  std::uint64_t steal_grants = 0;
+  std::uint64_t steal_denies = 0;
+  std::uint64_t regions_migrated = 0;
+  std::uint64_t regions_recovered = 0;
+  std::uint64_t grant_retransmits = 0;
+  std::uint64_t deaths_detected = 0;
+  std::uint64_t executed_total = 0;  ///< region executions incl. re-runs
+};
+
+/// Fork-and-run the work-stealing protocol over real processes and Unix
+/// sockets. Blocks until every child exited (or the watchdog fired).
+ClusterResult run_ws_cluster(const ClusterConfig& config);
+
+}  // namespace pmpl::loadbal

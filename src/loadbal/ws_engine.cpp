@@ -10,6 +10,7 @@
 #include "runtime/des.hpp"
 #include "runtime/metrics_registry.hpp"
 #include "runtime/termination.hpp"
+#include "runtime/transport_des.hpp"
 
 namespace pmpl::loadbal {
 
@@ -22,6 +23,13 @@ namespace {
 /// Simulator::schedule_* calls is issued as the pre-fault engine made:
 /// determinism ties break on insertion order, so even one extra event would
 /// perturb fault-free schedules.
+///
+/// Every inter-rank hop goes through the DesTransport seam (the virtual-
+/// time implementation of the transport concept, DESIGN.md §5h): latency
+/// pricing and fault rolls live there, protocol decisions stay here. The
+/// per-rank engine in ws_rank.cpp runs the same protocol over real
+/// transports; the sim-vs-real gate in tests holds the two to the same
+/// roadmap.
 class WsEngine {
  public:
   WsEngine(std::span<const WsItem> items,
@@ -288,26 +296,14 @@ class WsEngine {
       if (runtime::TraceBuffer* t = tr(rank))
         t->instant_at("steal_req", sim_.now(), v);
       const std::uint64_t req_id = next_req_id_++;
-      if (!inject_.active()) {
-        sim_.schedule_in(config_.cluster.latency(rank, v),
-                         [this, v, rank, req_id] {
-                           on_request(v, rank, req_id);
-                         });
-        continue;
-      }
-      loc.reqs_pending.insert(req_id);
-      const auto fate = inject_.on_message(rank, v, sim_.now());
-      if (fate.dropped) {
-        ++result_.faults.messages_dropped;
+      if (inject_.active()) loc.reqs_pending.insert(req_id);
+      if (!net_.send_control(rank, v, [this, v, rank, req_id] {
+            on_request(v, rank, req_id);
+          })) {
         if (runtime::TraceBuffer* t = tr(rank))
           t->instant_at("drop", sim_.now(), v);
-      } else {
-        if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
-        sim_.schedule_in(config_.cluster.latency(rank, v) + fate.extra_delay_s,
-                         [this, v, rank, req_id] {
-                           on_request(v, rank, req_id);
-                         });
       }
+      if (!inject_.active()) continue;
       sim_.schedule_in(steal_timeout_, [this, rank, req_id] {
         on_request_timeout(rank, req_id);
       });
@@ -352,23 +348,13 @@ class WsEngine {
           std::find(loc.lifeline_waiters.begin(), loc.lifeline_waiters.end(),
                     thief) == loc.lifeline_waiters.end())
         loc.lifeline_waiters.push_back(thief);
-      if (!inject_.active()) {
-        sim_.schedule_in(config_.cluster.latency(victim, thief),
-                         [this, thief, req_id] { on_deny(thief, req_id); });
-        return;
-      }
-      const auto fate = inject_.on_message(victim, thief, sim_.now());
-      if (fate.dropped) {
+      if (!net_.send_control(victim, thief, [this, thief, req_id] {
+            on_deny(thief, req_id);
+          })) {
         // Lost deny: the thief's request timeout resolves it.
-        ++result_.faults.messages_dropped;
         if (runtime::TraceBuffer* t = tr(victim))
           t->instant_at("drop", sim_.now(), thief);
-        return;
       }
-      if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
-      sim_.schedule_in(
-          config_.cluster.latency(victim, thief) + fate.extra_delay_s,
-          [this, thief, req_id] { on_deny(thief, req_id); });
       return;
     }
     std::vector<std::uint32_t> grant;
@@ -395,11 +381,11 @@ class WsEngine {
     // Work-bearing message: participates in termination accounting.
     safra_.on_send(victim);
     if (!inject_.active()) {
-      sim_.schedule_in(config_.cluster.transfer_time(victim, thief, bytes),
-                       [this, thief, req_id, grant = std::move(grant)] {
-                         safra_.on_receive(thief);
-                         accept_grant(thief, grant, req_id);
-                       });
+      net_.send_bulk(victim, thief, bytes,
+                     [this, thief, req_id, grant = std::move(grant)] {
+                       safra_.on_receive(thief);
+                       accept_grant(thief, grant, req_id);
+                     });
       return;
     }
     const std::uint64_t gid = next_grant_id_++;
@@ -419,17 +405,10 @@ class WsEngine {
     if (it == ledger_.end()) return;
     GrantInFlight& g = it->second;
     if (retransmit) ++result_.faults.grant_retransmits;
-    const auto fate = inject_.on_message(g.victim, g.thief, sim_.now());
-    if (fate.dropped) {
-      ++result_.faults.messages_dropped;
+    if (!net_.send_bulk(g.victim, g.thief, g.bytes,
+                        [this, gid] { deliver_grant(gid); })) {
       if (runtime::TraceBuffer* t = tr(g.victim))
         t->instant_at("drop", sim_.now(), g.thief);
-    } else {
-      if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
-      sim_.schedule_in(
-          config_.cluster.transfer_time(g.victim, g.thief, g.bytes) +
-              fate.extra_delay_s,
-          [this, gid] { deliver_grant(gid); });
     }
     sim_.schedule_in(g.timeout, [this, gid] { on_grant_timeout(gid); });
     g.timeout = std::min(g.timeout * 2.0, 16.0 * steal_timeout_);
@@ -447,17 +426,11 @@ class WsEngine {
     }
     // Ack every delivery (duplicates re-ack in case the first ack was
     // dropped). The ack itself can be lost; retransmits re-trigger it.
-    const auto fate = inject_.on_message(g.thief, g.victim, sim_.now());
-    if (fate.dropped) {
-      ++result_.faults.messages_dropped;
+    if (!net_.send_control(g.thief, g.victim,
+                           [this, gid] { ledger_.erase(gid); })) {
       if (runtime::TraceBuffer* t = tr(g.thief))
         t->instant_at("drop", sim_.now(), g.victim);
-      return;
     }
-    if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
-    sim_.schedule_in(
-        config_.cluster.latency(g.thief, g.victim) + fate.extra_delay_s,
-        [this, gid] { ledger_.erase(gid); });
   }
 
   void on_grant_timeout(std::uint64_t gid) {
@@ -668,14 +641,10 @@ class WsEngine {
     ++loc.hb_seq;
     ++result_.faults.heartbeat_probes;
     const std::uint64_t seq = loc.hb_seq;
-    const auto fate = inject_.on_message(r, target, sim_.now());
-    if (fate.dropped) {
-      ++result_.faults.messages_dropped;
-    } else {
-      if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
-      sim_.schedule_in(config_.cluster.latency(r, target) + fate.extra_delay_s,
-                       [this, r, target, seq] { hb_probe_at(r, target, seq); });
-    }
+    // A dropped probe needs no handling here: the unanswered sequence
+    // number is the miss signal.
+    net_.send_control(r, target,
+                      [this, r, target, seq] { hb_probe_at(r, target, seq); });
     sim_.schedule_in(hb_period_, [this, r] { hb_tick(r); });
   }
 
@@ -686,19 +655,11 @@ class WsEngine {
   void hb_probe_at(std::uint32_t prober, std::uint32_t target,
                    std::uint64_t seq) {
     if (terminated_ || !alive_[target]) return;  // the dead do not ack
-    const auto fate = inject_.on_message(target, prober, sim_.now());
-    if (fate.dropped) {
-      ++result_.faults.messages_dropped;
-      return;
-    }
-    if (fate.extra_delay_s > 0.0) ++result_.faults.messages_delayed;
-    sim_.schedule_in(
-        config_.cluster.latency(target, prober) + fate.extra_delay_s,
-        [this, prober, seq] {
-          if (terminated_ || !alive_[prober]) return;
-          Location& l = locs_[prober];
-          if (seq > l.hb_acked) l.hb_acked = seq;
-        });
+    net_.send_control(target, prober, [this, prober, seq] {
+      if (terminated_ || !alive_[prober]) return;
+      Location& l = locs_[prober];
+      if (seq > l.hb_acked) l.hb_acked = seq;
+    });
   }
 
   /// One-to-all dissemination down a binomial tree: log2(p) remote hops.
@@ -828,27 +789,7 @@ class WsEngine {
     const std::uint64_t gen = token_generation_;
     if (runtime::TraceBuffer* t = tr(from))
       t->instant_at("token", sim_.now(), to);
-    double delay = config_.cluster.latency(from, to);
-    if (inject_.active()) {
-      const auto fate = inject_.on_token(from, to, sim_.now());
-      if (fate.dropped) {
-        ++result_.faults.tokens_lost;
-        // Reliable hop-by-hop forwarding: the sender notices the missing
-        // ack and resends (the handshake is folded into the retry delay).
-        // Without this, a lossy ring of p hops completes a round with
-        // probability (1-q)^p — essentially never — and end-to-end
-        // regeneration alone cannot terminate. Regeneration stays as the
-        // backstop for tokens that die *with* their holder.
-        sim_.schedule_in(token_retry_delay_, [this, from, token, gen] {
-          if (terminated_ || gen != token_generation_ || !alive_[from])
-            return;
-          send_token(from, token);
-        });
-        return;
-      }
-      delay += fate.extra_delay_s;
-    }
-    sim_.schedule_in(delay, [this, to, token, gen] {
+    const bool forwarded = net_.send_token(from, to, [this, to, token, gen] {
       if (terminated_) return;
       if (gen != token_generation_) return;  // stale round: discard
       if (!alive_[to]) {
@@ -865,6 +806,18 @@ class WsEngine {
         loc.token_gen = gen;
       }
     });
+    if (!forwarded) {
+      // Reliable hop-by-hop forwarding: the sender notices the missing
+      // ack and resends (the handshake is folded into the retry delay).
+      // Without this, a lossy ring of p hops completes a round with
+      // probability (1-q)^p — essentially never — and end-to-end
+      // regeneration alone cannot terminate. Regeneration stays as the
+      // backstop for tokens that die *with* their holder.
+      sim_.schedule_in(token_retry_delay_, [this, from, token, gen] {
+        if (terminated_ || gen != token_generation_ || !alive_[from]) return;
+        send_token(from, token);
+      });
+    }
   }
 
   void process_token(std::uint32_t rank,
@@ -924,6 +877,10 @@ class WsEngine {
   std::vector<runtime::TraceBuffer*> trace_;  ///< per rank; empty = off
   std::map<std::uint64_t, GrantInFlight> ledger_;
   WsResult result_;
+  /// The transport seam: declared after every member it references (sim_,
+  /// config_, inject_, result_) so its construction sees them initialized.
+  runtime::DesTransport net_{sim_, config_.cluster, inject_, result_.faults,
+                             p_};
   bool terminated_ = false;
   bool round_active_ = false;
   std::uint64_t next_req_id_ = 1;    ///< 0 is the lifeline-push sentinel

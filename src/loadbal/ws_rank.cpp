@@ -1,0 +1,805 @@
+#include "loadbal/ws_rank.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "runtime/metrics_registry.hpp"
+#include "util/rng.hpp"
+
+namespace pmpl::loadbal {
+
+namespace {
+
+using runtime::Frame;
+using runtime::FrameType;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// kGrantAck with this grant id acknowledges a kTerminate instead.
+constexpr std::uint64_t kTerminateAck = ~0ull;
+
+void sleep_s(double s) {
+  if (s <= 0.0) return;
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(s);
+  ts.tv_nsec = static_cast<long>((s - static_cast<double>(ts.tv_sec)) * 1e9);
+  nanosleep(&ts, nullptr);
+}
+
+/// One rank's view of the protocol. Same state machine as the DES engine's
+/// per-Location bookkeeping, driven by real frames instead of simulator
+/// callbacks; see the header for where the two must differ.
+class WsRank {
+ public:
+  WsRank(runtime::Transport& net, const WsRankConfig& cfg)
+      : net_(net), cfg_(cfg), p_(net.size()), me_(net.rank()),
+        policy_(cfg.policy, p_, cfg.rand_k),
+        rng_(derive_seed(cfg.seed, 0xa11c0de ^ me_)) {
+    const std::size_t n = cfg_.items.size();
+    owner_.assign(n, 0);
+    done_.assign(n, false);
+    stolen_.assign(n, false);
+    death_known_.assign(p_, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      owner_[i] = cfg_.initial[i];
+      if (cfg_.initial[i] == me_)
+        queue_.push_back(static_cast<std::uint32_t>(i));
+    }
+    result_.rank = me_;
+    if (cfg_.tracer)
+      trace_ = cfg_.tracer->track(
+          cfg_.trace_prefix + "rank " + std::to_string(me_),
+          cfg_.trace_capacity);
+  }
+
+  WsRankResult run() {
+    const double start = net_.now();
+    last_activity_ = start;
+    regen_timeout_ = cfg_.token_regen_initial_s;
+    hb_at_ = start + cfg_.heartbeat_period_s *
+                         (static_cast<double>(me_ + 1) /
+                          static_cast<double>(p_));
+    idle_entered_ = false;
+    while (!terminated_ && !fenced_) {
+      if (cfg_.run_timeout_s > 0.0 &&
+          net_.now() - last_activity_ > cfg_.run_timeout_s)
+        break;  // liveness backstop: report non-termination, don't hang
+      if (!queue_.empty()) {
+        idle_entered_ = false;
+        const std::uint32_t item = queue_.front();
+        queue_.pop_front();
+        if (done_[item]) continue;  // completed elsewhere meanwhile
+        execute(item);
+        if (terminated_ || fenced_) break;
+        serve_parked();
+        feed_lifelines();
+        continue;
+      }
+      if (!idle_entered_) {
+        idle_entered_ = true;
+        on_become_idle();
+      }
+      idle_step();
+    }
+    finish(start);
+    return std::move(result_);
+  }
+
+ private:
+  struct InFlight {
+    std::uint32_t thief = 0;
+    std::uint64_t req_id = 0;
+    std::vector<std::uint32_t> items;
+    double retransmit_at = 0.0;
+    double timeout = 0.0;
+  };
+
+  // --- execution --------------------------------------------------------
+
+  void execute(std::uint32_t item) {
+    const double dur = cfg_.items[item].service_s * cfg_.time_scale;
+    if (trace_) {
+      trace_->counter_at("queue", net_.now(), queue_.size());
+      trace_->begin_at("region", net_.now(), item);
+    }
+    busy_ = true;
+    double elapsed = 0.0;
+    while (elapsed < dur && !terminated_ && !fenced_) {
+      const double chunk = std::min(cfg_.slice_s, dur - elapsed);
+      sleep_s(chunk);
+      elapsed += chunk;
+      // Poll between slices: answer heartbeats, run timers, park steals.
+      drain(0.0);
+      timers();
+    }
+    busy_ = false;
+    if (trace_) trace_->end_at("region", net_.now(), item);
+    if (terminated_ || fenced_) return;
+    result_.busy_s += dur;
+    complete(item);
+  }
+
+  void complete(std::uint32_t item) {
+    done_[item] = true;
+    owner_[item] = me_;
+    result_.executed.push_back(item);
+    if (stolen_[item])
+      ++result_.stolen_tasks;
+    else
+      ++result_.local_tasks;
+    last_activity_ = net_.now();
+    Frame f;
+    f.type = FrameType::kRegionDone;
+    f.a = item;
+    broadcast(f);
+  }
+
+  // --- idle loop --------------------------------------------------------
+
+  void on_become_idle() {
+    stage_ = 0;
+    backoff_ = cfg_.retry_backoff_initial_s;
+    failed_rounds_ = 0;
+    retry_at_ = kInf;
+    maybe_process_token();
+    if (outstanding_ == 0) issue_requests();
+  }
+
+  void idle_step() {
+    timers();
+    maybe_process_token();
+    if (terminated_ || fenced_) return;
+    if (leader() == me_ && !round_active_ && net_.now() >= pace_at_)
+      initiate_round();
+    double next = next_deadline();
+    const double wait =
+        std::min(cfg_.idle_poll_s, std::max(0.0, next - net_.now()));
+    drain(wait);
+  }
+
+  /// Earliest armed timer deadline.
+  double next_deadline() const {
+    double t = hb_at_;
+    if (!req_deadline_.empty())
+      for (const auto& [id, d] : req_deadline_) t = std::min(t, d);
+    for (const auto& [gid, g] : ledger_) t = std::min(t, g.retransmit_at);
+    if (retry_at_ < kInf) t = std::min(t, retry_at_);
+    if (leader() == me_) {
+      if (round_active_) t = std::min(t, regen_at_);
+      else t = std::min(t, pace_at_);
+    }
+    return t;
+  }
+
+  void timers() {
+    const double now = net_.now();
+    // Steal-request timeouts: treat silence as a deny.
+    while (true) {
+      std::uint64_t victim_id = 0;
+      bool found = false;
+      for (const auto& [id, d] : req_deadline_)
+        if (d <= now) {
+          victim_id = id;
+          found = true;
+          break;
+        }
+      if (!found) break;
+      req_deadline_.erase(victim_id);
+      if (reqs_pending_.erase(victim_id) > 0) {
+        ++result_.steal_retries;
+        resolve_deny();
+      }
+    }
+    // Grant retransmits.
+    for (auto& [gid, g] : ledger_) {
+      if (g.retransmit_at > now) continue;
+      if (death_known_[g.thief]) continue;  // resolved by handle_death
+      ++result_.grant_retransmits;
+      transmit_grant(gid, g);
+    }
+    if (now >= hb_at_) hb_tick();
+    if (leader() == me_ && round_active_ && now >= regen_at_) {
+      // The round's token vanished (receiver-side drop, or it was
+      // forwarded into a crash): abandon and re-initiate.
+      ++result_.tokens_regenerated;
+      round_active_ = false;
+      regen_timeout_ = std::min(regen_timeout_ * 2.0, 8.0);
+      pace_at_ = now;
+    }
+    if (retry_at_ <= now) {
+      retry_at_ = kInf;
+      if (queue_.empty() && !busy_ && outstanding_ == 0) {
+        stage_ = 0;
+        issue_requests();
+      }
+    }
+  }
+
+  /// Receive and handle frames for up to `wait` seconds (0 = one
+  /// non-blocking pass).
+  void drain(double wait) {
+    Frame f;
+    if (!net_.recv(f, wait)) return;
+    handle(f);
+    while (net_.recv(f, 0.0)) handle(f);
+  }
+
+  // --- stealing ---------------------------------------------------------
+
+  void issue_requests() {
+    if (terminated_ || fenced_ || !queue_.empty() || busy_) return;
+    auto victims = policy_.victims(me_, stage_, rng_);
+    victims.erase(std::remove_if(victims.begin(), victims.end(),
+                                 [this](std::uint32_t v) {
+                                   return v == me_ || death_known_[v];
+                                 }),
+                  victims.end());
+    if (victims.empty()) {
+      retry_later();
+      return;
+    }
+    outstanding_ += static_cast<std::uint32_t>(victims.size());
+    for (const std::uint32_t v : victims) {
+      ++result_.steal_requests;
+      if (trace_) trace_->instant_at("steal_req", net_.now(), v);
+      const std::uint64_t req_id = next_req_id_++;
+      reqs_pending_.insert(req_id);
+      req_deadline_[req_id] = net_.now() + cfg_.steal_timeout_s;
+      Frame f;
+      f.type = FrameType::kStealRequest;
+      f.a = req_id;
+      send(v, f);  // a failed send resolves via the timeout
+    }
+  }
+
+  void retry_later() {
+    const double delay = backoff_;
+    backoff_ = std::min(backoff_ * 2.0, cfg_.retry_backoff_max_s);
+    retry_at_ = net_.now() + delay;
+  }
+
+  void resolve_deny() {
+    if (outstanding_ > 0) --outstanding_;
+    if (outstanding_ == 0 && queue_.empty() && !busy_) {
+      if (stage_ + 1 < policy_.stages()) {
+        ++stage_;
+        issue_requests();
+        return;
+      }
+      ++failed_rounds_;
+      if (policy_.kind() == StealPolicyKind::kLifeline)
+        return;  // wait for a lifeline push
+      if (failed_rounds_ < cfg_.give_up_after) retry_later();
+    }
+  }
+
+  void serve(std::uint32_t thief, std::uint64_t req_id) {
+    if (death_known_[thief]) return;
+    std::size_t n =
+        std::min<std::size_t>(cfg_.steal_max_items, queue_.size() / 2);
+    if (n == 0 && queue_.size() == 1 && busy_) n = 1;
+    if (n == 0) {
+      ++result_.steal_denies;
+      if (trace_) trace_->instant_at("deny", net_.now(), thief);
+      if (policy_.kind() == StealPolicyKind::kLifeline &&
+          std::find(lifeline_waiters_.begin(), lifeline_waiters_.end(),
+                    thief) == lifeline_waiters_.end())
+        lifeline_waiters_.push_back(thief);
+      Frame f;
+      f.type = FrameType::kDeny;
+      f.a = req_id;
+      send(thief, f);  // lost deny: the thief's timeout resolves it
+      return;
+    }
+    std::vector<std::uint32_t> grant;
+    grant.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      grant.push_back(queue_.back());
+      queue_.pop_back();
+    }
+    send_grant(thief, req_id, std::move(grant));
+  }
+
+  void send_grant(std::uint32_t thief, std::uint64_t req_id,
+                  std::vector<std::uint32_t> grant) {
+    ++result_.steal_grants;
+    result_.regions_migrated += grant.size();
+    if (trace_) trace_->instant_at("grant", net_.now(), thief);
+    const std::uint64_t gid = next_grant_id_++;
+    InFlight g;
+    g.thief = thief;
+    g.req_id = req_id;
+    g.items = std::move(grant);
+    g.timeout = cfg_.grant_timeout_s;
+    auto [it, inserted] = ledger_.emplace(gid, std::move(g));
+    transmit_grant(gid, it->second);
+  }
+
+  void transmit_grant(std::uint64_t gid, InFlight& g) {
+    Frame f;
+    f.type = FrameType::kGrant;
+    f.a = gid;
+    f.b = g.req_id;
+    f.items = g.items;
+    send(g.thief, f);
+    g.retransmit_at = net_.now() + g.timeout;
+    g.timeout = std::min(g.timeout * 2.0, 16.0 * cfg_.grant_timeout_s);
+  }
+
+  void feed_lifelines() {
+    if (policy_.kind() != StealPolicyKind::kLifeline) return;
+    while (!lifeline_waiters_.empty() && queue_.size() >= 2) {
+      const std::uint32_t waiter = lifeline_waiters_.back();
+      lifeline_waiters_.pop_back();
+      if (death_known_[waiter]) continue;
+      const std::size_t n =
+          std::min<std::size_t>(cfg_.steal_max_items, queue_.size() / 2);
+      if (n == 0) break;
+      std::vector<std::uint32_t> grant;
+      grant.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        grant.push_back(queue_.back());
+        queue_.pop_back();
+      }
+      send_grant(waiter, /*req_id=*/0, std::move(grant));
+    }
+  }
+
+  void serve_parked() {
+    if (parked_.empty()) return;
+    const auto parked = std::move(parked_);
+    parked_.clear();
+    for (const auto& [thief, req_id] : parked) serve(thief, req_id);
+  }
+
+  // --- heartbeats and death -------------------------------------------
+
+  std::uint32_t pred_known_alive(std::uint32_t rank) const {
+    std::uint32_t pred = (rank + p_ - 1) % p_;
+    while (pred != rank && death_known_[pred]) pred = (pred + p_ - 1) % p_;
+    return pred;
+  }
+
+  std::uint32_t next_known_alive(std::uint32_t rank) const {
+    std::uint32_t next = (rank + 1) % p_;
+    while (next != rank && death_known_[next]) next = (next + 1) % p_;
+    return next;
+  }
+
+  /// Lowest rank not announced dead: round head, may declare termination.
+  std::uint32_t leader() const {
+    std::uint32_t l = 0;
+    while (l < p_ && death_known_[l]) ++l;
+    return l == p_ ? me_ : l;
+  }
+
+  void hb_tick() {
+    hb_at_ = net_.now() + cfg_.heartbeat_period_s;
+    if (p_ < 2) return;
+    const std::uint32_t target = pred_known_alive(me_);
+    if (target == me_) return;
+    if (target != hb_target_) {
+      hb_target_ = target;
+      hb_misses_ = 0;
+      hb_acked_ = hb_seq_;
+    }
+    if (hb_seq_ > hb_acked_) {
+      ++hb_misses_;
+      ++result_.heartbeat_misses;
+      if (trace_) trace_->instant_at("hb_miss", net_.now(), target);
+      if (hb_misses_ >= cfg_.heartbeat_misses && !death_known_[target]) {
+        ++result_.deaths_detected;
+        announce_death(target);
+        return;
+      }
+    } else {
+      hb_misses_ = 0;
+    }
+    ++hb_seq_;
+    ++result_.heartbeat_probes;
+    Frame f;
+    f.type = FrameType::kHbProbe;
+    f.a = hb_seq_;
+    send(target, f);
+  }
+
+  void announce_death(std::uint32_t d) {
+    Frame f;
+    f.type = FrameType::kDeathNotice;
+    f.a = d;
+    // Including the suspect itself: a false positive must fence, so no
+    // region ever has two live owners.
+    for (std::uint32_t r = 0; r < p_; ++r)
+      if (r != me_ && !death_known_[r]) send(r, f);
+    handle_death(d);
+  }
+
+  void handle_death(std::uint32_t d) {
+    if (d >= p_ || death_known_[d]) return;
+    if (d == me_) {
+      fenced_ = true;
+      result_.fenced = true;
+      if (trace_) trace_->instant_at("fenced", net_.now());
+      return;
+    }
+    death_known_[d] = true;
+    last_activity_ = net_.now();
+    if (trace_) trace_->instant_at("death_known", net_.now(), d);
+    // Reclaim unacked grants this rank sent to the dead thief: they may
+    // never have arrived. (If they did arrive, the successor scan below —
+    // run by whichever rank owns that duty — may re-home them again off
+    // the directory; double execution of a deterministic region is
+    // benign, an orphaned region is not.)
+    for (auto it = ledger_.begin(); it != ledger_.end();) {
+      if (it->second.thief != d) {
+        ++it;
+        continue;
+      }
+      std::uint64_t reclaimed = 0;
+      for (const std::uint32_t item : it->second.items)
+        if (!done_[item]) {
+          queue_.push_back(item);
+          owner_[item] = me_;
+          ++reclaimed;
+        }
+      result_.regions_recovered += reclaimed;
+      if (reclaimed > 0) my_black_ = true;
+      it = ledger_.erase(it);
+    }
+    // Ring-successor recovery: the first announced-alive rank after d
+    // re-homes every region the directory still credits to d.
+    if (next_known_alive(d) == me_) {
+      std::vector<std::uint32_t> rehomed;
+      for (std::size_t i = 0; i < owner_.size(); ++i)
+        if (owner_[i] == d && !done_[i]) {
+          owner_[i] = me_;
+          queue_.push_back(static_cast<std::uint32_t>(i));
+          rehomed.push_back(static_cast<std::uint32_t>(i));
+        }
+      if (!rehomed.empty()) {
+        result_.regions_recovered += rehomed.size();
+        my_black_ = true;
+        Frame f;
+        f.type = FrameType::kOwnerUpdate;
+        f.b = me_;
+        f.items = std::move(rehomed);
+        broadcast(f);
+        if (trace_)
+          trace_->counter_at("queue", net_.now(), queue_.size());
+      }
+    }
+    // An in-flight round is now unsound; the leader's regeneration timer
+    // (or its own next idle) restarts detection over the repaired ring.
+    if (leader() == me_) pace_at_ = std::min(pace_at_, net_.now() + 0.01);
+  }
+
+  // --- termination ------------------------------------------------------
+
+  std::uint64_t unacked() const { return ledger_.size(); }
+
+  void initiate_round() {
+    if (terminated_ || !queue_.empty() || busy_) return;
+    round_active_ = true;
+    ++result_.token_rounds;
+    token_gen_ = std::max(token_gen_, seen_gen_) + 1;
+    regen_at_ = net_.now() + regen_timeout_;
+    my_black_ = false;
+    const std::uint32_t next = next_known_alive(me_);
+    if (next == me_) {
+      // Ring of one (everyone else dead): the end-of-round check is local.
+      round_active_ = false;
+      if (!my_black_ && unacked() == 0 && net_.pending() == 0) declare();
+      else pace_at_ = net_.now() + 0.01;
+      return;
+    }
+    Frame f;
+    f.type = FrameType::kToken;
+    f.a = 0;
+    f.b = 0;
+    f.c = token_gen_;
+    if (trace_) trace_->instant_at("token", net_.now(), next);
+    send_token(next, f);
+  }
+
+  /// Forward a token, skipping peers whose connection is already known
+  /// dead (a send into a SIGKILLed process fails fast; an injected
+  /// receiver-side drop does not — the leader's regeneration covers it).
+  void send_token(std::uint32_t to, Frame f) {
+    std::uint32_t hop = to;
+    for (std::uint32_t tries = 0; tries < p_; ++tries) {
+      if (send(hop, f)) return;
+      const std::uint32_t next = next_known_alive(hop);
+      if (next == hop || next == me_) return;  // nowhere left to forward
+      hop = next;
+    }
+  }
+
+  void maybe_process_token() {
+    if (!has_held_token_ || busy_ || !queue_.empty()) return;
+    // Drain everything readable first: a grant queued behind this token
+    // must blacken us before the token moves on (the no-in-flight
+    // property the unacked-count scheme relies on).
+    if (net_.pending() > 0) {
+      drain(0.0);
+      if (busy_ || !queue_.empty() || net_.pending() > 0) return;
+    }
+    const Frame tok = held_token_;
+    has_held_token_ = false;
+    process_token(tok);
+  }
+
+  void process_token(const Frame& tok) {
+    if (tok.c < seen_gen_) return;  // stale round
+    seen_gen_ = tok.c;
+    if (leader() == me_) {
+      if (!round_active_ || tok.c != token_gen_) return;  // stale
+      round_active_ = false;
+      regen_timeout_ = cfg_.token_regen_initial_s;  // the ring is passable
+      const bool black = tok.b != 0 || my_black_;
+      const std::uint64_t balance = tok.a + unacked();
+      if (!black && balance == 0 && net_.pending() == 0) {
+        declare();
+        return;
+      }
+      pace_at_ = net_.now() + 0.01;
+      return;
+    }
+    Frame f = tok;
+    f.a += unacked();
+    if (my_black_) f.b = 1;
+    my_black_ = false;
+    const std::uint32_t next = next_known_alive(me_);
+    if (trace_) trace_->instant_at("token", net_.now(), next);
+    send_token(next, f);
+  }
+
+  void declare() {
+    terminated_ = true;
+    result_.terminated = true;
+    if (trace_) trace_->instant_at("terminate", net_.now());
+    // Acked completion broadcast: retransmit to silent peers so a lossy
+    // link cannot strand a rank in the idle loop until its backstop.
+    std::vector<bool> acked(p_, false);
+    Frame f;
+    f.type = FrameType::kTerminate;
+    const double deadline = net_.now() + 2.0;
+    double next_send = 0.0;
+    while (net_.now() < deadline) {
+      bool all = true;
+      for (std::uint32_t r = 0; r < p_; ++r)
+        if (r != me_ && !death_known_[r] && !acked[r]) all = false;
+      if (all) break;
+      if (net_.now() >= next_send) {
+        for (std::uint32_t r = 0; r < p_; ++r)
+          if (r != me_ && !death_known_[r] && !acked[r]) send(r, f);
+        next_send = net_.now() + 0.02;
+      }
+      Frame in;
+      if (net_.recv(in, 0.005)) {
+        if (in.type == FrameType::kGrantAck && in.a == kTerminateAck &&
+            in.from < p_)
+          acked[in.from] = true;
+        else if (in.type == FrameType::kDeathNotice && in.a < p_ &&
+                 in.a != me_)
+          death_known_[in.a] = true;
+        // Everything else is moot: the work is done.
+      }
+    }
+  }
+
+  // --- frame dispatch ---------------------------------------------------
+
+  void handle(const Frame& f) {
+    if (f.from >= p_ || f.from == me_) return;
+    last_activity_ = net_.now();
+    switch (f.type) {
+      case FrameType::kHello:
+        return;
+      case FrameType::kStealRequest:
+        if (busy_)
+          parked_.emplace_back(f.from, f.a);
+        else
+          serve(f.from, f.a);
+        return;
+      case FrameType::kDeny:
+        if (reqs_pending_.erase(f.a) > 0) {
+          req_deadline_.erase(f.a);
+          resolve_deny();
+        }
+        return;
+      case FrameType::kGrant:
+        on_grant(f);
+        return;
+      case FrameType::kGrantAck:
+        if (f.a != kTerminateAck) ledger_.erase(f.a);
+        return;
+      case FrameType::kHbProbe: {
+        Frame ack;
+        ack.type = FrameType::kHbAck;
+        ack.a = f.a;
+        send(f.from, ack);
+        return;
+      }
+      case FrameType::kHbAck:
+        if (f.from == hb_target_ && f.a > hb_acked_) hb_acked_ = f.a;
+        return;
+      case FrameType::kToken:
+        if (!has_held_token_ || f.c >= held_token_.c) {
+          held_token_ = f;
+          has_held_token_ = true;
+        }
+        maybe_process_token();
+        return;
+      case FrameType::kDeathNotice:
+        handle_death(static_cast<std::uint32_t>(f.a));
+        return;
+      case FrameType::kOwnerUpdate:
+        for (const std::uint32_t item : f.items)
+          if (item < owner_.size() && !done_[item])
+            owner_[item] = static_cast<std::uint32_t>(f.b);
+        return;
+      case FrameType::kRegionDone:
+        if (f.a < done_.size()) done_[static_cast<std::size_t>(f.a)] = true;
+        return;
+      case FrameType::kTerminate: {
+        Frame ack;
+        ack.type = FrameType::kGrantAck;
+        ack.a = kTerminateAck;
+        send(f.from, ack);
+        terminated_ = true;
+        result_.terminated = true;
+        if (trace_) trace_->instant_at("terminate", net_.now());
+        return;
+      }
+    }
+  }
+
+  void on_grant(const Frame& f) {
+    // Ack every copy (the first ack may have been lost); apply only the
+    // first (the retransmit ledger makes duplicates routine, and a
+    // double-applied grant would execute regions twice unconditionally).
+    Frame ack;
+    ack.type = FrameType::kGrantAck;
+    ack.a = f.a;
+    send(f.from, ack);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(f.from) << 40) ^ f.a;
+    if (!seen_grants_.insert(key).second) return;
+    if (f.b != 0) {  // settle the originating request unless lifeline push
+      if (reqs_pending_.erase(f.b) > 0) {
+        req_deadline_.erase(f.b);
+        if (outstanding_ > 0) --outstanding_;
+      }
+      stage_ = 0;
+      backoff_ = cfg_.retry_backoff_initial_s;
+      failed_rounds_ = 0;
+    }
+    std::uint64_t took = 0;
+    for (const std::uint32_t item : f.items) {
+      if (item >= done_.size() || done_[item]) continue;
+      stolen_[item] = true;
+      owner_[item] = me_;
+      queue_.push_back(item);
+      ++took;
+    }
+    if (took > 0) {
+      my_black_ = true;  // new work: the current round must not terminate
+      idle_entered_ = false;
+      Frame upd;
+      upd.type = FrameType::kOwnerUpdate;
+      upd.b = me_;
+      upd.items.assign(f.items.begin(), f.items.end());
+      broadcast(upd);
+      if (trace_) {
+        trace_->instant_at("migrate_in", net_.now(), f.items.size());
+        trace_->counter_at("queue", net_.now(), queue_.size());
+      }
+    }
+  }
+
+  // --- plumbing ---------------------------------------------------------
+
+  bool send(std::uint32_t to, Frame f) {
+    f.from = me_;
+    f.to = to;
+    return net_.send(to, f);
+  }
+
+  void broadcast(const Frame& f) {
+    for (std::uint32_t r = 0; r < p_; ++r)
+      if (r != me_ && !death_known_[r]) send(r, f);
+  }
+
+  void finish(double start) {
+    result_.finish_s = net_.now();
+    result_.done = done_;
+    result_.transport = net_.metrics();
+    (void)start;
+  }
+
+  runtime::Transport& net_;
+  const WsRankConfig& cfg_;
+  const std::uint32_t p_;
+  const std::uint32_t me_;
+  StealPolicy policy_;
+  Xoshiro256ss rng_;
+  runtime::TraceBuffer* trace_ = nullptr;
+
+  std::deque<std::uint32_t> queue_;
+  std::vector<std::uint32_t> owner_;  ///< replicated region directory
+  std::vector<bool> done_;
+  std::vector<bool> stolen_;
+  std::vector<bool> death_known_;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> parked_;
+  std::vector<std::uint32_t> lifeline_waiters_;
+
+  std::set<std::uint64_t> reqs_pending_;
+  std::map<std::uint64_t, double> req_deadline_;
+  std::uint32_t outstanding_ = 0;
+  std::uint32_t stage_ = 0;
+  std::uint32_t failed_rounds_ = 0;
+  double backoff_ = 0.0;
+  double retry_at_ = kInf;
+  std::uint64_t next_req_id_ = 1;  ///< 0 is the lifeline-push sentinel
+
+  std::map<std::uint64_t, InFlight> ledger_;  ///< unacked grants out
+  std::set<std::uint64_t> seen_grants_;       ///< dedupe (victim, gid)
+  std::uint64_t next_grant_id_ = 1;
+
+  std::uint32_t hb_target_ = 0;
+  std::uint64_t hb_seq_ = 0;
+  std::uint64_t hb_acked_ = 0;
+  std::uint32_t hb_misses_ = 0;
+  double hb_at_ = 0.0;
+
+  bool my_black_ = false;
+  bool round_active_ = false;
+  std::uint64_t token_gen_ = 0;  ///< last round this leader initiated
+  std::uint64_t seen_gen_ = 0;   ///< freshest generation seen anywhere
+  double regen_at_ = kInf;
+  double regen_timeout_ = 0.0;
+  double pace_at_ = 0.0;
+  Frame held_token_;
+  bool has_held_token_ = false;
+
+  bool busy_ = false;
+  bool terminated_ = false;
+  bool fenced_ = false;
+  bool idle_entered_ = false;
+  double last_activity_ = 0.0;
+
+  WsRankResult result_;
+};
+
+}  // namespace
+
+WsRankResult run_ws_rank(runtime::Transport& net,
+                         const WsRankConfig& config) {
+  WsRank rank(net, config);
+  return rank.run();
+}
+
+void publish(runtime::MetricsRegistry& reg, const WsRankResult& r,
+             const std::string& prefix) {
+  reg.add(prefix + "steal_requests", r.steal_requests);
+  reg.add(prefix + "steal_grants", r.steal_grants);
+  reg.add(prefix + "steal_denies", r.steal_denies);
+  reg.add(prefix + "regions_migrated", r.regions_migrated);
+  reg.add(prefix + "token_rounds", r.token_rounds);
+  reg.add(prefix + "steal_retries", r.steal_retries);
+  reg.add(prefix + "grant_retransmits", r.grant_retransmits);
+  reg.add(prefix + "regions_recovered", r.regions_recovered);
+  reg.add(prefix + "heartbeat_probes", r.heartbeat_probes);
+  reg.add(prefix + "heartbeat_misses", r.heartbeat_misses);
+  reg.add(prefix + "deaths_detected", r.deaths_detected);
+  reg.add(prefix + "tokens_regenerated", r.tokens_regenerated);
+  reg.set(prefix + "busy_s", r.busy_s);
+  publish(reg, r.transport, prefix + "transport_");
+}
+
+}  // namespace pmpl::loadbal

@@ -1,0 +1,121 @@
+#pragma once
+/// \file ws_rank.hpp
+/// Per-rank work-stealing protocol engine over a real Transport.
+///
+/// This is the same protocol the DES engine (ws_engine.cpp) simulates from
+/// a god's-eye view — steal requests/denies, acked grants with retransmit,
+/// heartbeat fencing, ring-successor region recovery, token-ring
+/// termination — restated as what ONE rank does with only its own state
+/// and the frames it receives. run_ws_rank() is what each forked process
+/// (or MemTransport thread) executes; the cluster launcher in
+/// ws_cluster.hpp assembles the per-rank results and the sim-vs-real gate
+/// holds them to the DES roadmap (DESIGN.md §5h).
+///
+/// Differences from the DES forced by losing the god view:
+///  - Region directory: every rank tracks (owner, done) per region,
+///    updated by broadcast kOwnerUpdate / kRegionDone frames. Recovery of
+///    a dead rank's regions is the *ring successor* scanning its own
+///    directory — not an omniscient sweep — so a completion whose
+///    broadcast was cut short by SIGKILL is simply re-executed (benign:
+///    regions are deterministic by derive_seed).
+///  - Termination: classic Safra message counting cannot survive a crash
+///    (a dead rank's balance is unrecoverable), so the token instead sums
+///    *unacked grants* — a self-correcting local count (send +1, ack or
+///    death-reclaim -1) — plus the usual black/white round. Sound over
+///    stream transports because anything a dead sender wrote is already
+///    readable at the receiver, and a rank drains `Transport::pending`
+///    before forwarding a token.
+///  - Execution is sliced: between ~slice_s chunks of a region the rank
+///    polls the transport, so heartbeat probes are answered while "busy"
+///    (the DES models this as runtime-level heartbeats).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "loadbal/steal_policy.hpp"
+#include "loadbal/ws_engine.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/transport.hpp"
+
+namespace pmpl::loadbal {
+
+struct WsRankConfig {
+  /// Every rank receives the full item table and initial assignment (same
+  /// inputs as simulate_work_stealing); service_s values are in simulated
+  /// seconds and are mapped to wall time by time_scale.
+  std::span<const WsItem> items;
+  std::span<const std::uint32_t> initial;
+
+  StealPolicyKind policy = StealPolicyKind::kHybrid;
+  std::uint32_t rand_k = 2;
+  std::uint64_t seed = 0x5eedULL;
+  std::uint32_t steal_max_items = 1;
+  std::uint32_t give_up_after = 3;
+
+  double time_scale = 1.0;  ///< wall seconds per simulated service second
+
+  // Wall-clock protocol timers. Defaults are sized for a loaded CI box
+  // (hundreds of ms of scheduling jitter must not fence a live rank).
+  double slice_s = 2e-3;           ///< max execution chunk between polls
+  double steal_timeout_s = 0.05;   ///< silence => treat request as denied
+  double grant_timeout_s = 0.05;   ///< unacked grant retransmit (doubles)
+  double heartbeat_period_s = 0.025;
+  std::uint32_t heartbeat_misses = 8;
+  double token_regen_initial_s = 0.4;  ///< leader re-initiates a lost round
+  double retry_backoff_initial_s = 2e-3;
+  double retry_backoff_max_s = 0.05;
+  double idle_poll_s = 0.01;  ///< recv timeout when nothing is armed
+
+  /// Give up entirely when no frame arrives for this long after the last
+  /// activity — a liveness backstop against protocol wedges; 0 disables.
+  double run_timeout_s = 60.0;
+
+  runtime::Tracer* tracer = nullptr;
+  std::string trace_prefix;
+  std::size_t trace_capacity = 0;
+};
+
+/// What one rank reports at exit; the launcher aggregates these. The
+/// `done` bitmap is this rank's directory view (own executions plus
+/// broadcast completions), whose union across survivors is the completed
+/// set the roadmap hash is computed over.
+struct WsRankResult {
+  std::uint32_t rank = 0;
+  bool terminated = false;  ///< saw (or declared) the termination broadcast
+  bool fenced = false;      ///< received a death notice naming itself
+  double busy_s = 0.0;      ///< wall seconds executing regions
+  double finish_s = 0.0;    ///< transport time at loop exit
+  std::vector<std::uint32_t> executed;  ///< region ids this rank completed
+  std::vector<bool> done;               ///< directory: completed anywhere
+
+  std::uint64_t local_tasks = 0;
+  std::uint64_t stolen_tasks = 0;
+  std::uint64_t steal_requests = 0;
+  std::uint64_t steal_grants = 0;
+  std::uint64_t steal_denies = 0;
+  std::uint64_t regions_migrated = 0;  ///< items granted away
+  std::uint64_t token_rounds = 0;      ///< rounds this rank initiated
+  std::uint64_t steal_retries = 0;     ///< request timeouts
+  std::uint64_t grant_retransmits = 0;
+  std::uint64_t regions_recovered = 0;  ///< re-homed here off dead ranks
+  std::uint64_t heartbeat_probes = 0;
+  std::uint64_t heartbeat_misses = 0;
+  std::uint64_t deaths_detected = 0;  ///< death notices this rank issued
+  std::uint64_t tokens_regenerated = 0;
+
+  runtime::TransportMetrics transport;
+};
+
+/// Publish the protocol-health counters (retransmits, heartbeat misses,
+/// recoveries) and the nested transport metrics as "<prefix>…".
+void publish(runtime::MetricsRegistry& reg, const WsRankResult& r,
+             const std::string& prefix);
+
+/// Run the work-stealing protocol as rank `net.rank()` until global
+/// termination (or the liveness backstop). Blocks; drives `net` from the
+/// calling thread only.
+WsRankResult run_ws_rank(runtime::Transport& net, const WsRankConfig& config);
+
+}  // namespace pmpl::loadbal

@@ -1,0 +1,119 @@
+#include "runtime/transport.hpp"
+
+#include "runtime/metrics_registry.hpp"
+
+namespace pmpl::runtime {
+
+namespace {
+
+// Fixed-size scalar section of a payload: type byte, from, to, a, b, c,
+// item count. Scalars are encoded little-endian by memcpy — every target
+// this repo builds for is little-endian, and the codec is symmetric, so
+// same-host clusters (the only deployment) round-trip regardless.
+constexpr std::size_t kScalarBytes = 1 + 4 + 4 + 8 + 8 + 8 + 4;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof v);
+  std::memcpy(out.data() + at, &v, sizeof v);
+}
+
+template <typename T>
+T get(const std::uint8_t* data, std::size_t& at) noexcept {
+  T v;
+  std::memcpy(&v, data + at, sizeof v);
+  at += sizeof v;
+  return v;
+}
+
+}  // namespace
+
+std::size_t frame_payload_size(const Frame& f) noexcept {
+  return kScalarBytes + 4 * f.items.size();
+}
+
+void encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
+  put(out, static_cast<std::uint32_t>(frame_payload_size(f)));
+  put(out, static_cast<std::uint8_t>(f.type));
+  put(out, f.from);
+  put(out, f.to);
+  put(out, f.a);
+  put(out, f.b);
+  put(out, f.c);
+  put(out, static_cast<std::uint32_t>(f.items.size()));
+  for (std::uint32_t item : f.items) put(out, item);
+}
+
+bool decode_frame_payload(const std::uint8_t* data, std::size_t n,
+                          Frame& out) noexcept {
+  if (n < kScalarBytes) return false;
+  std::size_t at = 0;
+  const auto type = get<std::uint8_t>(data, at);
+  if (type > static_cast<std::uint8_t>(FrameType::kTerminate)) return false;
+  out.type = static_cast<FrameType>(type);
+  out.from = get<std::uint32_t>(data, at);
+  out.to = get<std::uint32_t>(data, at);
+  out.a = get<std::uint64_t>(data, at);
+  out.b = get<std::uint64_t>(data, at);
+  out.c = get<std::uint64_t>(data, at);
+  const auto count = get<std::uint32_t>(data, at);
+  if (count > kMaxFrameItems) return false;
+  if (n != kScalarBytes + 4ull * count) return false;
+  out.items.resize(count);
+  for (auto& item : out.items) item = get<std::uint32_t>(data, at);
+  return true;
+}
+
+void publish(MetricsRegistry& reg, const TransportMetrics& m,
+             const std::string& prefix) {
+  reg.counter(prefix + "frames_sent").add(m.frames_sent);
+  reg.counter(prefix + "frames_received").add(m.frames_received);
+  reg.counter(prefix + "frames_dropped").add(m.frames_dropped);
+  reg.counter(prefix + "frames_delayed").add(m.frames_delayed);
+  reg.counter(prefix + "bytes_sent").add(m.bytes_sent);
+  reg.counter(prefix + "bytes_received").add(m.bytes_received);
+  reg.counter(prefix + "reconnects").add(m.reconnects);
+  reg.counter(prefix + "connect_retries").add(m.connect_retries);
+  reg.counter(prefix + "send_timeouts").add(m.send_timeouts);
+}
+
+FrameFaults::Fate FrameFaults::on_frame(std::uint32_t from, std::uint32_t to,
+                                        std::uint64_t seq, double t,
+                                        bool is_token) const noexcept {
+  Fate fate;
+  if (plan_.empty()) return fate;
+  // One uniform roll per fault channel, derived from the identity of the
+  // arrival: same plan + same arrival index => same fate, independent of
+  // wall-clock jitter or what other links are doing.
+  const auto roll = [&](std::uint64_t salt) {
+    std::uint64_t key[4] = {plan_.seed ^ salt,
+                            (std::uint64_t(from) << 32) | to, seq, salt};
+    const std::uint64_t h = fnv1a64(key, sizeof key);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  };
+  if (is_token) {
+    for (std::size_t i = 0; i < plan_.tokens.size(); ++i) {
+      const TokenFault& tf = plan_.tokens[i];
+      if (t < tf.from_s || t >= tf.until_s) continue;
+      if (roll(0x70cull + i) < tf.drop_prob) {
+        fate.dropped = true;
+        return fate;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < plan_.links.size(); ++i) {
+    const LinkFault& lf = plan_.links[i];
+    if (lf.from != kAnyRank && lf.from != from) continue;
+    if (lf.to != kAnyRank && lf.to != to) continue;
+    if (t < lf.from_s || t >= lf.until_s) continue;
+    if (lf.drop_prob > 0.0 && roll(0x11ull + i) < lf.drop_prob) {
+      fate.dropped = true;
+      return fate;
+    }
+    fate.extra_delay_s += lf.extra_delay_s;
+  }
+  return fate;
+}
+
+}  // namespace pmpl::runtime

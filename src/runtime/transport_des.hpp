@@ -1,0 +1,104 @@
+#pragma once
+/// \file transport_des.hpp
+/// The discrete-event-simulation implementation of the transport concept
+/// (DESIGN.md §5h; see runtime/transport.hpp for the concept itself).
+///
+/// A DES has no blocking recv: delivery is inverted control, so `send`
+/// takes the handler to run at the delivery instant. Everything a hop
+/// costs or risks is priced here — ClusterSpec latency/bandwidth for the
+/// delay, FaultInjector rolls for drops and stretches — and nowhere else,
+/// which is what lets loadbal/ws_engine.cpp stay pure protocol.
+///
+/// Bit-identity contract: for any call sequence, this class issues exactly
+/// the Simulator::schedule_* calls and FaultInjector RNG draws, in exactly
+/// the order, that the pre-seam engine issued inline. Determinism ties
+/// break on insertion order, so even one extra scheduled event would
+/// perturb every seeded replay; tests pin the engine's counters against
+/// pre-seam goldens.
+
+#include <cstdint>
+
+#include "runtime/des.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/topology.hpp"
+
+namespace pmpl::runtime {
+
+/// Virtual-time transport among ranks 0..p-1. Not a `Transport` subclass —
+/// the real interface is pull (blocking recv), the DES is push (delivery
+/// callbacks) — but it carries the same five operations, with `recv`
+/// appearing as the callback argument of each send.
+class DesTransport {
+ public:
+  /// `metrics` is the caller's fault tally (drops and delays are counted
+  /// where they are rolled, so the caller cannot forget).
+  DesTransport(Simulator& sim, const ClusterSpec& cluster,
+               FaultInjector& inject, FaultMetrics& metrics,
+               std::uint32_t p) noexcept
+      : sim_(sim), cluster_(cluster), inject_(inject), metrics_(metrics),
+        p_(p) {}
+
+  std::uint32_t size() const noexcept { return p_; }
+  double now() const noexcept { return sim_.now(); }
+  Simulator& simulator() noexcept { return sim_; }
+
+  /// Control-plane hop (requests, denies, acks, heartbeats): pays
+  /// point-to-point latency. Returns false when the injector dropped the
+  /// frame — the drop is already counted; the caller owns the fallout
+  /// (timeout arming, drop trace).
+  bool send_control(std::uint32_t from, std::uint32_t to,
+                    Simulator::Callback on_deliver) {
+    return dispatch(from, to, cluster_.latency(from, to),
+                    std::move(on_deliver));
+  }
+
+  /// Work-bearing hop (grants): pays the payload transfer time.
+  bool send_bulk(std::uint32_t from, std::uint32_t to, std::uint64_t bytes,
+                 Simulator::Callback on_deliver) {
+    return dispatch(from, to, cluster_.transfer_time(from, to, bytes),
+                    std::move(on_deliver));
+  }
+
+  /// Termination-token hop: rolls the plan's token faults instead of the
+  /// basic-message channel. A dropped token is counted in tokens_lost and
+  /// the hop-by-hop retry is the caller's move.
+  bool send_token(std::uint32_t from, std::uint32_t to,
+                  Simulator::Callback on_deliver) {
+    double delay = cluster_.latency(from, to);
+    if (inject_.active()) {
+      const auto fate = inject_.on_token(from, to, sim_.now());
+      if (fate.dropped) {
+        ++metrics_.tokens_lost;
+        return false;
+      }
+      delay += fate.extra_delay_s;
+    }
+    sim_.schedule_in(delay, std::move(on_deliver));
+    return true;
+  }
+
+ private:
+  bool dispatch(std::uint32_t from, std::uint32_t to, double base_delay,
+                Simulator::Callback on_deliver) {
+    if (!inject_.active()) {
+      sim_.schedule_in(base_delay, std::move(on_deliver));
+      return true;
+    }
+    const auto fate = inject_.on_message(from, to, sim_.now());
+    if (fate.dropped) {
+      ++metrics_.messages_dropped;
+      return false;
+    }
+    if (fate.extra_delay_s > 0.0) ++metrics_.messages_delayed;
+    sim_.schedule_in(base_delay + fate.extra_delay_s, std::move(on_deliver));
+    return true;
+  }
+
+  Simulator& sim_;
+  const ClusterSpec& cluster_;
+  FaultInjector& inject_;
+  FaultMetrics& metrics_;
+  std::uint32_t p_;
+};
+
+}  // namespace pmpl::runtime

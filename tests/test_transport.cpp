@@ -1,0 +1,495 @@
+// Tests for the transport layer and the sim-vs-real validation gate: the
+// frame codec, fault-plan file validation, deterministic receiver-side
+// frame faults, the in-process MemCluster transport, the per-rank
+// protocol engine under clean and lossy links, the DES lossy-link
+// retransmit soak over the acked grant ledger, and the forked-process
+// SocketTransport gate (identical roadmap hashes vs the DES, SIGKILL
+// recovery through real process death).
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "loadbal/ws_cluster.hpp"
+#include "loadbal/ws_engine.hpp"
+#include "loadbal/ws_rank.hpp"
+#include "runtime/fault_io.hpp"
+#include "runtime/metrics_registry.hpp"
+#include "runtime/transport.hpp"
+#include "runtime/transport_mem.hpp"
+#include "runtime/transport_socket.hpp"
+
+namespace pmpl {
+namespace {
+
+using runtime::Frame;
+using runtime::FrameType;
+
+// --- frame codec -------------------------------------------------------
+
+Frame sample_frame() {
+  Frame f;
+  f.type = FrameType::kGrant;
+  f.from = 3;
+  f.to = 7;
+  f.a = 0x1122334455667788ull;
+  f.b = 42;
+  f.c = ~0ull;
+  f.items = {0, 1, 0xffffffffu, 12345};
+  return f;
+}
+
+TEST(FrameCodec, RoundTrip) {
+  const Frame f = sample_frame();
+  std::vector<std::uint8_t> wire;
+  runtime::encode_frame(f, wire);
+  ASSERT_GE(wire.size(), 4u);
+  // Length prefix covers exactly the payload.
+  const std::uint32_t len = static_cast<std::uint32_t>(wire[0]) |
+                            (static_cast<std::uint32_t>(wire[1]) << 8) |
+                            (static_cast<std::uint32_t>(wire[2]) << 16) |
+                            (static_cast<std::uint32_t>(wire[3]) << 24);
+  ASSERT_EQ(len, wire.size() - 4);
+  Frame g;
+  ASSERT_TRUE(runtime::decode_frame_payload(wire.data() + 4, len, g));
+  EXPECT_TRUE(f == g);
+}
+
+TEST(FrameCodec, EmptyItemsRoundTrip) {
+  Frame f;
+  f.type = FrameType::kHbProbe;
+  f.from = 0;
+  f.to = 1;
+  std::vector<std::uint8_t> wire;
+  runtime::encode_frame(f, wire);
+  Frame g;
+  ASSERT_TRUE(
+      runtime::decode_frame_payload(wire.data() + 4, wire.size() - 4, g));
+  EXPECT_TRUE(f == g);
+}
+
+TEST(FrameCodec, RejectsMalformedPayloads) {
+  const Frame f = sample_frame();
+  std::vector<std::uint8_t> wire;
+  runtime::encode_frame(f, wire);
+  Frame g;
+  // Truncated payload.
+  EXPECT_FALSE(runtime::decode_frame_payload(wire.data() + 4, 8, g));
+  // Trailing garbage (size mismatch with the item count).
+  std::vector<std::uint8_t> longer(wire.begin() + 4, wire.end());
+  longer.push_back(0);
+  EXPECT_FALSE(
+      runtime::decode_frame_payload(longer.data(), longer.size(), g));
+  // Unknown frame type.
+  std::vector<std::uint8_t> bad_type(wire.begin() + 4, wire.end());
+  bad_type[0] = 0xee;
+  EXPECT_FALSE(
+      runtime::decode_frame_payload(bad_type.data(), bad_type.size(), g));
+  // Item count pointing past the buffer.
+  std::vector<std::uint8_t> bad_count(wire.begin() + 4, wire.end());
+  bad_count[33] = 0xff;
+  bad_count[34] = 0xff;
+  EXPECT_FALSE(
+      runtime::decode_frame_payload(bad_count.data(), bad_count.size(), g));
+}
+
+// --- fault-plan files --------------------------------------------------
+
+TEST(FaultIo, ParsesFullPlan) {
+  const std::string text = R"({
+    "seed": 77,
+    "crashes": [{"rank": 2, "at_s": 0.5}],
+    "stragglers": [{"rank": 1, "slowdown": 4.0, "from_s": 0.0,
+                    "until_s": 2.0}],
+    "links": [{"from": "any", "to": 3, "drop_prob": 0.25,
+               "extra_delay_s": 1e-4, "from_s": 0.1, "until_s": 0.9}],
+    "tokens": [{"drop_prob": 0.5}]
+  })";
+  runtime::FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(runtime::parse_fault_plan(text, plan, err)) << err;
+  EXPECT_EQ(plan.seed, 77u);
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].rank, 2u);
+  ASSERT_EQ(plan.links.size(), 1u);
+  EXPECT_EQ(plan.links[0].from, runtime::kAnyRank);
+  EXPECT_EQ(plan.links[0].to, 3u);
+  EXPECT_DOUBLE_EQ(plan.links[0].drop_prob, 0.25);
+  ASSERT_EQ(plan.tokens.size(), 1u);
+}
+
+TEST(FaultIo, RejectionsNameTheOffendingField) {
+  runtime::FaultPlan plan;
+  std::string err;
+  // Typoed key.
+  EXPECT_FALSE(runtime::parse_fault_plan(
+      R"({"links": [{"to": 1, "drop_porb": 0.5}]})", plan, err));
+  EXPECT_NE(err.find("drop_porb"), std::string::npos) << err;
+  // Out-of-range probability.
+  EXPECT_FALSE(runtime::parse_fault_plan(
+      R"({"links": [{"to": 1, "drop_prob": 1.5}]})", plan, err));
+  EXPECT_NE(err.find("drop_prob"), std::string::npos) << err;
+  // Inverted window.
+  EXPECT_FALSE(runtime::parse_fault_plan(
+      R"({"tokens": [{"drop_prob": 0.1, "from_s": 2.0, "until_s": 1.0}]})",
+      plan, err));
+  EXPECT_NE(err.find("until_s"), std::string::npos) << err;
+  // Crash without a rank.
+  EXPECT_FALSE(
+      runtime::parse_fault_plan(R"({"crashes": [{"at_s": 1.0}]})", plan, err));
+  EXPECT_NE(err.find("rank"), std::string::npos) << err;
+  // Not JSON at all.
+  EXPECT_FALSE(runtime::parse_fault_plan("not json", plan, err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(FaultIo, SerializationRoundTrips) {
+  runtime::FaultPlan plan;
+  plan.seed = 9;
+  plan.crash(1, 0.25);
+  plan.straggler(2, 3.0, 0.0, 1.5);
+  plan.lossy_links(0.2);
+  plan.lose_tokens(0.1);
+  runtime::FaultPlan back;
+  std::string err;
+  ASSERT_TRUE(
+      runtime::parse_fault_plan(runtime::fault_plan_to_json(plan), back, err))
+      << err;
+  EXPECT_EQ(back.seed, plan.seed);
+  ASSERT_EQ(back.crashes.size(), 1u);
+  ASSERT_EQ(back.links.size(), 1u);
+  EXPECT_EQ(back.links[0].from, runtime::kAnyRank);
+  EXPECT_DOUBLE_EQ(back.links[0].drop_prob, 0.2);
+  ASSERT_EQ(back.tokens.size(), 1u);
+}
+
+TEST(FaultIo, ScaledPlanMapsTimesOntoWallClock) {
+  runtime::FaultPlan plan;
+  plan.crash(0, 2.0);
+  plan.lossy_links(0.5);  // infinite window
+  plan.links[0].from_s = 1.0;
+  plan.links[0].extra_delay_s = 0.25;
+  const auto scaled = runtime::scaled_fault_plan(plan, 0.5);
+  EXPECT_DOUBLE_EQ(scaled.crashes[0].at_s, 1.0);
+  EXPECT_DOUBLE_EQ(scaled.links[0].from_s, 0.5);
+  EXPECT_DOUBLE_EQ(scaled.links[0].extra_delay_s, 0.125);
+  EXPECT_TRUE(std::isinf(scaled.links[0].until_s));
+  EXPECT_DOUBLE_EQ(scaled.links[0].drop_prob, 0.5);  // untouched
+}
+
+// --- deterministic receiver-side faults --------------------------------
+
+TEST(FrameFaults, FateIsDeterministicPerArrival) {
+  runtime::FaultPlan plan;
+  plan.seed = 1234;
+  plan.lossy_links(0.5);
+  const runtime::FrameFaults a(plan);
+  const runtime::FrameFaults b(plan);
+  int dropped = 0;
+  for (std::uint64_t seq = 0; seq < 400; ++seq) {
+    const auto fa = a.on_frame(0, 1, seq, 0.0, false);
+    const auto fb = b.on_frame(0, 1, seq, 0.0, false);
+    EXPECT_EQ(fa.dropped, fb.dropped);
+    if (fa.dropped) ++dropped;
+  }
+  // ~50% drop rate, deterministic: bounds are exact for this seed.
+  EXPECT_GT(dropped, 120);
+  EXPECT_LT(dropped, 280);
+}
+
+TEST(FrameFaults, WindowsCutAgainstTransportTime) {
+  runtime::FaultPlan plan;
+  plan.seed = 7;
+  plan.links.push_back({runtime::kAnyRank,
+                        runtime::kAnyRank, 1.0, 0.0, 1.0, 2.0});
+  const runtime::FrameFaults f(plan);
+  EXPECT_FALSE(f.on_frame(0, 1, 0, 0.5, false).dropped);  // before window
+  EXPECT_TRUE(f.on_frame(0, 1, 1, 1.5, false).dropped);   // inside
+  EXPECT_FALSE(f.on_frame(0, 1, 2, 2.5, false).dropped);  // after
+}
+
+// --- MemCluster transport ---------------------------------------------
+
+TEST(MemTransport, PingPong) {
+  runtime::MemCluster cluster(2);
+  auto& a = cluster.endpoint(0);
+  auto& b = cluster.endpoint(1);
+  std::thread peer([&] {
+    Frame f;
+    ASSERT_TRUE(b.recv(f, 2.0));
+    EXPECT_EQ(f.type, FrameType::kStealRequest);
+    EXPECT_EQ(f.from, 0u);
+    Frame r;
+    r.type = FrameType::kDeny;
+    r.from = 1;
+    r.to = 0;
+    r.a = f.a;
+    EXPECT_TRUE(b.send(0, r));
+  });
+  Frame f;
+  f.type = FrameType::kStealRequest;
+  f.from = 0;
+  f.to = 1;
+  f.a = 99;
+  ASSERT_TRUE(a.send(1, f));
+  Frame got;
+  ASSERT_TRUE(a.recv(got, 2.0));
+  EXPECT_EQ(got.type, FrameType::kDeny);
+  EXPECT_EQ(got.a, 99u);
+  peer.join();
+  EXPECT_EQ(a.metrics().frames_sent, 1u);
+  EXPECT_EQ(a.metrics().frames_received, 1u);
+}
+
+TEST(MemTransport, DroppedFramesLookDeliveredToTheSender) {
+  runtime::FaultPlan plan;
+  plan.seed = 3;
+  plan.lossy_links(1.0);  // drop everything
+  runtime::MemCluster cluster(2, plan);
+  Frame f;
+  f.type = FrameType::kHbProbe;
+  f.from = 0;
+  f.to = 1;
+  EXPECT_TRUE(cluster.endpoint(0).send(1, f));
+  Frame got;
+  EXPECT_FALSE(cluster.endpoint(1).recv(got, 0.05));
+  EXPECT_EQ(cluster.endpoint(1).metrics().frames_dropped, 1u);
+}
+
+// --- the per-rank engine over MemTransport ------------------------------
+
+struct MemRun {
+  std::vector<loadbal::WsRankResult> ranks;
+  std::vector<bool> done;
+  std::uint64_t executed = 0;
+};
+
+MemRun run_mem_cluster(std::uint32_t p, std::uint32_t n, std::uint64_t seed,
+                       const runtime::FaultPlan& faults = {}) {
+  const auto work = loadbal::make_cluster_items(seed, n, p);
+  runtime::MemCluster cluster(p, faults);
+  std::vector<loadbal::WsRankResult> results(p);
+  std::vector<std::thread> threads;
+  for (std::uint32_t r = 0; r < p; ++r)
+    threads.emplace_back([&, r] {
+      loadbal::WsRankConfig cfg;
+      cfg.items = work.items;
+      cfg.initial = work.initial;
+      cfg.seed = seed;
+      cfg.run_timeout_s = 30.0;
+      results[r] = run_ws_rank(cluster.endpoint(r), cfg);
+    });
+  for (auto& t : threads) t.join();
+  MemRun out;
+  out.done.assign(n, false);
+  for (const auto& r : results) {
+    out.executed += r.executed.size();
+    for (std::size_t i = 0; i < r.done.size(); ++i)
+      if (r.done[i]) out.done[i] = true;
+  }
+  out.ranks = std::move(results);
+  return out;
+}
+
+TEST(WsRank, TerminatesAndCompletesEverythingFaultFree) {
+  const std::uint32_t n = 24;
+  const auto run = run_mem_cluster(3, n, 5);
+  std::uint64_t local = 0, stolen = 0;
+  for (const auto& r : run.ranks) {
+    EXPECT_TRUE(r.terminated) << "rank " << r.rank;
+    EXPECT_FALSE(r.fenced);
+    local += r.local_tasks;
+    stolen += r.stolen_tasks;
+  }
+  // Conservation: every region executed exactly once, nothing twice.
+  EXPECT_EQ(local + stolen, n);
+  EXPECT_EQ(run.executed, n);
+  EXPECT_GT(stolen, 0u);  // the front-loaded assignment forces stealing
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_TRUE(run.done[i]) << i;
+}
+
+TEST(WsRank, SurvivesLossyLinksWithRetransmit) {
+  runtime::FaultPlan plan;
+  plan.seed = 21;
+  plan.lossy_links(0.3);
+  plan.links[0].until_s = 1.0;  // transient: closes before the backstop
+  plan.lose_tokens(0.3);
+  plan.tokens[0].until_s = 1.0;
+  const std::uint32_t n = 24;
+  const auto run = run_mem_cluster(3, n, 9, plan);
+  std::uint64_t executed_once = 0;
+  for (const auto& r : run.ranks) {
+    EXPECT_TRUE(r.terminated) << "rank " << r.rank;
+    executed_once += r.local_tasks + r.stolen_tasks;
+  }
+  // Grant dedup under retransmit: nothing double-applied, nothing lost.
+  EXPECT_EQ(executed_once, n);
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_TRUE(run.done[i]) << i;
+}
+
+TEST(WsRank, PublishesProtocolHealthMetrics) {
+  const auto run = run_mem_cluster(2, 12, 13);
+  runtime::MetricsRegistry reg;
+  publish(reg, run.ranks[0], "rank0/");
+  EXPECT_GT(reg.counter("rank0/transport_frames_sent").value(), 0u);
+  EXPECT_EQ(reg.counter("rank0/steal_requests").value(),
+            run.ranks[0].steal_requests);
+  // Counters the fault scenarios rely on exist even when zero here.
+  EXPECT_EQ(reg.counter("rank0/grant_retransmits").value(),
+            run.ranks[0].grant_retransmits);
+  EXPECT_EQ(reg.counter("rank0/transport_reconnects").value(), 0u);
+}
+
+// --- satellite: DES lossy-link retransmit soak --------------------------
+
+TEST(LossySoak, AckedGrantLedgerSurvivesDropSweep) {
+  const std::uint32_t p = 8, n = 96;
+  const auto work = loadbal::make_cluster_items(31, n, p);
+  for (const double drop : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    loadbal::WsConfig cfg;
+    cfg.seed = 31;
+    cfg.rand_k = 2;
+    if (drop > 0.0) {
+      cfg.faults.seed = 1000 + static_cast<std::uint64_t>(drop * 100);
+      cfg.faults.lossy_links(drop);
+      cfg.faults.lose_tokens(drop);
+    }
+    const auto r =
+        loadbal::simulate_work_stealing(work.items, work.initial, p, cfg);
+    ASSERT_TRUE(r.terminated) << "drop=" << drop;
+    ASSERT_FALSE(r.hit_event_limit) << "drop=" << drop;
+    // No region orphaned: everything completed...
+    for (std::uint32_t i = 0; i < n; ++i)
+      ASSERT_GE(r.completion_s[i], 0.0) << "drop=" << drop << " region " << i;
+    // ...and no grant double-applied: without crashes a re-executed
+    // region could only come from a duplicated grant.
+    EXPECT_EQ(r.faults.regions_reexecuted, 0u) << "drop=" << drop;
+    std::uint64_t executed = 0;
+    for (std::size_t l = 0; l < p; ++l)
+      executed += r.local_tasks[l] + r.stolen_tasks[l];
+    EXPECT_EQ(executed, n) << "drop=" << drop;
+    if (drop >= 0.3) {
+      EXPECT_GT(r.faults.grant_retransmits, 0u);
+    }
+  }
+}
+
+// --- the sim-vs-real gate (forked processes, real sockets) --------------
+
+TEST(TransportGate, FaultFreeRoadmapMatchesDes) {
+  const std::uint32_t p = 3, n = 32;
+  const std::uint64_t seed = 7;
+  const auto work = loadbal::make_cluster_items(seed, n, p);
+
+  loadbal::ClusterConfig cfg;
+  cfg.ranks = p;
+  cfg.rank.items = work.items;
+  cfg.rank.initial = work.initial;
+  cfg.rank.seed = seed;
+  cfg.timeout_s = 60.0;
+  const auto real = loadbal::run_ws_cluster(cfg);
+  ASSERT_TRUE(real.ok) << real.error;
+  EXPECT_TRUE(real.terminated_all);
+  EXPECT_TRUE(real.all_done);
+
+  loadbal::WsConfig wcfg;
+  wcfg.seed = seed;
+  wcfg.rand_k = 2;
+  const auto des =
+      loadbal::simulate_work_stealing(work.items, work.initial, p, wcfg);
+  ASSERT_TRUE(des.terminated);
+  const auto des_hash =
+      loadbal::roadmap_hash(seed, loadbal::completed_set(des));
+  EXPECT_EQ(des_hash, real.roadmap);
+  // Equivalent protocol activity, not identical schedules: both must
+  // have actually stolen work off the front-loaded rank.
+  EXPECT_GT(real.steal_grants, 0u);
+  EXPECT_GT(des.steal_grants, 0u);
+}
+
+TEST(TransportGate, SigkillDuringStealRecoversAndTerminates) {
+  const std::uint32_t p = 3, n = 36;
+  const std::uint64_t seed = 7;
+  const auto work = loadbal::make_cluster_items(seed, n, p);
+
+  loadbal::ClusterConfig cfg;
+  cfg.ranks = p;
+  cfg.rank.items = work.items;
+  cfg.rank.initial = work.initial;
+  cfg.rank.seed = seed;
+  cfg.timeout_s = 60.0;
+  // Rank 0 owns half the regions and is the steal victim for everyone:
+  // SIGKILL it while grants are in flight.
+  cfg.faults.seed = 99;
+  cfg.faults.crash(0, 0.08);
+  const auto real = loadbal::run_ws_cluster(cfg);
+  ASSERT_TRUE(real.ok) << real.error;
+  EXPECT_TRUE(real.killed[0]);
+  EXPECT_TRUE(real.terminated_all);
+  // Every region the dead rank still owned was re-homed and executed.
+  EXPECT_TRUE(real.all_done);
+  EXPECT_GT(real.regions_recovered, 0u);
+  EXPECT_GT(real.deaths_detected, 0u);
+  // The roadmap is the same one the DES produces under any schedule:
+  // completion is all-regions, and payloads are schedule-independent.
+  loadbal::WsConfig wcfg;
+  wcfg.seed = seed;
+  wcfg.rand_k = 2;
+  const auto des =
+      loadbal::simulate_work_stealing(work.items, work.initial, p, wcfg);
+  EXPECT_EQ(loadbal::roadmap_hash(seed, loadbal::completed_set(des)),
+            real.roadmap);
+}
+
+// --- socket transport basics (two ranks, two threads, one process) ------
+
+TEST(SocketTransport, MeshDeliversAndCounts) {
+  char tmpl[] = "/tmp/pmpl_sock_test_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  auto make = [&](std::uint32_t r) {
+    runtime::SocketTransportConfig c;
+    c.rank = r;
+    c.size = 2;
+    c.dir = dir;
+    c.connect_timeout_s = 5.0;
+    c.accept_timeout_s = 5.0;
+    return c;
+  };
+  runtime::SocketTransport t0(make(0));
+  runtime::SocketTransport t1(make(1));
+  std::string e0, e1;
+  bool ok0 = false, ok1 = false;
+  std::thread a([&] { ok0 = t0.start(&e0); });
+  std::thread b([&] { ok1 = t1.start(&e1); });
+  a.join();
+  b.join();
+  ASSERT_TRUE(ok0) << e0;
+  ASSERT_TRUE(ok1) << e1;
+
+  Frame f;
+  f.type = FrameType::kGrant;
+  f.from = 0;
+  f.to = 1;
+  f.a = 5;
+  f.items = {1, 2, 3};
+  ASSERT_TRUE(t0.send(1, f));
+  Frame got;
+  ASSERT_TRUE(t1.recv(got, 2.0));
+  EXPECT_TRUE(got == f);
+  EXPECT_EQ(t0.metrics().frames_sent, 1u);
+  EXPECT_EQ(t1.metrics().frames_received, 1u);
+  EXPECT_GE(t1.metrics().bytes_received, 4u + 37u + 12u);
+  t0.close();
+  t1.close();
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+}  // namespace pmpl

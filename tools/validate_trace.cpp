@@ -7,13 +7,17 @@
 // per-tid span balance (an E at depth 0 means the exporter leaked an
 // orphaned end), timestamps present and non-negative on payload events,
 // and otherData track bookkeeping (dropped <= total; a track's retained
-// payload events == total - dropped). The schema file itself is also
-// parsed, so a truncated or hand-mangled schema fails loudly rather than
-// silently validating nothing. Exit 0 on success, 1 with a diagnostic on
-// the first violation.
+// payload events == total - dropped). Tracks named "transport <r>" (the
+// per-rank frame-layer tracks SocketTransport emits) are held to a
+// tighter shape: instant-only events named frame_send / frame_recv /
+// frame_drop / reconnect, each carrying a numeric args.arg (the peer
+// rank). The schema file itself is also parsed, so a truncated or
+// hand-mangled schema fails loudly rather than silently validating
+// nothing. Exit 0 on success, 1 with a diagnostic on the first violation.
 
 #include <cstdio>
 #include <map>
+#include <set>
 #include <string>
 
 #include "util/json_mini.hpp"
@@ -78,6 +82,22 @@ int main(int argc, char** argv) {
   const Value* events = root.find("traceEvents");
   if (!events->is_array()) return fail("traceEvents is not an array");
 
+  // Transport tracks are declared by name in otherData.tracks; collect
+  // their tids up front so the event loop can enforce the tighter shape.
+  std::set<double> transport_tids;
+  if (const Value* other0 = root.find("otherData")) {
+    const Value* tracks0 = other0->find("tracks");
+    if (tracks0 && tracks0->is_array())
+      for (const Value& t : tracks0->as_array()) {
+        if (!t.is_object()) continue;
+        const Value* nm = t.find("name");
+        const Value* tid = t.find("tid");
+        if (nm && nm->is_string() && tid && tid->is_number() &&
+            nm->as_string().rfind("transport ", 0) == 0)
+          transport_tids.insert(tid->as_number());
+      }
+  }
+
   std::map<double, long> depth;            // tid -> open span count
   std::map<double, long> payload_per_tid;  // tid -> payload event count
   std::size_t i = 0;
@@ -109,6 +129,25 @@ int main(int argc, char** argv) {
       const Value* args = ev.find("args");
       if (!args || !args->find("value"))
         return fail(at + ": counter event without args.value");
+    }
+    if (is_payload(p) && transport_tids.count(tid)) {
+      // Frame-layer tracks carry only peer-stamped instants.
+      if (p != "i")
+        return fail(at + ": transport-track event with ph '" + p +
+                    "' (instants only)");
+      const Value* nm = ev.find("name");
+      if (!nm->is_string()) return fail(at + ".name is not a string");
+      const std::string& n2 = nm->as_string();
+      if (n2 != "frame_send" && n2 != "frame_recv" && n2 != "frame_drop" &&
+          n2 != "reconnect")
+        return fail(at + ": transport instant '" + n2 +
+                    "' not in [frame_send, frame_recv, frame_drop, "
+                    "reconnect]");
+      const Value* args = ev.find("args");
+      if (!args || !args->find("arg") || !args->find("arg")->is_number())
+        return fail(at +
+                    ": transport instant without numeric args.arg "
+                    "(peer rank)");
     }
   }
   // Spans left open are legal (a crash mid-span; viewers close them at
