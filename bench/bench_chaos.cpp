@@ -1,0 +1,138 @@
+// Chaos / resurrection bench: pins the end-to-end restart gate (every
+// rank SIGKILLed at least once, staggered, restarted from checkpoints —
+// union roadmap bit-identical to the fault-free DES, zero duplicated
+// executions) with wall-time and recovery counters, then runs a seeded
+// chaos soak and embeds its per-schedule invariant report. Emits
+// machine-readable BENCH_chaos.json (path overridable as argv[1];
+// soak width as argv[2], default 8 — CI's chaos-soak job runs >= 20).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "loadbal/chaos.hpp"
+#include "loadbal/ws_cluster.hpp"
+#include "loadbal/ws_engine.hpp"
+
+using namespace pmpl;
+
+namespace {
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_chaos.json";
+  const std::uint32_t soak_n =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 8;
+
+  // --- the restart gate -------------------------------------------------
+  const std::uint32_t p = 4, n = 64;
+  const std::uint64_t seed = 4242;
+  const auto work = loadbal::make_cluster_items(seed, n, p);
+
+  loadbal::WsConfig wcfg;
+  wcfg.seed = seed;
+  wcfg.rand_k = 2;
+  const auto des =
+      loadbal::simulate_work_stealing(work.items, work.initial, p, wcfg);
+  const auto expected =
+      loadbal::roadmap_hash(seed, loadbal::completed_set(des));
+
+  loadbal::ClusterConfig cfg;
+  cfg.ranks = p;
+  cfg.rank.items = work.items;
+  cfg.rank.initial = work.initial;
+  cfg.rank.seed = seed;
+  cfg.rank.run_timeout_s = 8.0;
+  cfg.timeout_s = 60.0;
+  cfg.restart.enabled = true;
+  cfg.faults.seed = 7;
+  for (std::uint32_t r = 0; r < p; ++r) cfg.faults.crash(r, 0.03 + 0.03 * r);
+
+  const double t0 = wall_now();
+  const auto real = loadbal::run_ws_cluster(cfg);
+  const double gate_wall_s = wall_now() - t0;
+
+  bool all_killed_restarted = true;
+  std::uint32_t restarts = 0;
+  for (std::uint32_t r = 0; r < p; ++r) {
+    if (!real.killed[r] || real.restarts[r] < 1) all_killed_restarted = false;
+    restarts += real.restarts[r];
+  }
+  std::vector<std::uint32_t> times(n, 0);
+  for (std::uint32_t r = 0; r < p; ++r)
+    if (real.reported[r])
+      for (std::uint32_t item : real.ranks[r].executed)
+        if (item < n) ++times[item];
+  std::uint64_t dups = 0;
+  for (std::uint32_t t : times)
+    if (t > 1) dups += t - 1;
+  const bool gate = real.ok && real.terminated_all && real.all_done &&
+                    real.roadmap == expected && dups == 0 &&
+                    all_killed_restarted;
+
+  std::printf("restart gate: %s (wall %.2fs, restarts %u, dups %llu, "
+              "hash %016llx vs %016llx)\n",
+              gate ? "PASS" : "FAIL", gate_wall_s, restarts,
+              static_cast<unsigned long long>(dups),
+              static_cast<unsigned long long>(real.roadmap),
+              static_cast<unsigned long long>(expected));
+
+  // --- the soak ---------------------------------------------------------
+  loadbal::ChaosConfig chaos;
+  chaos.schedules = soak_n;
+  const double t1 = wall_now();
+  const auto soak = loadbal::run_chaos_soak(chaos);
+  const double soak_wall_s = wall_now() - t1;
+  std::printf("chaos soak: %u/%u passed, leaks %s, wall %.1fs\n", soak.passed,
+              soak.passed + soak.failed, soak.no_leaks ? "none" : "LEAKED",
+              soak_wall_s);
+
+  const std::string soak_report = out_path + ".soak.tmp";
+  if (!loadbal::write_chaos_report(soak, chaos, soak_report)) {
+    std::fprintf(stderr, "cannot write %s\n", soak_report.c_str());
+    return 1;
+  }
+  std::string soak_json;
+  if (std::FILE* f = std::fopen(soak_report.c_str(), "rb")) {
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+      soak_json.append(buf, got);
+    std::fclose(f);
+  }
+  std::remove(soak_report.c_str());
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"restart_gate\": {\n    \"pass\": %s,\n"
+               "    \"ranks\": %u,\n    \"regions\": %u,\n"
+               "    \"wall_s\": %.3f,\n    \"restarts\": %u,\n"
+               "    \"duplicates\": %llu,\n    \"zombies_fenced\": %llu,\n"
+               "    \"roadmap\": \"%016llx\",\n    \"expected\": "
+               "\"%016llx\",\n    \"all_killed_restarted\": %s\n  },\n"
+               "  \"soak_wall_s\": %.3f,\n  \"soak\": %s}\n",
+               gate ? "true" : "false", p, n, gate_wall_s, restarts,
+               static_cast<unsigned long long>(dups),
+               static_cast<unsigned long long>(real.zombies_fenced),
+               static_cast<unsigned long long>(real.roadmap),
+               static_cast<unsigned long long>(expected),
+               all_killed_restarted ? "true" : "false", soak_wall_s,
+               soak_json.empty() ? "null" : soak_json.c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return gate && soak.ok ? 0 : 1;
+}

@@ -29,6 +29,11 @@
 //                        (identical roadmap hash, DESIGN.md §5h)
 //   --time-scale K       wall seconds per simulated second for the socket
 //                        pass (default: auto, sized for a ~2 s run)
+//   --restart            supervise the forked ranks: re-fork planned-crash
+//                        victims from their durable checkpoints as
+//                        generation+1 (DESIGN.md §5i) instead of leaving
+//                        them dead; the gate must still MATCH
+//   --max-restarts N     per-rank restart budget (default 3)
 //
 // Anytime execution (all optional):
 //   --deadline-ms D      stop the real planning work (anytime build and
@@ -361,6 +366,9 @@ int main(int argc, char** argv) {
     ccfg.rank.seed = seed;
     ccfg.faults = plan;
     ccfg.timeout_s = 120.0;
+    ccfg.restart.enabled = args.get_bool("restart", false);
+    ccfg.restart.max_restarts =
+        static_cast<std::uint32_t>(args.get_i64("max-restarts", 3, 0, 1000));
     // Auto time scale: aim the busy portion of the run at ~2 wall seconds
     // spread across the ranks; never stretch beyond real time.
     double tscale = args.get_f64("time-scale", 0.0);
@@ -387,6 +395,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(real.steal_grants),
                 static_cast<unsigned long long>(real.grant_retransmits),
                 static_cast<unsigned long long>(real.regions_recovered));
+    if (ccfg.restart.enabled) {
+      std::uint32_t restarts = 0;
+      for (std::uint32_t r = 0; r < p_sock; ++r) restarts += real.restarts[r];
+      std::printf("supervisor: restarts=%u zombies_fenced=%llu\n", restarts,
+                  static_cast<unsigned long long>(real.zombies_fenced));
+    }
     const bool match =
         real.ok && real.terminated_all && des_hash == real.roadmap;
     std::printf("gate: des=%016llx real=%016llx -> %s\n",

@@ -1,5 +1,6 @@
 #include "loadbal/ws_cluster.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <signal.h>
 #include <sys/stat.h>
@@ -11,6 +12,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "runtime/fault_io.hpp"
@@ -23,9 +25,18 @@ namespace pmpl::loadbal {
 
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 double steady_seconds() {
   timespec ts;
   clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+double realtime_seconds() {
+  timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
   return static_cast<double>(ts.tv_sec) +
          static_cast<double>(ts.tv_nsec) * 1e-9;
 }
@@ -38,18 +49,90 @@ void sleep_s(double s) {
   nanosleep(&ts, nullptr);
 }
 
+// --- interrupt handling -------------------------------------------------
+//
+// A ^C (or SIGTERM) during a cluster run used to leak the whole
+// /tmp/pmpl_ws_* directory plus every child process. The handler itself
+// only sets a flag (async-signal-safe by construction); the supervision
+// loop polls it every millisecond and then tears the run down through the
+// ordinary cleanup path — kills, reaps, file removal — before returning.
+
+volatile sig_atomic_t g_interrupted = 0;
+
+void on_interrupt(int) { g_interrupted = 1; }
+
+struct InterruptScope {
+  struct sigaction old_int {}, old_term {};
+  InterruptScope() {
+    g_interrupted = 0;
+    struct sigaction sa {};
+    sa.sa_handler = on_interrupt;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, &old_int);
+    ::sigaction(SIGTERM, &sa, &old_term);
+  }
+  ~InterruptScope() {
+    ::sigaction(SIGINT, &old_int, nullptr);
+    ::sigaction(SIGTERM, &old_term, nullptr);
+  }
+};
+
+/// Is `name` a file this harness family creates in the cluster dir?
+/// Sockets ("r<digits>.sock"), result files, checkpoints, and the temp
+/// names their atomic writers use.
+bool is_cluster_file(const std::string& name) {
+  if (name.rfind("result_", 0) == 0 || name.rfind("ckpt_", 0) == 0)
+    return true;
+  if (name.size() > 1 && name[0] == 'r') {
+    std::size_t i = 1;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9') ++i;
+    if (i > 1 && name.compare(i, std::string::npos, ".sock") == 0)
+      return true;
+  }
+  return false;
+}
+
+/// Remove every harness file in `dir` (and the dir itself when this call
+/// created it). Best-effort: called on every exit path, including the
+/// interrupted one, so an aborted run leaves nothing behind.
+void remove_cluster_files(const std::string& dir, bool remove_dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (!d) return;
+  std::vector<std::string> doomed;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    if (is_cluster_file(name)) doomed.push_back(name);
+  }
+  ::closedir(d);
+  for (const std::string& name : doomed)
+    ::unlink((dir + "/" + name).c_str());
+  if (remove_dir) ::rmdir(dir.c_str());
+}
+
+struct CleanupGuard {
+  std::string dir;
+  bool created = false;
+  bool armed = false;
+  ~CleanupGuard() {
+    if (armed && created) remove_cluster_files(dir, true);
+  }
+};
+
 // --- child <-> parent result files -------------------------------------
 //
-// One line-based text file per rank, written to a temp name and renamed
-// (atomic on the same filesystem), ending in a FNV-1a checksum over the
-// preceding bytes. A SIGKILLed child leaves at most a temp file behind,
-// which the parent treats as "did not report" — expected for planned
-// crash victims, an error for anyone else.
+// One line-based text file per incarnation, written to a temp name and
+// renamed (atomic on the same filesystem), ending in a FNV-1a checksum
+// over the preceding bytes. A SIGKILLed child leaves at most a temp file
+// behind, which the parent treats as "did not report" — expected for
+// planned crash victims, an error for anyone else.
 
 std::string serialize_result(const WsRankResult& r) {
   std::ostringstream os;
-  os << "wsrank 1\n";
+  os << "wsrank 2\n";
   os << "rank " << r.rank << "\n";
+  os << "gen " << r.generation << " " << (r.superseded ? 1 : 0) << " "
+     << (r.restored ? 1 : 0) << "\n";
   os << "terminated " << (r.terminated ? 1 : 0) << "\n";
   os << "fenced " << (r.fenced ? 1 : 0) << "\n";
   char buf[64];
@@ -62,11 +145,14 @@ std::string serialize_result(const WsRankResult& r) {
      << r.regions_recovered << " " << r.heartbeat_probes << " "
      << r.heartbeat_misses << " " << r.deaths_detected << " "
      << r.tokens_regenerated << "\n";
+  os << "restartx " << r.stale_frames_rejected << " "
+     << r.checkpoints_written << " " << r.rejoin_syncs << "\n";
   const auto& t = r.transport;
   os << "transport " << t.frames_sent << " " << t.frames_received << " "
      << t.frames_dropped << " " << t.frames_delayed << " " << t.bytes_sent
      << " " << t.bytes_received << " " << t.reconnects << " "
-     << t.connect_retries << " " << t.send_timeouts << "\n";
+     << t.connect_retries << " " << t.send_timeouts << " "
+     << t.frames_stale << "\n";
   os << "executed " << r.executed.size();
   for (const std::uint32_t e : r.executed) os << " " << e;
   os << "\n";
@@ -100,12 +186,15 @@ bool parse_result(const std::string& text, WsRankResult& r,
   std::string tag;
   int version = 0;
   is >> tag >> version;
-  if (tag != "wsrank" || version != 1) {
+  if (tag != "wsrank" || version != 2) {
     err = "bad header";
     return false;
   }
-  int b = 0;
+  int b = 0, b2 = 0;
   is >> tag >> r.rank;
+  is >> tag >> r.generation >> b >> b2;
+  r.superseded = b != 0;
+  r.restored = b2 != 0;
   is >> tag >> b;
   r.terminated = b != 0;
   is >> tag >> b;
@@ -116,10 +205,13 @@ bool parse_result(const std::string& text, WsRankResult& r,
       r.token_rounds >> r.steal_retries >> r.grant_retransmits >>
       r.regions_recovered >> r.heartbeat_probes >> r.heartbeat_misses >>
       r.deaths_detected >> r.tokens_regenerated;
+  is >> tag >> r.stale_frames_rejected >> r.checkpoints_written >>
+      r.rejoin_syncs;
   auto& t = r.transport;
   is >> tag >> t.frames_sent >> t.frames_received >> t.frames_dropped >>
       t.frames_delayed >> t.bytes_sent >> t.bytes_received >>
-      t.reconnects >> t.connect_retries >> t.send_timeouts;
+      t.reconnects >> t.connect_retries >> t.send_timeouts >>
+      t.frames_stale;
   std::size_t n = 0;
   is >> tag >> n;
   if (!is || tag != "executed" || n > (1u << 24)) {
@@ -177,21 +269,36 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
+std::string result_path(const std::string& dir, std::uint32_t r,
+                        std::uint32_t gen) {
+  return dir + "/result_" + std::to_string(r) + ".g" + std::to_string(gen);
+}
+
 [[noreturn]] void child_main(const ClusterConfig& cfg, std::uint32_t r,
+                             std::uint32_t gen,
+                             const std::string& restore_path,
                              const std::string& dir, double epoch) {
+  // The child must not inherit the parent's interrupt bookkeeping: a ^C
+  // reaches the whole group, and the children should die by default so
+  // the parent's teardown only has to reap them.
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGTERM, SIG_DFL);
   runtime::Tracer tracer;
   runtime::SocketTransportConfig net_cfg;
   net_cfg.rank = r;
   net_cfg.size = cfg.ranks;
   net_cfg.dir = dir;
+  net_cfg.generation = gen;
+  net_cfg.dial_all = gen > 0;
   net_cfg.epoch_steady_s = epoch;
   net_cfg.connect_timeout_s = cfg.launch_timeout_s;
   net_cfg.accept_timeout_s = cfg.launch_timeout_s;
-  // Crashes are the parent's job; children only see the link/token part,
-  // mapped from simulated onto wall seconds.
+  // Crashes and pauses are the parent's job; children only see the
+  // link/token/partition part, mapped from simulated onto wall seconds.
   net_cfg.faults = runtime::scaled_fault_plan(cfg.faults,
                                               cfg.rank.time_scale);
   net_cfg.faults.crashes.clear();
+  net_cfg.faults.pauses.clear();
   if (!cfg.trace_path.empty()) {
     net_cfg.tracer = &tracer;
     net_cfg.track_name = "transport " + std::to_string(r);
@@ -204,6 +311,12 @@ bool read_file(const std::string& path, std::string& out) {
                  err.c_str());
 
   WsRankConfig rank_cfg = cfg.rank;
+  rank_cfg.generation = gen;
+  if (cfg.restart.enabled) {
+    rank_cfg.checkpoint_dir = dir;
+    rank_cfg.checkpoint_path = rank_checkpoint_path(dir, r, gen);
+    rank_cfg.restore_path = restore_path;
+  }
   if (!cfg.trace_path.empty()) {
     rank_cfg.tracer = &tracer;
     rank_cfg.trace_capacity =
@@ -212,12 +325,16 @@ bool read_file(const std::string& path, std::string& out) {
   const WsRankResult result = run_ws_rank(net, rank_cfg);
   net.close();
 
-  write_file_atomic(dir + "/result_" + std::to_string(r),
-                    serialize_result(result));
-  if (!cfg.trace_path.empty())
-    runtime::export_chrome_trace(
-        tracer, cfg.trace_path + ".r" + std::to_string(r) + ".json");
-  _exit(result.fenced ? 3 : (result.terminated ? 0 : 4));
+  write_file_atomic(result_path(dir, r, gen), serialize_result(result));
+  if (!cfg.trace_path.empty()) {
+    std::string suffix = ".r" + std::to_string(r);
+    if (gen > 0) suffix += ".g" + std::to_string(gen);
+    runtime::export_chrome_trace(tracer, cfg.trace_path + suffix + ".json");
+  }
+  _exit(result.superseded ? 5
+        : result.fenced   ? 3
+        : result.terminated ? 0
+                            : 4);
 }
 
 }  // namespace
@@ -272,12 +389,16 @@ ClusterResult run_ws_cluster(const ClusterConfig& config) {
   out.reported.assign(p, false);
   out.killed.assign(p, false);
   out.exit_codes.assign(p, -1);
+  out.restarts.assign(p, 0);
+  out.generations.assign(p, 0);
   out.done.assign(n, false);
   if (p == 0 || n == 0 || config.rank.initial.size() != n) {
     out.error = "bad cluster config";
     return out;
   }
 
+  InterruptScope interrupts;
+  CleanupGuard cleanup;
   std::string dir = config.dir;
   char tmpl[] = "/tmp/pmpl_ws_XXXXXX";
   if (dir.empty()) {
@@ -286,9 +407,12 @@ ClusterResult run_ws_cluster(const ClusterConfig& config) {
       return out;
     }
     dir = tmpl;
+    cleanup.dir = dir;
+    cleanup.created = true;
+    cleanup.armed = true;
   }
 
-  // SIGKILL schedule from the plan's crash list, on the wall clock.
+  // Parent-delivered fault schedules, on the wall clock.
   struct Kill {
     double at_s;
     std::uint32_t rank;
@@ -298,70 +422,269 @@ ClusterResult run_ws_cluster(const ClusterConfig& config) {
   for (const auto& c : config.faults.crashes)
     if (c.rank < p)
       kills.push_back({c.at_s * config.rank.time_scale, c.rank, false});
+  struct PauseEv {
+    double start_s, end_s;
+    std::uint32_t rank;
+    pid_t pid = -1;  ///< pid actually stopped (survives replacement)
+    bool started = false, resumed = false;
+  };
+  std::vector<PauseEv> pauses;
+  for (const auto& pz : config.faults.pauses)
+    if (pz.rank < p)
+      pauses.push_back({pz.from_s * config.rank.time_scale,
+                        pz.until_s * config.rank.time_scale, pz.rank});
+
+  // Lifecycle of each rank across its incarnations.
+  struct RankState {
+    pid_t pid = -1;
+    std::uint32_t gen = 0;
+    std::uint32_t restarts = 0;
+    double forked_at = 0.0;
+    double restart_at = kInf;
+    double backoff = 0.0;
+    double suspect_check_at = 0.0;
+    bool reaped = false;
+    int exit_code = -1;
+    bool lifecycle_done = false;
+  };
+  std::vector<RankState> rs(p);
+  // Superseded incarnations whose rank already has a replacement; still
+  // the parent's children, so they must be reaped (and SIGCONTed if a
+  // pause window left them stopped).
+  struct Orphan {
+    pid_t pid;
+    std::uint32_t rank, gen;
+    bool reaped = false;
+  };
+  std::vector<Orphan> orphans;
 
   const double epoch = steady_seconds();
-  std::vector<pid_t> pids(p, -1);
-  for (std::uint32_t r = 0; r < p; ++r) {
+
+  const auto newest_checkpoint = [&](std::uint32_t r,
+                                     std::uint32_t below_gen) {
+    for (std::uint32_t g = below_gen; g-- > 0;) {
+      const std::string path = rank_checkpoint_path(dir, r, g);
+      if (::access(path.c_str(), R_OK) == 0) return path;
+    }
+    return std::string();
+  };
+
+  const auto fork_rank = [&](std::uint32_t r, std::uint32_t gen) -> pid_t {
+    const std::string restore =
+        gen > 0 ? newest_checkpoint(r, gen) : std::string();
     const pid_t pid = ::fork();
-    if (pid == 0) child_main(config, r, dir, epoch);  // never returns
+    if (pid == 0) child_main(config, r, gen, restore, dir, epoch);
+    return pid;
+  };
+
+  const auto kill_everything = [&] {
+    for (auto& s : rs)
+      if (s.pid > 0 && !s.reaped) {
+        ::kill(s.pid, SIGCONT);
+        ::kill(s.pid, SIGKILL);
+      }
+    for (auto& o : orphans)
+      if (!o.reaped) {
+        ::kill(o.pid, SIGCONT);
+        ::kill(o.pid, SIGKILL);
+      }
+    for (auto& s : rs) {
+      s.restart_at = kInf;
+      s.lifecycle_done = true;
+    }
+  };
+
+  for (std::uint32_t r = 0; r < p; ++r) {
+    const pid_t pid = fork_rank(r, 0);
     if (pid < 0) {
       out.error = "fork failed";
-      for (std::uint32_t k = 0; k < r; ++k) ::kill(pids[k], SIGKILL);
-      for (std::uint32_t k = 0; k < r; ++k)
-        ::waitpid(pids[k], nullptr, 0);
+      kill_everything();
+      for (auto& s : rs)
+        if (s.pid > 0) ::waitpid(s.pid, nullptr, 0);
       return out;
     }
-    pids[r] = pid;
+    rs[r].pid = pid;
+    rs[r].forked_at = 0.0;
   }
 
-  // Reap children, firing planned kills at their instants and the
-  // watchdog if the protocol wedges.
-  std::uint32_t live = p;
+  // Supervision loop: fire planned kills/pauses, restart unhealthy
+  // incarnations, fork replacements for suspected (stalled) ones, reap
+  // everything. Exits when every rank's lifecycle is complete and every
+  // incarnation — current or orphaned — has been reaped.
   bool watchdog_fired = false;
-  while (live > 0) {
+  bool interrupted = false;
+  bool termination_seen = false;  ///< some incarnation exited 0
+  double drain_deadline = kInf;
+  const double suspect_grace =
+      std::max(0.25, config.restart.suspect_after_s) + 0.25;
+  while (true) {
     const double t = steady_seconds() - epoch;
-    for (auto& k : kills) {
-      if (k.fired || t < k.at_s) continue;
-      k.fired = true;
-      if (pids[k.rank] >= 0 && out.exit_codes[k.rank] == -1) {
-        ::kill(pids[k.rank], SIGKILL);
-        out.killed[k.rank] = true;
-      }
+    if (g_interrupted && !interrupted) {
+      interrupted = true;
+      out.error = "interrupted";
+      kill_everything();
     }
     if (t > config.timeout_s && !watchdog_fired) {
       watchdog_fired = true;
       for (std::uint32_t r = 0; r < p; ++r)
-        if (pids[r] >= 0 && out.exit_codes[r] == -1) {
-          ::kill(pids[r], SIGKILL);
-          out.killed[r] = true;
-        }
+        if (!rs[r].reaped) out.killed[r] = true;
+      kill_everything();
     }
+    for (auto& k : kills) {
+      if (k.fired || t < k.at_s) continue;
+      k.fired = true;
+      if (!rs[k.rank].reaped && rs[k.rank].pid > 0) {
+        ::kill(rs[k.rank].pid, SIGKILL);
+        out.killed[k.rank] = true;
+      }
+    }
+    for (auto& pz : pauses) {
+      if (!pz.started && t >= pz.start_s) {
+        pz.started = true;
+        if (!rs[pz.rank].reaped && rs[pz.rank].pid > 0) {
+          pz.pid = rs[pz.rank].pid;
+          ::kill(pz.pid, SIGSTOP);
+        } else {
+          pz.resumed = true;  // nothing to stop
+        }
+      }
+      if (pz.started && !pz.resumed && t >= pz.end_s) {
+        pz.resumed = true;
+        ::kill(pz.pid, SIGCONT);
+      }
+    }
+    // Pending restarts.
+    for (std::uint32_t r = 0; r < p; ++r) {
+      auto& s = rs[r];
+      if (s.lifecycle_done || !s.reaped || t < s.restart_at) continue;
+      s.restart_at = kInf;
+      const pid_t pid = fork_rank(r, s.gen + 1);
+      if (pid < 0) {
+        s.lifecycle_done = true;
+        continue;
+      }
+      ++s.gen;
+      ++s.restarts;
+      s.pid = pid;
+      s.reaped = false;
+      s.exit_code = -1;
+      s.forked_at = t;
+      s.suspect_check_at = t + suspect_grace;
+    }
+    // Suspected-stall replacements (the deliberate-zombie path): the
+    // child is alive but its checkpoint stopped advancing, so fork its
+    // successor WITHOUT killing it and let the epoch fence neutralize it.
+    if (config.restart.enabled && config.restart.suspect_after_s > 0.0) {
+      for (std::uint32_t r = 0; r < p; ++r) {
+        auto& s = rs[r];
+        if (s.lifecycle_done || s.reaped || t < s.suspect_check_at ||
+            s.restarts >= config.restart.max_restarts ||
+            t - s.forked_at < suspect_grace)
+          continue;
+        s.suspect_check_at = t + 0.01;
+        struct stat st {};
+        const std::string path = rank_checkpoint_path(dir, r, s.gen);
+        const bool stale =
+            ::stat(path.c_str(), &st) != 0 ||
+            realtime_seconds() - (static_cast<double>(st.st_mtim.tv_sec) +
+                                  static_cast<double>(st.st_mtim.tv_nsec) *
+                                      1e-9) >
+                config.restart.suspect_after_s;
+        if (!stale) continue;
+        const pid_t pid = fork_rank(r, s.gen + 1);
+        if (pid < 0) continue;
+        orphans.push_back({s.pid, r, s.gen});
+        ++s.gen;
+        ++s.restarts;
+        s.pid = pid;
+        s.exit_code = -1;
+        s.forked_at = t;
+        s.suspect_check_at = t + suspect_grace;
+      }
+    }
+    // Reap.
     int status = 0;
     const pid_t done_pid = ::waitpid(-1, &status, WNOHANG);
-    if (done_pid == 0) {
-      sleep_s(1e-3);
-      continue;
+    if (done_pid > 0) {
+      const int code = WIFEXITED(status)    ? WEXITSTATUS(status)
+                       : WIFSIGNALED(status) ? 128 + WTERMSIG(status)
+                                             : -2;
+      bool matched = false;
+      for (std::uint32_t r = 0; r < p && !matched; ++r) {
+        auto& s = rs[r];
+        if (s.reaped || s.pid != done_pid) continue;
+        matched = true;
+        s.reaped = true;
+        s.exit_code = code;
+        if (code == 0) termination_seen = true;
+        if (code == 5) ++out.zombies_fenced;
+        // Once any rank exited terminated, the run is globally done — a
+        // rank that merely wedged (exit 4) is a straggler of a finished
+        // run, not worth re-forking. A SIGKILLed rank still gets its
+        // replacement so its directory is reported.
+        const bool restartable = code != 0 && config.restart.enabled &&
+                                 s.restarts < config.restart.max_restarts &&
+                                 !watchdog_fired && !interrupted &&
+                                 (code >= 128 || !termination_seen);
+        if (restartable) {
+          s.backoff = s.backoff == 0.0
+                          ? config.restart.backoff_initial_s
+                          : std::min(s.backoff * 2.0,
+                                     config.restart.backoff_max_s);
+          s.restart_at = t + s.backoff;
+        } else {
+          s.lifecycle_done = true;
+        }
+      }
+      for (auto& o : orphans) {
+        if (matched) break;
+        if (o.reaped || o.pid != done_pid) continue;
+        matched = true;
+        o.reaped = true;
+        // A superseded orphan is neutralized either by the epoch fence
+        // (exit 5) or by draining a buffered death notice naming its own
+        // stale generation (exit 3) — both are the zombie exiting cleanly
+        // instead of corrupting the directory.
+        if (code == 3 || code == 5) ++out.zombies_fenced;
+      }
+      continue;  // immediately try to reap more
     }
-    if (done_pid < 0) break;  // no children left (shouldn't happen)
-    for (std::uint32_t r = 0; r < p; ++r) {
-      if (pids[r] != done_pid) continue;
-      out.exit_codes[r] = WIFEXITED(status) ? WEXITSTATUS(status)
-                          : WIFSIGNALED(status)
-                              ? 128 + WTERMSIG(status)
-                              : -2;
-      --live;
-      break;
+    // Done? Every lifecycle complete and every incarnation reaped.
+    bool all_done = true;
+    for (const auto& s : rs)
+      if (!s.lifecycle_done || !s.reaped) all_done = false;
+    if (all_done) {
+      bool orphans_left = false;
+      for (const auto& o : orphans)
+        if (!o.reaped) orphans_left = true;
+      if (!orphans_left) break;
+      // Drain stragglers: wake any stopped zombie so it can fence itself;
+      // after a grace period, put it down.
+      if (drain_deadline == kInf) {
+        drain_deadline = t + 3.0;
+        for (const auto& o : orphans)
+          if (!o.reaped) ::kill(o.pid, SIGCONT);
+      } else if (t > drain_deadline) {
+        for (const auto& o : orphans)
+          if (!o.reaped) ::kill(o.pid, SIGKILL);
+      }
     }
+    sleep_s(1e-3);
   }
-  if (watchdog_fired) out.error = "watchdog: cluster run timed out";
+  if (watchdog_fired && out.error.empty())
+    out.error = "watchdog: cluster run timed out";
 
-  // Collect what the children reported.
-  out.ok = !watchdog_fired;
+  // Collect what each rank's final incarnation reported. Exit codes 0/3/
+  // 4/5 write a result before exiting; a signaled child (SIGKILL) leaves
+  // none, which is only acceptable for planned victims.
+  out.ok = !watchdog_fired && !interrupted;
   out.terminated_all = true;
   for (std::uint32_t r = 0; r < p; ++r) {
+    out.exit_codes[r] = rs[r].exit_code;
+    out.generations[r] = rs[r].gen;
+    out.restarts[r] = rs[r].restarts;
     std::string text, err;
-    const std::string path = dir + "/result_" + std::to_string(r);
-    if (!read_file(path, text)) {
+    if (!read_file(result_path(dir, r, rs[r].gen), text)) {
       if (!out.killed[r]) {
         out.ok = false;
         if (out.error.empty())
@@ -381,7 +704,6 @@ ClusterResult run_ws_cluster(const ClusterConfig& config) {
     }
     out.ranks[r] = std::move(res);
     out.reported[r] = true;
-    ::unlink(path.c_str());
   }
 
   for (std::uint32_t r = 0; r < p; ++r) {
@@ -409,14 +731,11 @@ ClusterResult run_ws_cluster(const ClusterConfig& config) {
       std::all_of(out.done.begin(), out.done.end(), [](bool b) { return b; });
   out.roadmap = roadmap_hash(config.rank.seed, out.done);
 
-  // Clean the socket dir if this call created it (best-effort).
-  if (config.dir.empty()) {
-    for (std::uint32_t r = 0; r < p; ++r) {
-      ::unlink((dir + "/r" + std::to_string(r) + ".sock").c_str());
-      ::unlink((dir + "/result_" + std::to_string(r)).c_str());
-      ::unlink((dir + "/result_" + std::to_string(r) + ".tmp").c_str());
-    }
-    ::rmdir(dir.c_str());
+  // Clean the dir if this call created it; the guard also covers early
+  // returns and the interrupted path.
+  if (cleanup.created) {
+    cleanup.armed = false;
+    remove_cluster_files(dir, true);
   }
   return out;
 }

@@ -52,18 +52,44 @@ std::uint64_t roadmap_hash(std::uint64_t seed, const std::vector<bool>& done);
 /// roadmap_hash on the sim side of the gate.
 std::vector<bool> completed_set(const WsResult& des);
 
+/// Supervisor restart policy (DESIGN.md §5i). When enabled, every child
+/// checkpoints its protocol state into the cluster dir and the parent
+/// re-forks a child that dies by signal or exits unhealthy (fenced,
+/// wedged, any nonzero code) as generation+1, pointed at the newest
+/// checkpoint its predecessors left, after a capped exponential backoff.
+struct RestartPolicy {
+  bool enabled = false;
+  std::uint32_t max_restarts = 3;   ///< re-forks per rank
+  double backoff_initial_s = 0.02;  ///< doubles per consecutive restart
+  double backoff_max_s = 0.5;
+
+  /// >0: a rank whose checkpoint file stops advancing for this long is
+  /// *suspected* and a replacement is forked WITHOUT killing it — the
+  /// deliberate zombie scenario: if the old incarnation ever resumes
+  /// (e.g. SIGCONT after a pause fault), generation fencing must
+  /// neutralize it — it exits superseded (5) on an epoch fence, or
+  /// self-fences (3) draining a buffered death notice that names its own
+  /// stale generation; both count in zombies_fenced. 0 disables.
+  double suspect_after_s = 0.0;
+};
+
 struct ClusterConfig {
   std::uint32_t ranks = 4;
 
   /// Per-rank engine configuration. `items`/`initial` must outlive the
   /// call; tracer is ignored (children cannot share the parent's tracer).
+  /// When restart.enabled, checkpoint/restore paths and generations are
+  /// managed by the supervisor and any values here are overridden.
   WsRankConfig rank;
 
   /// Fault plan in *simulated* seconds, like the DES takes it; crash and
   /// window instants are multiplied by rank.time_scale onto the wall
-  /// clock. Crashes are delivered by the parent as SIGKILL; link/token
-  /// faults are evaluated inside each child's transport.
+  /// clock. Crashes are delivered by the parent as SIGKILL, pause windows
+  /// as SIGSTOP/SIGCONT; link/token/partition faults are evaluated inside
+  /// each child's transport.
   runtime::FaultPlan faults;
+
+  RestartPolicy restart;
 
   /// Non-empty: each child exports its transport + protocol trace to
   /// "<trace_path>.r<rank>.json" (satellite trace tooling merges them).
@@ -87,12 +113,23 @@ struct ClusterResult {
   std::uint64_t roadmap = 0;    ///< roadmap_hash over the union
   std::vector<bool> done;       ///< union of the survivors' directories
 
-  /// Per-rank results for ranks that reported; `reported[r]` says which.
-  /// SIGKILLed ranks normally don't report (their entry is default).
+  /// Per-rank results of each rank's FINAL incarnation; `reported[r]`
+  /// says which parsed. A rank whose last incarnation was SIGKILLed (no
+  /// restart budget left, or watchdog) normally doesn't report. A
+  /// restored incarnation's `executed` list spans its whole lineage, so
+  /// the no-duplicate-execution invariant is checked across these lists.
   std::vector<WsRankResult> ranks;
   std::vector<bool> reported;
   std::vector<bool> killed;  ///< SIGKILLed by the plan (or watchdog)
-  std::vector<int> exit_codes;
+  std::vector<int> exit_codes;  ///< final incarnation; 128+sig if signaled
+
+  // Supervisor bookkeeping (all zeros when restarts are disabled).
+  std::vector<std::uint32_t> restarts;     ///< re-forks performed per rank
+  std::vector<std::uint32_t> generations;  ///< final generation per rank
+  std::uint64_t zombies_fenced = 0;  ///< superseded incarnations that exited
+                                     ///<   cleanly (epoch-fenced exit 5, or
+                                     ///<   self-fenced on a buffered death
+                                     ///<   notice naming their gen, exit 3)
 
   // Survivor-summed protocol counters, for the gate's tolerance checks.
   std::uint64_t steal_requests = 0;

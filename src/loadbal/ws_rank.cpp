@@ -10,6 +10,7 @@
 
 #include "runtime/metrics_registry.hpp"
 #include "util/rng.hpp"
+#include "util/state_file.hpp"
 
 namespace pmpl::loadbal {
 
@@ -22,6 +23,34 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// kGrantAck with this grant id acknowledges a kTerminate instead.
 constexpr std::uint64_t kTerminateAck = ~0ull;
+
+/// Identity of the workload + protocol config a checkpoint belongs to; a
+/// restarted incarnation refuses to resume from a different setup.
+std::uint64_t config_fingerprint(const WsRankConfig& cfg, std::uint32_t p) {
+  std::uint64_t key[5] = {cfg.seed, cfg.items.size(), p,
+                          static_cast<std::uint64_t>(cfg.policy),
+                          (std::uint64_t(cfg.steal_max_items) << 32) |
+                              cfg.rand_k};
+  return fnv1a64(key, sizeof key);
+}
+
+void put_bitmap(std::vector<char>& out, const std::vector<bool>& v) {
+  for (bool b : v) out.push_back(b ? 1 : 0);
+}
+
+bool take_bitmap(StateReader& r, std::size_t n, std::vector<bool>& v) {
+  if (r.left < n) {
+    r.ok = false;
+    return false;
+  }
+  v.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    char c = 0;
+    r.take(&c, 1);
+    v[i] = c != 0;
+  }
+  return r.ok;
+}
 
 void sleep_s(double s) {
   if (s <= 0.0) return;
@@ -45,12 +74,24 @@ class WsRank {
     done_.assign(n, false);
     stolen_.assign(n, false);
     death_known_.assign(p_, false);
+    peer_gen_rank_.assign(p_, 0);
     for (std::size_t i = 0; i < n; ++i) {
       owner_[i] = cfg_.initial[i];
       if (cfg_.initial[i] == me_)
         queue_.push_back(static_cast<std::uint32_t>(i));
     }
     result_.rank = me_;
+    result_.generation = cfg_.generation;
+    fingerprint_ = config_fingerprint(cfg_, p_);
+    if (!cfg_.restore_path.empty()) restore();
+    rejoining_ = cfg_.generation > 0;
+    // Namespace this incarnation's request/grant ids above every earlier
+    // incarnation's, so a zombie's grant id can never collide with a fresh
+    // one in a peer's dedup set.
+    const std::uint64_t floor_id =
+        (static_cast<std::uint64_t>(cfg_.generation) << 32) + 1;
+    next_req_id_ = std::max(next_req_id_, floor_id);
+    next_grant_id_ = std::max(next_grant_id_, floor_id);
     if (cfg_.tracer)
       trace_ = cfg_.tracer->track(
           cfg_.trace_prefix + "rank " + std::to_string(me_),
@@ -60,22 +101,32 @@ class WsRank {
   WsRankResult run() {
     const double start = net_.now();
     last_activity_ = start;
+    last_poll_ = start;
     regen_timeout_ = cfg_.token_regen_initial_s;
     hb_at_ = start + cfg_.heartbeat_period_s *
                          (static_cast<double>(me_ + 1) /
                           static_cast<double>(p_));
+    if (!cfg_.checkpoint_path.empty())
+      ckpt_at_ = start + cfg_.checkpoint_period_s;
     idle_entered_ = false;
-    while (!terminated_ && !fenced_) {
+    if (rejoining_) begin_rejoin(start);
+    while (!terminated_ && !fenced_ && !superseded_) {
       if (cfg_.run_timeout_s > 0.0 &&
           net_.now() - last_activity_ > cfg_.run_timeout_s)
         break;  // liveness backstop: report non-termination, don't hang
+      if (rejoining_) {
+        rejoin_step();
+        continue;
+      }
       if (!queue_.empty()) {
         idle_entered_ = false;
         const std::uint32_t item = queue_.front();
         queue_.pop_front();
-        if (done_[item]) continue;  // completed elsewhere meanwhile
+        // Completed elsewhere meanwhile, or migrated away by the rejoin
+        // reconciliation — either way no longer this rank's to run.
+        if (done_[item] || owner_[item] != me_) continue;
         execute(item);
-        if (terminated_ || fenced_) break;
+        if (terminated_ || fenced_ || superseded_) break;
         serve_parked();
         feed_lifelines();
         continue;
@@ -99,6 +150,229 @@ class WsRank {
     double timeout = 0.0;
   };
 
+  // --- durability (DESIGN.md §5i) --------------------------------------
+
+  /// Is `item` inside any unacked outgoing grant? Such regions are the
+  /// thief's problem (ack) or the reclaim path's (death) — never queued
+  /// or claimed directly.
+  bool in_ledger(std::uint32_t item) const {
+    for (const auto& [gid, g] : ledger_)
+      if (std::find(g.items.begin(), g.items.end(), item) != g.items.end())
+        return true;
+    return false;
+  }
+
+  void restore() {
+    auto c = load_rank_checkpoint(cfg_.restore_path);
+    if (!c || c->fingerprint != fingerprint_ || c->rank != me_ ||
+        c->owner.size() != owner_.size() || c->death_known.size() != p_)
+      return;  // fresh start; the rejoin sync rebuilds the view
+    rng_.set_state(c->rng_state);
+    owner_ = c->owner;
+    done_ = c->done;
+    stolen_ = c->stolen;
+    death_known_ = c->death_known;
+    death_known_[me_] = false;  // that fence died with the old incarnation
+    peer_gen_rank_ = c->peer_gen;
+    queue_.assign(c->queue.begin(), c->queue.end());
+    result_.executed = c->executed;
+    for (const RankGrantRecord& g : c->ledger) {
+      InFlight fl;
+      fl.thief = g.thief;
+      fl.req_id = g.req_id;
+      fl.items = g.items;
+      fl.timeout = cfg_.grant_timeout_s;
+      fl.retransmit_at = 0.0;  // retransmit immediately
+      ledger_.emplace(g.grant_id, std::move(fl));
+    }
+    seen_grants_.insert(c->seen_grants.begin(), c->seen_grants.end());
+    next_req_id_ = c->next_req_id;
+    next_grant_id_ = c->next_grant_id;
+    result_.busy_s = c->busy_s;
+    counters_from(c->counters);
+    // Self-heal: a region the directory credits to this rank that is in
+    // neither the restored queue nor the grant ledger was in flight at
+    // the crash (typically mid-execution); re-queue it.
+    std::vector<bool> queued(owner_.size(), false);
+    for (const std::uint32_t item : queue_) queued[item] = true;
+    for (std::size_t i = 0; i < owner_.size(); ++i)
+      if (owner_[i] == me_ && !done_[i] && !queued[i] &&
+          !in_ledger(static_cast<std::uint32_t>(i)))
+        queue_.push_back(static_cast<std::uint32_t>(i));
+    result_.restored = true;
+  }
+
+  void save_checkpoint() {
+    if (cfg_.checkpoint_path.empty()) return;
+    RankCheckpoint c;
+    c.rank = me_;
+    c.generation = cfg_.generation;
+    c.fingerprint = fingerprint_;
+    rng_.state(c.rng_state);
+    c.queue.assign(queue_.begin(), queue_.end());
+    c.owner = owner_;
+    c.done = done_;
+    c.stolen = stolen_;
+    c.death_known = death_known_;
+    c.peer_gen = peer_gen_rank_;
+    c.executed = result_.executed;
+    c.ledger.reserve(ledger_.size());
+    for (const auto& [gid, g] : ledger_)
+      c.ledger.push_back({g.thief, gid, g.req_id, g.items});
+    c.seen_grants.assign(seen_grants_.begin(), seen_grants_.end());
+    c.next_req_id = next_req_id_;
+    c.next_grant_id = next_grant_id_;
+    c.busy_s = result_.busy_s;
+    counters_to(c.counters);
+    if (save_rank_checkpoint(c, cfg_.checkpoint_path))
+      ++result_.checkpoints_written;
+    ckpt_at_ = net_.now() + cfg_.checkpoint_period_s;
+  }
+
+  void counters_to(std::uint64_t out[14]) const {
+    const std::uint64_t v[14] = {
+        result_.local_tasks,       result_.stolen_tasks,
+        result_.steal_requests,    result_.steal_grants,
+        result_.steal_denies,      result_.regions_migrated,
+        result_.token_rounds,      result_.steal_retries,
+        result_.grant_retransmits, result_.regions_recovered,
+        result_.heartbeat_probes,  result_.heartbeat_misses,
+        result_.deaths_detected,   result_.tokens_regenerated};
+    std::copy(v, v + 14, out);
+  }
+
+  void counters_from(const std::uint64_t in[14]) {
+    result_.local_tasks = in[0];
+    result_.stolen_tasks = in[1];
+    result_.steal_requests = in[2];
+    result_.steal_grants = in[3];
+    result_.steal_denies = in[4];
+    result_.regions_migrated = in[5];
+    result_.token_rounds = in[6];
+    result_.steal_retries = in[7];
+    result_.grant_retransmits = in[8];
+    result_.regions_recovered = in[9];
+    result_.heartbeat_probes = in[10];
+    result_.heartbeat_misses = in[11];
+    result_.deaths_detected = in[12];
+    result_.tokens_regenerated = in[13];
+  }
+
+  /// Read the dead rank's newest durable checkpoint (when a shared
+  /// checkpoint directory is configured) and merge its completed-region
+  /// bits before anything is reclaimed or re-homed: a completion whose
+  /// kRegionDone broadcast was cut short by the crash must not be
+  /// re-executed. The ring successor re-broadcasts what it learned so
+  /// every directory converges.
+  void merge_peer_checkpoint(std::uint32_t d) {
+    if (cfg_.checkpoint_dir.empty()) return;
+    std::optional<RankCheckpoint> best;
+    for (std::uint32_t g = 0; g <= peer_gen_rank_[d] + 4; ++g) {
+      auto c = load_rank_checkpoint(
+          rank_checkpoint_path(cfg_.checkpoint_dir, d, g));
+      if (c && c->fingerprint == fingerprint_ && c->rank == d &&
+          c->done.size() == done_.size() &&
+          (!best || c->generation >= best->generation))
+        best = std::move(c);
+    }
+    if (!best) return;
+    std::vector<std::uint32_t> learned;
+    for (std::size_t i = 0; i < done_.size(); ++i)
+      if (best->done[i] && !done_[i]) {
+        done_[i] = true;
+        learned.push_back(static_cast<std::uint32_t>(i));
+      }
+    if (learned.empty()) return;
+    if (next_known_alive(d) == me_) {
+      Frame f;
+      f.type = FrameType::kRegionDone;
+      for (const std::uint32_t item : learned) {
+        f.a = item;
+        broadcast(f);
+      }
+    }
+  }
+
+  // --- restart / rejoin (DESIGN.md §5i) --------------------------------
+
+  void begin_rejoin(double now) {
+    my_black_ = true;  // this incarnation's arrival invalidates any round
+    // Durable ground truth before asking anyone: every completion is
+    // checkpointed *before* its kRegionDone broadcast, so the union of
+    // every peer's newest on-disk checkpoint covers every completed
+    // region — even when the whole mesh finished and exited while this
+    // incarnation was being forked. Without it, a rejoiner reviving into
+    // a dead cluster rebuilds its queue from a stale directory and
+    // re-executes regions that are already done (benign for the roadmap
+    // hash, fatal for the zero-duplicate-execution guarantee).
+    for (std::uint32_t r = 0; r < p_; ++r)
+      if (r != me_) merge_peer_checkpoint(r);
+    rejoin_deadline_ = now + cfg_.rejoin_timeout_s;
+    rejoin_resend_at_ = 0.0;
+    rejoin_replied_.assign(p_, false);
+    rejoin_replied_[me_] = true;
+    if (trace_) trace_->instant_at("rejoin", now, cfg_.generation);
+  }
+
+  /// One iteration of the rejoin loop: retransmit kRejoin to silent live
+  /// peers, run the normal timers (heartbeats are answered by handle()),
+  /// and reconcile once everyone replied or the deadline passed.
+  void rejoin_step() {
+    timers();
+    if (terminated_ || fenced_ || superseded_) return;
+    const double now = net_.now();
+    bool all = true;
+    for (std::uint32_t r = 0; r < p_; ++r)
+      if (!rejoin_replied_[r] && !death_known_[r]) all = false;
+    if (all || now >= rejoin_deadline_) {
+      finalize_rejoin();
+      return;
+    }
+    if (now >= rejoin_resend_at_) {
+      rejoin_resend_at_ = now + cfg_.rejoin_retransmit_s;
+      Frame f;
+      f.type = FrameType::kRejoin;
+      f.a = cfg_.generation;
+      for (std::size_t i = 0; i < done_.size(); ++i)
+        if (done_[i]) f.items.push_back(static_cast<std::uint32_t>(i));
+      for (std::uint32_t r = 0; r < p_; ++r)
+        if (r != me_ && !rejoin_replied_[r] && !death_known_[r]) send(r, f);
+    }
+    drain(std::min(cfg_.idle_poll_s,
+                   std::max(0.0, rejoin_deadline_ - now)));
+  }
+
+  /// Rebuild the queue under the synchronized directory: drop regions the
+  /// peers claimed or completed, adopt regions their directories still
+  /// credit to this rank (covers a lost checkpoint), and re-queue anything
+  /// the restored directory credits here that went missing.
+  void finalize_rejoin() {
+    rejoining_ = false;
+    for (const std::uint32_t i : rejoin_yours_)
+      if (!done_[i] && rejoin_claimed_.count(i) == 0) owner_[i] = me_;
+    std::deque<std::uint32_t> q;
+    std::vector<bool> queued(owner_.size(), false);
+    for (const std::uint32_t item : queue_) {
+      if (done_[item] || owner_[item] != me_ || queued[item]) continue;
+      queued[item] = true;
+      q.push_back(item);
+    }
+    for (std::size_t i = 0; i < owner_.size(); ++i) {
+      const auto item = static_cast<std::uint32_t>(i);
+      if (owner_[i] == me_ && !done_[i] && !queued[i] && !in_ledger(item))
+        q.push_back(item);
+    }
+    queue_ = std::move(q);
+    rejoin_claimed_.clear();
+    rejoin_yours_.clear();
+    my_black_ = true;
+    idle_entered_ = false;
+    last_activity_ = net_.now();
+    if (trace_) trace_->counter_at("queue", net_.now(), queue_.size());
+    save_checkpoint();
+    maybe_process_token();
+  }
+
   // --- execution --------------------------------------------------------
 
   void execute(std::uint32_t item) {
@@ -109,7 +383,8 @@ class WsRank {
     }
     busy_ = true;
     double elapsed = 0.0;
-    while (elapsed < dur && !terminated_ && !fenced_) {
+    while (elapsed < dur && !terminated_ && !fenced_ && !superseded_ &&
+           !done_[item]) {
       const double chunk = std::min(cfg_.slice_s, dur - elapsed);
       sleep_s(chunk);
       elapsed += chunk;
@@ -118,8 +393,19 @@ class WsRank {
       timers();
     }
     busy_ = false;
+    // One last poll before the completion becomes ledger. A SIGSTOP that
+    // lands between the final slice and complete() otherwise commits the
+    // region on resume without ever observing what arrived during the
+    // freeze — a death notice naming this rank (it must fence, not
+    // complete), or a kRegionDone for this very region from the successor
+    // that re-homed it off our stale checkpoint (completing too would put
+    // the region in two final ledgers). The remaining unsynchronized
+    // window is the straight-line code below — microseconds, down from
+    // the full slice.
+    drain(0.0);
     if (trace_) trace_->end_at("region", net_.now(), item);
-    if (terminated_ || fenced_) return;
+    if (terminated_ || fenced_ || superseded_) return;
+    if (done_[item]) return;  // a peer completed it first: their ledger
     result_.busy_s += dur;
     complete(item);
   }
@@ -127,12 +413,28 @@ class WsRank {
   void complete(std::uint32_t item) {
     done_[item] = true;
     owner_[item] = me_;
+    last_activity_ = net_.now();
+    // Durability before visibility: once any peer hears this kRegionDone,
+    // a restarted incarnation must never report the region undone.
+    save_checkpoint();
+    // Freeze fence, between the durable write and the ledger claim. A
+    // SIGSTOP anywhere since the last poll means peers may have declared
+    // this rank dead off the *pre*-completion checkpoint and re-homed the
+    // region; claiming it now would put it in two final ledgers. Re-poll
+    // and stand down if so. The durable write above is the arbiter for
+    // every later freeze: once the renamed checkpoint records the done
+    // bit, a death-merge sees it and nobody re-homes, so the claim below
+    // is safe no matter where a later freeze lands.
+    if (net_.now() - last_poll_ > cfg_.heartbeat_period_s) {
+      drain(0.0);
+      timers();
+      if (terminated_ || fenced_ || superseded_) return;
+    }
     result_.executed.push_back(item);
     if (stolen_[item])
       ++result_.stolen_tasks;
     else
       ++result_.local_tasks;
-    last_activity_ = net_.now();
     Frame f;
     f.type = FrameType::kRegionDone;
     f.a = item;
@@ -153,7 +455,7 @@ class WsRank {
   void idle_step() {
     timers();
     maybe_process_token();
-    if (terminated_ || fenced_) return;
+    if (terminated_ || fenced_ || superseded_) return;
     if (leader() == me_ && !round_active_ && net_.now() >= pace_at_)
       initiate_round();
     double next = next_deadline();
@@ -218,13 +520,16 @@ class WsRank {
         issue_requests();
       }
     }
+    if (now >= ckpt_at_) save_checkpoint();
   }
 
   /// Receive and handle frames for up to `wait` seconds (0 = one
   /// non-blocking pass).
   void drain(double wait) {
     Frame f;
-    if (!net_.recv(f, wait)) return;
+    const bool got = net_.recv(f, wait);
+    last_poll_ = net_.now();
+    if (!got) return;
     handle(f);
     while (net_.recv(f, 0.0)) handle(f);
   }
@@ -232,7 +537,8 @@ class WsRank {
   // --- stealing ---------------------------------------------------------
 
   void issue_requests() {
-    if (terminated_ || fenced_ || !queue_.empty() || busy_) return;
+    if (terminated_ || fenced_ || rejoining_ || !queue_.empty() || busy_)
+      return;
     auto victims = policy_.victims(me_, stage_, rng_);
     victims.erase(std::remove_if(victims.begin(), victims.end(),
                                  [this](std::uint32_t v) {
@@ -412,6 +718,10 @@ class WsRank {
     Frame f;
     f.type = FrameType::kDeathNotice;
     f.a = d;
+    // The suspect's newest known generation rides along so a *replacement*
+    // incarnation (strictly newer gen) can ignore a notice that names only
+    // its dead predecessor.
+    f.b = peer_gen_rank_[d];
     // Including the suspect itself: a false positive must fence, so no
     // region ever has two live owners.
     for (std::uint32_t r = 0; r < p_; ++r)
@@ -430,6 +740,7 @@ class WsRank {
     death_known_[d] = true;
     last_activity_ = net_.now();
     if (trace_) trace_->instant_at("death_known", net_.now(), d);
+    merge_peer_checkpoint(d);
     // Reclaim unacked grants this rank sent to the dead thief: they may
     // never have arrived. (If they did arrive, the successor scan below —
     // run by whichever rank owns that duty — may re-home them again off
@@ -483,7 +794,7 @@ class WsRank {
   std::uint64_t unacked() const { return ledger_.size(); }
 
   void initiate_round() {
-    if (terminated_ || !queue_.empty() || busy_) return;
+    if (terminated_ || rejoining_ || !queue_.empty() || busy_) return;
     round_active_ = true;
     ++result_.token_rounds;
     token_gen_ = std::max(token_gen_, seen_gen_) + 1;
@@ -513,6 +824,10 @@ class WsRank {
     std::uint32_t hop = to;
     for (std::uint32_t tries = 0; tries < p_; ++tries) {
       if (send(hop, f)) return;
+      // The hop is unreachable but not yet declared dead: its state is
+      // unknown (it may be restarting with work still queued), so this
+      // round must not certify quiescence. Blacken before skipping.
+      f.b = 1;
       const std::uint32_t next = next_known_alive(hop);
       if (next == hop || next == me_) return;  // nowhere left to forward
       hop = next;
@@ -520,7 +835,7 @@ class WsRank {
   }
 
   void maybe_process_token() {
-    if (!has_held_token_ || busy_ || !queue_.empty()) return;
+    if (!has_held_token_ || busy_ || rejoining_ || !queue_.empty()) return;
     // Drain everything readable first: a grant queued behind this token
     // must blacken us before the token moves on (the no-in-flight
     // property the unacked-count scheme relies on).
@@ -596,12 +911,36 @@ class WsRank {
 
   void handle(const Frame& f) {
     if (f.from >= p_ || f.from == me_) return;
+    if (f.type == FrameType::kEpochFence) {
+      // A peer's transport refused this incarnation's handshake because a
+      // newer one exists: stand down without touching the directory.
+      if (f.a > cfg_.generation) {
+        superseded_ = true;
+        result_.superseded = true;
+        if (trace_) trace_->instant_at("superseded", net_.now(), f.a);
+      }
+      return;
+    }
+    if (f.gen < peer_gen_rank_[f.from]) {
+      // Zombie fence: an older incarnation of the peer is still talking
+      // (in-flight bytes from a connection its replacement displaced).
+      ++result_.stale_frames_rejected;
+      return;
+    }
+    peer_gen_rank_[f.from] = f.gen;
     last_activity_ = net_.now();
     switch (f.type) {
       case FrameType::kHello:
         return;
       case FrameType::kStealRequest:
-        if (busy_)
+        if (rejoining_) {
+          // The queue is under reconciliation; granting from it could
+          // migrate a region a peer is about to claim.
+          Frame d;
+          d.type = FrameType::kDeny;
+          d.a = f.a;
+          send(f.from, d);
+        } else if (busy_)
           parked_.emplace_back(f.from, f.a);
         else
           serve(f.from, f.a);
@@ -635,9 +974,24 @@ class WsRank {
         }
         maybe_process_token();
         return;
-      case FrameType::kDeathNotice:
-        handle_death(static_cast<std::uint32_t>(f.a));
+      case FrameType::kDeathNotice: {
+        const auto suspect = static_cast<std::uint32_t>(f.a);
+        if (suspect >= p_) return;
+        const auto suspect_gen = static_cast<std::uint32_t>(f.b);
+        if (suspect == me_) {
+          // A notice naming a strictly older incarnation is about the
+          // predecessor this process replaced, not about it.
+          if (suspect_gen >= cfg_.generation) handle_death(me_);
+          else ++result_.stale_frames_rejected;
+          return;
+        }
+        if (suspect_gen < peer_gen_rank_[suspect]) {
+          ++result_.stale_frames_rejected;  // corpse already superseded
+          return;
+        }
+        handle_death(suspect);
         return;
+      }
       case FrameType::kOwnerUpdate:
         for (const std::uint32_t item : f.items)
           if (item < owner_.size() && !done_[item])
@@ -656,6 +1010,61 @@ class WsRank {
         if (trace_) trace_->instant_at("terminate", net_.now());
         return;
       }
+      case FrameType::kRejoin: {
+        // A replacement incarnation of f.from is announcing itself:
+        // resurrect it, merge the done set it restored, and answer with
+        // this rank's directory view.
+        if (death_known_[f.from]) {
+          death_known_[f.from] = false;
+          if (trace_) trace_->instant_at("resurrect", net_.now(), f.from);
+        }
+        for (const std::uint32_t item : f.items)
+          if (item < done_.size()) done_[item] = true;
+        my_black_ = true;  // membership changed: the current round is void
+        Frame r;
+        r.type = FrameType::kDirSync;
+        r.a = f.a;
+        r.b = rejoining_ ? 1 : 0;
+        for (std::size_t i = 0; i < done_.size(); ++i) {
+          const auto item = static_cast<std::uint32_t>(i);
+          if (done_[i])
+            r.items.push_back(item);
+          else if (owner_[i] == me_ && !in_ledger(item))
+            r.items.push_back(item | runtime::kDirSyncClaimBit);
+          else if (owner_[i] == f.from)
+            r.items.push_back(item | runtime::kDirSyncYoursBit);
+        }
+        send(f.from, r);
+        return;
+      }
+      case FrameType::kDirSync: {
+        if (!rejoining_ || f.a != cfg_.generation) return;
+        ++result_.rejoin_syncs;
+        rejoin_replied_[f.from] = true;
+        const bool live_responder = f.b == 0;
+        for (const std::uint32_t e : f.items) {
+          const std::uint32_t item =
+              e & ~(runtime::kDirSyncClaimBit | runtime::kDirSyncYoursBit);
+          if (item >= done_.size()) continue;
+          if ((e & runtime::kDirSyncClaimBit) != 0) {
+            // A rejoining responder claims from a restored (possibly
+            // stale) directory; break symmetric claims by rank so exactly
+            // one incarnation keeps a disputed region. A live responder's
+            // claim is authoritative.
+            if (!done_[item] && (live_responder || f.from < me_)) {
+              owner_[item] = f.from;
+              rejoin_claimed_.insert(item);
+            }
+          } else if ((e & runtime::kDirSyncYoursBit) != 0) {
+            rejoin_yours_.insert(item);
+          } else {
+            done_[item] = true;
+          }
+        }
+        return;
+      }
+      case FrameType::kEpochFence:
+        return;  // handled before the switch
     }
   }
 
@@ -667,8 +1076,10 @@ class WsRank {
     ack.type = FrameType::kGrantAck;
     ack.a = f.a;
     send(f.from, ack);
+    // Grant ids are generation-namespaced (high 32 bits), so the victim
+    // rank must occupy bits above that to keep the key collision-free.
     const std::uint64_t key =
-        (static_cast<std::uint64_t>(f.from) << 40) ^ f.a;
+        (static_cast<std::uint64_t>(f.from) << 48) ^ f.a;
     if (!seen_grants_.insert(key).second) return;
     if (f.b != 0) {  // settle the originating request unless lifeline push
       if (reqs_pending_.erase(f.b) > 0) {
@@ -707,6 +1118,7 @@ class WsRank {
   bool send(std::uint32_t to, Frame f) {
     f.from = me_;
     f.to = to;
+    f.gen = cfg_.generation;
     return net_.send(to, f);
   }
 
@@ -772,11 +1184,135 @@ class WsRank {
   bool fenced_ = false;
   bool idle_entered_ = false;
   double last_activity_ = 0.0;
+  double last_poll_ = 0.0;  ///< when the socket was last looked at (freeze fence)
+
+  // Restart/rejoin state (DESIGN.md §5i).
+  std::uint64_t fingerprint_ = 0;
+  std::vector<std::uint32_t> peer_gen_rank_;  ///< newest gen seen per peer
+  bool rejoining_ = false;
+  bool superseded_ = false;
+  double ckpt_at_ = kInf;
+  double rejoin_deadline_ = 0.0;
+  double rejoin_resend_at_ = 0.0;
+  std::vector<bool> rejoin_replied_;
+  std::set<std::uint32_t> rejoin_claimed_;  ///< pending, owned elsewhere
+  std::set<std::uint32_t> rejoin_yours_;    ///< peers credit them to me
 
   WsRankResult result_;
 };
 
 }  // namespace
+
+std::string rank_checkpoint_path(const std::string& dir, std::uint32_t rank,
+                                 std::uint32_t gen) {
+  return dir + "/ckpt_" + std::to_string(rank) + ".g" + std::to_string(gen);
+}
+
+bool save_rank_checkpoint(const RankCheckpoint& c, const std::string& path) {
+  StateBlob blob;
+  blob.kind = kStateKindWsRank;
+  blob.fingerprint = c.fingerprint;
+  blob.seed = 0;
+  blob.meta0 = c.rank;
+  blob.meta1 = c.generation;
+  auto& out = blob.payload;
+  for (std::uint64_t w : c.rng_state) put_u64(out, w);
+  const auto n = static_cast<std::uint32_t>(c.owner.size());
+  const auto p = static_cast<std::uint32_t>(c.death_known.size());
+  put_u32(out, n);
+  for (std::uint32_t o : c.owner) put_u32(out, o);
+  put_bitmap(out, c.done);
+  put_bitmap(out, c.stolen);
+  put_u32(out, p);
+  put_bitmap(out, c.death_known);
+  for (std::uint32_t g : c.peer_gen) put_u32(out, g);
+  put_u32(out, static_cast<std::uint32_t>(c.queue.size()));
+  for (std::uint32_t q : c.queue) put_u32(out, q);
+  put_u32(out, static_cast<std::uint32_t>(c.executed.size()));
+  for (std::uint32_t e : c.executed) put_u32(out, e);
+  put_u32(out, static_cast<std::uint32_t>(c.ledger.size()));
+  for (const RankGrantRecord& g : c.ledger) {
+    put_u32(out, g.thief);
+    put_u64(out, g.grant_id);
+    put_u64(out, g.req_id);
+    put_u32(out, static_cast<std::uint32_t>(g.items.size()));
+    for (std::uint32_t item : g.items) put_u32(out, item);
+  }
+  put_u32(out, static_cast<std::uint32_t>(c.seen_grants.size()));
+  for (std::uint64_t s : c.seen_grants) put_u64(out, s);
+  put_u64(out, c.next_req_id);
+  put_u64(out, c.next_grant_id);
+  put_f64(out, c.busy_s);
+  for (std::uint64_t v : c.counters) put_u64(out, v);
+  return save_state_file(blob, path);
+}
+
+std::optional<RankCheckpoint> load_rank_checkpoint(const std::string& path,
+                                                   IoStatus* status) {
+  const auto fail = [&](IoStatus code) {
+    if (status) *status = code;
+    return std::nullopt;
+  };
+  IoStatus st = IoStatus::kOk;
+  std::optional<StateBlob> blob = load_state_file(path, &st);
+  if (status) *status = st;
+  if (!blob) return std::nullopt;
+  if (blob->kind != kStateKindWsRank) return fail(IoStatus::kMalformed);
+
+  RankCheckpoint c;
+  c.rank = blob->meta0;
+  c.generation = blob->meta1;
+  c.fingerprint = blob->fingerprint;
+  StateReader r{blob->payload.data(), blob->payload.size()};
+  for (auto& w : c.rng_state) w = r.u64();
+  const std::uint32_t n = r.u32();
+  if (!r.ok || n > r.left) return fail(IoStatus::kMalformed);
+  c.owner.resize(n);
+  for (auto& o : c.owner) o = r.u32();
+  if (!take_bitmap(r, n, c.done)) return fail(IoStatus::kMalformed);
+  if (!take_bitmap(r, n, c.stolen)) return fail(IoStatus::kMalformed);
+  const std::uint32_t p = r.u32();
+  if (!r.ok || p > r.left || c.rank >= p) return fail(IoStatus::kMalformed);
+  if (!take_bitmap(r, p, c.death_known)) return fail(IoStatus::kMalformed);
+  c.peer_gen.resize(p);
+  for (auto& g : c.peer_gen) g = r.u32();
+  const auto take_ids = [&](std::vector<std::uint32_t>& ids) {
+    const std::uint32_t count = r.u32();
+    if (!r.ok || count > r.left) {
+      r.ok = false;
+      return false;
+    }
+    ids.resize(count);
+    for (auto& id : ids) {
+      id = r.u32();
+      if (r.ok && id >= n) r.ok = false;
+    }
+    return r.ok;
+  };
+  if (!take_ids(c.queue)) return fail(IoStatus::kMalformed);
+  if (!take_ids(c.executed)) return fail(IoStatus::kMalformed);
+  const std::uint32_t grants = r.u32();
+  if (!r.ok || grants > r.left) return fail(IoStatus::kMalformed);
+  c.ledger.resize(grants);
+  for (RankGrantRecord& g : c.ledger) {
+    g.thief = r.u32();
+    if (r.ok && g.thief >= p) return fail(IoStatus::kOutOfRange);
+    g.grant_id = r.u64();
+    g.req_id = r.u64();
+    if (!take_ids(g.items)) return fail(IoStatus::kMalformed);
+  }
+  const std::uint32_t seen = r.u32();
+  if (!r.ok || seen > r.left) return fail(IoStatus::kMalformed);
+  c.seen_grants.resize(seen);
+  for (auto& s : c.seen_grants) s = r.u64();
+  c.next_req_id = r.u64();
+  c.next_grant_id = r.u64();
+  c.busy_s = r.f64();
+  for (auto& v : c.counters) v = r.u64();
+  if (!r.ok) return fail(IoStatus::kMalformed);
+  if (r.left != 0) return fail(IoStatus::kCountMismatch);
+  return c;
+}
 
 WsRankResult run_ws_rank(runtime::Transport& net,
                          const WsRankConfig& config) {
@@ -798,6 +1334,9 @@ void publish(runtime::MetricsRegistry& reg, const WsRankResult& r,
   reg.add(prefix + "heartbeat_misses", r.heartbeat_misses);
   reg.add(prefix + "deaths_detected", r.deaths_detected);
   reg.add(prefix + "tokens_regenerated", r.tokens_regenerated);
+  reg.add(prefix + "stale_frames_rejected", r.stale_frames_rejected);
+  reg.add(prefix + "checkpoints_written", r.checkpoints_written);
+  reg.add(prefix + "rejoin_syncs", r.rejoin_syncs);
   reg.set(prefix + "busy_s", r.busy_s);
   publish(reg, r.transport, prefix + "transport_");
 }

@@ -30,6 +30,7 @@
 ///    (the DES models this as runtime-level heartbeats).
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "loadbal/ws_engine.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/transport.hpp"
+#include "util/io_status.hpp"
 
 namespace pmpl::loadbal {
 
@@ -72,6 +74,42 @@ struct WsRankConfig {
   /// activity — a liveness backstop against protocol wedges; 0 disables.
   double run_timeout_s = 60.0;
 
+  // --- restart / rejoin (DESIGN.md §5i) -------------------------------
+
+  /// Incarnation number of this process for rank `net.rank()`. 0 is the
+  /// first launch; the supervisor increments it per restart. Stamped into
+  /// every frame; peers reject frames from older generations.
+  std::uint32_t generation = 0;
+
+  /// Durable rank state (util/state_file container, kStateKindWsRank).
+  /// Written after every completion *before* its kRegionDone broadcast
+  /// (so a completion a peer heard about is always durable), plus
+  /// periodically every checkpoint_period_s. Empty disables.
+  std::string checkpoint_path;
+  double checkpoint_period_s = 0.05;
+
+  /// Checkpoint of the previous incarnation to resume from (typically its
+  /// checkpoint_path). Absent/corrupt degrades to a fresh start — the
+  /// rejoin sync then rebuilds the directory view from the peers.
+  std::string restore_path;
+
+  /// Directory holding every rank's checkpoints under the
+  /// rank_checkpoint_path() naming. When set, a rank that learns of a
+  /// peer's death reads the dead rank's newest durable checkpoint and
+  /// merges its completed-region bits *before* reclaiming or re-homing
+  /// anything — closing the window where a completion's kRegionDone
+  /// broadcast died with its sender (which would otherwise re-execute
+  /// the region). Empty disables the merge.
+  std::string checkpoint_dir;
+
+  /// Restarted incarnations (generation > 0) run the rejoin protocol
+  /// before executing anything: broadcast kRejoin, collect kDirSync
+  /// replies from every live peer (retransmitting every
+  /// rejoin_retransmit_s), and reconcile queue ownership. The deadline
+  /// bounds the wait when peers are dead or already gone.
+  double rejoin_timeout_s = 0.6;
+  double rejoin_retransmit_s = 0.05;
+
   runtime::Tracer* tracer = nullptr;
   std::string trace_prefix;
   std::size_t trace_capacity = 0;
@@ -83,11 +121,15 @@ struct WsRankConfig {
 /// set the roadmap hash is computed over.
 struct WsRankResult {
   std::uint32_t rank = 0;
+  std::uint32_t generation = 0;
   bool terminated = false;  ///< saw (or declared) the termination broadcast
   bool fenced = false;      ///< received a death notice naming itself
+  bool superseded = false;  ///< epoch-fenced: a newer incarnation exists
+  bool restored = false;    ///< state resumed from a checkpoint
   double busy_s = 0.0;      ///< wall seconds executing regions
   double finish_s = 0.0;    ///< transport time at loop exit
   std::vector<std::uint32_t> executed;  ///< region ids this rank completed
+                                        ///<   (restored + this incarnation)
   std::vector<bool> done;               ///< directory: completed anywhere
 
   std::uint64_t local_tasks = 0;
@@ -104,9 +146,64 @@ struct WsRankResult {
   std::uint64_t heartbeat_misses = 0;
   std::uint64_t deaths_detected = 0;  ///< death notices this rank issued
   std::uint64_t tokens_regenerated = 0;
+  std::uint64_t stale_frames_rejected = 0;  ///< old-generation frames dropped
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t rejoin_syncs = 0;  ///< kDirSync replies received while rejoining
 
   runtime::TransportMetrics transport;
 };
+
+/// One unacked outgoing grant, as persisted in a rank checkpoint. The
+/// restored incarnation re-enters these into its retransmit ledger, and
+/// the chaos harness asserts the no-duplicate-execution invariant from
+/// the union of executed lists against these ledgers.
+struct RankGrantRecord {
+  std::uint32_t thief = 0;
+  std::uint64_t grant_id = 0;
+  std::uint64_t req_id = 0;
+  std::vector<std::uint32_t> items;
+};
+
+/// Durable per-rank protocol state — everything a restarted incarnation
+/// needs to resume without re-executing completed regions: the region
+/// directory (owner/done), its queue, the RNG cursor, the unacked-grant
+/// ledger, the grant dedup set, and the protocol counters. Saved in the
+/// util/state_file container (atomic tmp+rename, dual FNV-1a checksums).
+struct RankCheckpoint {
+  std::uint32_t rank = 0;
+  std::uint32_t generation = 0;   ///< incarnation that wrote this
+  std::uint64_t fingerprint = 0;  ///< workload/config identity
+  std::uint64_t rng_state[4] = {0, 0, 0, 0};
+  std::vector<std::uint32_t> queue;
+  std::vector<std::uint32_t> owner;
+  std::vector<bool> done;
+  std::vector<bool> stolen;
+  std::vector<bool> death_known;
+  std::vector<std::uint32_t> peer_gen;  ///< newest generation seen per peer
+  std::vector<std::uint32_t> executed;
+  std::vector<RankGrantRecord> ledger;
+  std::vector<std::uint64_t> seen_grants;
+  std::uint64_t next_req_id = 1;
+  std::uint64_t next_grant_id = 1;
+  double busy_s = 0.0;
+  std::uint64_t counters[14] = {};  ///< WsRankResult counters, in order:
+                                    ///< local_tasks..tokens_regenerated
+};
+
+/// "<dir>/ckpt_<rank>.g<gen>" — the per-incarnation checkpoint naming
+/// convention the cluster supervisor and the death-recovery merge agree
+/// on. Per-generation files keep a resumed zombie from clobbering its
+/// replacement's durable state.
+std::string rank_checkpoint_path(const std::string& dir, std::uint32_t rank,
+                                 std::uint32_t gen);
+
+/// Serialize atomically. Returns false on I/O failure.
+bool save_rank_checkpoint(const RankCheckpoint& c, const std::string& path);
+
+/// Load and fully validate (container checksums plus payload bounds).
+/// nullopt with the precise IoStatus on any malformation.
+std::optional<RankCheckpoint> load_rank_checkpoint(
+    const std::string& path, IoStatus* status = nullptr);
 
 /// Publish the protocol-health counters (retransmits, heartbeat misses,
 /// recoveries) and the nested transport metrics as "<prefix>…".

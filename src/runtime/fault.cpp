@@ -23,6 +23,11 @@ FaultInjector::MessageFate FaultInjector::on_message(std::uint32_t from,
                                                      double t) {
   MessageFate fate;
   if (!active_) return fate;
+  for (const auto& cut : plan_.partitions)
+    if (in_window(t, cut.from_s, cut.until_s) && cut.separates(from, to)) {
+      fate.dropped = true;
+      return fate;
+    }
   for (const auto& link : plan_.links) {
     if (!rank_matches(link.from, from) || !rank_matches(link.to, to) ||
         !in_window(t, link.from_s, link.until_s))

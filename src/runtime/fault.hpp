@@ -62,17 +62,49 @@ struct TokenFault {
   double until_s = std::numeric_limits<double>::infinity();
 };
 
+/// `rank` is frozen (SIGSTOP) inside [from_s, until_s) and resumes after —
+/// the zombie scenario: a supervisor may have started a replacement
+/// incarnation in the meantime, and epoch fencing must neutralize the
+/// resumed original. The DES model ignores pauses (it has no supervisor);
+/// only the multi-process launcher executes them.
+struct PauseFault {
+  std::uint32_t rank = 0;
+  double from_s = 0.0;
+  double until_s = std::numeric_limits<double>::infinity();
+};
+
+/// Network partition: inside [from_s, until_s), messages crossing the cut
+/// between `ranks` (side A) and everyone else (side B) are dropped.
+/// Evaluated receiver-side like link faults, deterministically (no roll:
+/// the cut is absolute while the window is open).
+struct PartitionFault {
+  std::vector<std::uint32_t> ranks;  ///< side A of the cut
+  double from_s = 0.0;
+  double until_s = std::numeric_limits<double>::infinity();
+
+  bool separates(std::uint32_t from, std::uint32_t to) const noexcept {
+    bool in_a = false, in_b = false;
+    for (std::uint32_t r : ranks) {
+      if (r == from) in_a = true;
+      if (r == to) in_b = true;
+    }
+    return in_a != in_b;
+  }
+};
+
 /// A complete, seeded failure scenario.
 struct FaultPlan {
   std::vector<CrashFault> crashes;
   std::vector<StragglerFault> stragglers;
   std::vector<LinkFault> links;
   std::vector<TokenFault> tokens;
+  std::vector<PauseFault> pauses;
+  std::vector<PartitionFault> partitions;
   std::uint64_t seed = 0xfa17ed5eedULL;  ///< dedicated drop-roll stream
 
   bool empty() const noexcept {
     return crashes.empty() && stragglers.empty() && links.empty() &&
-           tokens.empty();
+           tokens.empty() && pauses.empty() && partitions.empty();
   }
 
   // Fluent builders (return *this so plans read as one expression).
@@ -103,6 +135,15 @@ struct FaultPlan {
                          double until_s =
                              std::numeric_limits<double>::infinity()) {
     tokens.push_back({drop_prob, from_s, until_s});
+    return *this;
+  }
+  FaultPlan& pause(std::uint32_t rank, double from_s, double until_s) {
+    pauses.push_back({rank, from_s, until_s});
+    return *this;
+  }
+  FaultPlan& partition(std::vector<std::uint32_t> side_a, double from_s,
+                       double until_s) {
+    partitions.push_back({std::move(side_a), from_s, until_s});
     return *this;
   }
 };

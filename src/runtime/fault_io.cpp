@@ -150,7 +150,8 @@ bool parse_fault_plan(const std::string& text, FaultPlan& out,
   Check ck{error};
   if (!root.is_object()) return ck.fail("(root)", "must be an object");
   if (!known_keys(ck, root, "(root)",
-                  {"seed", "crashes", "stragglers", "links", "tokens"}))
+                  {"seed", "crashes", "stragglers", "links", "tokens",
+                   "pauses", "partitions"}))
     return false;
 
   FaultPlan plan;
@@ -238,6 +239,46 @@ bool parse_fault_plan(const std::string& text, FaultPlan& out,
     }
   }
 
+  if (!get_entries(ck, root, "pauses", entries)) return false;
+  if (entries) {
+    std::size_t i = 0;
+    for (const Value& e : entries->as_array()) {
+      const std::string path = item_path("pauses", i++);
+      PauseFault p;
+      if (!known_keys(ck, e, path, {"rank", "from_s", "until_s"}))
+        return false;
+      if (!get_rank(ck, e, path, "rank", false, 0, true, p.rank))
+        return false;
+      if (!get_window(ck, e, path, p.from_s, p.until_s)) return false;
+      plan.pauses.push_back(p);
+    }
+  }
+
+  if (!get_entries(ck, root, "partitions", entries)) return false;
+  if (entries) {
+    std::size_t i = 0;
+    for (const Value& e : entries->as_array()) {
+      const std::string path = item_path("partitions", i++);
+      PartitionFault p;
+      if (!known_keys(ck, e, path, {"ranks", "from_s", "until_s"}))
+        return false;
+      const Value* ranks = e.find("ranks");
+      if (!ranks || !ranks->is_array() || ranks->as_array().empty())
+        return ck.fail(path + ".ranks", "must be a non-empty array of ranks");
+      std::size_t j = 0;
+      for (const Value& r : ranks->as_array()) {
+        const std::string rp = path + ".ranks[" + std::to_string(j++) + "]";
+        if (!r.is_number() || r.as_number() < 0.0 ||
+            r.as_number() != std::floor(r.as_number()) ||
+            r.as_number() >= static_cast<double>(kAnyRank))
+          return ck.fail(rp, "must be a non-negative integer");
+        p.ranks.push_back(static_cast<std::uint32_t>(r.as_number()));
+      }
+      if (!get_window(ck, e, path, p.from_s, p.until_s)) return false;
+      plan.partitions.push_back(p);
+    }
+  }
+
   out = std::move(plan);
   return true;
 }
@@ -312,6 +353,30 @@ std::string fault_plan_to_json(const FaultPlan& plan) {
     put_number(out, "until_s", t.until_s, &first);
     out << '}';
   }
+  out << "], \"pauses\": [";
+  for (std::size_t i = 0; i < plan.pauses.size(); ++i) {
+    const PauseFault& p = plan.pauses[i];
+    bool first = true;
+    out << (i ? ", {" : "{");
+    put_rank(out, "rank", p.rank, &first);
+    put_number(out, "from_s", p.from_s, &first);
+    put_number(out, "until_s", p.until_s, &first);
+    out << '}';
+  }
+  out << "], \"partitions\": [";
+  for (std::size_t i = 0; i < plan.partitions.size(); ++i) {
+    const PartitionFault& p = plan.partitions[i];
+    bool first = true;
+    out << (i ? ", {" : "{");
+    out << "\"ranks\": [";
+    for (std::size_t j = 0; j < p.ranks.size(); ++j)
+      out << (j ? ", " : "") << p.ranks[j];
+    out << ']';
+    first = false;
+    put_number(out, "from_s", p.from_s, &first);
+    put_number(out, "until_s", p.until_s, &first);
+    out << '}';
+  }
   out << "]}";
   return out.str();
 }
@@ -334,6 +399,14 @@ FaultPlan scaled_fault_plan(const FaultPlan& plan, double k) {
   for (auto& t : out.tokens) {
     scale(t.from_s);
     scale(t.until_s);
+  }
+  for (auto& p : out.pauses) {
+    scale(p.from_s);
+    scale(p.until_s);
+  }
+  for (auto& p : out.partitions) {
+    scale(p.from_s);
+    scale(p.until_s);
   }
   return out;
 }

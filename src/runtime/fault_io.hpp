@@ -19,7 +19,9 @@
 ///     "links":      [{"from": "any", "to": 1, "drop_prob": 0.2,
 ///                     "extra_delay_s": 1e-5,
 ///                     "from_s": 0.0, "until_s": 0.5}],
-///     "tokens":     [{"drop_prob": 0.1, "from_s": 0.0, "until_s": 0.5}]
+///     "tokens":     [{"drop_prob": 0.1, "from_s": 0.0, "until_s": 0.5}],
+///     "pauses":     [{"rank": 1, "from_s": 0.1, "until_s": 0.4}],
+///     "partitions": [{"ranks": [0, 2], "from_s": 0.1, "until_s": 0.3}]
 ///   }
 
 #include <string>

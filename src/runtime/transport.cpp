@@ -6,11 +6,12 @@ namespace pmpl::runtime {
 
 namespace {
 
-// Fixed-size scalar section of a payload: type byte, from, to, a, b, c,
-// item count. Scalars are encoded little-endian by memcpy — every target
-// this repo builds for is little-endian, and the codec is symmetric, so
-// same-host clusters (the only deployment) round-trip regardless.
-constexpr std::size_t kScalarBytes = 1 + 4 + 4 + 8 + 8 + 8 + 4;
+// Fixed-size scalar section of a payload: type byte, from, to, gen, a, b,
+// c, item count. Scalars are encoded little-endian by memcpy — every
+// target this repo builds for is little-endian, and the codec is
+// symmetric, so same-host clusters (the only deployment) round-trip
+// regardless.
+constexpr std::size_t kScalarBytes = 1 + 4 + 4 + 4 + 8 + 8 + 8 + 4;
 
 template <typename T>
 void put(std::vector<std::uint8_t>& out, T v) {
@@ -38,6 +39,7 @@ void encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
   put(out, static_cast<std::uint8_t>(f.type));
   put(out, f.from);
   put(out, f.to);
+  put(out, f.gen);
   put(out, f.a);
   put(out, f.b);
   put(out, f.c);
@@ -50,10 +52,11 @@ bool decode_frame_payload(const std::uint8_t* data, std::size_t n,
   if (n < kScalarBytes) return false;
   std::size_t at = 0;
   const auto type = get<std::uint8_t>(data, at);
-  if (type > static_cast<std::uint8_t>(FrameType::kTerminate)) return false;
+  if (type > static_cast<std::uint8_t>(FrameType::kEpochFence)) return false;
   out.type = static_cast<FrameType>(type);
   out.from = get<std::uint32_t>(data, at);
   out.to = get<std::uint32_t>(data, at);
+  out.gen = get<std::uint32_t>(data, at);
   out.a = get<std::uint64_t>(data, at);
   out.b = get<std::uint64_t>(data, at);
   out.c = get<std::uint64_t>(data, at);
@@ -76,6 +79,7 @@ void publish(MetricsRegistry& reg, const TransportMetrics& m,
   reg.counter(prefix + "reconnects").add(m.reconnects);
   reg.counter(prefix + "connect_retries").add(m.connect_retries);
   reg.counter(prefix + "send_timeouts").add(m.send_timeouts);
+  reg.counter(prefix + "frames_stale").add(m.frames_stale);
 }
 
 FrameFaults::Fate FrameFaults::on_frame(std::uint32_t from, std::uint32_t to,
@@ -92,6 +96,13 @@ FrameFaults::Fate FrameFaults::on_frame(std::uint32_t from, std::uint32_t to,
     const std::uint64_t h = fnv1a64(key, sizeof key);
     return static_cast<double>(h >> 11) * 0x1.0p-53;
   };
+  // Partition cuts are absolute while open — no roll, so both halves of a
+  // link agree on the cut without sharing randomness.
+  for (const PartitionFault& cut : plan_.partitions)
+    if (t >= cut.from_s && t < cut.until_s && cut.separates(from, to)) {
+      fate.dropped = true;
+      return fate;
+    }
   if (is_token) {
     for (std::size_t i = 0; i < plan_.tokens.size(); ++i) {
       const TokenFault& tf = plan_.tokens[i];

@@ -47,15 +47,25 @@ enum class FrameType : std::uint8_t {
   kOwnerUpdate = 9,   ///< b = new owner, items = region ids re-homed
   kRegionDone = 10,   ///< a = completed region id
   kTerminate = 11,    ///< leader-declared global termination
+  kRejoin = 12,       ///< a = rejoiner's generation; items = its done set
+  kDirSync = 13,      ///< a = echoed rejoin gen, b = 1 if the responder is
+                      ///<   itself rejoining; items = done / claimed /
+                      ///<   yours ids (see kDirSync*Bit below)
+  kEpochFence = 14,   ///< a = current generation of `to`; a receiver whose
+                      ///<   own generation is older must exit (superseded)
 };
 
 /// One protocol message. `a`/`b`/`c` are type-dependent scalar payloads
 /// (documented per FrameType above); `items` carries region-id lists for
-/// grants and ownership updates.
+/// grants and ownership updates. `gen` is the sender incarnation's
+/// generation number — the epoch fence: peers drop frames whose gen is
+/// older than the newest they have seen from that rank, which is what
+/// neutralizes a zombie (paused, superseded, then resumed) rank.
 struct Frame {
   FrameType type = FrameType::kHello;
   std::uint32_t from = 0;
   std::uint32_t to = 0;
+  std::uint32_t gen = 0;
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::uint64_t c = 0;
@@ -63,6 +73,17 @@ struct Frame {
 
   bool operator==(const Frame&) const = default;
 };
+
+/// Bit tags on kDirSync items (untagged entries are completed ids).
+/// Region ids stay far below both bits in every workload this repo
+/// generates, and the codec's kMaxFrameItems keeps item lists bounded.
+///  - kDirSyncClaimBit: "pending region currently claimed by the
+///    responder" — the rejoiner must not execute it.
+///  - kDirSyncYoursBit: "pending region my directory credits to *you*" —
+///    lets a rejoiner whose checkpoint was lost re-adopt regions that
+///    were granted to its previous incarnation.
+inline constexpr std::uint32_t kDirSyncClaimBit = 0x80000000u;
+inline constexpr std::uint32_t kDirSyncYoursBit = 0x40000000u;
 
 /// Hard cap on `items` accepted off the wire — far above any real grant
 /// (steal_max_items is single digits; ownership updates carry one crashed
@@ -96,6 +117,7 @@ struct TransportMetrics {
   std::uint64_t reconnects = 0;       ///< re-established peer connections
   std::uint64_t connect_retries = 0;  ///< backoff rounds during setup
   std::uint64_t send_timeouts = 0;    ///< sends abandoned at the deadline
+  std::uint64_t frames_stale = 0;     ///< frames refused: stale generation
 };
 
 class MetricsRegistry;

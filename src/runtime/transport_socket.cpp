@@ -40,6 +40,7 @@ int make_socket() {
 SocketTransport::SocketTransport(SocketTransportConfig config)
     : config_(std::move(config)),
       peers_(config_.size),
+      peer_gen_(config_.size, 0),
       faults_(config_.faults) {
   epoch_steady_s_ = config_.epoch_steady_s > 0.0 ? config_.epoch_steady_s
                                                  : steady_seconds();
@@ -91,10 +92,32 @@ bool SocketTransport::start(std::string* error) {
   }
   set_nonblocking(listen_fd_);
 
+  // A restarted incarnation announces itself at startup: rank_restart on
+  // the transport track (arg = generation) so traces show the resurrection.
+  if (config_.generation > 0) trace_instant("rank_restart", config_.generation);
+
   bool all_ok = true;
   std::string first_err;
-  for (std::uint32_t peer = 0; peer < config_.rank; ++peer) {
-    if (!dial(peer, config_.connect_timeout_s)) {
+  const std::uint32_t dial_upto =
+      config_.dial_all ? config_.size : config_.rank;
+  // A rejoiner (dial_all) gets a fast per-peer budget: a live peer's
+  // listener accepts instantly (it never closes while the peer runs), so
+  // a connect that needs longer than this is a dead peer — and spending
+  // the full connect budget on each corpse serializes into minutes when
+  // the rejoiner revives into a mesh that already finished and exited
+  // (the supervisor's watchdog is the only thing that would end that).
+  // A peer that binds late (e.g. a sibling replacement mid-fork) is
+  // recovered by the send-path redial, which rejoiners may aim at anyone.
+  const double per_peer_budget =
+      config_.dial_all ? std::min(config_.connect_timeout_s, 0.25)
+                       : config_.connect_timeout_s;
+  for (std::uint32_t peer = 0; peer < dial_upto; ++peer) {
+    if (peer == config_.rank) continue;
+    if (!dial(peer, per_peer_budget)) {
+      // When dialing everyone (a rejoin), an unreachable peer is not a
+      // startup failure — it may simply be dead, which the protocol layer
+      // already survives.
+      if (config_.dial_all) continue;
       all_ok = false;
       if (first_err.empty())
         first_err = "rank " + std::to_string(config_.rank) +
@@ -106,8 +129,10 @@ bool SocketTransport::start(std::string* error) {
 
   // Accept until every higher rank has introduced itself (or the budget
   // runs out — a rank that died during startup shows up as missing here
-  // and as dead to the heartbeat detector later).
-  const double deadline = now() + config_.accept_timeout_s;
+  // and as dead to the heartbeat detector later). Rejoiners dialed those
+  // peers above, so any still-unconnected one is dead: skip the wait.
+  const double deadline =
+      now() + (config_.dial_all ? 0.0 : config_.accept_timeout_s);
   auto missing = [&] {
     for (std::uint32_t r = config_.rank + 1; r < config_.size; ++r)
       if (peers_[r].fd < 0) return true;
@@ -124,7 +149,7 @@ bool SocketTransport::start(std::string* error) {
     accept_new();
     identify_pending();
   }
-  if (missing()) {
+  if (missing() && !config_.dial_all) {
     all_ok = false;
     if (first_err.empty()) {
       first_err = "rank " + std::to_string(config_.rank) +
@@ -148,11 +173,15 @@ bool SocketTransport::dial(std::uint32_t peer, double budget_s) {
       addr.sun_family = AF_UNIX;
       std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
       if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
-        // Introduce ourselves before anything else travels.
+        // Introduce ourselves before anything else travels. The hello
+        // carries our generation — the peer refuses it if it has already
+        // heard from a newer incarnation of this rank.
         Frame hello;
         hello.type = FrameType::kHello;
         hello.from = config_.rank;
         hello.to = peer;
+        hello.gen = config_.generation;
+        hello.a = config_.generation;
         std::vector<std::uint8_t> wire;
         encode_frame(hello, wire);
         std::size_t off = 0;
@@ -190,6 +219,11 @@ bool SocketTransport::dial(std::uint32_t peer, double budget_s) {
 
 void SocketTransport::adopt_fd(std::uint32_t peer, int fd,
                                bool count_reconnect) {
+  // Salvage anything the displaced connection already delivered before
+  // closing it — same rule as the EOF path in pump(): delivered bytes are
+  // readable until the fd is closed, and may carry a death notice or
+  // completion this rank must not miss.
+  pump(peer);
   drop_connection(peer);
   peers_[peer].fd = fd;
   if (count_reconnect) {
@@ -215,8 +249,10 @@ bool SocketTransport::send(std::uint32_t to, const Frame& f) {
     Peer& p = peers_[to];
     if (p.fd < 0) {
       // Accept-side peers (higher ranks) must re-dial us; connect-side
-      // peers we may re-dial within the budget.
-      if (to < config_.rank && p.redials_left > 0 && !redialed) {
+      // peers we may re-dial within the budget. Rejoiners may re-dial
+      // anyone (their higher peers' budgets may be spent on the corpse).
+      if ((to < config_.rank || config_.dial_all) && p.redials_left > 0 &&
+          !redialed) {
         --p.redials_left;
         redialed = true;
         // Fast-fail budget: a live peer's listener accepts instantly (it
@@ -251,8 +287,12 @@ bool SocketTransport::send(std::uint32_t to, const Frame& f) {
           ++metrics_.send_timeouts;
           ++metrics_.frames_dropped;
           trace_instant("frame_drop", to);
-          // A half-written frame would desync the stream: kill it.
-          if (off > 0) drop_connection(to);
+          // A half-written frame would desync the stream: kill it — but
+          // salvage delivered inbound frames first (see below).
+          if (off > 0) {
+            pump(to);
+            drop_connection(to);
+          }
           return false;
         }
         pollfd pfd{p.fd, POLLOUT, 0};
@@ -268,6 +308,12 @@ bool SocketTransport::send(std::uint32_t to, const Frame& f) {
       trace_instant("frame_send", to);
       return true;
     }
+    // The peer closed on us — but frames it wrote before exiting are
+    // still sitting in our receive buffer, readable until the fd is
+    // closed. Decode them before tearing down (mirroring the EOF path in
+    // pump()): a resumed zombie whose first post-resume act is a send
+    // would otherwise destroy the very death notice that must fence it.
+    pump(to);
     drop_connection(to);
   }
 }
@@ -299,6 +345,29 @@ void SocketTransport::identify_pending() {
           if (decode_frame_payload(inbuf.data() + 4, len, hello) &&
               hello.type == FrameType::kHello && hello.from < config_.size &&
               hello.from != config_.rank) {
+            if (hello.gen < peer_gen_[hello.from]) {
+              // Stale incarnation (a resumed zombie re-dialing after its
+              // replacement already introduced itself): refuse the
+              // connection, but first tell it — best effort — that it
+              // has been superseded so it can exit instead of spinning.
+              ++metrics_.frames_stale;
+              trace_instant("frame_drop", hello.from);
+              Frame fence;
+              fence.type = FrameType::kEpochFence;
+              fence.from = config_.rank;
+              fence.to = hello.from;
+              fence.gen = config_.generation;
+              fence.a = peer_gen_[hello.from];
+              std::vector<std::uint8_t> wire;
+              encode_frame(fence, wire);
+              (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+              ::close(fd);
+              unidentified_.erase(unidentified_.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+              continue;
+            }
+            peer_gen_[hello.from] =
+                std::max(peer_gen_[hello.from], hello.gen);
             Peer moved = std::move(unidentified_[i]);
             moved.inbuf.erase(moved.inbuf.begin(),
                               moved.inbuf.begin() + 4 + len);
@@ -396,7 +465,10 @@ bool SocketTransport::pump(std::uint32_t peer) {
       return false;
     }
     at += 4ull + len;
-    if (frame.type == FrameType::kHello) continue;  // duplicate handshake
+    if (frame.type == FrameType::kHello) {  // duplicate handshake
+      peer_gen_[peer] = std::max(peer_gen_[peer], frame.gen);
+      continue;
+    }
     ++metrics_.frames_received;
     trace_instant("frame_recv", peer);
     ingest(peer, std::move(frame));

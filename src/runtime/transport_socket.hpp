@@ -38,6 +38,21 @@ struct SocketTransportConfig {
   std::uint32_t size = 1;
   std::string dir;  ///< directory for the per-rank socket files
 
+  /// Incarnation number of this rank, stamped into every kHello (and by
+  /// the engine into every frame). Peers refuse handshakes whose
+  /// generation is older than the newest they have seen from that rank —
+  /// the epoch fence that keeps a resumed zombie from displacing its
+  /// replacement's connection. A refused zombie is sent one kEpochFence
+  /// frame (best effort) before the connection closes, so it learns it
+  /// was superseded and can exit instead of spinning.
+  std::uint32_t generation = 0;
+
+  /// Restarted incarnations dial *every* peer on start (and may re-dial
+  /// any peer later), not just lower ranks: the surviving higher ranks
+  /// may have spent their reconnect budget on the dead predecessor and
+  /// would otherwise never find the new incarnation.
+  bool dial_all = false;
+
   /// Cluster epoch on the CLOCK_MONOTONIC timeline (seconds), captured by
   /// the launcher before forking so every rank cuts fault windows against
   /// the same zero. 0 = use this transport's construction instant.
@@ -130,6 +145,9 @@ class SocketTransport final : public Transport {
   std::priority_queue<Delayed, std::vector<Delayed>, std::greater<>>
       delayed_;
   std::uint64_t delay_seq_ = 0;
+  /// Newest generation seen in a kHello per peer; older hellos are
+  /// refused (see SocketTransportConfig::generation).
+  std::vector<std::uint32_t> peer_gen_;
   FrameFaults faults_;
   TransportMetrics metrics_;
   TraceBuffer* trace_ = nullptr;

@@ -91,6 +91,21 @@ class Xoshiro256ss {
   /// Standard normal via Marsaglia polar method (no <cmath> trig needed).
   double normal() noexcept;
 
+  /// Raw 256-bit state, exposed so a checkpoint can persist the RNG cursor
+  /// and a restarted process resumes the exact sample stream (DESIGN.md
+  /// §5i). `set_state` trusts the caller: restoring an all-zero state
+  /// would wedge the generator, so zeros fall back to the default seed.
+  void state(std::uint64_t out[4]) const noexcept {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void set_state(const std::uint64_t in[4]) noexcept {
+    if ((in[0] | in[1] | in[2] | in[3]) == 0) {
+      *this = Xoshiro256ss{};
+      return;
+    }
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,127 @@
+#include "util/state_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace pmpl {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'M', 'P', 'L', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 56;
+constexpr std::size_t kFooterBytes = 8;
+
+void fail(IoStatus* status, IoStatus code) {
+  if (status) *status = code;
+}
+
+}  // namespace
+
+bool save_state_file(const StateBlob& b, const std::string& path) {
+  std::vector<char> header;
+  header.reserve(kHeaderBytes);
+  put_bytes(header, kMagic, sizeof kMagic);
+  put_u32(header, kVersion);
+  put_u32(header, b.kind);
+  put_u64(header, b.fingerprint);
+  put_u64(header, b.seed);
+  put_u32(header, b.meta0);
+  put_u32(header, b.meta1);
+  put_u64(header, b.payload.size());
+  put_u64(header, fnv1a64(header.data(), header.size()));
+
+  // Atomic publish: write to a sibling tmp, then rename over the target.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write(b.payload.data(),
+              static_cast<std::streamsize>(b.payload.size()));
+    const std::uint64_t payload_sum =
+        fnv1a64(b.payload.data(), b.payload.size());
+    out.write(reinterpret_cast<const char*>(&payload_sum),
+              sizeof payload_sum);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<StateBlob> load_state_file(const std::string& path,
+                                         IoStatus* status) {
+  fail(status, IoStatus::kOk);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail(status, IoStatus::kOpenFailed);
+    return std::nullopt;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (bytes.size() < sizeof kMagic) {
+    fail(status, IoStatus::kTruncated);
+    return std::nullopt;
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    fail(status, IoStatus::kBadMagic);
+    return std::nullopt;
+  }
+  if (bytes.size() < kHeaderBytes) {
+    fail(status, IoStatus::kTruncated);
+    return std::nullopt;
+  }
+
+  StateReader hdr{bytes.data() + sizeof kMagic,
+                  kHeaderBytes - sizeof kMagic};
+  const std::uint32_t version = hdr.u32();
+  StateBlob b;
+  b.kind = hdr.u32();
+  b.fingerprint = hdr.u64();
+  b.seed = hdr.u64();
+  b.meta0 = hdr.u32();
+  b.meta1 = hdr.u32();
+  const std::uint64_t payload_bytes = hdr.u64();
+  const std::uint64_t stored_header_sum = hdr.u64();
+  const std::uint64_t header_sum =
+      fnv1a64(bytes.data(), kHeaderBytes - sizeof stored_header_sum);
+  if (header_sum != stored_header_sum) {
+    fail(status, IoStatus::kChecksumMismatch);
+    return std::nullopt;
+  }
+  if (version != kVersion) {
+    fail(status, IoStatus::kBadVersion);
+    return std::nullopt;
+  }
+
+  const std::uint64_t expected = kHeaderBytes + payload_bytes + kFooterBytes;
+  if (bytes.size() < expected) {
+    fail(status, IoStatus::kTruncated);
+    return std::nullopt;
+  }
+  if (bytes.size() > expected) {
+    fail(status, IoStatus::kMalformed);
+    return std::nullopt;
+  }
+
+  const char* payload = bytes.data() + kHeaderBytes;
+  std::uint64_t stored_payload_sum = 0;
+  std::memcpy(&stored_payload_sum, payload + payload_bytes,
+              sizeof stored_payload_sum);
+  if (fnv1a64(payload, payload_bytes) != stored_payload_sum) {
+    fail(status, IoStatus::kChecksumMismatch);
+    return std::nullopt;
+  }
+
+  b.payload.assign(payload, payload + payload_bytes);
+  return b;
+}
+
+}  // namespace pmpl

@@ -1,0 +1,61 @@
+// libFuzzer entry for the two external input surfaces of the transport
+// stack: the Frame wire codec and the fault-plan JSON parser. Built only
+// when -DPMPL_FUZZ=ON (clang with -fsanitize=fuzzer); the deterministic
+// seeded variants of the same properties run in every CI build as
+// FrameCodecFuzz / FaultIoFuzz in test_transport.cpp.
+//
+//   $ cmake -DPMPL_FUZZ=ON .. && cmake --build . --target fuzz_wire
+//   $ ./tests/fuzz_wire -max_len=4096 corpus/
+//
+// Input layout: first byte selects the surface (even = codec, odd = JSON);
+// the rest is the payload under test.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/fault_io.hpp"
+#include "runtime/transport.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 1) return 0;
+  const bool codec = (data[0] & 1) == 0;
+  ++data;
+  --size;
+
+  if (codec) {
+    pmpl::runtime::Frame f;
+    if (pmpl::runtime::decode_frame_payload(data, size, f)) {
+      // Accepted frames must re-encode to exactly the bytes decoded
+      // (after the length prefix) — the codec is a bijection on its
+      // accepted set.
+      std::vector<std::uint8_t> wire;
+      pmpl::runtime::encode_frame(f, wire);
+      if (wire.size() - 4 != size) __builtin_trap();
+      for (std::size_t i = 0; i < size; ++i)
+        if (wire[4 + i] != data[i]) __builtin_trap();
+    }
+    return 0;
+  }
+
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  pmpl::runtime::FaultPlan plan;
+  std::string err;
+  if (!pmpl::runtime::parse_fault_plan(text, plan, err)) {
+    if (err.empty()) __builtin_trap();  // rejection without a diagnostic
+    return 0;
+  }
+  // Accepted plans must satisfy the documented bounds.
+  for (const auto& l : plan.links)
+    if (l.drop_prob < 0.0 || l.drop_prob > 1.0 || l.from_s > l.until_s)
+      __builtin_trap();
+  for (const auto& t : plan.tokens)
+    if (t.drop_prob < 0.0 || t.drop_prob > 1.0) __builtin_trap();
+  for (const auto& p : plan.pauses)
+    if (p.from_s > p.until_s) __builtin_trap();
+  for (const auto& p : plan.partitions)
+    if (p.ranks.empty() || p.from_s > p.until_s) __builtin_trap();
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -24,6 +25,7 @@
 #include "runtime/transport.hpp"
 #include "runtime/transport_mem.hpp"
 #include "runtime/transport_socket.hpp"
+#include "util/rng.hpp"
 
 namespace pmpl {
 namespace {
@@ -91,12 +93,126 @@ TEST(FrameCodec, RejectsMalformedPayloads) {
   bad_type[0] = 0xee;
   EXPECT_FALSE(
       runtime::decode_frame_payload(bad_type.data(), bad_type.size(), g));
-  // Item count pointing past the buffer.
+  // Item count pointing past the buffer (count sits after the 37 bytes of
+  // type/from/to/gen/a/b/c).
   std::vector<std::uint8_t> bad_count(wire.begin() + 4, wire.end());
-  bad_count[33] = 0xff;
-  bad_count[34] = 0xff;
+  bad_count[37] = 0xff;
+  bad_count[38] = 0xff;
   EXPECT_FALSE(
       runtime::decode_frame_payload(bad_count.data(), bad_count.size(), g));
+}
+
+// Seeded deterministic fuzz of the wire codec: random valid frames must
+// round-trip bit-exactly; truncations, bit flips and item-count bombs must
+// be rejected (or decode to a frame that re-encodes within bounds) without
+// reading out of bounds — the CI sanitizer job is the oracle for that.
+// tests/fuzz_wire.cpp runs the same surface coverage-guided (PMPL_FUZZ).
+TEST(FrameCodecFuzz, RandomFramesRoundTripAndMutationsAreRejectedCleanly) {
+  Xoshiro256ss rng(0xf0225eedULL);
+  std::vector<std::uint8_t> wire;
+  for (int iter = 0; iter < 2000; ++iter) {
+    Frame f;
+    f.type = static_cast<FrameType>(rng.uniform_u64(
+        static_cast<std::uint64_t>(FrameType::kEpochFence) + 1));
+    f.from = static_cast<std::uint32_t>(rng());
+    f.to = static_cast<std::uint32_t>(rng());
+    f.gen = static_cast<std::uint32_t>(rng());
+    f.a = rng();
+    f.b = rng();
+    f.c = rng();
+    f.items.resize(rng.uniform_u64(17));
+    for (auto& item : f.items) item = static_cast<std::uint32_t>(rng());
+
+    wire.clear();
+    runtime::encode_frame(f, wire);
+    Frame g;
+    ASSERT_TRUE(
+        runtime::decode_frame_payload(wire.data() + 4, wire.size() - 4, g));
+    ASSERT_TRUE(f == g);
+
+    // Truncation at every boundary class is a clean reject.
+    const std::size_t cut = rng.uniform_u64(wire.size() - 4);
+    EXPECT_FALSE(runtime::decode_frame_payload(wire.data() + 4, cut, g));
+
+    // One random bit flip: decode may succeed (a flipped scalar is still a
+    // well-formed frame) but must never read past the buffer or accept a
+    // length that disagrees with the item count.
+    std::vector<std::uint8_t> mut(wire.begin() + 4, wire.end());
+    mut[rng.uniform_u64(mut.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform_u64(8));
+    Frame h;
+    if (runtime::decode_frame_payload(mut.data(), mut.size(), h)) {
+      EXPECT_EQ(runtime::frame_payload_size(h), mut.size());
+    }
+  }
+
+  // Length bomb: a count field claiming ~4 billion items must be rejected
+  // by the kMaxFrameItems bound, not by attempting the allocation.
+  Frame f = sample_frame();
+  wire.clear();
+  runtime::encode_frame(f, wire);
+  std::vector<std::uint8_t> bomb(wire.begin() + 4, wire.end());
+  for (int b = 0; b < 4; ++b) bomb[37 + b] = 0xff;
+  Frame g;
+  EXPECT_FALSE(runtime::decode_frame_payload(bomb.data(), bomb.size(), g));
+}
+
+// Same treatment for the fault-plan JSON parser: mutations of a valid
+// document and raw garbage must produce a clean (false, diagnostic) result,
+// never a crash or an accepted half-parsed plan with the error set.
+TEST(FaultIoFuzz, MutatedPlansParseOrRejectCleanly) {
+  runtime::FaultPlan seed_plan;
+  seed_plan.crash(1, 0.3);
+  seed_plan.straggler(0, 2.0, 0.0, 1.0);
+  seed_plan.lossy_links(0.25, 1e-4, 0.1, 0.8);
+  seed_plan.lose_tokens(0.5);
+  seed_plan.pause(2, 0.2, 0.6);
+  seed_plan.partition({0, 1}, 0.1, 0.5);
+  const std::string base = runtime::fault_plan_to_json(seed_plan);
+
+  Xoshiro256ss rng(0xfa1117ULL);
+  for (int iter = 0; iter < 1500; ++iter) {
+    std::string text = base;
+    const int edits = 1 + static_cast<int>(rng.uniform_u64(4));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t at = rng.uniform_u64(text.size());
+      switch (rng.uniform_u64(3)) {
+        case 0:  // flip a byte to a random printable
+          text[at] = static_cast<char>(0x20 + rng.uniform_u64(95));
+          break;
+        case 1:  // truncate
+          text.resize(at);
+          break;
+        default:  // duplicate a slice (nesting bombs, repeated keys)
+          text.insert(at, text.substr(at / 2, rng.uniform_u64(24)));
+          break;
+      }
+      if (text.empty()) break;
+    }
+    runtime::FaultPlan plan;
+    std::string err;
+    const bool ok = runtime::parse_fault_plan(text, plan, err);
+    // The contract: rejection always carries a diagnostic; acceptance
+    // always yields in-range probabilities and ordered windows.
+    if (!ok) {
+      EXPECT_FALSE(err.empty());
+    } else {
+      for (const auto& l : plan.links) {
+        EXPECT_GE(l.drop_prob, 0.0);
+        EXPECT_LE(l.drop_prob, 1.0);
+        EXPECT_LE(l.from_s, l.until_s);
+      }
+      for (const auto& t : plan.tokens) {
+        EXPECT_GE(t.drop_prob, 0.0);
+        EXPECT_LE(t.drop_prob, 1.0);
+      }
+      for (const auto& p : plan.pauses) EXPECT_LE(p.from_s, p.until_s);
+      for (const auto& p : plan.partitions) {
+        EXPECT_FALSE(p.ranks.empty());
+        EXPECT_LE(p.from_s, p.until_s);
+      }
+    }
+  }
 }
 
 // --- fault-plan files --------------------------------------------------
@@ -109,7 +225,9 @@ TEST(FaultIo, ParsesFullPlan) {
                     "until_s": 2.0}],
     "links": [{"from": "any", "to": 3, "drop_prob": 0.25,
                "extra_delay_s": 1e-4, "from_s": 0.1, "until_s": 0.9}],
-    "tokens": [{"drop_prob": 0.5}]
+    "tokens": [{"drop_prob": 0.5}],
+    "pauses": [{"rank": 0, "from_s": 0.2, "until_s": 0.7}],
+    "partitions": [{"ranks": [0, 2], "from_s": 0.1, "until_s": 0.4}]
   })";
   runtime::FaultPlan plan;
   std::string err;
@@ -122,6 +240,13 @@ TEST(FaultIo, ParsesFullPlan) {
   EXPECT_EQ(plan.links[0].to, 3u);
   EXPECT_DOUBLE_EQ(plan.links[0].drop_prob, 0.25);
   ASSERT_EQ(plan.tokens.size(), 1u);
+  ASSERT_EQ(plan.pauses.size(), 1u);
+  EXPECT_EQ(plan.pauses[0].rank, 0u);
+  EXPECT_DOUBLE_EQ(plan.pauses[0].until_s, 0.7);
+  ASSERT_EQ(plan.partitions.size(), 1u);
+  ASSERT_EQ(plan.partitions[0].ranks.size(), 2u);
+  EXPECT_TRUE(plan.partitions[0].separates(0, 1));
+  EXPECT_FALSE(plan.partitions[0].separates(0, 2));
 }
 
 TEST(FaultIo, RejectionsNameTheOffendingField) {
@@ -144,6 +269,24 @@ TEST(FaultIo, RejectionsNameTheOffendingField) {
   EXPECT_FALSE(
       runtime::parse_fault_plan(R"({"crashes": [{"at_s": 1.0}]})", plan, err));
   EXPECT_NE(err.find("rank"), std::string::npos) << err;
+  // Pause without a rank.
+  EXPECT_FALSE(runtime::parse_fault_plan(
+      R"({"pauses": [{"from_s": 0.1, "until_s": 0.2}]})", plan, err));
+  EXPECT_NE(err.find("pauses[0].rank"), std::string::npos) << err;
+  // Pause with an inverted window.
+  EXPECT_FALSE(runtime::parse_fault_plan(
+      R"({"pauses": [{"rank": 1, "from_s": 2.0, "until_s": 1.0}]})", plan,
+      err));
+  EXPECT_NE(err.find("until_s"), std::string::npos) << err;
+  // Partition with an empty side.
+  EXPECT_FALSE(runtime::parse_fault_plan(
+      R"({"partitions": [{"ranks": [], "from_s": 0.0, "until_s": 1.0}]})",
+      plan, err));
+  EXPECT_NE(err.find("partitions[0].ranks"), std::string::npos) << err;
+  // Partition with a fractional rank.
+  EXPECT_FALSE(runtime::parse_fault_plan(
+      R"({"partitions": [{"ranks": [0.5], "until_s": 1.0}]})", plan, err));
+  EXPECT_NE(err.find("partitions[0].ranks[0]"), std::string::npos) << err;
   // Not JSON at all.
   EXPECT_FALSE(runtime::parse_fault_plan("not json", plan, err));
   EXPECT_FALSE(err.empty());
@@ -156,6 +299,8 @@ TEST(FaultIo, SerializationRoundTrips) {
   plan.straggler(2, 3.0, 0.0, 1.5);
   plan.lossy_links(0.2);
   plan.lose_tokens(0.1);
+  plan.pause(3, 0.4, 0.9);
+  plan.partition({1, 3}, 0.2, 0.6);
   runtime::FaultPlan back;
   std::string err;
   ASSERT_TRUE(
@@ -167,6 +312,12 @@ TEST(FaultIo, SerializationRoundTrips) {
   EXPECT_EQ(back.links[0].from, runtime::kAnyRank);
   EXPECT_DOUBLE_EQ(back.links[0].drop_prob, 0.2);
   ASSERT_EQ(back.tokens.size(), 1u);
+  ASSERT_EQ(back.pauses.size(), 1u);
+  EXPECT_EQ(back.pauses[0].rank, 3u);
+  EXPECT_DOUBLE_EQ(back.pauses[0].from_s, 0.4);
+  ASSERT_EQ(back.partitions.size(), 1u);
+  EXPECT_EQ(back.partitions[0].ranks, (std::vector<std::uint32_t>{1, 3}));
+  EXPECT_DOUBLE_EQ(back.partitions[0].until_s, 0.6);
 }
 
 TEST(FaultIo, ScaledPlanMapsTimesOntoWallClock) {
@@ -485,9 +636,43 @@ TEST(SocketTransport, MeshDeliversAndCounts) {
   EXPECT_TRUE(got == f);
   EXPECT_EQ(t0.metrics().frames_sent, 1u);
   EXPECT_EQ(t1.metrics().frames_received, 1u);
-  EXPECT_GE(t1.metrics().bytes_received, 4u + 37u + 12u);
+  EXPECT_GE(t1.metrics().bytes_received, 4u + 41u + 12u);
   t0.close();
   t1.close();
+  ::rmdir(dir.c_str());
+}
+
+// A rejoiner (dial_all) reviving into a mesh that already finished and
+// exited must not spend the full connect budget on every corpse: launch
+// runs before the engine's inactivity backstop arms, so with the default
+// 10s budget a 4-rank revival would stall ~30s in dial() backoff — only
+// the cluster watchdog would end it. The dial_all path caps each peer at
+// a fast-fail budget instead (a live peer's listener accepts instantly),
+// and unreachable peers are tolerated, not startup failures.
+TEST(SocketTransport, RejoinerFastFailsDeadPeersAtLaunch) {
+  char tmpl[] = "/tmp/pmpl_sock_test_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  runtime::SocketTransportConfig c;
+  c.rank = 1;
+  c.size = 4;
+  c.dir = dir;
+  c.dial_all = true;
+  c.generation = 1;
+  c.connect_timeout_s = 10.0;  // the budget a first launch would get
+  runtime::SocketTransport t(c);
+  std::string err;
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = t.start(&err);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // Dead peers are tolerated on a rejoin launch...
+  EXPECT_TRUE(ok) << err;
+  // ...and cost a fraction of a second each, not connect_timeout_s
+  // (pre-fix this took 3 x 10s; the bound leaves headroom for ASan/CI).
+  EXPECT_LT(elapsed, 5.0);
+  t.close();
   ::rmdir(dir.c_str());
 }
 

@@ -10,8 +10,9 @@
 // payload events == total - dropped). Tracks named "transport <r>" (the
 // per-rank frame-layer tracks SocketTransport emits) are held to a
 // tighter shape: instant-only events named frame_send / frame_recv /
-// frame_drop / reconnect, each carrying a numeric args.arg (the peer
-// rank). The schema file itself is also parsed, so a truncated or
+// frame_drop / reconnect / rank_restart / rejoin, each carrying a
+// numeric args.arg (the peer rank, or the generation for restart
+// instants). The schema file itself is also parsed, so a truncated or
 // hand-mangled schema fails loudly rather than silently validating
 // nothing. Exit 0 on success, 1 with a diagnostic on the first violation.
 
@@ -139,10 +140,10 @@ int main(int argc, char** argv) {
       if (!nm->is_string()) return fail(at + ".name is not a string");
       const std::string& n2 = nm->as_string();
       if (n2 != "frame_send" && n2 != "frame_recv" && n2 != "frame_drop" &&
-          n2 != "reconnect")
+          n2 != "reconnect" && n2 != "rank_restart" && n2 != "rejoin")
         return fail(at + ": transport instant '" + n2 +
                     "' not in [frame_send, frame_recv, frame_drop, "
-                    "reconnect]");
+                    "reconnect, rank_restart, rejoin]");
       const Value* args = ev.find("args");
       if (!args || !args->find("arg") || !args->find("arg")->is_number())
         return fail(at +

@@ -14,6 +14,17 @@
 //                [--report FILE]        JSON summary of both runs + gate
 //                [--timeout S]          parent watchdog (default 90)
 //                [--no-gate]            skip the DES replay / comparison
+//                [--restart]            supervisor re-forks dead ranks
+//                [--max-restarts N]     restart budget per rank (default 3)
+//                [--suspect-after S]    stalled-checkpoint replacement (zombie
+//                                       scenario); 0 disables (default)
+//
+// Chaos-soak mode (ignores the workload/fault flags above):
+//   $ ws_cluster --chaos N [--chaos-seed S] [--chaos-out FILE]
+//                [--ranks P] [--regions N] [--time-scale K]
+// runs N seeded randomized kill/pause/loss/partition schedules under the
+// restart supervisor and asserts the invariant suite (DESIGN.md §5i),
+// writing the per-schedule report to --chaos-out.
 //
 // Exit codes: 0 gate passed (or --no-gate and the cluster ran clean),
 // 1 gate or protocol failure, 2 bad usage or a malformed fault plan
@@ -22,6 +33,7 @@
 #include <cstdio>
 #include <string>
 
+#include "loadbal/chaos.hpp"
 #include "loadbal/ws_cluster.hpp"
 #include "runtime/fault_io.hpp"
 #include "util/args.hpp"
@@ -44,11 +56,14 @@ void print_rank_table(const loadbal::ClusterResult& c) {
               "state", "exit", "local", "stolen", "reqs", "grants",
               "retrans", "recov", "deaths", "drops");
   for (std::size_t r = 0; r < c.ranks.size(); ++r) {
-    const char* state = c.killed[r] ? "KILLED"
-                        : !c.reported[r] ? "LOST"
-                        : c.ranks[r].fenced ? "FENCED"
-                        : c.ranks[r].terminated ? "done"
-                                                : "WEDGED";
+    // A killed rank that still reported was resurrected by the supervisor
+    // (its final incarnation terminated normally).
+    const char* state = c.killed[r] && !c.reported[r] ? "KILLED"
+                        : !c.reported[r]              ? "LOST"
+                        : c.killed[r] && c.ranks[r].terminated ? "resur"
+                        : c.ranks[r].fenced                    ? "FENCED"
+                        : c.ranks[r].terminated                ? "done"
+                                                               : "WEDGED";
     if (!c.reported[r]) {
       std::printf("%-5zu %-6s %-6d\n", r, state, c.exit_codes[r]);
       continue;
@@ -78,6 +93,46 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(args.get_i64("regions", 96, 1, 1 << 20));
   const auto seed = static_cast<std::uint64_t>(args.get_i64("seed", 42));
   const double time_scale = args.get_f64("time-scale", 1.0, 1e-6);
+
+  const auto chaos_n =
+      static_cast<std::uint32_t>(args.get_i64("chaos", 0, 0, 100000));
+  if (chaos_n > 0) {
+    loadbal::ChaosConfig ccfg;
+    ccfg.schedules = chaos_n;
+    ccfg.seed = static_cast<std::uint64_t>(
+        args.get_i64("chaos-seed", static_cast<std::int64_t>(ccfg.seed)));
+    ccfg.ranks = ranks;
+    ccfg.regions = static_cast<std::uint32_t>(
+        args.get_i64("regions", static_cast<std::int64_t>(ccfg.regions)));
+    ccfg.time_scale = time_scale;
+    std::printf("chaos soak: %u schedules, %u ranks x %u regions, seed %llu\n",
+                ccfg.schedules, ccfg.ranks, ccfg.regions,
+                static_cast<unsigned long long>(ccfg.seed));
+    const auto soak = loadbal::run_chaos_soak(ccfg);
+    for (const auto& s : soak.schedules)
+      std::printf("  schedule %2u seed %016llx: %s%s%s (restarts=%u "
+                  "zombies=%llu stale=%llu)\n",
+                  s.index, static_cast<unsigned long long>(s.schedule_seed),
+                  s.ok ? "ok" : "FAIL", s.ok ? "" : " — ", s.error.c_str(),
+                  s.restarts_total,
+                  static_cast<unsigned long long>(s.zombies_fenced),
+                  static_cast<unsigned long long>(s.stale_frames_rejected));
+    std::printf("chaos soak: %u/%u passed, leaks: %s (fds %zu->%zu, "
+                "tmp %zu->%zu)\n",
+                soak.passed, soak.passed + soak.failed,
+                soak.no_leaks ? "none" : "LEAKED", soak.fds_before,
+                soak.fds_after, soak.tmp_before, soak.tmp_after);
+    const std::string out = args.get("chaos-out", "");
+    if (!out.empty()) {
+      if (!loadbal::write_chaos_report(soak, ccfg, out)) {
+        std::fprintf(stderr, "error: cannot write report to %s\n",
+                     out.c_str());
+        return 2;
+      }
+      std::printf("report: %s\n", out.c_str());
+    }
+    return soak.ok ? 0 : 1;
+  }
   const std::string report_path = args.get("report", "");
   const bool run_gate = !args.get_bool("no-gate", false);
 
@@ -114,6 +169,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(args.get_i64("steal-max", 1, 1, 1 << 16));
   cfg.rank.seed = seed;
   cfg.rank.time_scale = time_scale;
+  cfg.restart.enabled = args.get_bool("restart", false);
+  cfg.restart.max_restarts =
+      static_cast<std::uint32_t>(args.get_i64("max-restarts", 3, 0, 1000));
+  cfg.restart.suspect_after_s = args.get_f64("suspect-after", 0.0, 0.0);
 
   std::printf("ws_cluster: %u ranks x %u regions, seed %llu, policy %s%s\n",
               ranks, regions, static_cast<unsigned long long>(seed),
@@ -129,6 +188,12 @@ int main(int argc, char** argv) {
               real.all_done ? "yes" : "NO",
               static_cast<unsigned long long>(real.regions_recovered),
               static_cast<unsigned long long>(real.roadmap));
+  if (cfg.restart.enabled) {
+    std::uint32_t restarts = 0;
+    for (std::uint32_t r : real.restarts) restarts += r;
+    std::printf("supervisor: restarts=%u zombies_fenced=%llu\n", restarts,
+                static_cast<unsigned long long>(real.zombies_fenced));
+  }
 
   bool gate_ok = true;
   std::uint64_t des_hash = 0;
