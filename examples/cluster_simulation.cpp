@@ -322,6 +322,9 @@ int main(int argc, char** argv) {
     }
   }
   if (!metrics_path.empty()) {
+    // Tracer health rides along in the snapshot: drop counts and per-track
+    // high-water marks expose an undersized ring without opening the trace.
+    if (!trace_path.empty()) runtime::publish_trace_metrics(metrics, tracer);
     std::FILE* mf = std::fopen(metrics_path.c_str(), "w");
     if (mf) {
       const std::string j = metrics.to_json();

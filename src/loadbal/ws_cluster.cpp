@@ -81,7 +81,8 @@ struct InterruptScope {
 /// Sockets ("r<digits>.sock"), result files, checkpoints, and the temp
 /// names their atomic writers use.
 bool is_cluster_file(const std::string& name) {
-  if (name.rfind("result_", 0) == 0 || name.rfind("ckpt_", 0) == 0)
+  if (name.rfind("result_", 0) == 0 || name.rfind("ckpt_", 0) == 0 ||
+      name.rfind("trace_", 0) == 0)
     return true;
   if (name.size() > 1 && name[0] == 'r') {
     std::size_t i = 1;
@@ -274,6 +275,65 @@ std::string result_path(const std::string& dir, std::uint32_t r,
   return dir + "/result_" + std::to_string(r) + ".g" + std::to_string(gen);
 }
 
+std::string trace_json_path(const std::string& prefix, std::uint32_t r,
+                            std::uint32_t gen) {
+  return prefix + ".r" + std::to_string(r) + ".g" + std::to_string(gen) +
+         ".json";
+}
+
+/// The clock metadata tools/trace_merge aligns per-rank timelines on:
+/// this rank's cluster epoch on CLOCK_MONOTONIC plus its hello-round-trip
+/// offset estimate to every peer it dialed (null = never measured).
+/// Emitted as a raw member of the trace's `otherData`.
+std::string cluster_clock_json(const runtime::SocketTransport& net,
+                               std::uint32_t r, std::uint32_t gen,
+                               std::uint32_t p) {
+  std::ostringstream os;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", net.epoch_steady_s());
+  os << "\"clusterClock\": {\"rank\": " << r << ", \"generation\": " << gen
+     << ", \"epochSteadyS\": " << buf << ", \"offsets\": [";
+  for (std::uint32_t q = 0; q < p; ++q) {
+    if (q != 0) os << ", ";
+    if (net.clock_offset_known(q)) {
+      std::snprintf(buf, sizeof buf, "%.9g", net.clock_offset(q));
+      os << buf;
+    } else {
+      os << "null";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+// --- fatal-signal flight-recorder flush --------------------------------
+//
+// A child that dies on SIGTERM/SIGSEGV/SIGABRT/SIGBUS still owns an
+// in-memory trace ring worth salvaging. The handler serializes it through
+// the same atomic state_file path as the periodic flight recorder, then
+// re-raises with the default disposition so the exit status is unchanged.
+// Snapshotting allocates, which is not async-signal-safe — acceptable
+// here because the process is already dying and the write is best-effort
+// (a torn fragment is rejected by its checksums, never misread). SIGKILL
+// of course bypasses this; that is what the periodic writes are for.
+
+runtime::Tracer* g_flight_tracer = nullptr;
+std::string g_flight_path;
+std::uint32_t g_flight_rank = 0;
+std::uint32_t g_flight_gen = 0;
+
+void on_fatal_signal(int sig) {
+  ::signal(sig, SIG_DFL);
+  if (g_flight_tracer != nullptr && !g_flight_path.empty()) {
+    runtime::TraceSnapshot snap = runtime::snapshot_tracer(*g_flight_tracer);
+    snap.rank = g_flight_rank;
+    snap.generation = g_flight_gen;
+    (void)runtime::save_trace_snapshot(snap, g_flight_path);
+    g_flight_tracer = nullptr;
+  }
+  ::raise(sig);
+}
+
 [[noreturn]] void child_main(const ClusterConfig& cfg, std::uint32_t r,
                              std::uint32_t gen,
                              const std::string& restore_path,
@@ -303,6 +363,15 @@ std::string result_path(const std::string& dir, std::uint32_t r,
     net_cfg.tracer = &tracer;
     net_cfg.track_name = "transport " + std::to_string(r);
     net_cfg.trace_capacity = 1 << 14;
+    // Seed the flight recorder before the handshake: a rank SIGKILLed
+    // while still dialing peers leaves a (nearly empty) fragment, so the
+    // supervisor's salvage pass is deterministic instead of racing the
+    // first in-loop flight-recorder write.
+    runtime::TraceSnapshot snap = runtime::snapshot_tracer(tracer);
+    snap.rank = r;
+    snap.generation = gen;
+    (void)runtime::save_trace_snapshot(snap,
+                                       flight_recorder_path(dir, r, gen));
   }
   runtime::SocketTransport net(std::move(net_cfg));
   std::string err;
@@ -321,15 +390,22 @@ std::string result_path(const std::string& dir, std::uint32_t r,
     rank_cfg.tracer = &tracer;
     rank_cfg.trace_capacity =
         rank_cfg.trace_capacity ? rank_cfg.trace_capacity : 1 << 14;
+    rank_cfg.flight_recorder_path = flight_recorder_path(dir, r, gen);
+    g_flight_tracer = &tracer;
+    g_flight_path = rank_cfg.flight_recorder_path;
+    g_flight_rank = r;
+    g_flight_gen = gen;
+    for (const int sig : {SIGTERM, SIGSEGV, SIGABRT, SIGBUS})
+      ::signal(sig, on_fatal_signal);
   }
   const WsRankResult result = run_ws_rank(net, rank_cfg);
   net.close();
 
   write_file_atomic(result_path(dir, r, gen), serialize_result(result));
   if (!cfg.trace_path.empty()) {
-    std::string suffix = ".r" + std::to_string(r);
-    if (gen > 0) suffix += ".g" + std::to_string(gen);
-    runtime::export_chrome_trace(tracer, cfg.trace_path + suffix + ".json");
+    runtime::export_chrome_trace(
+        tracer, trace_json_path(cfg.trace_path, r, gen),
+        cluster_clock_json(net, r, gen, cfg.ranks));
   }
   _exit(result.superseded ? 5
         : result.fenced   ? 3
@@ -730,6 +806,42 @@ ClusterResult run_ws_cluster(const ClusterConfig& config) {
   out.all_done =
       std::all_of(out.done.begin(), out.done.end(), [](bool b) { return b; });
   out.roadmap = roadmap_hash(config.rank.seed, out.done);
+
+  // Salvage: any incarnation that died without exporting a live trace
+  // (SIGKILL, watchdog, fatal mid-run) may have left a flight-recorder
+  // fragment. Export each as the same .r<r>.g<g>.json the ranks write,
+  // with a synthetic "supervisor" track whose "salvage" instant marks the
+  // fragment as post-mortem (corr identifies the dead incarnation).
+  if (!config.trace_path.empty()) {
+    for (std::uint32_t r = 0; r < p; ++r) {
+      for (std::uint32_t g = 0; g <= rs[r].gen; ++g) {
+        const std::string json = trace_json_path(config.trace_path, r, g);
+        if (::access(json.c_str(), R_OK) == 0) continue;  // exported live
+        auto snap =
+            runtime::load_trace_snapshot(flight_recorder_path(dir, r, g));
+        if (!snap) continue;  // died before its first fragment (or corrupt)
+        double t_end = 0.0;
+        for (const auto& trk : snap->tracks)
+          for (const auto& e : trk.events) t_end = std::max(t_end, e.t);
+        runtime::TraceSnapshot::Track sup;
+        sup.name = "supervisor";
+        sup.total = 1;
+        runtime::TraceSnapshot::Event ev;
+        ev.t = t_end;
+        ev.arg = r;
+        ev.arg2 = runtime::trace_corr(r, g, 1);
+        ev.name_ix = snap->intern("salvage");
+        ev.type = runtime::TraceType::kInstant;
+        sup.events.push_back(ev);
+        snap->tracks.push_back(std::move(sup));
+        std::ostringstream cc;
+        cc << "\"clusterClock\": {\"rank\": " << r << ", \"generation\": "
+           << g << ", \"salvaged\": true}";
+        if (runtime::export_chrome_trace(*snap, json, cc.str()))
+          out.traces_salvaged.push_back(json);
+      }
+    }
+  }
 
   // Clean the dir if this call created it; the guard also covers early
   // returns and the interrupted path.

@@ -92,7 +92,15 @@ struct ClusterConfig {
   RestartPolicy restart;
 
   /// Non-empty: each child exports its transport + protocol trace to
-  /// "<trace_path>.r<rank>.json" (satellite trace tooling merges them).
+  /// "<trace_path>.r<rank>.g<generation>.json" — per-incarnation, so a
+  /// restarted rank's timeline stays separate from its predecessor's —
+  /// with the rank's clock-sync metadata embedded for tools/trace_merge.
+  /// Children also persist their trace ring to a flight-recorder fragment
+  /// in the cluster dir (see WsRankConfig::flight_recorder_path); after
+  /// the run the supervisor salvages fragments of incarnations that died
+  /// without exporting (SIGKILL, watchdog) into the same .r<r>.g<g>.json
+  /// naming, each with a synthetic "supervisor" track carrying a
+  /// "salvage" instant.
   std::string trace_path;
 
   /// Directory for socket and result files; empty = fresh mkdtemp.
@@ -130,6 +138,11 @@ struct ClusterResult {
                                      ///<   cleanly (epoch-fenced exit 5, or
                                      ///<   self-fenced on a buffered death
                                      ///<   notice naming their gen, exit 3)
+
+  /// Flight-recorder fragments the supervisor exported for incarnations
+  /// that died without writing a live trace (empty when tracing is off or
+  /// nobody died). Paths follow the "<trace_path>.r<r>.g<g>.json" naming.
+  std::vector<std::string> traces_salvaged;
 
   // Survivor-summed protocol counters, for the gate's tolerance checks.
   std::uint64_t steal_requests = 0;

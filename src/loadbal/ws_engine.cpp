@@ -293,9 +293,16 @@ class WsEngine {
     loc.outstanding += static_cast<std::uint32_t>(victims.size());
     for (const std::uint32_t v : victims) {
       ++result_.steal_requests;
-      if (runtime::TraceBuffer* t = tr(rank))
-        t->instant_at("steal_req", sim_.now(), v);
       const std::uint64_t req_id = next_req_id_++;
+      if (runtime::TraceBuffer* t = tr(rank)) {
+        // DES request ids are globally unique, so generation 0 + the
+        // thief's rank make the steal-flow correlation id (the victim
+        // recomputes it from the same fields in on_request).
+        t->instant_at("steal_req", sim_.now(), v,
+                      runtime::trace_corr(rank, 0, req_id));
+        t->flow_start_at("steal", sim_.now(),
+                         runtime::trace_corr(rank, 0, req_id), v);
+      }
       if (inject_.active()) loc.reqs_pending.insert(req_id);
       if (!net_.send_control(rank, v, [this, v, rank, req_id] {
             on_request(v, rank, req_id);
@@ -320,6 +327,9 @@ class WsEngine {
   void on_request(std::uint32_t victim, std::uint32_t thief,
                   std::uint64_t req_id) {
     if (terminated_ || !alive_[victim]) return;
+    if (runtime::TraceBuffer* t = tr(victim))
+      t->flow_end_at("steal", sim_.now(),
+                     runtime::trace_corr(thief, 0, req_id), thief);
     Location& loc = locs_[victim];
     // A busy location cannot progress communication until its current
     // region completes; park the request.
@@ -376,8 +386,16 @@ class WsEngine {
                   std::uint64_t bytes) {
     ++result_.steal_grants;
     result_.regions_migrated += grant.size();
-    if (runtime::TraceBuffer* t = tr(victim))
-      t->instant_at("grant", sim_.now(), thief);
+    if (runtime::TraceBuffer* t = tr(victim)) {
+      t->instant_at("grant", sim_.now(), thief,
+                    req_id != 0 ? runtime::trace_corr(thief, 0, req_id) : 0);
+      // Grant flows reuse the originating request's correlation id (the
+      // categories keep them distinct from the steal flow); lifeline
+      // pushes (req_id 0) share that id and get no flow.
+      if (req_id != 0)
+        t->flow_start_at("grant", sim_.now(),
+                         runtime::trace_corr(thief, 0, req_id), thief);
+    }
     // Work-bearing message: participates in termination accounting.
     safra_.on_send(victim);
     if (!inject_.active()) {
@@ -488,6 +506,9 @@ class WsEngine {
         loc.queue.push_back(item);
       }
       if (runtime::TraceBuffer* t = tr(thief)) {
+        if (req_id != 0)
+          t->flow_end_at("grant", sim_.now(),
+                         runtime::trace_corr(thief, 0, req_id), grant.size());
         t->instant_at("migrate_in", sim_.now(), grant.size());
         t->counter_at("queue", sim_.now(), loc.queue.size());
       }

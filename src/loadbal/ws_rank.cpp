@@ -227,6 +227,20 @@ class WsRank {
     if (save_rank_checkpoint(c, cfg_.checkpoint_path))
       ++result_.checkpoints_written;
     ckpt_at_ = net_.now() + cfg_.checkpoint_period_s;
+    if (net_.now() >= flight_at_) save_flight_record();
+  }
+
+  /// Persist the whole trace ring (every track of the attached tracer)
+  /// through the atomic state_file container. Serializing the ring is far
+  /// heavier than a checkpoint, so writes are throttled by
+  /// flight_record_period_s; a SIGKILL loses at most that much trace.
+  void save_flight_record() {
+    flight_at_ = net_.now() + cfg_.flight_record_period_s;
+    if (cfg_.flight_recorder_path.empty() || !cfg_.tracer) return;
+    runtime::TraceSnapshot snap = runtime::snapshot_tracer(*cfg_.tracer);
+    snap.rank = me_;
+    snap.generation = cfg_.generation;
+    (void)runtime::save_trace_snapshot(snap, cfg_.flight_recorder_path);
   }
 
   void counters_to(std::uint64_t out[14]) const {
@@ -521,6 +535,11 @@ class WsRank {
       }
     }
     if (now >= ckpt_at_) save_checkpoint();
+    // After (never before) the checkpoint write, so a salvaged fragment
+    // never describes work the durable state has not caught up to. Runs on
+    // its own timer too: chaos runs with checkpointing disabled still
+    // leave fragments for the supervisor.
+    if (now >= flight_at_) save_flight_record();
   }
 
   /// Receive and handle frames for up to `wait` seconds (0 = one
@@ -552,8 +571,17 @@ class WsRank {
     outstanding_ += static_cast<std::uint32_t>(victims.size());
     for (const std::uint32_t v : victims) {
       ++result_.steal_requests;
-      if (trace_) trace_->instant_at("steal_req", net_.now(), v);
       const std::uint64_t req_id = next_req_id_++;
+      if (trace_) {
+        // Request ids are generation-namespaced counters, so their low
+        // bits + our (rank, generation) make the steal-flow correlation
+        // id; the victim recomputes the same id from the frame fields.
+        trace_->instant_at("steal_req", net_.now(), v,
+                           runtime::trace_corr(me_, cfg_.generation, req_id));
+        trace_->flow_start_at(
+            "steal", net_.now(),
+            runtime::trace_corr(me_, cfg_.generation, req_id), v);
+      }
       reqs_pending_.insert(req_id);
       req_deadline_[req_id] = net_.now() + cfg_.steal_timeout_s;
       Frame f;
@@ -615,8 +643,17 @@ class WsRank {
                   std::vector<std::uint32_t> grant) {
     ++result_.steal_grants;
     result_.regions_migrated += grant.size();
-    if (trace_) trace_->instant_at("grant", net_.now(), thief);
     const std::uint64_t gid = next_grant_id_++;
+    if (trace_) {
+      // Grant ids are generation-namespaced like request ids, so the same
+      // corr construction works; the thief completes the flow when it
+      // *applies* the grant (dedup-filtered), not merely when bytes land.
+      trace_->instant_at("grant", net_.now(), thief,
+                         runtime::trace_corr(me_, cfg_.generation, gid));
+      trace_->flow_start_at(
+          "grant", net_.now(),
+          runtime::trace_corr(me_, cfg_.generation, gid), thief);
+    }
     InFlight g;
     g.thief = thief;
     g.req_id = req_id;
@@ -746,6 +783,7 @@ class WsRank {
     // run by whichever rank owns that duty — may re-home them again off
     // the directory; double execution of a deterministic region is
     // benign, an orphaned region is not.)
+    std::uint64_t reclaimed_total = 0;
     for (auto it = ledger_.begin(); it != ledger_.end();) {
       if (it->second.thief != d) {
         ++it;
@@ -759,8 +797,18 @@ class WsRank {
           ++reclaimed;
         }
       result_.regions_recovered += reclaimed;
+      reclaimed_total += reclaimed;
       if (reclaimed > 0) my_black_ = true;
       it = ledger_.erase(it);
+    }
+    // Reclaims are recoveries too: the same rehome instant the successor
+    // scan emits, so the post-mortem analyzer never sees recovered
+    // regions with no trace marker explaining them (arg = dead rank,
+    // corr = how many regions came back).
+    if (trace_ && reclaimed_total > 0) {
+      trace_->instant_at("rehome", net_.now(), d,
+                         static_cast<std::uint32_t>(reclaimed_total));
+      trace_->counter_at("queue", net_.now(), queue_.size());
     }
     // Ring-successor recovery: the first announced-alive rank after d
     // re-homes every region the directory still credits to d.
@@ -778,10 +826,17 @@ class WsRank {
         Frame f;
         f.type = FrameType::kOwnerUpdate;
         f.b = me_;
+        // The post-mortem analyzer pairs this with the death_known instant
+        // above to measure recovery latency (arg = dead rank, corr = how
+        // many regions came home).
+        if (trace_) {
+          trace_->instant_at(
+              "rehome", net_.now(), d,
+              static_cast<std::uint32_t>(rehomed.size()));
+          trace_->counter_at("queue", net_.now(), queue_.size());
+        }
         f.items = std::move(rehomed);
         broadcast(f);
-        if (trace_)
-          trace_->counter_at("queue", net_.now(), queue_.size());
       }
     }
     // An in-flight round is now unsound; the leader's regeneration timer
@@ -933,6 +988,12 @@ class WsRank {
       case FrameType::kHello:
         return;
       case FrameType::kStealRequest:
+        // Head of the thief's steal-flow arrow: the request reached its
+        // victim (whether it is then served, parked or denied).
+        if (trace_)
+          trace_->flow_end_at(
+              "steal", net_.now(),
+              runtime::trace_corr(f.from, f.gen, f.a), f.from);
         if (rejoining_) {
           // The queue is under reconciliation; granting from it could
           // migrate a region a peer is about to claim.
@@ -1081,6 +1142,11 @@ class WsRank {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(f.from) << 48) ^ f.a;
     if (!seen_grants_.insert(key).second) return;
+    // First application of this grant: close the victim's grant flow here
+    // (retransmitted copies were deduped above, so the arrow lands once).
+    if (trace_)
+      trace_->flow_end_at("grant", net_.now(),
+                          runtime::trace_corr(f.from, f.gen, f.a), f.from);
     if (f.b != 0) {  // settle the originating request unless lifeline push
       if (reqs_pending_.erase(f.b) > 0) {
         req_deadline_.erase(f.b);
@@ -1131,6 +1197,15 @@ class WsRank {
     result_.finish_s = net_.now();
     result_.done = done_;
     result_.transport = net_.metrics();
+    // Abnormal exits (fenced, superseded, liveness backstop) flush the
+    // flight recorder unthrottled — this is the black box the post-mortem
+    // reads when the process is about to disappear. Clean terminations
+    // flush too: it is cheap, and it leaves a complete fragment even when
+    // the caller never exports a live trace.
+    if (!cfg_.flight_recorder_path.empty() && cfg_.tracer) {
+      flight_at_ = -kInf;
+      save_flight_record();
+    }
     (void)start;
   }
 
@@ -1192,6 +1267,7 @@ class WsRank {
   bool rejoining_ = false;
   bool superseded_ = false;
   double ckpt_at_ = kInf;
+  double flight_at_ = 0.0;  ///< next flight-recorder write (throttle)
   double rejoin_deadline_ = 0.0;
   double rejoin_resend_at_ = 0.0;
   std::vector<bool> rejoin_replied_;
@@ -1206,6 +1282,11 @@ class WsRank {
 std::string rank_checkpoint_path(const std::string& dir, std::uint32_t rank,
                                  std::uint32_t gen) {
   return dir + "/ckpt_" + std::to_string(rank) + ".g" + std::to_string(gen);
+}
+
+std::string flight_recorder_path(const std::string& dir, std::uint32_t rank,
+                                 std::uint32_t gen) {
+  return dir + "/trace_" + std::to_string(rank) + ".g" + std::to_string(gen);
 }
 
 bool save_rank_checkpoint(const RankCheckpoint& c, const std::string& path) {

@@ -113,6 +113,20 @@ struct WsRankConfig {
   runtime::Tracer* tracer = nullptr;
   std::string trace_prefix;
   std::size_t trace_capacity = 0;
+
+  /// Flight recorder: when set (and a tracer is attached), the whole trace
+  /// ring is persisted to this path through the util/state_file atomic
+  /// checksummed container (kStateKindTraceRing) at checkpoint boundaries
+  /// — written right *after* the durable checkpoint, so the fragment never
+  /// describes work the checkpoint has not yet made durable — and on every
+  /// abnormal exit (fenced / superseded / liveness backstop). A SIGKILLed
+  /// rank therefore leaves a fragment at most one flight_record_period_s
+  /// stale for the supervisor to salvage. Empty disables.
+  std::string flight_recorder_path;
+  /// Minimum spacing between checkpoint-boundary flight-recorder writes
+  /// (serializing the ring is much heavier than a checkpoint, so it is
+  /// throttled independently of checkpoint_period_s).
+  double flight_record_period_s = 0.2;
 };
 
 /// What one rank reports at exit; the launcher aggregates these. The
@@ -195,6 +209,15 @@ struct RankCheckpoint {
 /// on. Per-generation files keep a resumed zombie from clobbering its
 /// replacement's durable state.
 std::string rank_checkpoint_path(const std::string& dir, std::uint32_t rank,
+                                 std::uint32_t gen);
+
+/// "<dir>/trace_<rank>.g<gen>" — the flight-recorder fragment naming
+/// convention, parallel to the checkpoint naming above (and, like it,
+/// per-incarnation so a zombie cannot clobber its replacement's fragment).
+/// The supervisor exports salvaged fragments as
+/// "<trace_path>.r<rank>.g<gen>.json", the same per-rank per-generation
+/// naming the ranks themselves use for live trace exports.
+std::string flight_recorder_path(const std::string& dir, std::uint32_t rank,
                                  std::uint32_t gen);
 
 /// Serialize atomically. Returns false on I/O failure.

@@ -1,0 +1,337 @@
+#include "loadbal/ws_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace pmpl::loadbal {
+
+using pmpl::json::Value;
+
+namespace {
+
+constexpr std::size_t kBuckets = 64;
+
+/// log2 microsecond bucket: 0 = [0,1)us, k = [2^(k-1), 2^k)us, capped.
+std::size_t bucket_of(double delta_us) {
+  if (delta_us < 1.0) return 0;
+  std::size_t b = 1;
+  double edge = 1.0;
+  while (b < kBuckets - 1 && delta_us >= edge * 2.0) {
+    edge *= 2.0;
+    ++b;
+  }
+  return b;
+}
+
+std::uint32_t parse_corr(const Value* args) {
+  if (!args) return 0;
+  const Value* corr = args->find("corr");
+  if (!corr || !corr->is_string()) return 0;
+  return static_cast<std::uint32_t>(
+      std::strtoul(corr->as_string().c_str(), nullptr, 16));
+}
+
+double num_or(const Value* v, double fallback) {
+  return v && v->is_number() ? v->as_number() : fallback;
+}
+
+void append_hist(std::string& j, const char* key, std::uint64_t count,
+                 const std::vector<std::uint64_t>& hist) {
+  j += std::string("\"") + key + "\": {\"count\": " + std::to_string(count) +
+       ", \"log2_us\": [";
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    if (i) j += ", ";
+    j += std::to_string(hist[i]);
+  }
+  j += "]}";
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+WsReport analyze_trace(const Value& merged, std::string* error) {
+  WsReport r;
+  r.steal_latency_log2_us.assign(kBuckets, 0);
+  r.grant_rtt_log2_us.assign(kBuckets, 0);
+  if (!merged.is_object()) {
+    if (error) *error = "root is not an object";
+    return r;
+  }
+  const Value* events = merged.find("traceEvents");
+  if (!events || !events->is_array()) {
+    if (error) *error = "missing traceEvents array";
+    return r;
+  }
+
+  std::map<std::uint32_t, WsReport::Rank> ranks;
+  std::map<std::pair<std::uint32_t, double>, std::vector<double>> span_stack;
+  std::map<std::string, double> flow_start;  // "cat|id" -> start ts
+  std::map<std::uint32_t, WsReport::Death> first_death;  // by dead rank
+  std::set<std::pair<std::uint32_t, std::uint32_t>> salvaged;
+  std::map<std::uint32_t, std::vector<double>> region_begins;
+  double min_ts = 0.0, max_ts = 0.0;
+  bool any_ts = false;
+
+  for (const Value& ev : events->as_array()) {
+    if (!ev.is_object()) continue;
+    const Value* phv = ev.find("ph");
+    if (!phv || !phv->is_string()) continue;
+    const std::string& ph = phv->as_string();
+    if (ph == "M") continue;
+    const double ts = num_or(ev.find("ts"), 0.0);
+    const auto pid = static_cast<std::uint32_t>(num_or(ev.find("pid"), 0.0));
+    const double tid = num_or(ev.find("tid"), 0.0);
+    if (!any_ts) {
+      min_ts = max_ts = ts;
+      any_ts = true;
+    }
+    min_ts = std::min(min_ts, ts);
+    max_ts = std::max(max_ts, ts);
+    const Value* namev = ev.find("name");
+    const std::string name =
+        namev && namev->is_string() ? namev->as_string() : "";
+    WsReport::Rank& rk = ranks[pid];
+    rk.rank = pid;
+
+    if (ph == "B" && name == "region") {
+      span_stack[{pid, tid}].push_back(ts);
+      region_begins[pid].push_back(ts);
+    } else if (ph == "E" && name == "region") {
+      auto& stack = span_stack[{pid, tid}];
+      if (!stack.empty()) {
+        rk.busy_us += ts - stack.back();
+        ++rk.regions;
+        stack.pop_back();
+      }
+    } else if (ph == "s" || ph == "f") {
+      const Value* cat = ev.find("cat");
+      const Value* id = ev.find("id");
+      if (!cat || !cat->is_string() || !id || !id->is_string()) continue;
+      const std::string& c = cat->as_string();
+      if (c != "steal" && c != "grant") continue;
+      const std::string key = c + "|" + id->as_string();
+      if (ph == "s") {
+        flow_start[key] = ts;
+        continue;
+      }
+      const auto it = flow_start.find(key);
+      if (it == flow_start.end()) continue;  // head without salvaged tail
+      const double delta = std::max(0.0, ts - it->second);
+      flow_start.erase(it);
+      if (c == "steal") {
+        ++r.steal_flows;
+        ++r.steal_latency_log2_us[bucket_of(delta)];
+      } else {
+        ++r.grant_flows;
+        ++r.grant_rtt_log2_us[bucket_of(delta)];
+      }
+    } else if (ph == "i") {
+      const Value* args = ev.find("args");
+      const auto arg =
+          static_cast<std::uint64_t>(num_or(args ? args->find("arg") : nullptr,
+                                            0.0));
+      if (name == "steal_req") {
+        ++rk.steal_reqs;
+      } else if (name == "grant") {
+        ++rk.grants;
+      } else if (name == "deny") {
+        ++rk.denies;
+      } else if (name == "migrate_in") {
+        ++rk.migrate_ins;
+      } else if (name == "death_known") {
+        const auto dead = static_cast<std::uint32_t>(arg);
+        const auto it = first_death.find(dead);
+        if (it == first_death.end() || ts < it->second.detected_ts_us)
+          first_death[dead] = {dead, pid, ts};
+      } else if (name == "salvage") {
+        const std::uint32_t corr = parse_corr(args);
+        salvaged.insert({static_cast<std::uint32_t>(arg),
+                         (corr >> 20) & 0x3fu});
+      } else if (name == "rehome") {
+        WsReport::Recovery rec;
+        rec.by_rank = pid;
+        rec.dead_rank = static_cast<std::uint32_t>(arg);
+        rec.regions = parse_corr(args);  // count rides in the corr channel
+        rec.rehome_ts_us = ts;
+        r.recoveries.push_back(rec);
+      }
+    }
+  }
+  // Salvaged fragments also announce themselves in the merge provenance
+  // (a fragment whose ring dropped the salvage instant still counts).
+  if (const Value* other = merged.find("otherData"))
+    if (const Value* m = other->find("merged"))
+      if (const Value* ins = m->find("inputs"); ins && ins->is_array())
+        for (const Value& in : ins->as_array()) {
+          const Value* sv = in.find("salvaged");
+          if (sv && sv->is_bool() && sv->as_bool())
+            salvaged.insert(
+                {static_cast<std::uint32_t>(num_or(in.find("rank"), 0.0)),
+                 static_cast<std::uint32_t>(
+                     num_or(in.find("generation"), 0.0))});
+        }
+
+  r.window_us = any_ts ? max_ts - min_ts : 0.0;
+  double sum = 0.0, sum2 = 0.0;
+  for (auto& [pid, rk] : ranks) {
+    rk.idle_us = std::max(0.0, r.window_us - rk.busy_us);
+    sum += rk.busy_us;
+    r.ranks.push_back(rk);
+  }
+  if (!r.ranks.empty()) {
+    r.busy_mean_us = sum / static_cast<double>(r.ranks.size());
+    for (const auto& rk : r.ranks) {
+      const double d = rk.busy_us - r.busy_mean_us;
+      sum2 += d * d;
+    }
+    const double var = sum2 / static_cast<double>(r.ranks.size());
+    if (r.busy_mean_us > 0.0) r.busy_cv = std::sqrt(var) / r.busy_mean_us;
+  }
+
+  for (const auto& [dead, death] : first_death) r.deaths.push_back(death);
+  for (const auto& [rank, gen] : salvaged) r.salvages.push_back({rank, gen});
+  for (WsReport::Recovery& rec : r.recoveries) {
+    const auto it = region_begins.find(rec.by_rank);
+    if (it == region_begins.end()) continue;
+    // Events arrive timestamp-sorted from trace_merge, but don't rely on
+    // it — scan for the earliest region begin at/after the rehome.
+    double best = -1.0;
+    for (const double b : it->second)
+      if (b >= rec.rehome_ts_us && (best < 0.0 || b < best)) best = b;
+    if (best >= 0.0) {
+      rec.first_exec_ts_us = best;
+      rec.recovery_latency_us = best - rec.rehome_ts_us;
+    }
+  }
+  return r;
+}
+
+std::string render_json(const WsReport& r) {
+  std::string j;
+  j += "{\n\"schema\": \"pmpl-ws-report-1\",\n";
+  j += "\"window_us\": " + fmt(r.window_us) + ",\n";
+  j += "\"busy_mean_us\": " + fmt(r.busy_mean_us) + ",\n";
+  j += "\"busy_cv\": " + fmt(r.busy_cv) + ",\n";
+  j += "\"ranks\": [\n";
+  for (std::size_t i = 0; i < r.ranks.size(); ++i) {
+    const auto& rk = r.ranks[i];
+    j += "  {\"rank\": " + std::to_string(rk.rank) +
+         ", \"busy_us\": " + fmt(rk.busy_us) +
+         ", \"idle_us\": " + fmt(rk.idle_us) +
+         ", \"regions\": " + std::to_string(rk.regions) +
+         ", \"steal_reqs\": " + std::to_string(rk.steal_reqs) +
+         ", \"grants\": " + std::to_string(rk.grants) +
+         ", \"denies\": " + std::to_string(rk.denies) +
+         ", \"migrate_ins\": " + std::to_string(rk.migrate_ins) + "}";
+    j += i + 1 < r.ranks.size() ? ",\n" : "\n";
+  }
+  j += "],\n";
+  append_hist(j, "steal_latency", r.steal_flows, r.steal_latency_log2_us);
+  j += ",\n";
+  append_hist(j, "grant_rtt", r.grant_flows, r.grant_rtt_log2_us);
+  j += ",\n\"chaos\": {\"deaths\": [";
+  for (std::size_t i = 0; i < r.deaths.size(); ++i) {
+    const auto& d = r.deaths[i];
+    j += std::string(i ? ", " : "") + "{\"dead_rank\": " +
+         std::to_string(d.dead_rank) +
+         ", \"detector\": " + std::to_string(d.detector) +
+         ", \"detected_ts_us\": " + fmt(d.detected_ts_us) + "}";
+  }
+  j += "], \"salvaged\": [";
+  for (std::size_t i = 0; i < r.salvages.size(); ++i) {
+    const auto& s = r.salvages[i];
+    j += std::string(i ? ", " : "") + "{\"rank\": " + std::to_string(s.rank) +
+         ", \"generation\": " + std::to_string(s.generation) + "}";
+  }
+  j += "], \"recoveries\": [";
+  for (std::size_t i = 0; i < r.recoveries.size(); ++i) {
+    const auto& c = r.recoveries[i];
+    j += std::string(i ? ", " : "") + "{\"by_rank\": " +
+         std::to_string(c.by_rank) +
+         ", \"dead_rank\": " + std::to_string(c.dead_rank) +
+         ", \"regions\": " + std::to_string(c.regions) +
+         ", \"rehome_ts_us\": " + fmt(c.rehome_ts_us) +
+         ", \"first_exec_ts_us\": " + fmt(c.first_exec_ts_us) +
+         ", \"recovery_latency_us\": " + fmt(c.recovery_latency_us) + "}";
+  }
+  j += "]}\n}\n";
+  return j;
+}
+
+std::string render_markdown(const WsReport& r) {
+  std::string m;
+  m += "# Cluster trace report\n\n";
+  m += "Run window: " + fmt(r.window_us / 1000.0) + " ms, " +
+       std::to_string(r.ranks.size()) + " ranks. Busy-time CV: " +
+       fmt(r.busy_cv) + " (mean " + fmt(r.busy_mean_us / 1000.0) +
+       " ms/rank).\n\n";
+  m += "## Load balance\n\n";
+  m += "| rank | busy ms | idle ms | regions | steal reqs | grants | denies "
+       "| migrate in |\n";
+  m += "|-----:|--------:|--------:|--------:|-----------:|-------:|-------:"
+       "|-----------:|\n";
+  for (const auto& rk : r.ranks)
+    m += "| " + std::to_string(rk.rank) + " | " + fmt(rk.busy_us / 1000.0) +
+         " | " + fmt(rk.idle_us / 1000.0) + " | " +
+         std::to_string(rk.regions) + " | " + std::to_string(rk.steal_reqs) +
+         " | " + std::to_string(rk.grants) + " | " +
+         std::to_string(rk.denies) + " | " + std::to_string(rk.migrate_ins) +
+         " |\n";
+  const auto hist_line = [&m](const char* title, std::uint64_t count,
+                              const std::vector<std::uint64_t>& h) {
+    m += std::string("\n## ") + title + "\n\n" + std::to_string(count) +
+         " completed flows.";
+    if (count == 0) {
+      m += "\n";
+      return;
+    }
+    m += " log2 buckets (us):\n\n";
+    for (std::size_t b = 0; b < h.size(); ++b) {
+      if (h[b] == 0) continue;
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(b));
+      m += "- [" + fmt(lo) + ", " + fmt(hi) + ") us: " +
+           std::to_string(h[b]) + "\n";
+    }
+  };
+  hist_line("Steal latency (request flight)", r.steal_flows,
+            r.steal_latency_log2_us);
+  hist_line("Grant round-trip (decision to application)", r.grant_flows,
+            r.grant_rtt_log2_us);
+  m += "\n## Chaos post-mortem\n\n";
+  if (r.deaths.empty() && r.salvages.empty() && r.recoveries.empty()) {
+    m += "Fault-free run: no deaths detected, nothing salvaged.\n";
+    return m;
+  }
+  for (const auto& d : r.deaths)
+    m += "- rank " + std::to_string(d.dead_rank) +
+         " declared dead (first detected by rank " +
+         std::to_string(d.detector) + " at " + fmt(d.detected_ts_us / 1000.0) +
+         " ms)\n";
+  for (const auto& s : r.salvages)
+    m += "- flight-recorder fragment salvaged for rank " +
+         std::to_string(s.rank) + " generation " +
+         std::to_string(s.generation) + "\n";
+  for (const auto& c : r.recoveries) {
+    m += "- rank " + std::to_string(c.by_rank) + " re-homed " +
+         std::to_string(c.regions) + " regions of dead rank " +
+         std::to_string(c.dead_rank) + " at " + fmt(c.rehome_ts_us / 1000.0) +
+         " ms";
+    if (c.recovery_latency_us >= 0.0)
+      m += "; first re-homed execution " + fmt(c.recovery_latency_us / 1000.0) +
+           " ms later";
+    m += "\n";
+  }
+  return m;
+}
+
+}  // namespace pmpl::loadbal

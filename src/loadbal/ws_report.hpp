@@ -1,0 +1,86 @@
+#pragma once
+/// \file ws_report.hpp
+/// Load-imbalance and chaos post-mortem analyzer over a merged cluster
+/// trace (the library behind tools/ws_report).
+///
+/// Consumes the single-timeline JSON tools/trace_merge writes (or any one
+/// rank's export — the analyses degrade gracefully to one process) and
+/// reduces it to the questions DESIGN.md §5j cares about:
+///  - load balance: per-rank busy ("region" span) / idle time over the
+///    run window, coefficient of variation of busy time across ranks
+///    (the paper's imbalance metric), per-rank steal/grant/deny counts;
+///  - protocol latency: log2 histograms (microsecond buckets) of
+///    steal-request flight time ("steal" flow start -> end) and grant
+///    round-trip ("grant" flow start -> end, i.e. victim decision to
+///    thief application);
+///  - chaos post-mortem: who died (death_known instants), which dead
+///    incarnations' trace fragments the supervisor salvaged ("salvage"
+///    instants / salvaged inputs), who re-homed their regions (rehome
+///    instants) and how long until the re-homed work actually ran
+///    (rehome -> next region-begin on the recovering rank).
+///
+/// render_json() emits the machine-readable report the CI trace-smoke job
+/// checks against tools/ws_report_schema.json; render_markdown() the
+/// human summary attached to the job artifact.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json_mini.hpp"
+
+namespace pmpl::loadbal {
+
+struct WsReport {
+  struct Rank {
+    std::uint32_t rank = 0;
+    double busy_us = 0.0;   ///< inside "region" spans
+    double idle_us = 0.0;   ///< window - busy
+    std::uint64_t regions = 0;  ///< completed region spans
+    std::uint64_t steal_reqs = 0;
+    std::uint64_t grants = 0;
+    std::uint64_t denies = 0;
+    std::uint64_t migrate_ins = 0;
+  };
+  struct Death {
+    std::uint32_t dead_rank = 0;
+    std::uint32_t detector = 0;  ///< pid that first emitted death_known
+    double detected_ts_us = 0.0;
+  };
+  struct Salvage {
+    std::uint32_t rank = 0;
+    std::uint32_t generation = 0;
+  };
+  struct Recovery {
+    std::uint32_t by_rank = 0;    ///< ring successor that re-homed
+    std::uint32_t dead_rank = 0;
+    std::uint64_t regions = 0;    ///< regions re-homed (rehome corr arg)
+    double rehome_ts_us = 0.0;
+    double first_exec_ts_us = -1.0;  ///< next region begin; -1 = none seen
+    double recovery_latency_us = -1.0;  ///< first_exec - rehome; -1 = none
+  };
+
+  double window_us = 0.0;  ///< [earliest, latest] payload timestamp span
+  double busy_mean_us = 0.0;
+  double busy_cv = 0.0;  ///< stddev/mean of per-rank busy (0 when mean 0)
+  std::vector<Rank> ranks;
+
+  std::uint64_t steal_flows = 0;  ///< completed steal arrows measured
+  std::uint64_t grant_flows = 0;
+  /// log2 microsecond buckets: bucket 0 = [0,1)us, k = [2^(k-1), 2^k)us.
+  std::vector<std::uint64_t> steal_latency_log2_us;  // 64 buckets
+  std::vector<std::uint64_t> grant_rtt_log2_us;      // 64 buckets
+
+  std::vector<Death> deaths;
+  std::vector<Salvage> salvages;
+  std::vector<Recovery> recoveries;
+};
+
+/// Analyze a parsed merged-trace document. Structural problems (no
+/// traceEvents array) set `error` and return an empty report.
+WsReport analyze_trace(const pmpl::json::Value& merged, std::string* error);
+
+std::string render_json(const WsReport& r);
+std::string render_markdown(const WsReport& r);
+
+}  // namespace pmpl::loadbal

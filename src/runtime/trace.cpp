@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cinttypes>
 
+#include "runtime/metrics_registry.hpp"
+#include "util/state_file.hpp"
+
 namespace pmpl::runtime {
 
 namespace {
@@ -36,8 +39,93 @@ const char* ph_of(TraceType t) {
     case TraceType::kEnd: return "E";
     case TraceType::kInstant: return "i";
     case TraceType::kCounter: return "C";
+    case TraceType::kFlowStart: return "s";
+    case TraceType::kFlowEnd: return "f";
   }
   return "i";
+}
+
+/// What the writer needs from one track, whatever its source (live
+/// TraceBuffer snapshot or a persisted TraceSnapshot): the event `name`
+/// pointers must stay valid for the duration of the write.
+struct TrackView {
+  const std::string* name;
+  std::uint64_t total;
+  std::uint64_t dropped;
+  std::vector<TraceEvent> events;
+};
+
+void write_chrome_trace(const std::vector<TrackView>& tracks, std::FILE* f,
+                        const std::string& extra_other_data) {
+  std::fprintf(f, "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
+  bool first = true;
+  auto sep = [&] {
+    std::fprintf(f, "%s", first ? "" : ",\n");
+    first = false;
+  };
+  char buf[256];
+  for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
+    // Metadata event naming the track.
+    sep();
+    std::fprintf(f,
+                 "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+                 "\"tid\": %zu, \"args\": {\"name\": ",
+                 tid);
+    fput_json_string(tracks[tid].name->c_str(), f);
+    std::fprintf(f, "}}");
+
+    // Ring drop-oldest can orphan End events (their Begin was overwritten):
+    // skip Ends that would close a span the snapshot no longer contains.
+    std::int64_t depth = 0;
+    for (const TraceEvent& ev : tracks[tid].events) {
+      if (ev.type == TraceType::kEnd) {
+        if (depth == 0) continue;  // orphaned by drop-oldest
+        --depth;
+      } else if (ev.type == TraceType::kBegin) {
+        ++depth;
+      }
+      const double ts_us = ev.t * 1e6;
+      sep();
+      std::snprintf(buf, sizeof buf,
+                    "{\"ph\": \"%s\", \"ts\": %.3f, \"pid\": 0, "
+                    "\"tid\": %zu, \"name\": ",
+                    ph_of(ev.type), ts_us, tid);
+      std::fprintf(f, "%s", buf);
+      fput_json_string(ev.name ? ev.name : "?", f);
+      if (ev.type == TraceType::kFlowStart || ev.type == TraceType::kFlowEnd) {
+        // Flow arrows: the event name doubles as the binding category, the
+        // correlation id is a hex string (ids are opaque to viewers), and
+        // "bp":"e" binds the head to its enclosing slice.
+        std::fprintf(f, ", \"cat\": ");
+        fput_json_string(ev.name ? ev.name : "?", f);
+        std::fprintf(f, ", \"id\": \"0x%" PRIx64 "\"", ev.arg);
+        if (ev.type == TraceType::kFlowEnd) std::fprintf(f, ", \"bp\": \"e\"");
+        std::fprintf(f, ", \"args\": {\"arg\": %" PRIu32 "}}", ev.arg2);
+        continue;
+      }
+      if (ev.type == TraceType::kInstant)
+        std::fprintf(f, ", \"s\": \"t\"");
+      std::fprintf(f, ", \"args\": {\"%s\": %" PRIu64,
+                   ev.type == TraceType::kCounter ? "value" : "arg", ev.arg);
+      if (ev.arg2 != 0)
+        std::fprintf(f, ", \"corr\": \"0x%08" PRIx32 "\"", ev.arg2);
+      std::fprintf(f, "}}");
+    }
+  }
+  std::fprintf(f, "\n],\n\"otherData\": {\"tracks\": [\n");
+  for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
+    std::fprintf(f, "  {\"tid\": %zu, \"name\": ", tid);
+    fput_json_string(tracks[tid].name->c_str(), f);
+    std::fprintf(f,
+                 ", \"events_total\": %" PRIu64 ", \"events_dropped\": %" PRIu64
+                 "}%s\n",
+                 tracks[tid].total, tracks[tid].dropped,
+                 tid + 1 < tracks.size() ? "," : "");
+  }
+  std::fprintf(f, "]");
+  if (!extra_other_data.empty())
+    std::fprintf(f, ",\n%s", extra_other_data.c_str());
+  std::fprintf(f, "}\n}\n");
 }
 
 }  // namespace
@@ -99,70 +187,202 @@ std::uint64_t Tracer::total_dropped() const {
   return n;
 }
 
-void export_chrome_trace(const Tracer& tracer, std::FILE* f) {
+void export_chrome_trace(const Tracer& tracer, std::FILE* f,
+                         const std::string& extra_other_data) {
   const auto tracks = tracer.tracks();
-  std::fprintf(f, "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
-  bool first = true;
-  auto sep = [&] {
-    std::fprintf(f, "%s", first ? "" : ",\n");
-    first = false;
-  };
-  char buf[256];
-  for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
-    // Metadata event naming the track.
-    sep();
-    std::fprintf(f,
-                 "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
-                 "\"tid\": %zu, \"args\": {\"name\": ",
-                 tid);
-    fput_json_string(tracks[tid]->track_name().c_str(), f);
-    std::fprintf(f, "}}");
-
-    // Ring drop-oldest can orphan End events (their Begin was overwritten):
-    // skip Ends that would close a span the snapshot no longer contains.
-    const auto events = tracks[tid]->snapshot();
-    std::int64_t depth = 0;
-    for (const TraceEvent& ev : events) {
-      if (ev.type == TraceType::kEnd) {
-        if (depth == 0) continue;  // orphaned by drop-oldest
-        --depth;
-      } else if (ev.type == TraceType::kBegin) {
-        ++depth;
-      }
-      const double ts_us = ev.t * 1e6;
-      sep();
-      std::snprintf(buf, sizeof buf,
-                    "{\"ph\": \"%s\", \"ts\": %.3f, \"pid\": 0, "
-                    "\"tid\": %zu, \"name\": ",
-                    ph_of(ev.type), ts_us, tid);
-      std::fprintf(f, "%s", buf);
-      fput_json_string(ev.name ? ev.name : "?", f);
-      if (ev.type == TraceType::kInstant)
-        std::fprintf(f, ", \"s\": \"t\"");
-      std::fprintf(f, ", \"args\": {\"%s\": %" PRIu64 "}}",
-                   ev.type == TraceType::kCounter ? "value" : "arg", ev.arg);
-    }
-  }
-  std::fprintf(f, "\n],\n\"otherData\": {\"tracks\": [\n");
-  for (std::size_t tid = 0; tid < tracks.size(); ++tid) {
-    std::fprintf(f, "  {\"tid\": %zu, \"name\": ", tid);
-    fput_json_string(tracks[tid]->track_name().c_str(), f);
-    std::fprintf(f,
-                 ", \"events_total\": %" PRIu64 ", \"events_dropped\": %" PRIu64
-                 "}%s\n",
-                 tracks[tid]->total(), tracks[tid]->dropped(),
-                 tid + 1 < tracks.size() ? "," : "");
-  }
-  std::fprintf(f, "]}\n}\n");
+  std::vector<TrackView> views;
+  views.reserve(tracks.size());
+  for (const TraceBuffer* t : tracks)
+    views.push_back({&t->track_name(), t->total(), t->dropped(),
+                     t->snapshot()});
+  write_chrome_trace(views, f, extra_other_data);
 }
 
-bool export_chrome_trace(const Tracer& tracer, const std::string& path) {
+bool export_chrome_trace(const Tracer& tracer, const std::string& path,
+                         const std::string& extra_other_data) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
-  export_chrome_trace(tracer, f);
+  export_chrome_trace(tracer, f, extra_other_data);
   const bool ok = std::ferror(f) == 0;
   std::fclose(f);
   return ok;
+}
+
+std::uint32_t TraceSnapshot::intern(const std::string& name) {
+  for (std::uint32_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return i;
+  names.push_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+TraceSnapshot snapshot_tracer(const Tracer& tracer) {
+  TraceSnapshot snap;
+  for (const TraceBuffer* t : tracer.tracks()) {
+    TraceSnapshot::Track track;
+    track.name = t->track_name();
+    track.total = t->total();
+    track.dropped = t->dropped();
+    for (const TraceEvent& ev : t->snapshot()) {
+      TraceSnapshot::Event e;
+      e.t = ev.t;
+      e.arg = ev.arg;
+      e.name_ix = snap.intern(ev.name ? ev.name : "?");
+      e.arg2 = ev.arg2;
+      e.type = ev.type;
+      track.events.push_back(e);
+    }
+    snap.tracks.push_back(std::move(track));
+  }
+  return snap;
+}
+
+bool export_chrome_trace(const TraceSnapshot& snap, const std::string& path,
+                         const std::string& extra_other_data) {
+  // Rebuild TraceEvent views whose name pointers alias the interned
+  // strings; `snap` outlives the write, so the pointers stay valid.
+  std::vector<TrackView> views;
+  views.reserve(snap.tracks.size());
+  static const std::string kUnknown = "?";
+  for (const TraceSnapshot::Track& t : snap.tracks) {
+    TrackView v{&t.name, t.total, t.dropped, {}};
+    v.events.reserve(t.events.size());
+    for (const TraceSnapshot::Event& e : t.events) {
+      TraceEvent ev;
+      ev.t = e.t;
+      ev.name = e.name_ix < snap.names.size() ? snap.names[e.name_ix].c_str()
+                                              : kUnknown.c_str();
+      ev.arg = e.arg;
+      ev.arg2 = e.arg2;
+      ev.type = e.type;
+      v.events.push_back(ev);
+    }
+    views.push_back(std::move(v));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  write_chrome_trace(views, f, extra_other_data);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+namespace {
+
+void put_string(std::vector<char>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  put_bytes(out, s.data(), s.size());
+}
+
+bool take_string(StateReader& r, std::string& out, std::uint32_t max_len) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok || n > max_len || r.left < n) {
+    r.ok = false;
+    return false;
+  }
+  out.assign(r.p, n);
+  r.p += n;
+  r.left -= n;
+  return true;
+}
+
+constexpr std::uint32_t kMaxSnapshotNames = 1u << 16;
+constexpr std::uint32_t kMaxSnapshotTracks = 1u << 12;
+constexpr std::uint64_t kMaxSnapshotEvents = 1u << 22;
+constexpr std::uint32_t kMaxSnapshotString = 1u << 12;
+
+}  // namespace
+
+bool save_trace_snapshot(const TraceSnapshot& snap, const std::string& path) {
+  StateBlob b;
+  b.kind = kStateKindTraceRing;
+  b.meta0 = snap.rank;
+  b.meta1 = snap.generation;
+  auto& p = b.payload;
+  put_u32(p, static_cast<std::uint32_t>(snap.names.size()));
+  for (const std::string& n : snap.names) put_string(p, n);
+  put_u32(p, static_cast<std::uint32_t>(snap.tracks.size()));
+  for (const TraceSnapshot::Track& t : snap.tracks) {
+    put_string(p, t.name);
+    put_u64(p, t.total);
+    put_u64(p, t.dropped);
+    put_u64(p, t.events.size());
+    for (const TraceSnapshot::Event& e : t.events) {
+      put_f64(p, e.t);
+      put_u64(p, e.arg);
+      put_u32(p, e.name_ix);
+      put_u32(p, e.arg2);
+      put_u32(p, static_cast<std::uint32_t>(e.type));
+    }
+  }
+  return save_state_file(b, path);
+}
+
+std::optional<TraceSnapshot> load_trace_snapshot(const std::string& path,
+                                                 IoStatus* status) {
+  auto blob = load_state_file(path, status);
+  if (!blob) return std::nullopt;
+  auto fail = [&]() -> std::optional<TraceSnapshot> {
+    if (status) *status = IoStatus::kMalformed;
+    return std::nullopt;
+  };
+  if (blob->kind != kStateKindTraceRing) return fail();
+  StateReader r{blob->payload.data(), blob->payload.size()};
+  TraceSnapshot snap;
+  snap.rank = blob->meta0;
+  snap.generation = blob->meta1;
+  const std::uint32_t name_count = r.u32();
+  if (!r.ok || name_count > kMaxSnapshotNames)
+    return fail();
+  snap.names.resize(name_count);
+  for (std::uint32_t i = 0; i < name_count; ++i)
+    if (!take_string(r, snap.names[i], kMaxSnapshotString))
+      return fail();
+  const std::uint32_t track_count = r.u32();
+  if (!r.ok || track_count > kMaxSnapshotTracks)
+    return fail();
+  snap.tracks.resize(track_count);
+  for (std::uint32_t i = 0; i < track_count; ++i) {
+    TraceSnapshot::Track& t = snap.tracks[i];
+    if (!take_string(r, t.name, kMaxSnapshotString))
+      return fail();
+    t.total = r.u64();
+    t.dropped = r.u64();
+    const std::uint64_t n = r.u64();
+    if (!r.ok || n > kMaxSnapshotEvents || n * 28 > r.left)
+      return fail();
+    t.events.resize(static_cast<std::size_t>(n));
+    for (std::uint64_t j = 0; j < n; ++j) {
+      TraceSnapshot::Event& e = t.events[j];
+      e.t = r.f64();
+      e.arg = r.u64();
+      e.name_ix = r.u32();
+      e.arg2 = r.u32();
+      const std::uint32_t type = r.u32();
+      if (!r.ok || type > static_cast<std::uint32_t>(TraceType::kFlowEnd) ||
+          e.name_ix >= name_count)
+        return fail();
+      e.type = static_cast<TraceType>(type);
+    }
+  }
+  if (r.left != 0) return fail();
+  return snap;
+}
+
+void publish_trace_metrics(MetricsRegistry& registry, const Tracer& tracer,
+                           const std::string& prefix) {
+  std::uint64_t total = 0, dropped = 0;
+  const auto tracks = tracer.tracks();
+  for (const TraceBuffer* t : tracks) {
+    total += t->total();
+    dropped += t->dropped();
+    const std::uint64_t retained =
+        std::min<std::uint64_t>(t->total(), t->capacity());
+    registry.set(prefix + "hwm/" + t->track_name(),
+                 static_cast<double>(retained));
+  }
+  registry.add(prefix + "events_total", total);
+  registry.add(prefix + "events_dropped", dropped);
+  registry.set(prefix + "tracks", static_cast<double>(tracks.size()));
 }
 
 }  // namespace pmpl::runtime

@@ -31,28 +31,56 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "util/io_status.hpp"
+
 namespace pmpl::runtime {
 
+class MetricsRegistry;
+
 enum class TraceType : std::uint8_t {
-  kBegin = 0,    ///< span start ("B")
-  kEnd = 1,      ///< span end ("E")
-  kInstant = 2,  ///< point event ("i")
-  kCounter = 3,  ///< counter sample ("C"); arg is the sampled value
+  kBegin = 0,      ///< span start ("B")
+  kEnd = 1,        ///< span end ("E")
+  kInstant = 2,    ///< point event ("i")
+  kCounter = 3,    ///< counter sample ("C"); arg is the sampled value
+  kFlowStart = 4,  ///< flow arrow tail ("s"); arg is the correlation id
+  kFlowEnd = 5,    ///< flow arrow head ("f"); arg is the correlation id
 };
+
+/// Pack a (source rank, generation, sequence) triple into the 32-bit
+/// correlation id used by flow events and `corr` args. 6 bits of rank
+/// (ranks are capped at 64), 6 bits of generation, 20 bits of sequence;
+/// generation and sequence wrap, which can alias arrows only after 2^20
+/// frames from one incarnation — harmless for visualization, and distinct
+/// flow categories ("frame"/"steal"/"grant"/"exec") never match each other.
+/// Zero is reserved for "no correlation" (the exporter omits args.corr
+/// for it), so the one packing that collapses to 0 — rank 0, generation
+/// 0 mod 64, sequence 0 mod 2^20 — maps to the all-ones sentinel instead;
+/// both endpoints compute the same value, so flow pairing still holds.
+constexpr std::uint32_t trace_corr(std::uint32_t src, std::uint32_t generation,
+                                   std::uint64_t seq) noexcept {
+  const std::uint32_t c = ((src & 0x3fu) << 26) | ((generation & 0x3fu) << 20) |
+                          static_cast<std::uint32_t>(seq & 0xfffffu);
+  return c != 0 ? c : 0xffffffffu;
+}
 
 /// One trace record. `name` must point at a string with static storage
 /// duration (the buffer stores the pointer, never a copy). 32 bytes so a
 /// default track costs 8192 * 32 B = 256 KiB and an event write is one
-/// cache line touch.
+/// cache line touch. `arg2` rides in what used to be padding: flow events
+/// carry their correlation id in `arg` and an auxiliary value (peer rank)
+/// in `arg2`; other event types may carry a correlation id in `arg2`,
+/// exported as a `corr` arg when nonzero.
 struct TraceEvent {
   double t = 0.0;              ///< seconds (wall-since-epoch or virtual)
   const char* name = nullptr;  ///< static string, not owned
   std::uint64_t arg = 0;       ///< payload: region id, victim rank, value…
   TraceType type = TraceType::kInstant;
-  std::uint8_t pad_[7] = {};   ///< explicit padding (keeps the 32 B claim)
+  std::uint8_t pad_[3] = {};   ///< explicit padding (keeps the 32 B claim)
+  std::uint32_t arg2 = 0;      ///< aux payload / 32-bit correlation id
 };
 static_assert(sizeof(TraceEvent) == 32, "trace events are 32 bytes");
 
@@ -73,13 +101,14 @@ class TraceBuffer {
 
   /// Emit one event at explicit time `t` (virtual-time tracks).
   void emit_at(TraceType type, const char* name, double t,
-               std::uint64_t arg = 0) noexcept {
+               std::uint64_t arg = 0, std::uint32_t arg2 = 0) noexcept {
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
     TraceEvent& slot = ring_[static_cast<std::size_t>(h % ring_.size())];
     slot.t = t;
     slot.name = name;
     slot.arg = arg;
     slot.type = type;
+    slot.arg2 = arg2;
     head_.store(h + 1, std::memory_order_release);
   }
 
@@ -89,12 +118,23 @@ class TraceBuffer {
   void end_at(const char* name, double t, std::uint64_t arg = 0) noexcept {
     emit_at(TraceType::kEnd, name, t, arg);
   }
-  void instant_at(const char* name, double t,
-                  std::uint64_t arg = 0) noexcept {
-    emit_at(TraceType::kInstant, name, t, arg);
+  void instant_at(const char* name, double t, std::uint64_t arg = 0,
+                  std::uint32_t corr = 0) noexcept {
+    emit_at(TraceType::kInstant, name, t, arg, corr);
   }
   void counter_at(const char* name, double t, std::uint64_t value) noexcept {
     emit_at(TraceType::kCounter, name, t, value);
+  }
+  /// Flow arrow tail/head. `name` doubles as the flow category in the
+  /// export (arrows only bind within a category), `corr` is the 32-bit
+  /// correlation id (see trace_corr) and `aux` the peer rank or similar.
+  void flow_start_at(const char* name, double t, std::uint32_t corr,
+                     std::uint32_t aux = 0) noexcept {
+    emit_at(TraceType::kFlowStart, name, t, corr, aux);
+  }
+  void flow_end_at(const char* name, double t, std::uint32_t corr,
+                   std::uint32_t aux = 0) noexcept {
+    emit_at(TraceType::kFlowEnd, name, t, corr, aux);
   }
 
   const std::string& track_name() const noexcept { return name_; }
@@ -204,13 +244,72 @@ class TraceSpan {
 
 /// Write Chrome trace-event JSON (the format Perfetto and chrome://tracing
 /// load): one "thread" per track, `ts` in microseconds, span begin/end
-/// ("B"/"E"), instants ("i"), counters ("C") and per-track metadata ("M")
+/// ("B"/"E"), instants ("i"), counters ("C"), flow arrows ("s"/"f" with a
+/// hex `id` and the event name as `cat`) and per-track metadata ("M")
 /// naming the tracks. End events orphaned by ring drop-oldest (their Begin
 /// was overwritten) are skipped so the output is always well-formed; spans
 /// left open by a crash are closed by the viewer at trace end.
-/// `otherData` records per-track total/dropped counts. Writers must be
-/// quiescent. Returns false when the file cannot be written.
-bool export_chrome_trace(const Tracer& tracer, const std::string& path);
-void export_chrome_trace(const Tracer& tracer, std::FILE* f);
+/// `otherData` records per-track total/dropped counts; `extra_other_data`,
+/// when non-empty, must be one or more raw JSON members ("\"k\": {...}")
+/// appended verbatim into `otherData` (the clock metadata trace_merge
+/// aligns on). Writers must be quiescent. Returns false when the file
+/// cannot be written.
+bool export_chrome_trace(const Tracer& tracer, const std::string& path,
+                         const std::string& extra_other_data = {});
+void export_chrome_trace(const Tracer& tracer, std::FILE* f,
+                         const std::string& extra_other_data = {});
+
+/// Owning, serializable copy of a Tracer's retained contents — the unit
+/// the flight recorder persists and the supervisor salvages. Event names
+/// are interned in `names` (TraceEvent stores only static pointers; a
+/// snapshot must own its strings to survive a round-trip through disk).
+struct TraceSnapshot {
+  struct Event {
+    double t = 0.0;
+    std::uint64_t arg = 0;
+    std::uint32_t name_ix = 0;  ///< index into TraceSnapshot::names
+    std::uint32_t arg2 = 0;
+    TraceType type = TraceType::kInstant;
+  };
+  struct Track {
+    std::string name;
+    std::uint64_t total = 0;
+    std::uint64_t dropped = 0;
+    std::vector<Event> events;
+  };
+  std::vector<std::string> names;  ///< interned event names
+  std::vector<Track> tracks;
+  std::uint32_t rank = 0;        ///< owning rank (flight-recorder meta)
+  std::uint32_t generation = 0;  ///< owning incarnation
+
+  /// Intern `name`, returning its index.
+  std::uint32_t intern(const std::string& name);
+};
+
+/// Copy every track's retained events out of `tracer`. Writers must be
+/// quiescent (same contract as the exporter).
+TraceSnapshot snapshot_tracer(const Tracer& tracer);
+
+/// Persist / recover a snapshot through the util/state_file atomic
+/// checksummed container (kind kStateKindTraceRing): a crash mid-write
+/// leaves the previous fragment intact, and truncated or bit-flipped
+/// fragments are rejected on load, never misread.
+bool save_trace_snapshot(const TraceSnapshot& snap, const std::string& path);
+std::optional<TraceSnapshot> load_trace_snapshot(const std::string& path,
+                                                 IoStatus* status = nullptr);
+
+/// Export a snapshot as the same Chrome trace JSON the live exporter
+/// writes (how a salvaged flight-recorder fragment becomes mergeable).
+bool export_chrome_trace(const TraceSnapshot& snap, const std::string& path,
+                         const std::string& extra_other_data = {});
+
+/// Publish the tracer's aggregate event/drop counts plus per-track
+/// high-water marks (retained events, i.e. min(total, capacity)) into a
+/// metrics registry: counters `<prefix>events_total` /
+/// `<prefix>events_dropped`, gauges `<prefix>tracks` and
+/// `<prefix>hwm/<track name>`. One-shot at collection time — calling twice
+/// double-counts the counters.
+void publish_trace_metrics(MetricsRegistry& registry, const Tracer& tracer,
+                           const std::string& prefix = "trace/");
 
 }  // namespace pmpl::runtime

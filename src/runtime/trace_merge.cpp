@@ -1,0 +1,281 @@
+#include "runtime/trace_merge.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace pmpl::runtime {
+
+using pmpl::json::Value;
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double d, std::string& out) {
+  char buf[64];
+  // Integral values print without an exponent or trailing ".0" so counts
+  // and correlation args survive a round-trip textually unchanged.
+  if (d == static_cast<double>(static_cast<long long>(d)) &&
+      d >= -9.2e18 && d <= 9.2e18)
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+  else
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+/// Serialize a parsed JSON subtree (used for the `args` objects carried
+/// through the merge verbatim).
+void dump(const Value& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    dump_number(v.as_number(), out);
+  } else if (v.is_string()) {
+    dump_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const Value& e : v.as_array()) {
+      if (!first) out += ", ";
+      first = false;
+      dump(e, out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, e] : v.as_object()) {
+      if (!first) out += ", ";
+      first = false;
+      dump_string(k, out);
+      out += ": ";
+      dump(e, out);
+    }
+    out += '}';
+  }
+}
+
+/// One event of the merged timeline: everything but ts/pid/tid is copied
+/// verbatim from the source event it aliases.
+struct MergedEvent {
+  double ts = 0.0;
+  std::uint32_t pid = 0;
+  std::size_t tid = 0;
+  std::size_t order = 0;  ///< input arrival order (stable-sort tiebreak)
+  const Value* src = nullptr;
+};
+
+/// A track of the merged timeline (fresh global tid = index).
+struct MergedTrack {
+  std::uint32_t pid = 0;
+  std::string name;
+  double total = 0.0;
+  double dropped = 0.0;
+};
+
+}  // namespace
+
+TraceFileMeta read_cluster_clock(const Value& root,
+                                 std::uint32_t fallback_rank) {
+  TraceFileMeta meta;
+  meta.rank = fallback_rank;
+  const Value* other = root.find("otherData");
+  const Value* clock = other ? other->find("clusterClock") : nullptr;
+  if (!clock || !clock->is_object()) return meta;
+  meta.clock_present = true;
+  if (const Value* v = clock->find("rank"); v && v->is_number())
+    meta.rank = static_cast<std::uint32_t>(v->as_number());
+  if (const Value* v = clock->find("generation"); v && v->is_number())
+    meta.generation = static_cast<std::uint32_t>(v->as_number());
+  if (const Value* v = clock->find("salvaged"); v && v->is_bool())
+    meta.salvaged = v->as_bool();
+  if (const Value* v = clock->find("epochSteadyS"); v && v->is_number())
+    meta.epoch_steady_s = v->as_number();
+  if (const Value* v = clock->find("offsets"); v && v->is_array())
+    for (const Value& o : v->as_array())
+      meta.offsets.push_back(o.is_number()
+                                 ? std::optional<double>(o.as_number())
+                                 : std::nullopt);
+  return meta;
+}
+
+MergeResult merge_traces(const std::vector<MergeInput>& inputs) {
+  MergeResult out;
+  if (inputs.empty()) {
+    out.error = "no inputs";
+    return out;
+  }
+  std::vector<TraceFileMeta> metas;
+  std::vector<MergedTrack> tracks;
+  std::vector<MergedEvent> events;
+  std::string provenance;  // otherData.merged.inputs entries
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Value& root = inputs[i].root;
+    if (!root.is_object()) {
+      out.error = inputs[i].label + ": root is not an object";
+      return out;
+    }
+    const Value* evs = root.find("traceEvents");
+    if (!evs || !evs->is_array()) {
+      out.error = inputs[i].label + ": missing traceEvents array";
+      return out;
+    }
+    const TraceFileMeta meta =
+        read_cluster_clock(root, static_cast<std::uint32_t>(i));
+    // Shift onto rank 0's clock: the writer's offset to rank 0 says how
+    // far rank 0's clock runs ahead, so adding it maps local time onto
+    // the reference timeline. Rank 0 itself — and any file that never
+    // measured (accept-side only, or no clusterClock) — shifts by 0.
+    double shift_s = 0.0;
+    if (meta.rank != 0 && !meta.offsets.empty() && meta.offsets[0])
+      shift_s = *meta.offsets[0];
+    const double shift_us = shift_s * 1e6;
+    out.shift_us.push_back(shift_us);
+
+    // Fresh global tids for this file's tracks, in otherData order (which
+    // matches the local tid numbering the exporter uses).
+    const std::size_t tid_base = tracks.size();
+    std::size_t local_tracks = 0;
+    if (const Value* other = root.find("otherData"))
+      if (const Value* tr = other->find("tracks"); tr && tr->is_array())
+        for (const Value& t : tr->as_array()) {
+          MergedTrack mt;
+          mt.pid = meta.rank;
+          if (const Value* n = t.find("name"); n && n->is_string())
+            mt.name = n->as_string();
+          if (meta.generation > 0)
+            mt.name += " (g" + std::to_string(meta.generation) + ")";
+          if (const Value* n = t.find("events_total"); n && n->is_number())
+            mt.total = n->as_number();
+          if (const Value* n = t.find("events_dropped"); n && n->is_number())
+            mt.dropped = n->as_number();
+          tracks.push_back(std::move(mt));
+          ++local_tracks;
+        }
+
+    for (const Value& ev : evs->as_array()) {
+      if (!ev.is_object()) continue;
+      const Value* ph = ev.find("ph");
+      if (!ph || !ph->is_string()) continue;
+      if (ph->as_string() == "M") continue;  // re-emitted from the tracks
+      const Value* ts = ev.find("ts");
+      const Value* tid = ev.find("tid");
+      if (!ts || !ts->is_number() || !tid || !tid->is_number()) continue;
+      MergedEvent me;
+      me.ts = ts->as_number() + shift_us;
+      me.pid = meta.rank;
+      const auto local = static_cast<std::size_t>(tid->as_number());
+      if (local >= local_tracks) continue;  // tid outside declared tracks
+      me.tid = tid_base + local;
+      me.order = events.size();
+      me.src = &ev;
+      events.push_back(me);
+    }
+
+    provenance += std::string(i ? ",\n  " : "  ") + "{\"label\": ";
+    dump_string(inputs[i].label, provenance);
+    provenance += ", \"rank\": " + std::to_string(meta.rank) +
+                  ", \"generation\": " + std::to_string(meta.generation) +
+                  ", \"salvaged\": " + (meta.salvaged ? "true" : "false") +
+                  ", \"shift_us\": ";
+    dump_number(shift_us, provenance);
+    provenance += "}";
+    metas.push_back(meta);
+  }
+
+  // Clamp: alignment can push the earliest events negative (a writer
+  // whose clock ran ahead of rank 0's); slide the whole timeline right.
+  double min_ts = 0.0;
+  for (const MergedEvent& e : events) min_ts = std::min(min_ts, e.ts);
+  if (min_ts < 0.0)
+    for (MergedEvent& e : events) e.ts -= min_ts;
+
+  std::sort(events.begin(), events.end(),
+            [](const MergedEvent& a, const MergedEvent& b) {
+              return a.ts != b.ts ? a.ts < b.ts : a.order < b.order;
+            });
+
+  std::string& j = out.json;
+  j.reserve(events.size() * 96 + 4096);
+  j += "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) j += ",\n";
+    first = false;
+  };
+  // Metadata: one process per rank, one named thread per merged track.
+  std::map<std::uint32_t, bool> pid_named;
+  for (std::size_t t = 0; t < tracks.size(); ++t) {
+    if (!pid_named[tracks[t].pid]) {
+      pid_named[tracks[t].pid] = true;
+      sep();
+      j += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(tracks[t].pid) +
+           ", \"tid\": 0, \"args\": {\"name\": \"rank " +
+           std::to_string(tracks[t].pid) + "\"}}";
+    }
+    sep();
+    j += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " +
+         std::to_string(tracks[t].pid) + ", \"tid\": " + std::to_string(t) +
+         ", \"args\": {\"name\": ";
+    dump_string(tracks[t].name, j);
+    j += "}}";
+  }
+  for (const MergedEvent& e : events) {
+    sep();
+    const auto& o = e.src->as_object();
+    j += "{\"ph\": ";
+    dump(o.at("ph"), j);
+    j += ", \"ts\": ";
+    dump_number(e.ts, j);
+    j += ", \"pid\": " + std::to_string(e.pid) +
+         ", \"tid\": " + std::to_string(e.tid);
+    // Everything else rides through verbatim (name, flow cat/id/bp,
+    // instant scope, args) — the merge only rewrites time and identity.
+    for (const char* key : {"name", "cat", "id", "bp", "s", "args"}) {
+      const auto it = o.find(key);
+      if (it == o.end()) continue;
+      j += ", \"";
+      j += key;
+      j += "\": ";
+      dump(it->second, j);
+    }
+    j += "}";
+  }
+  j += "\n],\n\"otherData\": {\"tracks\": [\n";
+  for (std::size_t t = 0; t < tracks.size(); ++t) {
+    j += "  {\"tid\": " + std::to_string(t) + ", \"name\": ";
+    dump_string(tracks[t].name, j);
+    j += ", \"pid\": " + std::to_string(tracks[t].pid) +
+         ", \"events_total\": ";
+    dump_number(tracks[t].total, j);
+    j += ", \"events_dropped\": ";
+    dump_number(tracks[t].dropped, j);
+    j += t + 1 < tracks.size() ? "},\n" : "}\n";
+  }
+  j += "],\n\"merged\": {\"inputs\": [\n" + provenance + "\n]}}\n}\n";
+  out.ok = true;
+  return out;
+}
+
+}  // namespace pmpl::runtime

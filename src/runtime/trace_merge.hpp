@@ -1,0 +1,67 @@
+#pragma once
+/// \file trace_merge.hpp
+/// Merge per-rank per-generation Chrome trace files into one cluster-wide
+/// timeline (the library behind tools/trace_merge).
+///
+/// Each input is a file written by export_chrome_trace — a live rank
+/// export or a supervisor-salvaged flight-recorder fragment — whose
+/// `otherData.clusterClock` member carries the writer's identity (rank,
+/// generation) and its hello-round-trip clock-offset estimates
+/// (transport.hpp estimate_clock_offset). The merge:
+///  - aligns every file onto rank 0's clock by shifting its timestamps by
+///    the writer's measured offset to rank 0 (offset = how far rank 0's
+///    clock runs ahead, so t_aligned = t_local + offset; rank 0 and files
+///    without an estimate shift by 0), then clamps the whole timeline so
+///    the earliest event lands at ts >= 0;
+///  - rewrites pids to the writer's rank and hands every track a fresh
+///    global tid, so one Perfetto process group per rank with its
+///    incarnations' tracks side by side (a generation > 0 track is
+///    renamed "<name> (g<gen>)" — restarted timelines stay separate);
+///  - passes flow events through untouched, so steal/grant/frame arrows
+///    bind across rank tracks in the merged view;
+///  - records per-input provenance (label, rank, generation, salvaged,
+///    applied shift) under `otherData.merged`.
+/// Events are emitted in ascending aligned-timestamp order.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json_mini.hpp"
+
+namespace pmpl::runtime {
+
+/// The `otherData.clusterClock` member of one trace file.
+struct TraceFileMeta {
+  std::uint32_t rank = 0;
+  std::uint32_t generation = 0;
+  bool salvaged = false;       ///< exported post-mortem by the supervisor
+  bool clock_present = false;  ///< file carried a clusterClock member
+  double epoch_steady_s = 0.0;
+  /// Seconds the peer's clock runs ahead of this writer's; nullopt = this
+  /// writer never dialed that peer (only dialers measure).
+  std::vector<std::optional<double>> offsets;
+};
+
+/// Parse `otherData.clusterClock`; absent or malformed members degrade to
+/// the defaults (rank = fallback_rank, no offsets) rather than failing —
+/// a merge of schema-less inputs is still a usable single timeline.
+TraceFileMeta read_cluster_clock(const pmpl::json::Value& root,
+                                 std::uint32_t fallback_rank = 0);
+
+struct MergeInput {
+  std::string label;      ///< provenance recorded in otherData (file path)
+  pmpl::json::Value root; ///< the parsed trace document
+};
+
+struct MergeResult {
+  bool ok = false;
+  std::string error;             ///< first structural failure when !ok
+  std::string json;              ///< the merged trace document
+  std::vector<double> shift_us;  ///< per-input timestamp shift applied
+};
+
+MergeResult merge_traces(const std::vector<MergeInput>& inputs);
+
+}  // namespace pmpl::runtime

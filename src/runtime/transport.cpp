@@ -7,11 +7,13 @@ namespace pmpl::runtime {
 namespace {
 
 // Fixed-size scalar section of a payload: type byte, from, to, gen, a, b,
-// c, item count. Scalars are encoded little-endian by memcpy — every
-// target this repo builds for is little-endian, and the codec is
+// c, trace seq, item count. Scalars are encoded little-endian by memcpy —
+// every target this repo builds for is little-endian, and the codec is
 // symmetric, so same-host clusters (the only deployment) round-trip
-// regardless.
-constexpr std::size_t kScalarBytes = 1 + 4 + 4 + 4 + 8 + 8 + 8 + 4;
+// regardless. (The seq field grew this section from 41 to 49 bytes; both
+// halves of a cluster always run the same build, so there is no
+// mixed-version wire concern.)
+constexpr std::size_t kScalarBytes = 1 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4;
 
 template <typename T>
 void put(std::vector<std::uint8_t>& out, T v) {
@@ -43,6 +45,7 @@ void encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
   put(out, f.a);
   put(out, f.b);
   put(out, f.c);
+  put(out, f.seq);
   put(out, static_cast<std::uint32_t>(f.items.size()));
   for (std::uint32_t item : f.items) put(out, item);
 }
@@ -60,6 +63,7 @@ bool decode_frame_payload(const std::uint8_t* data, std::size_t n,
   out.a = get<std::uint64_t>(data, at);
   out.b = get<std::uint64_t>(data, at);
   out.c = get<std::uint64_t>(data, at);
+  out.seq = get<std::uint64_t>(data, at);
   const auto count = get<std::uint32_t>(data, at);
   if (count > kMaxFrameItems) return false;
   if (n != kScalarBytes + 4ull * count) return false;

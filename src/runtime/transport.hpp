@@ -69,6 +69,13 @@ struct Frame {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::uint64_t c = 0;
+  /// Per-transmission trace sequence number, stamped by the sending
+  /// transport (1, 2, …; 0 = untraced handshake frame). Together with
+  /// (from, gen) it forms the wire-level trace id behind the paired
+  /// frame_send/frame_recv events and their flow arrows; retransmissions
+  /// get fresh seqs because each physical transmission is its own arrow.
+  /// Not part of the protocol: engines ignore it.
+  std::uint64_t seq = 0;
   std::vector<std::uint32_t> items;
 
   bool operator==(const Frame&) const = default;
@@ -126,6 +133,19 @@ class MetricsRegistry;
 /// counters (same idiom as publish(FaultMetrics)).
 void publish(MetricsRegistry& reg, const TransportMetrics& m,
              const std::string& prefix);
+
+/// NTP-style clock-offset estimate from one hello round trip: the dialer
+/// sends its clock reading `t0`, the acceptor replies with its own reading
+/// `t1` (echoing t0), and the dialer receives the reply at `t2`. Under
+/// symmetric path delay the peer's clock reads `t1` at local midpoint
+/// (t0+t2)/2, so the returned value is how far the *peer's* clock is ahead
+/// of the local one; the error is bounded by half the round-trip time.
+/// Mapping a peer timestamp into local time is then `t_local = t_peer -
+/// offset`.
+constexpr double estimate_clock_offset(double t0, double t1,
+                                       double t2) noexcept {
+  return t1 - 0.5 * (t0 + t2);
+}
 
 /// A real point-to-point transport among ranks 0..size-1. Implementations:
 /// SocketTransport (processes over Unix-domain sockets), MemTransport

@@ -65,12 +65,14 @@ class MemCluster {
 
     bool send(std::uint32_t to, const Frame& f) override {
       if (to >= p_ || to == rank_) return false;
+      Frame stamped = f;  // wire trace id, same stamping as SocketTransport
       {
         std::lock_guard lock(mutex_);
         ++metrics_.frames_sent;
         metrics_.bytes_sent += frame_payload_size(f) + 4;
+        stamped.seq = ++send_seq_;
       }
-      return cluster_.ranks_[to]->deposit(f);
+      return cluster_.ranks_[to]->deposit(stamped);
     }
 
     bool recv(Frame& out, double timeout_s) override {
@@ -150,6 +152,7 @@ class MemCluster {
         delayed_;
     std::vector<std::uint64_t> recv_seq_;  ///< arrivals per sender
     std::uint64_t delay_seq_ = 0;
+    std::uint64_t send_seq_ = 0;  ///< wire trace ids (Frame::seq)
     TransportMetrics metrics_;
   };
 

@@ -35,13 +35,28 @@ int make_socket() {
   return socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
 }
 
+// Clock readings ride the unused b/c scalars of kHello frames, bit-cast
+// so no precision is lost on the wire.
+std::uint64_t pack_time(double t) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, &t, sizeof v);
+  return v;
+}
+double unpack_time(std::uint64_t v) noexcept {
+  double t;
+  std::memcpy(&t, &v, sizeof t);
+  return t;
+}
+
 }  // namespace
 
 SocketTransport::SocketTransport(SocketTransportConfig config)
     : config_(std::move(config)),
       peers_(config_.size),
       peer_gen_(config_.size, 0),
-      faults_(config_.faults) {
+      faults_(config_.faults),
+      clock_offset_(config_.size, 0.0),
+      clock_known_(config_.size, 0) {
   epoch_steady_s_ = config_.epoch_steady_s > 0.0 ? config_.epoch_steady_s
                                                  : steady_seconds();
   for (auto& p : peers_) p.redials_left = config_.reconnect_budget;
@@ -175,13 +190,17 @@ bool SocketTransport::dial(std::uint32_t peer, double budget_s) {
       if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
         // Introduce ourselves before anything else travels. The hello
         // carries our generation — the peer refuses it if it has already
-        // heard from a newer incarnation of this rank.
+        // heard from a newer incarnation of this rank — and our clock
+        // reading (b): the peer echoes it in its hello reply alongside its
+        // own reading, giving us an RTT-midpoint clock-offset estimate
+        // that is refreshed by every reconnect handshake.
         Frame hello;
         hello.type = FrameType::kHello;
         hello.from = config_.rank;
         hello.to = peer;
         hello.gen = config_.generation;
         hello.a = config_.generation;
+        hello.b = pack_time(now());
         std::vector<std::uint8_t> wire;
         encode_frame(hello, wire);
         std::size_t off = 0;
@@ -241,8 +260,14 @@ void SocketTransport::drop_connection(std::uint32_t peer) {
 
 bool SocketTransport::send(std::uint32_t to, const Frame& f) {
   if (to >= config_.size || to == config_.rank) return false;
+  // Stamp the wire trace id: each physical transmission gets a fresh seq
+  // (a retransmitted grant is a new arrow), and (from, gen, seq) pairs the
+  // receiver's frame_recv with this exact frame_send across process trace
+  // files.
+  Frame stamped = f;
+  stamped.seq = ++send_seq_;
   std::vector<std::uint8_t> wire;
-  encode_frame(f, wire);
+  encode_frame(stamped, wire);
   const double deadline = now() + config_.send_timeout_s;
   bool redialed = false;
   for (;;) {
@@ -305,7 +330,13 @@ bool SocketTransport::send(std::uint32_t to, const Frame& f) {
     if (!dead) {
       ++metrics_.frames_sent;
       metrics_.bytes_sent += wire.size();
-      trace_instant("frame_send", to);
+      if (trace_) {
+        const double t = now();
+        const std::uint32_t corr =
+            trace_corr(config_.rank, config_.generation, stamped.seq);
+        trace_->instant_at("frame_send", t, to, corr);
+        trace_->flow_start_at("frame", t, corr, to);
+      }
       return true;
     }
     // The peer closed on us — but frames it wrote before exiting are
@@ -381,6 +412,24 @@ void SocketTransport::identify_pending() {
             if (replacing) {
               ++metrics_.reconnects;
               trace_instant("reconnect", from);
+            }
+            // Answer the handshake: our clock reading plus the dialer's
+            // echoed back, closing its RTT-midpoint offset estimate.
+            // Best effort and uncounted, like the hello itself — a lost
+            // reply only costs the peer a clock sample.
+            {
+              Frame reply;
+              reply.type = FrameType::kHello;
+              reply.from = config_.rank;
+              reply.to = from;
+              reply.gen = config_.generation;
+              reply.a = config_.generation;
+              reply.b = pack_time(now());
+              reply.c = hello.b;
+              std::vector<std::uint8_t> wire;
+              encode_frame(reply, wire);
+              (void)::send(peers_[from].fd, wire.data(), wire.size(),
+                           MSG_NOSIGNAL);
             }
             // Bytes that followed the hello in the same read are real
             // frames from this peer: decode them now.
@@ -465,12 +514,27 @@ bool SocketTransport::pump(std::uint32_t peer) {
       return false;
     }
     at += 4ull + len;
-    if (frame.type == FrameType::kHello) {  // duplicate handshake
+    if (frame.type == FrameType::kHello) {  // handshake traffic
       peer_gen_[peer] = std::max(peer_gen_[peer], frame.gen);
+      if (frame.c != 0) {
+        // Hello reply: b is the peer's clock reading, c our own echoed
+        // back — the three timestamps of one NTP-style round trip.
+        const double offset = estimate_clock_offset(
+            unpack_time(frame.c), unpack_time(frame.b), now());
+        clock_offset_[peer] = offset;
+        clock_known_[peer] = 1;
+        trace_instant("clock_sync", peer);
+      }
       continue;
     }
     ++metrics_.frames_received;
-    trace_instant("frame_recv", peer);
+    if (trace_) {
+      const double t = now();
+      const std::uint32_t corr =
+          frame.seq != 0 ? trace_corr(frame.from, frame.gen, frame.seq) : 0;
+      trace_->instant_at("frame_recv", t, peer, corr);
+      if (corr != 0) trace_->flow_end_at("frame", t, corr, peer);
+    }
     ingest(peer, std::move(frame));
   }
   if (at > 0)

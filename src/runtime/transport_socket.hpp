@@ -68,7 +68,10 @@ struct SocketTransportConfig {
   FaultPlan faults;  ///< link/token faults, times already in wall seconds
 
   /// Optional transport trace track: frame_send / frame_recv /
-  /// frame_drop / reconnect instants (arg = peer rank).
+  /// frame_drop / reconnect / clock_sync instants (arg = peer rank).
+  /// frame_send/frame_recv additionally carry the wire trace id as a
+  /// `corr` arg and emit paired "frame" flow events, so every delivered
+  /// frame renders as an arrow between rank tracks in Perfetto.
   Tracer* tracer = nullptr;
   std::string track_name;
   std::size_t trace_capacity = 0;
@@ -102,6 +105,23 @@ class SocketTransport final : public Transport {
   /// Flush-and-close every connection and remove this rank's socket file.
   /// Idempotent; the destructor calls it.
   void close();
+
+  /// This rank's cluster epoch on the CLOCK_MONOTONIC timeline.
+  double epoch_steady_s() const noexcept { return epoch_steady_s_; }
+
+  /// Clock offset to `peer` as estimated from the hello round trip
+  /// (estimate_clock_offset): how far the peer's `now()` runs ahead of
+  /// ours, re-estimated on every reconnect handshake. Only the dialing
+  /// side of a connection measures (the round trip starts at its hello);
+  /// with every rank dialing all lower ranks, every rank except rank 0
+  /// holds a direct estimate to rank 0 — the reference trace_merge aligns
+  /// on.
+  bool clock_offset_known(std::uint32_t peer) const noexcept {
+    return peer < clock_known_.size() && clock_known_[peer] != 0;
+  }
+  double clock_offset(std::uint32_t peer) const noexcept {
+    return peer < clock_offset_.size() ? clock_offset_[peer] : 0.0;
+  }
 
  private:
   struct Peer {
@@ -152,6 +172,9 @@ class SocketTransport final : public Transport {
   TransportMetrics metrics_;
   TraceBuffer* trace_ = nullptr;
   double epoch_steady_s_ = 0.0;
+  std::uint64_t send_seq_ = 0;  ///< wire trace ids (Frame::seq) handed out
+  std::vector<double> clock_offset_;   ///< per-peer RTT-midpoint estimate
+  std::vector<std::uint8_t> clock_known_;
 };
 
 }  // namespace pmpl::runtime

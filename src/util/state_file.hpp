@@ -34,8 +34,10 @@
 namespace pmpl {
 
 /// Payload-schema ids. Anytime build checkpoints own 1 and 2; rank
-/// checkpoints (loadbal/ws_rank) own 3. Append only.
+/// checkpoints (loadbal/ws_rank) own 3; flight-recorder trace fragments
+/// (runtime/trace) own 4. Append only.
 inline constexpr std::uint32_t kStateKindWsRank = 3;
+inline constexpr std::uint32_t kStateKindTraceRing = 4;
 
 /// One durable snapshot: identity header plus an opaque payload.
 struct StateBlob {

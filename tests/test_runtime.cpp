@@ -514,15 +514,21 @@ TEST(Scheduler, CountersAccountForEveryTask) {
 TEST(Scheduler, ParksWhenIdleAndWakesOnSubmit) {
   Scheduler sched(2);
   // Give the workers time to run through spin/yield backoff and park.
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  TaskGroup group;
-  std::atomic<int> count{0};
-  for (int i = 0; i < 16; ++i) sched.submit([&] { ++count; }, &group);
-  sched.wait(group);
-  EXPECT_EQ(count.load(), 16);
-  const auto counters = sched.counters();
+  // Parked time is only accounted on wake, so each attempt idles, then
+  // submits a wave to wake everyone and re-reads the counters; the
+  // widening idle window rides out a loaded `ctest -j` starving the
+  // workers of the CPU they need to reach the parked state.
   double parked = 0.0;
-  for (const auto& c : counters) parked += c.park_s;
+  for (int attempt = 0; attempt < 6 && parked == 0.0; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50 << attempt));
+    TaskGroup group;
+    std::atomic<int> count{0};
+    for (int i = 0; i < 16; ++i) sched.submit([&] { ++count; }, &group);
+    sched.wait(group);
+    EXPECT_EQ(count.load(), 16);
+    parked = 0.0;
+    for (const auto& c : sched.counters()) parked += c.park_s;
+  }
   EXPECT_GT(parked, 0.0);  // the idle period was parked, not spun
 }
 

@@ -1,0 +1,492 @@
+// Distributed-tracing toolchain tests: the clock-offset estimator, the
+// correlation-id packing, trace_merge's cross-clock alignment and
+// restart-generation handling, the flight recorder's corruption-safe
+// round trip, and the end-to-end supervisor salvage of a SIGKILLed
+// rank's trace through a real socket cluster, finished off by the
+// ws_report analyzer over the merged timeline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "loadbal/ws_cluster.hpp"
+#include "loadbal/ws_report.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/trace_merge.hpp"
+#include "runtime/transport.hpp"
+#include "util/json_mini.hpp"
+
+using namespace pmpl;
+using pmpl::json::Value;
+
+namespace {
+
+std::string tmp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  out.clear();
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+/// Parse a trace file on disk into a merge input labeled with its path.
+bool load_input(const std::string& path,
+                std::vector<runtime::MergeInput>& inputs) {
+  std::string text, err;
+  Value root;
+  if (!read_file(path, text) || !json::parse(text, root, &err)) return false;
+  inputs.push_back({path, std::move(root)});
+  return true;
+}
+
+/// clusterClock otherData member as the cluster children write it.
+std::string clock_json(std::uint32_t rank, std::uint32_t gen,
+                       const std::vector<const char*>& offsets) {
+  std::string j = "\"clusterClock\": {\"rank\": " + std::to_string(rank) +
+                  ", \"generation\": " + std::to_string(gen) +
+                  ", \"epochSteadyS\": 0, \"offsets\": [";
+  for (std::size_t i = 0; i < offsets.size(); ++i)
+    j += std::string(i ? ", " : "") + offsets[i];
+  return j + "]}";
+}
+
+/// All events named `name` in a merged trace, as (ts, pid) pairs.
+std::vector<std::pair<double, int>> events_named(const Value& merged,
+                                                 const std::string& name) {
+  std::vector<std::pair<double, int>> out;
+  for (const Value& ev : merged.find("traceEvents")->as_array()) {
+    const Value* nm = ev.find("name");
+    const Value* ph = ev.find("ph");
+    if (!nm || !nm->is_string() || nm->as_string() != name) continue;
+    if (ph && ph->is_string() && ph->as_string() == "M") continue;
+    out.push_back({ev.find("ts")->as_number(),
+                   static_cast<int>(ev.find("pid")->as_number())});
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Clock-offset estimation (the hello-handshake NTP round trip).
+
+TEST(ClockSync, SymmetricRoundTripRecoversOffsetExactly) {
+  // Peer clock runs 0.25 s ahead; one-way delay 10 ms each direction.
+  const double kOffset = 0.25, kDelay = 0.010, t0 = 5.0;
+  const double t1 = (t0 + kDelay) + kOffset;  // peer's reading at receipt
+  const double t2 = t0 + 2.0 * kDelay;        // reply lands locally
+  EXPECT_DOUBLE_EQ(runtime::estimate_clock_offset(t0, t1, t2), kOffset);
+}
+
+TEST(ClockSync, NegativeOffsetAndZeroDelay) {
+  EXPECT_DOUBLE_EQ(runtime::estimate_clock_offset(3.0, 3.0 - 0.5, 3.0), -0.5);
+}
+
+TEST(ClockSync, AsymmetricDelayErrorBoundedByHalfRtt) {
+  // Forward path 1 ms, return path 20 ms: the midpoint assumption is off,
+  // but the error can never exceed half the round trip.
+  const double kOffset = -0.5, d_fwd = 0.001, d_ret = 0.020, t0 = 7.0;
+  const double t1 = (t0 + d_fwd) + kOffset;
+  const double t2 = t0 + d_fwd + d_ret;
+  const double est = runtime::estimate_clock_offset(t0, t1, t2);
+  EXPECT_LE(std::abs(est - kOffset), (d_fwd + d_ret) / 2.0 + 1e-12);
+  EXPECT_NE(est, kOffset);  // asymmetry is visible, just bounded
+}
+
+// ---------------------------------------------------------------------------
+// Correlation-id packing.
+
+TEST(TraceCorr, PacksRankGenerationSequence) {
+  EXPECT_EQ(runtime::trace_corr(3, 2, 5),
+            (3u << 26) | (2u << 20) | 5u);
+  // Fields wrap at their widths instead of bleeding into neighbors.
+  EXPECT_EQ(runtime::trace_corr(64 + 3, 64 + 2, (1u << 20) + 5),
+            runtime::trace_corr(3, 2, 5));
+}
+
+TEST(TraceCorr, NeverReturnsZero) {
+  // Zero means "no correlation" to the exporter, so the one packing that
+  // collapses to zero maps to the all-ones sentinel on both endpoints.
+  EXPECT_EQ(runtime::trace_corr(0, 0, 0), 0xffffffffu);
+  EXPECT_EQ(runtime::trace_corr(0, 0, 1u << 20), 0xffffffffu);
+  EXPECT_EQ(runtime::trace_corr(0, 64, 0), 0xffffffffu);
+  EXPECT_NE(runtime::trace_corr(0, 0, 1), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// trace_merge: clock alignment and incarnation handling.
+
+TEST(TraceMerge, AlignsRecvAfterSendAcrossClockDomains) {
+  // Rank 1's clock runs 0.5 s behind rank 0's: a frame sent at 1.0 (rank 0
+  // time) lands at local 0.6 on rank 1 — apparently before it was sent.
+  // Rank 1's measured offset to rank 0 (+0.5: rank 0 runs ahead) must
+  // repair the order in the merged timeline.
+  const std::uint32_t corr = runtime::trace_corr(0, 0, 7);
+  const std::string p0 = tmp_path("merge_align.r0.g0.json");
+  const std::string p1 = tmp_path("merge_align.r1.g0.json");
+  {
+    runtime::Tracer t;
+    runtime::TraceBuffer* b = t.track("transport 0");
+    b->instant_at("frame_send", 1.0, 1, corr);
+    b->flow_start_at("frame", 1.0, corr, 1);
+    ASSERT_TRUE(runtime::export_chrome_trace(
+        t, p0, clock_json(0, 0, {"null", "0"})));
+  }
+  {
+    runtime::Tracer t;
+    runtime::TraceBuffer* b = t.track("transport 1");
+    b->instant_at("frame_recv", 0.6, 0, corr);
+    b->flow_end_at("frame", 0.6, corr, 0);
+    ASSERT_TRUE(runtime::export_chrome_trace(
+        t, p1, clock_json(1, 0, {"0.5", "null"})));
+  }
+
+  std::vector<runtime::MergeInput> inputs;
+  ASSERT_TRUE(load_input(p0, inputs));
+  ASSERT_TRUE(load_input(p1, inputs));
+  const runtime::MergeResult m = runtime::merge_traces(inputs);
+  ASSERT_TRUE(m.ok) << m.error;
+  ASSERT_EQ(m.shift_us.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.shift_us[0], 0.0);
+  EXPECT_DOUBLE_EQ(m.shift_us[1], 0.5e6);
+
+  Value merged;
+  std::string err;
+  ASSERT_TRUE(json::parse(m.json, merged, &err)) << err;
+  const auto sends = events_named(merged, "frame_send");
+  const auto recvs = events_named(merged, "frame_recv");
+  ASSERT_EQ(sends.size(), 1u);
+  ASSERT_EQ(recvs.size(), 1u);
+  EXPECT_EQ(sends[0].second, 0);  // pid = rank
+  EXPECT_EQ(recvs[0].second, 1);
+  EXPECT_GE(recvs[0].first, sends[0].first);  // causality restored
+  EXPECT_NEAR(recvs[0].first - sends[0].first, 0.1e6, 1.0);
+
+  // The flow pair survives the merge with matching (cat, id) on both ends.
+  std::map<std::string, int> flow_phs;
+  for (const Value& ev : merged.find("traceEvents")->as_array()) {
+    const Value* ph = ev.find("ph");
+    if (!ph->is_string()) continue;
+    const std::string& p = ph->as_string();
+    if (p != "s" && p != "f") continue;
+    ASSERT_TRUE(ev.find("cat") && ev.find("cat")->is_string());
+    ASSERT_TRUE(ev.find("id") && ev.find("id")->is_string());
+    ++flow_phs[ev.find("cat")->as_string() + "|" +
+               ev.find("id")->as_string()];
+  }
+  ASSERT_EQ(flow_phs.size(), 1u);
+  EXPECT_EQ(flow_phs.begin()->second, 2);
+  EXPECT_EQ(flow_phs.begin()->first.rfind("frame|0x", 0), 0u);
+}
+
+TEST(TraceMerge, RestartGenerationsKeepSeparateTracksUnderOnePid) {
+  const std::string pa = tmp_path("merge_gen.r1.g0.json");
+  const std::string pb = tmp_path("merge_gen.r1.g1.json");
+  {
+    runtime::Tracer t;
+    t.track("rank 1")->instant_at("steal_req", 0.1, 2,
+                                  runtime::trace_corr(1, 0, 1));
+    ASSERT_TRUE(runtime::export_chrome_trace(
+        t, pa, clock_json(1, 0, {"0", "null"})));
+  }
+  {
+    runtime::Tracer t;
+    t.track("rank 1")->instant_at("steal_req", 0.4, 0,
+                                  runtime::trace_corr(1, 1, 1));
+    ASSERT_TRUE(runtime::export_chrome_trace(
+        t, pb, clock_json(1, 1, {"0", "null"})));
+  }
+  std::vector<runtime::MergeInput> inputs;
+  ASSERT_TRUE(load_input(pa, inputs));
+  ASSERT_TRUE(load_input(pb, inputs));
+  const runtime::MergeResult m = runtime::merge_traces(inputs);
+  ASSERT_TRUE(m.ok) << m.error;
+
+  Value merged;
+  std::string err;
+  ASSERT_TRUE(json::parse(m.json, merged, &err)) << err;
+  std::vector<std::string> names;
+  std::vector<double> tids, pids;
+  for (const Value& t : merged.find("otherData")->find("tracks")->as_array()) {
+    names.push_back(t.find("name")->as_string());
+    tids.push_back(t.find("tid")->as_number());
+    pids.push_back(t.find("pid")->as_number());
+  }
+  ASSERT_EQ(names.size(), 2u);
+  // The restarted incarnation gets its own named track (so the two
+  // timelines never interleave) but stays in rank 1's process group.
+  EXPECT_NE(std::find(names.begin(), names.end(), "rank 1"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "rank 1 (g1)"),
+            names.end());
+  EXPECT_NE(tids[0], tids[1]);
+  EXPECT_EQ(pids[0], 1.0);
+  EXPECT_EQ(pids[1], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: snapshot persistence through util/state_file.
+
+TEST(FlightRecorder, SnapshotRoundTripsThroughStateFile) {
+  runtime::Tracer t;
+  runtime::TraceBuffer* a = t.track("rank 2");
+  runtime::TraceBuffer* b = t.track("transport 2");
+  a->begin_at("region", 0.25, 17);
+  a->end_at("region", 0.50, 17);
+  a->instant_at("steal_req", 0.6, 1, runtime::trace_corr(2, 3, 9));
+  b->flow_start_at("frame", 0.7, runtime::trace_corr(2, 3, 4), 1);
+
+  runtime::TraceSnapshot snap = runtime::snapshot_tracer(t);
+  snap.rank = 2;
+  snap.generation = 3;
+  const std::string path = tmp_path("flight_roundtrip.bin");
+  ASSERT_TRUE(runtime::save_trace_snapshot(snap, path));
+
+  const auto back = runtime::load_trace_snapshot(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->rank, 2u);
+  EXPECT_EQ(back->generation, 3u);
+  ASSERT_EQ(back->tracks.size(), 2u);
+  EXPECT_EQ(back->tracks[0].name, "rank 2");
+  EXPECT_EQ(back->tracks[1].name, "transport 2");
+  ASSERT_EQ(back->tracks[0].events.size(), 3u);
+  ASSERT_EQ(back->tracks[1].events.size(), 1u);
+  const auto& ev = back->tracks[0].events[2];
+  EXPECT_DOUBLE_EQ(ev.t, 0.6);
+  EXPECT_EQ(ev.arg, 1u);
+  EXPECT_EQ(ev.arg2, runtime::trace_corr(2, 3, 9));
+  EXPECT_EQ(back->names.at(ev.name_ix), "steal_req");
+  EXPECT_EQ(back->tracks[1].events[0].type, runtime::TraceType::kFlowStart);
+
+  // A salvaged fragment must export as the same well-formed Chrome trace a
+  // live rank writes.
+  const std::string json_path = tmp_path("flight_roundtrip.json");
+  ASSERT_TRUE(runtime::export_chrome_trace(*back, json_path));
+  std::string text, err;
+  Value root;
+  ASSERT_TRUE(read_file(json_path, text));
+  ASSERT_TRUE(json::parse(text, root, &err)) << err;
+  EXPECT_TRUE(root.find("traceEvents"));
+}
+
+TEST(FlightRecorder, RejectsTruncationAndBitFlips) {
+  runtime::Tracer t;
+  runtime::TraceBuffer* a = t.track("rank 0");
+  for (int i = 0; i < 64; ++i)
+    a->instant_at("steal_req", 0.01 * i, static_cast<std::uint64_t>(i),
+                  runtime::trace_corr(0, 0, static_cast<std::uint64_t>(i + 1)));
+  runtime::TraceSnapshot snap = runtime::snapshot_tracer(t);
+  const std::string path = tmp_path("flight_corrupt.bin");
+  ASSERT_TRUE(runtime::save_trace_snapshot(snap, path));
+  std::string bytes;
+  ASSERT_TRUE(read_file(path, bytes));
+  ASSERT_GT(bytes.size(), 8u);
+
+  // Torn write (the crash the flight recorder exists for): reject.
+  const std::string trunc = tmp_path("flight_trunc.bin");
+  ASSERT_TRUE(write_file(trunc, bytes.substr(0, bytes.size() / 2)));
+  EXPECT_FALSE(runtime::load_trace_snapshot(trunc).has_value());
+
+  // Single flipped bit in the payload: checksum rejects, never misreads.
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x40;
+  const std::string flip = tmp_path("flight_flip.bin");
+  ASSERT_TRUE(write_file(flip, flipped));
+  EXPECT_FALSE(runtime::load_trace_snapshot(flip).has_value());
+
+  // And the pristine file still loads (the two rejections above were the
+  // corruption, not an API quirk).
+  EXPECT_TRUE(runtime::load_trace_snapshot(path).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// ws_report on a synthetic merged timeline with known numbers.
+
+TEST(WsReport, ComputesBusyCvAndFlowHistograms) {
+  const std::string p0 = tmp_path("report.r0.g0.json");
+  const std::string p1 = tmp_path("report.r1.g0.json");
+  const std::uint32_t steal_corr = runtime::trace_corr(1, 0, 2);
+  {
+    runtime::Tracer t;
+    runtime::TraceBuffer* b = t.track("rank 0");
+    b->begin_at("region", 0.0, 1);
+    b->end_at("region", 0.3, 1);  // 300 ms busy
+    b->flow_end_at("steal", 0.35, steal_corr, 1);
+    b->instant_at("grant", 0.36, 1, runtime::trace_corr(0, 0, 3));
+    ASSERT_TRUE(runtime::export_chrome_trace(
+        t, p0, clock_json(0, 0, {"null", "0"})));
+  }
+  {
+    runtime::Tracer t;
+    runtime::TraceBuffer* b = t.track("rank 1");
+    b->begin_at("region", 0.0, 2);
+    b->end_at("region", 0.1, 2);  // 100 ms busy
+    b->instant_at("steal_req", 0.1, 0, steal_corr);
+    b->flow_start_at("steal", 0.1, steal_corr, 0);
+    ASSERT_TRUE(runtime::export_chrome_trace(
+        t, p1, clock_json(1, 0, {"0", "null"})));
+  }
+  std::vector<runtime::MergeInput> inputs;
+  ASSERT_TRUE(load_input(p0, inputs));
+  ASSERT_TRUE(load_input(p1, inputs));
+  const runtime::MergeResult m = runtime::merge_traces(inputs);
+  ASSERT_TRUE(m.ok) << m.error;
+  Value merged;
+  std::string err;
+  ASSERT_TRUE(json::parse(m.json, merged, &err)) << err;
+
+  const loadbal::WsReport r = loadbal::analyze_trace(merged, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_EQ(r.ranks.size(), 2u);
+  EXPECT_NEAR(r.ranks[0].busy_us, 300e3, 1.0);
+  EXPECT_NEAR(r.ranks[1].busy_us, 100e3, 1.0);
+  EXPECT_EQ(r.ranks[0].regions, 1u);
+  EXPECT_EQ(r.ranks[1].steal_reqs, 1u);
+  EXPECT_EQ(r.ranks[0].grants, 1u);
+  // mean 200 ms, population stddev 100 ms -> CV 0.5.
+  EXPECT_NEAR(r.busy_mean_us, 200e3, 1.0);
+  EXPECT_NEAR(r.busy_cv, 0.5, 1e-6);
+  // One completed steal flow, 250 ms latency -> log2 bucket 18
+  // ([2^17, 2^18) us = [131, 262) ms).
+  EXPECT_EQ(r.steal_flows, 1u);
+  EXPECT_EQ(r.steal_latency_log2_us[18], 1u);
+  EXPECT_EQ(r.grant_flows, 0u);
+
+  const std::string j = loadbal::render_json(r);
+  EXPECT_NE(j.find("\"schema\": \"pmpl-ws-report-1\""), std::string::npos);
+  EXPECT_NE(loadbal::render_markdown(r).find("Busy-time CV"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a SIGKILLed rank's flight-recorder fragment is salvaged by
+// the supervisor, merges with the survivors, and shows up in the report.
+
+TEST(ClusterSalvage, SupervisorRecoversKilledIncarnationTrace) {
+  const std::uint32_t p = 4;
+  const std::uint64_t seed = 20260808;
+  const auto work = loadbal::make_cluster_items(seed, 48, p);
+  const std::string prefix = tmp_path("salvage_trace");
+  // Stale exports from a previous run would make the supervisor believe
+  // the killed rank exported live and skip the salvage.
+  for (std::uint32_t r = 0; r < p; ++r)
+    for (std::uint32_t g = 0; g < 3; ++g)
+      std::remove((prefix + ".r" + std::to_string(r) + ".g" +
+                   std::to_string(g) + ".json")
+                      .c_str());
+
+  // Fail-stop (no restart): the death is permanent, so heartbeat
+  // detection, rehoming and the recovery latency are all deterministic —
+  // a restarted replacement can rejoin before peers ever declare death.
+  loadbal::ClusterConfig cfg;
+  cfg.ranks = p;
+  cfg.rank.items = work.items;
+  cfg.rank.initial = work.initial;
+  cfg.rank.seed = seed;
+  cfg.rank.run_timeout_s = 8.0;
+  cfg.timeout_s = 60.0;
+  cfg.trace_path = prefix;
+  cfg.faults.seed = 3;
+  cfg.faults.crash(1, 0.06);
+
+  const auto real = loadbal::run_ws_cluster(cfg);
+  ASSERT_TRUE(real.ok) << real.error;
+  ASSERT_TRUE(real.killed[1]);
+  EXPECT_TRUE(real.terminated_all);
+  EXPECT_TRUE(real.all_done);
+  EXPECT_GT(real.deaths_detected, 0u);
+
+  // The killed generation-0 incarnation never exported its trace; the
+  // supervisor must have recovered it from the flight recorder.
+  const std::string dead = prefix + ".r1.g0.json";
+  ASSERT_EQ(real.traces_salvaged.size(), 1u);
+  EXPECT_EQ(real.traces_salvaged[0], dead);
+
+  std::string text, err;
+  Value root;
+  ASSERT_TRUE(read_file(dead, text));
+  ASSERT_TRUE(json::parse(text, root, &err)) << err;
+  const Value* clock = root.find("otherData")->find("clusterClock");
+  ASSERT_NE(clock, nullptr);
+  EXPECT_TRUE(clock->find("salvaged")->as_bool());
+  EXPECT_EQ(clock->find("rank")->as_number(), 1.0);
+  bool saw_salvage = false;
+  for (const Value& ev : root.find("traceEvents")->as_array())
+    if (ev.find("name")->is_string() &&
+        ev.find("name")->as_string() == "salvage")
+      saw_salvage = true;
+  EXPECT_TRUE(saw_salvage) << "supervisor track missing its salvage marker";
+
+  // Merge every incarnation on disk — the survivors' live exports plus
+  // rank 1's salvaged fragment — and run the analyzer on it.
+  std::vector<runtime::MergeInput> inputs;
+  for (std::uint32_t r = 0; r < p; ++r)
+    for (std::uint32_t g = 0; g < 3; ++g)
+      load_input(prefix + ".r" + std::to_string(r) + ".g" + std::to_string(g) +
+                     ".json",
+                 inputs);
+  ASSERT_GE(inputs.size(), p);  // all four ranks, one of them salvaged
+  const runtime::MergeResult m = runtime::merge_traces(inputs);
+  ASSERT_TRUE(m.ok) << m.error;
+  Value merged;
+  ASSERT_TRUE(json::parse(m.json, merged, &err)) << err;
+
+  // Causality across processes: every completed frame flow must point
+  // forward in merged time (small slack for clock-estimate error; the
+  // bound is half the loopback round trip).
+  std::map<std::string, double> send_ts, recv_ts;
+  for (const Value& ev : merged.find("traceEvents")->as_array()) {
+    const Value* ph = ev.find("ph");
+    const Value* cat = ev.find("cat");
+    if (!ph->is_string() || !cat || !cat->is_string() ||
+        cat->as_string() != "frame")
+      continue;
+    const std::string id = ev.find("id")->as_string();
+    if (ph->as_string() == "s") send_ts[id] = ev.find("ts")->as_number();
+    if (ph->as_string() == "f") recv_ts[id] = ev.find("ts")->as_number();
+  }
+  std::size_t paired = 0;
+  for (const auto& [id, ts] : recv_ts) {
+    const auto it = send_ts.find(id);
+    if (it == send_ts.end()) continue;  // sender's ring may have dropped it
+    ++paired;
+    // Slack: the offset estimate is off by at most half the hello round
+    // trip, and that handshake runs during the fork storm — allow a
+    // scheduler-hiccup-sized error, still far below real misalignment
+    // (an unshifted clock domain is off by whole milliseconds * 100).
+    EXPECT_GE(ts + 25000.0, it->second) << "frame flow " << id;
+  }
+  EXPECT_GT(paired, 0u);
+
+  const loadbal::WsReport report = loadbal::analyze_trace(merged, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(report.ranks.size(), p);
+  ASSERT_GE(report.salvages.size(), 1u);
+  EXPECT_EQ(report.salvages[0].rank, 1u);
+  EXPECT_EQ(report.salvages[0].generation, 0u);
+  ASSERT_GE(report.deaths.size(), 1u);
+  EXPECT_EQ(report.deaths[0].dead_rank, 1u);
+  EXPECT_GT(report.window_us, 0.0);
+  if (real.regions_recovered > 0) {
+    ASSERT_GE(report.recoveries.size(), 1u);
+    EXPECT_EQ(report.recoveries[0].dead_rank, 1u);
+    EXPECT_GT(report.recoveries[0].regions, 0u);
+  }
+}

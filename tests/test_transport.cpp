@@ -93,11 +93,11 @@ TEST(FrameCodec, RejectsMalformedPayloads) {
   bad_type[0] = 0xee;
   EXPECT_FALSE(
       runtime::decode_frame_payload(bad_type.data(), bad_type.size(), g));
-  // Item count pointing past the buffer (count sits after the 37 bytes of
-  // type/from/to/gen/a/b/c).
+  // Item count pointing past the buffer (count sits after the 45 bytes of
+  // type/from/to/gen/a/b/c/seq).
   std::vector<std::uint8_t> bad_count(wire.begin() + 4, wire.end());
-  bad_count[37] = 0xff;
-  bad_count[38] = 0xff;
+  bad_count[45] = 0xff;
+  bad_count[46] = 0xff;
   EXPECT_FALSE(
       runtime::decode_frame_payload(bad_count.data(), bad_count.size(), g));
 }
@@ -120,6 +120,7 @@ TEST(FrameCodecFuzz, RandomFramesRoundTripAndMutationsAreRejectedCleanly) {
     f.a = rng();
     f.b = rng();
     f.c = rng();
+    f.seq = rng();
     f.items.resize(rng.uniform_u64(17));
     for (auto& item : f.items) item = static_cast<std::uint32_t>(rng());
 
@@ -152,7 +153,7 @@ TEST(FrameCodecFuzz, RandomFramesRoundTripAndMutationsAreRejectedCleanly) {
   wire.clear();
   runtime::encode_frame(f, wire);
   std::vector<std::uint8_t> bomb(wire.begin() + 4, wire.end());
-  for (int b = 0; b < 4; ++b) bomb[37 + b] = 0xff;
+  for (int b = 0; b < 4; ++b) bomb[45 + b] = 0xff;
   Frame g;
   EXPECT_FALSE(runtime::decode_frame_payload(bomb.data(), bomb.size(), g));
 }
@@ -633,10 +634,14 @@ TEST(SocketTransport, MeshDeliversAndCounts) {
   ASSERT_TRUE(t0.send(1, f));
   Frame got;
   ASSERT_TRUE(t1.recv(got, 2.0));
+  // The transport stamps the wire trace id on every transmission; the
+  // protocol fields must arrive untouched.
+  EXPECT_NE(got.seq, 0u);
+  got.seq = f.seq;
   EXPECT_TRUE(got == f);
   EXPECT_EQ(t0.metrics().frames_sent, 1u);
   EXPECT_EQ(t1.metrics().frames_received, 1u);
-  EXPECT_GE(t1.metrics().bytes_received, 4u + 41u + 12u);
+  EXPECT_GE(t1.metrics().bytes_received, 4u + 49u + 12u);
   t0.close();
   t1.close();
   ::rmdir(dir.c_str());

@@ -1,0 +1,105 @@
+// trace_merge: align and merge per-rank per-generation cluster trace
+// files into one Perfetto-loadable timeline.
+//
+//   $ trace_merge -o merged.json trace.r0.g0.json trace.r1.g0.json ...
+//
+// Inputs are Chrome trace files written by export_chrome_trace — live
+// rank exports or supervisor-salvaged flight-recorder fragments — whose
+// otherData.clusterClock member names the writer (rank, generation,
+// salvaged) and carries its hello-round-trip clock-offset estimates.
+// Each file's timestamps are shifted onto rank 0's clock by the writer's
+// measured offset (files without an estimate shift by 0), pids become
+// ranks, tracks get fresh global tids (generation > 0 tracks renamed
+// "<name> (g<gen>)"), and flow events pass through so steal/grant/frame
+// arrows span rank tracks in the merged view. Inputs that fail to parse
+// are skipped with a warning (a salvage race can leave a torn file);
+// exit 0 with at least one merged input, 1 when nothing merged or the
+// output cannot be written, 2 on bad usage.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/trace_merge.hpp"
+#include "util/json_mini.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  out.clear();
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> in_paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr, "usage: %s -o merged.json <trace.json>...\n",
+                   argv[0]);
+      return 2;
+    } else {
+      in_paths.push_back(argv[i]);
+    }
+  }
+  if (out_path.empty() || in_paths.empty()) {
+    std::fprintf(stderr, "usage: %s -o merged.json <trace.json>...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<pmpl::runtime::MergeInput> inputs;
+  for (const std::string& path : in_paths) {
+    std::string text, err;
+    pmpl::json::Value root;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "trace_merge: skipping %s: cannot read\n",
+                   path.c_str());
+      continue;
+    }
+    if (!pmpl::json::parse(text, root, &err)) {
+      std::fprintf(stderr, "trace_merge: skipping %s: %s\n", path.c_str(),
+                   err.c_str());
+      continue;
+    }
+    inputs.push_back({path, std::move(root)});
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "trace_merge: no parseable inputs\n");
+    return 1;
+  }
+
+  const pmpl::runtime::MergeResult merged =
+      pmpl::runtime::merge_traces(inputs);
+  if (!merged.ok) {
+    std::fprintf(stderr, "trace_merge: %s\n", merged.error.c_str());
+    return 1;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "trace_merge: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const bool ok =
+      std::fwrite(merged.json.data(), 1, merged.json.size(), f) ==
+      merged.json.size();
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "trace_merge: short write to %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("trace_merge: merged %zu/%zu inputs into %s\n", inputs.size(),
+              in_paths.size(), out_path.c_str());
+  return 0;
+}

@@ -1,25 +1,37 @@
 // Trace-file validator for the CI trace-smoke job:
 //
-//   $ validate_trace <trace.json> [<schema.json>]
+//   $ validate_trace <trace.json> [<schema.json>] [--complete-flows]
 //
-// Checks a file produced by pmpl::runtime::export_chrome_trace against
-// tools/trace_schema.json — required members, `ph` phase enumeration,
-// per-tid span balance (an E at depth 0 means the exporter leaked an
-// orphaned end), timestamps present and non-negative on payload events,
-// and otherData track bookkeeping (dropped <= total; a track's retained
-// payload events == total - dropped). Tracks named "transport <r>" (the
+// Checks a file produced by pmpl::runtime::export_chrome_trace (or
+// merged by tools/trace_merge) against tools/trace_schema.json —
+// required members, `ph` phase enumeration, per-tid span balance (an E
+// at depth 0 means the exporter leaked an orphaned end), timestamps
+// present and non-negative on payload events, flow-event shape (string
+// `cat`, hex-string `id`, `bp:"e"` on the flow end), and otherData
+// track bookkeeping (dropped <= total; a track's retained payload
+// events == total - dropped). Tracks named "transport <r>" (the
 // per-rank frame-layer tracks SocketTransport emits) are held to a
-// tighter shape: instant-only events named frame_send / frame_recv /
-// frame_drop / reconnect / rank_restart / rejoin, each carrying a
-// numeric args.arg (the peer rank, or the generation for restart
-// instants). The schema file itself is also parsed, so a truncated or
-// hand-mangled schema fails loudly rather than silently validating
-// nothing. Exit 0 on success, 1 with a diagnostic on the first violation.
+// tighter shape: instants named frame_send / frame_recv / frame_drop /
+// reconnect / rank_restart / rejoin / clock_sync carrying a numeric
+// args.arg (the peer rank, or the generation for restart and clock
+// instants), plus "frame" flow events pairing the sends to the recvs;
+// frame_send / frame_recv / salvage instants must also carry the
+// args.corr correlation id the flows bind on. Nonzero events_dropped
+// is a warning, not a failure — the ring overflowing is a sizing
+// problem, not a malformed file. With --complete-flows (fault-free
+// merged runs) every flow end must have a matching (cat, id) start
+// somewhere in the file; without it dangling ends are legal (the start
+// may have died with its rank). The schema file itself is also parsed,
+// so a truncated or hand-mangled schema fails loudly rather than
+// silently validating nothing. Exit 0 on success, 1 with a diagnostic
+// on the first violation.
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "util/json_mini.hpp"
 
@@ -53,28 +65,58 @@ bool load_json(const char* path, Value& out, std::string& err) {
 /// The phases required to carry a timestamp (metadata events are not).
 bool is_payload(const std::string& ph) { return ph != "M"; }
 
+bool is_flow(const std::string& ph) { return ph == "s" || ph == "f"; }
+
+/// "0x" followed by at least one lowercase hex digit — the exporter's
+/// flow-id and corr format.
+bool is_hex_id(const std::string& s) {
+  if (s.size() < 3 || s[0] != '0' || s[1] != 'x') return false;
+  for (std::size_t i = 2; i < s.size(); ++i) {
+    const char c = s[i];
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+/// Instants whose args must carry the hex corr id flows bind on.
+bool needs_corr(const std::string& name) {
+  return name == "frame_send" || name == "frame_recv" || name == "salvage";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace.json> [<schema.json>]\n", argv[0]);
+  bool complete_flows = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--complete-flows") == 0)
+      complete_flows = true;
+    else if (std::strcmp(argv[i], "--help") == 0)
+      pos.clear(), i = argc;
+    else
+      pos.push_back(argv[i]);
+  }
+  if (pos.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.json> [<schema.json>] [--complete-flows]\n",
+                 argv[0]);
     return 2;
   }
 
   // The schema rides along as the second argument so CI validates the
   // checked-in copy it actually shipped; parsing it guards against drift-
   // by-corruption even though the structural checks below are hard-coded.
-  if (argc > 2) {
+  if (pos.size() > 1) {
     Value schema;
     std::string err;
-    if (!load_json(argv[2], schema, err)) return fail(err);
+    if (!load_json(pos[1], schema, err)) return fail(err);
     if (!schema.is_object() || !schema.find("properties"))
-      return fail(std::string(argv[2]) + " is not a schema object");
+      return fail(std::string(pos[1]) + " is not a schema object");
   }
 
   Value root;
   std::string err;
-  if (!load_json(argv[1], root, err)) return fail(err);
+  if (!load_json(pos[0], root, err)) return fail(err);
   if (!root.is_object()) return fail("root is not an object");
   for (const char* key : {"displayTimeUnit", "traceEvents", "otherData"})
     if (!root.find(key))
@@ -85,6 +127,8 @@ int main(int argc, char** argv) {
 
   // Transport tracks are declared by name in otherData.tracks; collect
   // their tids up front so the event loop can enforce the tighter shape.
+  // (Merged files rename generation > 0 tracks "transport <r> (g<gen>)",
+  // which the prefix match still catches.)
   std::set<double> transport_tids;
   if (const Value* other0 = root.find("otherData")) {
     const Value* tracks0 = other0->find("tracks");
@@ -99,6 +143,21 @@ int main(int argc, char** argv) {
       }
   }
 
+  // Two passes over the flow events: every start key is collected before
+  // any end is judged, so --complete-flows does not depend on the array
+  // order of a start/end pair that the clock alignment may have reordered
+  // by a microsecond.
+  std::set<std::string> flow_starts;
+  for (const Value& ev : events->as_array()) {
+    if (!ev.is_object()) continue;
+    const Value* ph = ev.find("ph");
+    const Value* cat = ev.find("cat");
+    const Value* id = ev.find("id");
+    if (ph && ph->is_string() && ph->as_string() == "s" && cat && id &&
+        cat->is_string() && id->is_string())
+      flow_starts.insert(cat->as_string() + "|" + id->as_string());
+  }
+
   std::map<double, long> depth;            // tid -> open span count
   std::map<double, long> payload_per_tid;  // tid -> payload event count
   std::size_t i = 0;
@@ -110,8 +169,9 @@ int main(int argc, char** argv) {
     const Value* ph = ev.find("ph");
     if (!ph->is_string()) return fail(at + ".ph is not a string");
     const std::string& p = ph->as_string();
-    if (p != "B" && p != "E" && p != "i" && p != "C" && p != "M")
-      return fail(at + ".ph '" + p + "' not in [B, E, i, C, M]");
+    if (p != "B" && p != "E" && p != "i" && p != "C" && p != "M" &&
+        p != "s" && p != "f")
+      return fail(at + ".ph '" + p + "' not in [B, E, i, C, M, s, f]");
     if (!ev.find("tid")->is_number()) return fail(at + ".tid not a number");
     const double tid = ev.find("tid")->as_number();
     if (is_payload(p)) {
@@ -131,24 +191,52 @@ int main(int argc, char** argv) {
       if (!args || !args->find("value"))
         return fail(at + ": counter event without args.value");
     }
+    if (is_flow(p)) {
+      const Value* cat = ev.find("cat");
+      const Value* id = ev.find("id");
+      if (!cat || !cat->is_string())
+        return fail(at + ": flow event without string cat");
+      if (!id || !id->is_string() || !is_hex_id(id->as_string()))
+        return fail(at + ": flow event without hex-string id");
+      if (p == "f") {
+        const Value* bp = ev.find("bp");
+        if (!bp || !bp->is_string() || bp->as_string() != "e")
+          return fail(at + ": flow end without bp 'e'");
+        if (complete_flows &&
+            !flow_starts.count(cat->as_string() + "|" + id->as_string()))
+          return fail(at + ": flow end (" + cat->as_string() + ", " +
+                      id->as_string() + ") with no matching start");
+      }
+    }
+    if (ev.find("name")->is_string() &&
+        needs_corr(ev.find("name")->as_string())) {
+      const Value* args = ev.find("args");
+      const Value* corr = args ? args->find("corr") : nullptr;
+      if (!corr || !corr->is_string() || !is_hex_id(corr->as_string()))
+        return fail(at + ": '" + ev.find("name")->as_string() +
+                    "' without hex args.corr correlation id");
+    }
     if (is_payload(p) && transport_tids.count(tid)) {
-      // Frame-layer tracks carry only peer-stamped instants.
-      if (p != "i")
+      // Frame-layer tracks carry peer-stamped instants and frame flows.
+      if (p != "i" && !is_flow(p))
         return fail(at + ": transport-track event with ph '" + p +
-                    "' (instants only)");
+                    "' (instants and flows only)");
       const Value* nm = ev.find("name");
       if (!nm->is_string()) return fail(at + ".name is not a string");
       const std::string& n2 = nm->as_string();
-      if (n2 != "frame_send" && n2 != "frame_recv" && n2 != "frame_drop" &&
-          n2 != "reconnect" && n2 != "rank_restart" && n2 != "rejoin")
-        return fail(at + ": transport instant '" + n2 +
-                    "' not in [frame_send, frame_recv, frame_drop, "
-                    "reconnect, rank_restart, rejoin]");
-      const Value* args = ev.find("args");
-      if (!args || !args->find("arg") || !args->find("arg")->is_number())
-        return fail(at +
-                    ": transport instant without numeric args.arg "
-                    "(peer rank)");
+      if (p == "i") {
+        if (n2 != "frame_send" && n2 != "frame_recv" && n2 != "frame_drop" &&
+            n2 != "reconnect" && n2 != "rank_restart" && n2 != "rejoin" &&
+            n2 != "clock_sync")
+          return fail(at + ": transport instant '" + n2 +
+                      "' not in [frame_send, frame_recv, frame_drop, "
+                      "reconnect, rank_restart, rejoin, clock_sync]");
+        const Value* args = ev.find("args");
+        if (!args || !args->find("arg") || !args->find("arg")->is_number())
+          return fail(at +
+                      ": transport instant without numeric args.arg "
+                      "(peer rank)");
+      }
     }
   }
   // Spans left open are legal (a crash mid-span; viewers close them at
@@ -159,6 +247,7 @@ int main(int argc, char** argv) {
   if (!tracks || !tracks->is_array())
     return fail("otherData.tracks missing or not an array");
   i = 0;
+  std::size_t warned_drops = 0;
   for (const Value& t : tracks->as_array()) {
     const std::string at = "otherData.tracks[" + std::to_string(i++) + "]";
     for (const char* key : {"tid", "name", "events_total", "events_dropped"})
@@ -166,6 +255,14 @@ int main(int argc, char** argv) {
     const double total = t.find("events_total")->as_number();
     const double dropped = t.find("events_dropped")->as_number();
     if (dropped > total) return fail(at + ": dropped > total");
+    if (dropped > 0) {
+      ++warned_drops;
+      std::fprintf(stderr,
+                   "validate_trace: WARN: %s ('%s') dropped %.0f of %.0f "
+                   "events (ring too small for this run)\n",
+                   at.c_str(), t.find("name")->as_string().c_str(), dropped,
+                   total);
+    }
     // Retained events reach traceEvents minus the orphaned ends the
     // exporter intentionally skips — so exported <= retained.
     const double tid = t.find("tid")->as_number();
@@ -173,7 +270,8 @@ int main(int argc, char** argv) {
       return fail(at + ": more exported events than the ring retained");
   }
 
-  std::printf("validate_trace: OK: %zu events, %zu tracks\n",
-              events->as_array().size(), tracks->as_array().size());
+  std::printf("validate_trace: OK: %zu events, %zu tracks%s\n",
+              events->as_array().size(), tracks->as_array().size(),
+              warned_drops ? " (with drop warnings)" : "");
   return 0;
 }

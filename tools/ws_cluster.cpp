@@ -10,7 +10,10 @@
 //                [--steal-max M]
 //                [--faults plan.json]   fault plan (simulated seconds)
 //                [--time-scale K]       wall seconds per simulated second
-//                [--trace PREFIX]       per-rank traces PREFIX.r<r>.json
+//                [--trace PREFIX]       per-incarnation traces
+//                                       PREFIX.r<r>.g<gen>.json (plus
+//                                       supervisor-salvaged fragments of
+//                                       ranks that died tracing)
 //                [--report FILE]        JSON summary of both runs + gate
 //                [--timeout S]          parent watchdog (default 90)
 //                [--no-gate]            skip the DES replay / comparison
@@ -194,6 +197,8 @@ int main(int argc, char** argv) {
     std::printf("supervisor: restarts=%u zombies_fenced=%llu\n", restarts,
                 static_cast<unsigned long long>(real.zombies_fenced));
   }
+  for (const std::string& p : real.traces_salvaged)
+    std::printf("salvaged: %s\n", p.c_str());
 
   bool gate_ok = true;
   std::uint64_t des_hash = 0;

@@ -1,0 +1,105 @@
+// ws_report: load-imbalance and chaos post-mortem report over a merged
+// cluster trace (see tools/trace_merge).
+//
+//   $ ws_report <merged.json> [--json report.json] [--markdown report.md]
+//
+// Reduces the merged timeline to per-rank busy/idle/steal breakdowns,
+// the busy-time coefficient of variation, log2 histograms of steal
+// latency and grant round-trip (measured from the paired flow events),
+// and the chaos post-mortem: deaths detected, flight-recorder fragments
+// salvaged, and rehome-to-first-execution recovery latency. Without
+// --json/--markdown the markdown report prints to stdout. The JSON shape
+// is pinned by tools/ws_report_schema.json. Exit 0 on success, 1 on a
+// malformed trace, 2 on bad usage.
+
+#include <cstdio>
+#include <string>
+
+#include "loadbal/ws_report.hpp"
+#include "util/args.hpp"
+#include "util/json_mini.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  out.clear();
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      // Skip the flag's detached value (ArgParser consumes it below).
+      if (a.find('=') == std::string::npos && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0)
+        ++i;
+      continue;
+    }
+    in_path = a;
+    break;
+  }
+  pmpl::ArgParser args(argc, argv);
+  if (in_path.empty() || args.has("help")) {
+    std::fprintf(stderr,
+                 "usage: %s <merged.json> [--json report.json] "
+                 "[--markdown report.md]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::string text, err;
+  pmpl::json::Value root;
+  if (!read_file(in_path, text)) {
+    std::fprintf(stderr, "ws_report: cannot read %s\n", in_path.c_str());
+    return 1;
+  }
+  if (!pmpl::json::parse(text, root, &err)) {
+    std::fprintf(stderr, "ws_report: %s: %s\n", in_path.c_str(), err.c_str());
+    return 1;
+  }
+  err.clear();
+  const pmpl::loadbal::WsReport report =
+      pmpl::loadbal::analyze_trace(root, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "ws_report: %s: %s\n", in_path.c_str(), err.c_str());
+    return 1;
+  }
+
+  const std::string json_path = args.get("json", "");
+  const std::string md_path = args.get("markdown", "");
+  if (!json_path.empty() &&
+      !write_file(json_path, pmpl::loadbal::render_json(report))) {
+    std::fprintf(stderr, "ws_report: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  if (!md_path.empty() &&
+      !write_file(md_path, pmpl::loadbal::render_markdown(report))) {
+    std::fprintf(stderr, "ws_report: cannot write %s\n", md_path.c_str());
+    return 1;
+  }
+  if (json_path.empty() && md_path.empty())
+    std::fputs(pmpl::loadbal::render_markdown(report).c_str(), stdout);
+  else
+    std::printf("ws_report: %zu ranks, busy CV %.3f, %zu deaths, "
+                "%zu salvaged\n",
+                report.ranks.size(), report.busy_cv, report.deaths.size(),
+                report.salvages.size());
+  return 0;
+}
