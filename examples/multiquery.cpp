@@ -1,20 +1,26 @@
-// Multi-query workflow: build once, persist, reload, answer many queries,
-// smooth the answers.
+// Multi-query service workflow: publish a roadmap snapshot, submit a batch
+// of queries with mixed deadlines through the long-lived query engine,
+// densify + publish a new epoch mid-stream, and print the engine's own
+// latency metrics.
 //
-//   $ multiquery [--attempts N] [--queries Q] [--roadmap FILE]
+//   $ multiquery [--attempts N] [--queries Q] [--workers W]
+//                [--deadline-ms D] [--roadmap FILE]
 //
-// Demonstrates roadmap serialization (planner/roadmap_io.hpp) and shortcut
-// smoothing (planner/smoothing.hpp) on top of the maze environment: the
-// roadmap is saved to disk, reloaded as a fresh object, and used for a
-// batch of random queries whose raw PRM paths are then shortened.
+// Demonstrates the planning-as-a-service path (service/snapshot.hpp +
+// service/query_engine.hpp): the roadmap is still saved/reloaded through
+// planner/roadmap_io.hpp to show persistence, the reloaded copy is
+// published into a SnapshotPool, and every query runs against a pinned
+// immutable epoch — batched k-NN, cross-query edge validation, per-query
+// deadlines, and shortcut smoothing on the answers.
 
 #include <cstdio>
 
 #include "env/builders.hpp"
 #include "planner/prm.hpp"
-#include "planner/query.hpp"
 #include "planner/roadmap_io.hpp"
 #include "planner/smoothing.hpp"
+#include "service/query_engine.hpp"
+#include "service/snapshot.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -24,7 +30,9 @@ int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const auto attempts =
       static_cast<std::size_t>(args.get_i64("attempts", 6000));
-  const auto queries = static_cast<std::size_t>(args.get_i64("queries", 6));
+  const auto queries = static_cast<std::size_t>(args.get_i64("queries", 8));
+  const auto workers = static_cast<std::size_t>(args.get_i64("workers", 4));
+  const double deadline_ms = args.get_f64("deadline-ms", 250.0);
   const auto seed = static_cast<std::uint64_t>(args.get_i64("seed", 23));
   const std::string file = args.get("roadmap", "/tmp/pmpl_maze.roadmap");
 
@@ -48,46 +56,83 @@ int main(int argc, char** argv) {
   }
   std::printf("saved and reloaded via %s\n", file.c_str());
 
-  // Random free start/goal pairs across the maze.
-  Xoshiro256ss rng(seed + 1);
-  TextTable table({"query", "waypoints", "raw length", "smoothed",
-                   "shortcuts", "status"});
-  std::size_t solved = 0;
-  for (std::size_t q = 0; q < queries; ++q) {
-    cspace::Config start, goal;
-    auto draw_free = [&](cspace::Config& c) {
-      for (int tries = 0; tries < 200; ++tries) {
-        c = e->space().sample(rng);
-        if (e->validity().valid(c)) return true;
-      }
-      return false;
-    };
-    if (!draw_free(start) || !draw_free(goal)) continue;
+  // Publish the reloaded roadmap as epoch 1 and stand the engine up on it.
+  service::SnapshotPool pool;
+  pool.publish(std::move(*loaded));
+  runtime::MetricsRegistry metrics;
+  service::QueryEngineConfig cfg;
+  cfg.workers = workers;
+  cfg.resolution = params.resolution;
+  cfg.metrics = &metrics;
+  service::QueryEngine engine(*e, pool, cfg);
 
-    auto working = *loaded;  // query appends temporaries; keep master clean
-    const auto path = planner::query_roadmap(*e, working, start, goal,
-                                             params.k_neighbors,
-                                             params.resolution);
-    if (!path) {
-      table.row().num(static_cast<int>(q)).cell("-").cell("-").cell("-")
-          .cell("-").cell("unreachable");
-      continue;
+  // Submit a wave of random free start/goal pairs with mixed deadlines:
+  // even queries get a generous budget, odd ones a tight (maybe-missed)
+  // one — deadline misses come back marked degraded, never wedge a worker.
+  Xoshiro256ss rng(seed + 1);
+  const auto draw_free = [&](cspace::Config& c) {
+    for (int tries = 0; tries < 200; ++tries) {
+      c = e->space().sample(rng);
+      if (e->validity().valid(c)) return true;
     }
-    const auto smoothed =
-        planner::shortcut_path(*e, *path, 150, params.resolution, seed + q);
+    return false;
+  };
+  std::size_t submitted = 0;
+  for (std::size_t q = 0; q < queries; ++q) {
+    service::QueryRequest req;
+    if (!draw_free(req.start) || !draw_free(req.goal)) continue;
+    req.k = params.k_neighbors;
+    req.deadline = runtime::Deadline::after_ms(
+        q % 2 == 0 ? deadline_ms : deadline_ms / 50.0);
+    engine.submit(std::move(req));
+    ++submitted;
+  }
+
+  // Serve the first half, densify + publish epoch 2 (queries never block
+  // on the rebuild), then serve the rest against whichever epoch is
+  // current when their batch runs.
+  auto first = engine.drain();
+  service::densify_and_publish(pool, *e, params, attempts / 4, seed + 2);
+  std::printf("densified + published epoch %llu (live snapshots: %llu)\n",
+              static_cast<unsigned long long>(pool.current_epoch()),
+              static_cast<unsigned long long>(pool.live_slots()));
+
+  TextTable table({"id", "epoch", "status", "latency ms", "waypoints",
+                   "raw length", "smoothed", "valid"});
+  std::size_t solved = 0;
+  const auto show = [&](std::uint64_t id, const service::QueryResult& r) {
+    table.row().num(id).num(r.epoch);
+    if (r.status != service::QueryStatus::kSolved) {
+      table.cell(service::to_string(r.status))
+          .num(r.latency_s * 1e3, 2)
+          .cell("-")
+          .cell("-")
+          .cell("-")
+          .cell(r.degraded ? "degraded" : "-");
+      return;
+    }
     ++solved;
-    table.row()
-        .num(static_cast<int>(q))
-        .num(static_cast<std::uint64_t>(path->size()))
+    const auto smoothed =
+        planner::shortcut_path(*e, r.path, 150, params.resolution, seed + id);
+    table.cell(r.degraded ? "solved (late)" : "solved")
+        .num(r.latency_s * 1e3, 2)
+        .num(static_cast<std::uint64_t>(r.path.size()))
         .num(smoothed.length_before, 1)
         .num(smoothed.length_after, 1)
-        .num(static_cast<std::uint64_t>(smoothed.shortcuts_applied))
         .cell(planner::path_valid(*e, smoothed.path, params.resolution)
                   ? "ok"
                   : "INVALID");
-  }
+  };
+  for (const auto& [id, r] : first) show(id, r);
+  for (const auto& [id, r] : engine.drain()) show(id, r);
   table.print();
-  std::printf("%zu/%zu queries solved through the reloaded roadmap\n",
-              solved, queries);
+
+  const auto lat = engine.latency();
+  std::printf(
+      "%zu/%zu queries solved; latency p50 <= %.1f us, p99 <= %.1f us "
+      "(%llu samples)\n",
+      solved, submitted, lat.p50_us, lat.p99_us,
+      static_cast<unsigned long long>(lat.count));
+  std::printf("engine metrics snapshot:\n%s\n", metrics.to_json().c_str());
   return solved > 0 ? 0 : 1;
 }

@@ -57,12 +57,12 @@ int main(int argc, char** argv) {
   workers.print();
 
   // Drive the forklift from the receiving dock to the far corner shelf.
+  // Queries attach through an overlay, so the roadmap is shared read-only.
   Xoshiro256ss rng(cfg.seed + 99);
-  auto roadmap = result.roadmap;  // query appends temporary vertices
   const auto start = e->space().at_position({5, 5, 10}, rng);
   const auto goal = e->space().at_position({95, 50, 10}, rng);
   const auto path =
-      planner::query_roadmap(*e, roadmap, start, goal, 8, 1.0);
+      planner::query_roadmap(*e, result.roadmap, start, goal, 8, 1.0);
   if (!path) {
     std::printf("no path found — increase --attempts\n");
     return 1;

@@ -1,13 +1,84 @@
 #include "planner/query.hpp"
 
+#include <algorithm>
+#include <queue>
+
 #include "cspace/local_planner.hpp"
-#include "graph/shortest_path.hpp"
 #include "planner/knn.hpp"
 
 namespace pmpl::planner {
 
+std::optional<std::vector<cspace::Config>> find_path_with_attachments(
+    const env::Environment& e, const Roadmap& g, const cspace::Config& start,
+    const cspace::Config& goal, std::span<const AttachEdge> start_edges,
+    std::span<const AttachEdge> goal_edges) {
+  if (start_edges.empty() || goal_edges.empty()) return std::nullopt;
+
+  // Virtual ids: n = start, n + 1 = goal. The overlay is two extra rows of
+  // the dist/prev arrays; the roadmap is only ever read.
+  const auto n = static_cast<graph::VertexId>(g.num_vertices());
+  const graph::VertexId s = n;
+  const graph::VertexId t = n + 1;
+  constexpr double kInf = 1e300;
+
+  const auto& space = e.space();
+  const auto cfg_of = [&](graph::VertexId v) -> const cspace::Config& {
+    if (v == s) return start;
+    if (v == t) return goal;
+    return g.vertex(v).cfg;
+  };
+  const auto heuristic = [&](graph::VertexId v) {
+    return v == t ? 0.0 : space.distance(cfg_of(v), goal);
+  };
+
+  std::vector<double> dist(n + 2, kInf);
+  std::vector<graph::VertexId> prev(n + 2, graph::kInvalidVertex);
+  // (f = g + h, vertex): pair comparison breaks f ties by ascending vertex
+  // id, same as graph::astar — expansion order is deterministic.
+  using Entry = std::pair<double, graph::VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+
+  const auto relax = [&](graph::VertexId from, graph::VertexId to, double w) {
+    const double nd = dist[from] + w;
+    if (nd < dist[to]) {
+      dist[to] = nd;
+      prev[to] = from;
+      open.emplace(nd + heuristic(to), to);
+    }
+  };
+
+  dist[s] = 0.0;
+  open.emplace(heuristic(s), s);
+  while (!open.empty()) {
+    const auto [f, u] = open.top();
+    open.pop();
+    if (u == t) break;
+    if (f - heuristic(u) > dist[u] + 1e-12) continue;  // stale entry
+    if (u == s) {
+      for (const AttachEdge& a : start_edges) relax(s, a.to, a.length);
+      continue;
+    }
+    for (const auto& edge : g.edges_of(u)) relax(u, edge.to, edge.prop.length);
+    // Overlay edges into the goal: the lists are k-sized, so a linear scan
+    // per expansion costs less than building a lookup table would.
+    for (const AttachEdge& a : goal_edges)
+      if (a.to == u) relax(u, t, a.length);
+  }
+
+  if (dist[t] >= kInf) return std::nullopt;
+  std::vector<graph::VertexId> vertices;
+  for (graph::VertexId v = t; v != graph::kInvalidVertex; v = prev[v])
+    vertices.push_back(v);
+  std::reverse(vertices.begin(), vertices.end());
+
+  std::vector<cspace::Config> configs;
+  configs.reserve(vertices.size());
+  for (graph::VertexId v : vertices) configs.push_back(cfg_of(v));
+  return configs;
+}
+
 std::optional<std::vector<cspace::Config>> query_roadmap(
-    const env::Environment& e, Roadmap& g, const cspace::Config& start,
+    const env::Environment& e, const Roadmap& g, const cspace::Config& start,
     const cspace::Config& goal, std::size_t k_neighbors, double resolution,
     PlannerStats* stats) {
   PlannerStats local;
@@ -16,28 +87,7 @@ std::optional<std::vector<cspace::Config>> query_roadmap(
   if (!e.validity().valid(start, &st.cd) || !e.validity().valid(goal, &st.cd))
     return std::nullopt;
 
-  auto finder = make_neighbor_finder(e.space(), /*exact=*/false);
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
-    finder->insert(v, g.vertex(v).cfg);
-
   const cspace::LocalPlanner lp(e.space(), e.validity(), resolution);
-  const graph::VertexId s = g.add_vertex({start, 0});
-  const graph::VertexId t = g.add_vertex({goal, 0});
-
-  auto attach = [&](graph::VertexId v, const cspace::Config& c) {
-    bool any = false;
-    for (const Neighbor& n : finder->nearest(c, k_neighbors, &st)) {
-      ++st.lp_attempts;
-      const auto r = lp.plan(c, g.vertex(n.id).cfg, &st.cd);
-      st.lp_steps += r.steps_checked;
-      if (r.success) {
-        ++st.lp_success;
-        g.add_edge(v, n.id, {r.length});
-        any = true;
-      }
-    }
-    return any;
-  };
 
   // Direct start->goal shot first (trivial queries).
   {
@@ -50,20 +100,29 @@ std::optional<std::vector<cspace::Config>> query_roadmap(
     }
   }
 
-  if (!attach(s, start) || !attach(t, goal)) return std::nullopt;
+  auto finder = make_neighbor_finder(e.space(), /*exact=*/false);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    finder->insert(v, g.vertex(v).cfg);
 
-  const auto& space = e.space();
-  const auto path = graph::astar<RoadmapVertex, RoadmapEdge>(
-      g, s, t, [](const RoadmapEdge& edge) { return edge.length; },
-      [&](graph::VertexId v) {
-        return space.distance(g.vertex(v).cfg, goal);
-      });
-  if (!path) return std::nullopt;
+  const auto attach = [&](const cspace::Config& c,
+                          std::vector<AttachEdge>& out) {
+    for (const Neighbor& nb : finder->nearest(c, k_neighbors, &st)) {
+      ++st.lp_attempts;
+      const auto r = lp.plan(c, g.vertex(nb.id).cfg, &st.cd);
+      st.lp_steps += r.steps_checked;
+      if (r.success) {
+        ++st.lp_success;
+        out.push_back({nb.id, r.length});
+      }
+    }
+    return !out.empty();
+  };
 
-  std::vector<cspace::Config> configs;
-  configs.reserve(path->vertices.size());
-  for (graph::VertexId v : path->vertices) configs.push_back(g.vertex(v).cfg);
-  return configs;
+  std::vector<AttachEdge> start_edges, goal_edges;
+  if (!attach(start, start_edges) || !attach(goal, goal_edges))
+    return std::nullopt;
+  return find_path_with_attachments(e, g, start, goal, start_edges,
+                                    goal_edges);
 }
 
 double path_length(const env::Environment& e,

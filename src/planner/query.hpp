@@ -1,8 +1,17 @@
 #pragma once
 /// \file query.hpp
 /// Roadmap query processing: connect start/goal, extract a path.
+///
+/// Queries attach start and goal through a temporary *overlay* — validated
+/// attachment edges held outside the roadmap — so the roadmap itself is
+/// `const` and never grows. That is what makes concurrent queries against
+/// one shared (snapshot) roadmap sound: any number of readers may query the
+/// same `const Roadmap&` at once, and a query leaves no residue behind.
+/// (Earlier revisions appended the two query vertices to the caller's
+/// roadmap; that wart is gone.)
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "env/environment.hpp"
@@ -11,13 +20,36 @@
 
 namespace pmpl::planner {
 
+/// One validated attachment edge from a query endpoint (start or goal) into
+/// the roadmap: the vertex it reaches and the metric length of the local
+/// plan that reached it.
+struct AttachEdge {
+  graph::VertexId to = graph::kInvalidVertex;
+  double length = 0.0;
+};
+
+/// A* over the roadmap plus a two-vertex overlay: virtual `start` connects
+/// into `g` via `start_edges`, virtual `goal` is reached from any vertex
+/// named in `goal_edges`. The roadmap is read-only; the overlay lives on
+/// this call's stack. Heuristic is the C-space metric distance to `goal`
+/// (admissible: edge lengths are metric lengths). Returns the configuration
+/// path start..goal, or nullopt when the overlay does not connect.
+///
+/// Deterministic: ties in the open set break by ascending vertex id, and
+/// the attachment lists are consumed in the order given — so identical
+/// inputs produce bit-identical paths regardless of caller threading.
+std::optional<std::vector<cspace::Config>> find_path_with_attachments(
+    const env::Environment& e, const Roadmap& g, const cspace::Config& start,
+    const cspace::Config& goal, std::span<const AttachEdge> start_edges,
+    std::span<const AttachEdge> goal_edges);
+
 /// Connect `start` and `goal` to the roadmap via local plans to their k
 /// nearest vertices, then run A* (metric heuristic). On success returns the
-/// configuration path start..goal. The roadmap is restored (temporary
-/// vertices removed) only logically: the two query vertices stay appended —
-/// callers querying repeatedly should copy the map or accept growth.
+/// configuration path start..goal. The roadmap is never mutated: start and
+/// goal attach through an overlay (`find_path_with_attachments`), so
+/// repeated or concurrent queries need no defensive copy.
 std::optional<std::vector<cspace::Config>> query_roadmap(
-    const env::Environment& e, Roadmap& g, const cspace::Config& start,
+    const env::Environment& e, const Roadmap& g, const cspace::Config& start,
     const cspace::Config& goal, std::size_t k_neighbors, double resolution,
     PlannerStats* stats = nullptr);
 
